@@ -1,0 +1,62 @@
+//! Criterion benchmarks: PODEM ATPG runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbst_components::shifter;
+use sbst_tpg::{Atpg, AtpgConfig, InputConstraint};
+
+fn bench_atpg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atpg");
+    group.sample_size(10);
+    for width in [8usize, 16] {
+        let cut = shifter::shifter(width);
+        let faults = cut.netlist.collapsed_faults();
+        group.bench_with_input(
+            BenchmarkId::new("shifter_unconstrained", width),
+            &width,
+            |b, _| {
+                b.iter(|| Atpg::new(&cut.netlist).run(&faults));
+            },
+        );
+        // The constrained flavour used by the self-test generator (op lines
+        // pinned to `srl`).
+        let op_bus = cut.ports.input("op");
+        let constraints = vec![
+            InputConstraint {
+                net: op_bus.net(0),
+                value: true,
+            },
+            InputConstraint {
+                net: op_bus.net(1),
+                value: false,
+            },
+        ];
+        group.bench_with_input(
+            BenchmarkId::new("shifter_constrained_srl", width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    Atpg::new(&cut.netlist)
+                        .with_constraints(&constraints)
+                        .run(&faults)
+                });
+            },
+        );
+    }
+    // PODEM-only (no random phase), stressing the search.
+    let cut = shifter::shifter(8);
+    let faults = cut.netlist.collapsed_faults();
+    group.bench_function("shifter8_podem_only", |b| {
+        b.iter(|| {
+            Atpg::new(&cut.netlist)
+                .with_config(AtpgConfig {
+                    random_patterns: 0,
+                    ..AtpgConfig::default()
+                })
+                .run(&faults)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_atpg);
+criterion_main!(benches);

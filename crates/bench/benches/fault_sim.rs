@@ -1,0 +1,45 @@
+//! Criterion benchmarks: parallel fault simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbst_components::{alu, multiplier, shifter};
+use sbst_gates::FaultSimulator;
+use sbst_tpg::regular;
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_sim");
+    for width in [8usize, 16, 32] {
+        let cut = alu::alu(width);
+        let faults = cut.netlist.collapsed_faults();
+        let stim = alu::stimulus(&cut, &regular::alu_ops(width));
+        group.throughput(Throughput::Elements(faults.len() as u64));
+        group.bench_with_input(BenchmarkId::new("alu", width), &width, |b, _| {
+            b.iter(|| FaultSimulator::new(&cut.netlist).simulate(&faults, &stim));
+        });
+    }
+    let cut = shifter::shifter(32);
+    let faults = cut.netlist.collapsed_faults();
+    let stim = shifter::stimulus(&cut, &regular::shifter_ops(32));
+    group.throughput(Throughput::Elements(faults.len() as u64));
+    group.bench_function("shifter32", |b| {
+        b.iter(|| FaultSimulator::new(&cut.netlist).simulate(&faults, &stim));
+    });
+    group.finish();
+}
+
+fn bench_multiplier_grading(c: &mut Criterion) {
+    // The workspace's heaviest single grading task: the 16-bit array
+    // multiplier against its full regular test set.
+    let cut = multiplier::multiplier(16);
+    let faults = cut.netlist.collapsed_faults();
+    let stim = multiplier::stimulus(&cut, &regular::multiplier_ops(16));
+    let mut group = c.benchmark_group("fault_sim_heavy");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(faults.len() as u64));
+    group.bench_function("multiplier16_regular_set", |b| {
+        b.iter(|| FaultSimulator::new(&cut.netlist).simulate(&faults, &stim));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_sim, bench_multiplier_grading);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmarks: software MISR and LFSR models.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sbst_tpg::{Lfsr32, Misr32};
+
+fn bench_misr(c: &mut Criterion) {
+    let words: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let mut group = c.benchmark_group("compaction");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    group.bench_function("misr_absorb_4k", |b| {
+        b.iter(|| {
+            let mut m = Misr32::default();
+            m.absorb_words(&words);
+            m.signature()
+        });
+    });
+    group.finish();
+}
+
+fn bench_lfsr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("lfsr_step_4k", |b| {
+        b.iter(|| {
+            let mut l = Lfsr32::default();
+            let mut acc = 0u32;
+            for _ in 0..4096 {
+                acc ^= l.step();
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_misr, bench_lfsr);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks: routine generation and execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbst_core::grade::execute_routine;
+use sbst_core::{CodeStyle, Cut, RoutineSpec};
+
+fn bench_routine_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routine_gen");
+    group.sample_size(10);
+    let alu = Cut::alu(32);
+    group.bench_function("alu_regular", |b| {
+        b.iter(|| RoutineSpec::recommended(&alu).build(&alu).unwrap());
+    });
+    let shifter = Cut::shifter(16);
+    group.bench_function("shifter_atpg", |b| {
+        b.iter(|| RoutineSpec::recommended(&shifter).build(&shifter).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_routine_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routine_exec");
+    let alu = Cut::alu(32);
+    let routine = RoutineSpec::recommended(&alu).build(&alu).unwrap();
+    group.bench_function("alu_regular_iss_run", |b| {
+        b.iter(|| execute_routine(&routine).unwrap());
+    });
+    let mut prnd = RoutineSpec::new(CodeStyle::PseudorandomLoop);
+    prnd.pseudorandom_count = 256;
+    let routine = prnd.build(&alu).unwrap();
+    group.bench_function("alu_prnd256_iss_run", |b| {
+        b.iter(|| execute_routine(&routine).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routine_generation, bench_routine_execution);
+criterion_main!(benches);

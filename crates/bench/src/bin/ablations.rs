@@ -1,0 +1,169 @@
+//! Ablation studies over the design choices DESIGN.md calls out.
+//!
+//! ```text
+//! cargo run --release -p sbst-bench --bin ablations
+//! ```
+//!
+//! 1. **Branch architecture**: delay slots (Plasma) vs predict-not-taken
+//!    penalties — the paper: "pipeline stalls are unavoidable when branch
+//!    prediction is used". Loop-based code styles are hit hardest.
+//! 2. **Forwarding**: the paper's requirement that test code contain no
+//!    unresolved data hazards only comes for free with forwarding; without
+//!    it, the same routines stall.
+//! 3. **Energy by code style**: the Section 2 power argument — loop styles
+//!    minimize cache misses and hence external-bus energy.
+//! 4. **MISR aliasing**: signature-exact grading vs output divergence —
+//!    quantifying the "negligible aliasing" claim on a real routine.
+//! 5. **Fault-list collapsing**: grading cost with and without equivalence
+//!    collapsing (quality is unchanged by construction; the win is volume).
+
+use sbst_core::grade::execute_routine;
+use sbst_core::{CodeStyle, Cut, RoutineSpec};
+use sbst_cpu::{CacheConfig, Cpu, CpuConfig, EnergyModel};
+use sbst_gates::FaultSimulator;
+use std::time::Instant;
+
+fn run_with(routine: &sbst_core::SelfTestRoutine, config: CpuConfig) -> sbst_cpu::ExecStats {
+    let mut cpu = Cpu::new(CpuConfig {
+        undecoded_as_nop: true,
+        ..config
+    });
+    cpu.load_program(&routine.program);
+    cpu.run().expect("routine runs").stats
+}
+
+fn main() {
+    let cut = Cut::alu(32);
+    let styles = [
+        CodeStyle::AtpgImmediate,
+        CodeStyle::AtpgDataFetch,
+        CodeStyle::PseudorandomLoop,
+        CodeStyle::RegularLoopImmediate,
+    ];
+    let routines: Vec<_> = styles
+        .iter()
+        .map(|&style| {
+            let mut spec = RoutineSpec::new(style);
+            spec.pseudorandom_count = 128;
+            (style, spec.build(&cut).expect("routine builds"))
+        })
+        .collect();
+
+    println!("== Ablation 1: branch architecture (cycles incl. stalls) ==");
+    println!(
+        "{:<14} {:>12} {:>14} {:>8}",
+        "style", "delay slots", "penalty 2", "growth"
+    );
+    for (style, routine) in &routines {
+        let base = run_with(routine, CpuConfig::default());
+        let pred = run_with(
+            routine,
+            CpuConfig {
+                branch_penalty: 2,
+                ..CpuConfig::default()
+            },
+        );
+        println!(
+            "{:<14} {:>12} {:>14} {:>7.1}%",
+            style.code(),
+            base.total_cycles(),
+            pred.total_cycles(),
+            (pred.total_cycles() as f64 / base.total_cycles() as f64 - 1.0) * 100.0
+        );
+    }
+
+    println!("\n== Ablation 2: forwarding (pipeline stall cycles) ==");
+    println!("{:<14} {:>12} {:>14}", "style", "forwarding", "no forwarding");
+    for (style, routine) in &routines {
+        let with = run_with(routine, CpuConfig::default());
+        let without = run_with(
+            routine,
+            CpuConfig {
+                forwarding: false,
+                ..CpuConfig::default()
+            },
+        );
+        println!(
+            "{:<14} {:>12} {:>14}",
+            style.code(),
+            with.pipeline_stall_cycles,
+            without.pipeline_stall_cycles
+        );
+    }
+
+    println!("\n== Ablation 3: energy by code style (normalized, 1 KiB caches) ==");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>10}",
+        "style", "core", "cache", "memory", "total"
+    );
+    let model = EnergyModel::default();
+    for (style, routine) in &routines {
+        let stats = run_with(
+            routine,
+            CpuConfig {
+                icache: Some(CacheConfig::default()),
+                dcache: Some(CacheConfig::default()),
+                ..CpuConfig::default()
+            },
+        );
+        let e = model.estimate(&stats, 0);
+        println!(
+            "{:<14} {:>9.0} {:>9.0} {:>9.0} {:>10.0}",
+            style.code(),
+            e.core,
+            e.cache,
+            e.memory,
+            e.total()
+        );
+    }
+
+    println!("\n== Ablation 4: MISR aliasing (signature-exact vs divergence grading) ==");
+    {
+        let (_, trace, _) = execute_routine(&routines[3].1).expect("routine runs");
+        let stimulus = sbst_core::stimulus_for(&cut, &trace);
+        let faults = cut.component.netlist.collapsed_faults();
+        let result = sbst_tpg::signature_grade(&cut.component.netlist, &faults, &stimulus);
+        let diverged = result
+            .detected_by_divergence
+            .iter()
+            .filter(|d| **d)
+            .count();
+        println!(
+            "{} faults: {} diverge at outputs, {} detected by signature, \
+             {} aliased ({:.4}% aliasing rate)",
+            faults.len(),
+            diverged,
+            result
+                .detected_by_signature
+                .iter()
+                .filter(|d| **d)
+                .count(),
+            result.aliased().len(),
+            result.aliasing_rate() * 100.0
+        );
+    }
+
+    println!("\n== Ablation 5: fault-list collapsing (grading volume) ==");
+    let (_, trace, _) = execute_routine(&routines[3].1).expect("routine runs");
+    let stimulus = sbst_core::stimulus_for(&cut, &trace);
+    let all = cut.component.netlist.all_faults();
+    let collapsed = cut.component.netlist.collapsed_faults();
+    let t0 = Instant::now();
+    let full = FaultSimulator::new(&cut.component.netlist).simulate(&all, &stimulus);
+    let t_full = t0.elapsed();
+    let t0 = Instant::now();
+    let coll = FaultSimulator::new(&cut.component.netlist).simulate(&collapsed, &stimulus);
+    let t_coll = t0.elapsed();
+    println!(
+        "uncollapsed: {} faults, {:.2?}, coverage {:.2}%",
+        all.len(),
+        t_full,
+        full.coverage().percent()
+    );
+    println!(
+        "collapsed:   {} faults, {:.2?}, coverage {:.2}%",
+        collapsed.len(),
+        t_coll,
+        coll.coverage().percent()
+    );
+}

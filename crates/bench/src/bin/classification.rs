@@ -1,0 +1,74 @@
+//! Phases A and B of the methodology, reported for the full processor:
+//! operation inventory, component classification with area shares, test
+//! priority order, and SCOAP testability per component.
+//!
+//! ```text
+//! cargo run --release -p sbst-bench --bin classification
+//! ```
+
+use sbst_core::extract::inventory;
+use sbst_core::{classification_row, test_priority_order, testability_row, Cut};
+
+fn main() {
+    let cuts = Cut::processor_inventory();
+    let total: u32 = cuts.iter().map(Cut::gate_equivalents).sum();
+
+    println!("== Phase A: operation inventory ==");
+    for cut in &cuts {
+        let inv = inventory(cut.kind());
+        println!("{} — control {:?}, observe {:?}", cut.name(), inv.control, inv.observe);
+        for op in &inv.operations {
+            println!(
+                "    {:<16} excited by: {}",
+                op.operation,
+                op.exciting_instructions.join(", ")
+            );
+        }
+    }
+
+    println!("\n== Phase B: classification ({} gate-equivalents total) ==", total);
+    println!(
+        "{:<18} {:<6} {:>8} {:>8}  routine?",
+        "Component", "Class", "Gates", "Area %"
+    );
+    for cut in &cuts {
+        let row = classification_row(cut, total);
+        println!(
+            "{:<18} {:<6} {:>8} {:>8.2}  {}",
+            row.name,
+            row.class.code(),
+            row.gates,
+            row.area_percent,
+            if row.gets_routine { "yes" } else { "side-effect" }
+        );
+    }
+
+    println!("\n== Test priority order ==");
+    for (i, cut) in test_priority_order(&cuts).iter().enumerate() {
+        println!("{:>2}. {} ({})", i + 1, cut.name(), cut.class().code());
+    }
+
+    println!("\n== SCOAP testability and structure (lower = easier) ==");
+    println!(
+        "{:<18} {:>12} {:>12} {:>14} {:>7} {:>9}",
+        "Component", "mean CC", "mean CO", "unobservable", "depth", "max fanout"
+    );
+    for cut in &cuts {
+        let t = testability_row(cut);
+        let (max_fanout, _) = cut.component.netlist.fanout_stats();
+        println!(
+            "{:<18} {:>12.1} {:>12.1} {:>13.1}% {:>7} {:>9}",
+            t.name,
+            t.mean_controllability,
+            t.mean_observability,
+            t.unobservable_fraction * 100.0,
+            cut.component.netlist.logic_depth(),
+            max_fanout
+        );
+    }
+
+    println!(
+        "\n(Structural Verilog for any component: \
+         `sbst_gates::verilog::to_verilog(&cut.component.netlist)`.)"
+    );
+}

@@ -1,0 +1,62 @@
+//! Figures 1–4: code-style characteristics (the Section 3.3 analysis).
+//!
+//! ```text
+//! cargo run --release -p sbst-bench --bin code_styles
+//! ```
+//!
+//! For the 32-bit ALU, builds the same test in all four code styles and
+//! reports code size, data size, execution cycles, load/store references
+//! and fault coverage — plus the analytic cost model's scaling columns
+//! (which sizes are linear in the pattern count). Reproduces the paper's
+//! qualitative claims: Figure 1 trades code size for zero loads, Figure 2
+//! the reverse, Figures 3–4 keep both constant.
+
+use sbst_core::codestyle::style_costs;
+use sbst_core::{grade_routine, CodeStyle, Cut, RoutineSpec};
+
+fn main() {
+    let cut = Cut::alu(32);
+    println!(
+        "CUT: 32-bit ALU ({} gate-eq, {} collapsed faults)\n",
+        cut.gate_equivalents(),
+        cut.fault_count()
+    );
+    println!(
+        "{:<14} {:>6} {:>6} {:>8} {:>6} {:>7} {:>8}   scaling",
+        "style", "code", "data", "cycles", "loads", "stores", "FC (%)"
+    );
+    for style in [
+        CodeStyle::AtpgImmediate,
+        CodeStyle::AtpgDataFetch,
+        CodeStyle::PseudorandomLoop,
+        CodeStyle::RegularLoopImmediate,
+    ] {
+        let mut spec = RoutineSpec::new(style);
+        spec.pseudorandom_count = 512;
+        let routine = spec.build(&cut).expect("routine builds");
+        let graded = grade_routine(&cut, &routine).expect("routine grades");
+        let costs = style_costs(style, 64, 3);
+        println!(
+            "{:<14} {:>6} {:>6} {:>8} {:>6} {:>7} {:>8.2}   code {}, data {}",
+            style.code(),
+            routine.program.code_words(),
+            routine.program.data_words(),
+            graded.stats.total_cycles(),
+            graded.stats.loads,
+            graded.stats.stores,
+            graded.coverage.percent(),
+            if costs.code_linear { "O(n)" } else { "O(1)" },
+            if costs.data_linear { "O(n)" } else { "O(1)" },
+        );
+    }
+
+    // The selection argument of Section 3.3: both Figure 1 and Figure 2
+    // are used in practice; the choice hinges on the CPI of `lw`.
+    println!(
+        "\nFigure 1 vs Figure 2 selection: with the Plasma's 1-cycle data \
+         pause per load,\nFigure 2 spends 2 extra cycles per pattern on \
+         fetches while Figure 1 spends ~2 on lui/ori —\na near tie resolved \
+         by cache behaviour (instruction misses vs data misses), exactly \
+         the\npaper's CPI(lw) argument."
+    );
+}

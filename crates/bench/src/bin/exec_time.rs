@@ -1,0 +1,128 @@
+//! Section 2 / Section 4 execution-time analysis.
+//!
+//! ```text
+//! cargo run --release -p sbst-bench --bin exec_time
+//! ```
+//!
+//! Evaluates the paper's execution-time equation
+//! `CPU-time = clock-cycle-time × (CPU-cycles + pipeline-stalls +
+//! memory-stalls)` for the combined self-test program, three ways:
+//!
+//! 1. raw CPU cycles (what Table 1 reports);
+//! 2. the paper's analytic stall model (5 % miss rate, 20-cycle penalty);
+//! 3. simulated direct-mapped caches, demonstrating the locality argument
+//!    (compact loops → far fewer real stalls than the analytic bound).
+//!
+//! Also reports the quantum-fit check and detection-latency numbers for the
+//! three activation policies.
+
+use std::time::Duration;
+
+use sbst_core::{Cut, SelfTestProgramBuilder};
+use sbst_cpu::system::scheduler_overhead;
+use sbst_cpu::{
+    ActivationPolicy, AnalyticStallModel, CacheConfig, Cpu, CpuConfig, ExecTimeEstimate,
+    QuantumConfig,
+};
+
+fn main() {
+    let mut builder = SelfTestProgramBuilder::new();
+    builder.add(Cut::multiplier(32));
+    builder.add(Cut::divider(32));
+    builder.add(Cut::regfile(32, 32));
+    builder.add(Cut::memctrl());
+    builder.add(Cut::shifter(32));
+    builder.add(Cut::alu(32));
+    builder.add(Cut::control());
+    let program = builder.build().expect("program builds");
+    println!(
+        "combined self-test program: {} words ({} code, {} data)",
+        program.size_words(),
+        program.program.code_words(),
+        program.program.data_words()
+    );
+
+    // (1) Raw run.
+    let run = program.run().expect("program runs");
+    println!(
+        "raw: {} instructions, {} cpu cycles, {} pipeline stalls, {} data refs",
+        run.stats.instructions,
+        run.stats.cycles,
+        run.stats.pipeline_stall_cycles,
+        run.stats.data_refs()
+    );
+
+    let config = QuantumConfig::default();
+
+    // (2) Analytic model (paper's Section 4 assumption).
+    let analytic = ExecTimeEstimate::from_stats(
+        &run.stats,
+        config,
+        Some(AnalyticStallModel::default()),
+    );
+    println!(
+        "analytic (5% miss, 20-cycle penalty): {} total cycles -> {:?} \
+         ({:.4}% of a 200 ms quantum, fits: {})",
+        analytic.total_cycles(),
+        analytic.time,
+        analytic.quantum_fraction * 100.0,
+        analytic.fits_in_quantum()
+    );
+
+    // (3) Simulated caches: the locality the code styles were designed for.
+    let mut cpu = Cpu::new(CpuConfig {
+        trace: false,
+        undecoded_as_nop: true,
+        icache: Some(CacheConfig::default()),
+        dcache: Some(CacheConfig::default()),
+        ..CpuConfig::default()
+    });
+    cpu.load_program(&program.program);
+    let cached = cpu.run().expect("cached run");
+    let measured = ExecTimeEstimate::from_stats(&cached.stats, config, None);
+    println!(
+        "simulated 1 KiB caches: {} icache misses / {} fetches ({:.2}%), \
+         {} dcache misses; {} stall cycles -> {:?}",
+        cached.stats.icache_misses,
+        cached.stats.imem_accesses,
+        cached.stats.icache_misses as f64 / cached.stats.imem_accesses as f64 * 100.0,
+        cached.stats.dcache_misses,
+        cached.stats.memory_stall_cycles,
+        measured.time
+    );
+
+    // Activation policies.
+    println!("\nfault detection latency (worst case, permanent faults):");
+    for (name, policy) in [
+        (
+            "startup/shutdown (daily)",
+            ActivationPolicy::StartupShutdown {
+                uptime: Duration::from_secs(86_400),
+            },
+        ),
+        (
+            "idle cycles (1 s gaps)",
+            ActivationPolicy::IdleCycles {
+                mean_idle_gap: Duration::from_secs(1),
+            },
+        ),
+        (
+            "periodic timer (500 ms)",
+            ActivationPolicy::PeriodicTimer {
+                interval: Duration::from_millis(500),
+            },
+        ),
+    ] {
+        println!(
+            "  {:<26} {:?}",
+            name,
+            policy.permanent_fault_latency(analytic.time)
+        );
+    }
+    let overhead = scheduler_overhead(analytic.time, Duration::from_millis(500), config);
+    println!(
+        "\noverhead at 500 ms period: {:.5}% CPU, single-quantum: {}",
+        overhead.test_cpu_fraction * 100.0,
+        overhead.single_quantum
+    );
+}

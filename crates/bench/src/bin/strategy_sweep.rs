@@ -1,0 +1,47 @@
+//! Pseudorandom pattern-count vs coverage sweep.
+//!
+//! ```text
+//! cargo run --release -p sbst-bench --bin strategy_sweep
+//! ```
+//!
+//! Backs the paper's strategy-applicability claims with curves: the
+//! pseudorandom style needs a *large* number of patterns to approach the
+//! coverage that the regular deterministic and ATPG styles reach with
+//! constant/small test sets — which is why it is the fallback, not the
+//! default, for on-line periodic testing (execution time!).
+
+use sbst_core::{grade_routine, CodeStyle, Cut, RoutineSpec};
+
+fn main() {
+    for (name, cut) in [
+        ("ALU (32-bit)", Cut::alu(32)),
+        ("Shifter (32-bit)", Cut::shifter(32)),
+    ] {
+        println!("== {name}: pseudorandom coverage vs pattern count ==");
+        println!("{:>9} {:>9} {:>9}", "patterns", "cycles", "FC (%)");
+        for count in [8u32, 16, 32, 64, 128, 256, 512] {
+            let mut spec = RoutineSpec::new(CodeStyle::PseudorandomLoop);
+            spec.pseudorandom_count = count;
+            let routine = spec.build(&cut).expect("routine builds");
+            let graded = grade_routine(&cut, &routine).expect("routine grades");
+            println!(
+                "{:>9} {:>9} {:>9.2}",
+                count,
+                graded.stats.total_cycles(),
+                graded.coverage.percent()
+            );
+        }
+        // Reference: the recommended deterministic routine.
+        let spec = RoutineSpec::recommended(&cut);
+        let routine = spec.build(&cut).expect("routine builds");
+        let graded = grade_routine(&cut, &routine).expect("routine grades");
+        println!(
+            "{:>9} {:>9} {:>9.2}   <- {} (recommended)",
+            "-",
+            graded.stats.total_cycles(),
+            graded.coverage.percent(),
+            spec.style.code()
+        );
+        println!();
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates the paper's Table 1 on the full 32-bit processor inventory.
+//!
+//! ```text
+//! cargo run --release -p sbst-bench --bin table1
+//! ```
+//!
+//! Prints per-component gate counts, classification, code style, routine
+//! size/cycles/data references and fault coverage, plus the aggregate
+//! program statistics the paper reports (808 words / 9,905 cycles / 87 data
+//! references / 95.6 % FC / 92 % D-VC area on their synthesis; ours differ
+//! in absolute numbers but reproduce the shape — see EXPERIMENTS.md).
+
+use std::time::Instant;
+
+use sbst_core::{Cut, Table1};
+use sbst_cpu::{AnalyticStallModel, ExecTimeEstimate, QuantumConfig};
+use sbst_cpu::cpu::ExecStats;
+
+fn main() {
+    let start = Instant::now();
+    eprintln!("building 32-bit component inventory...");
+    let cuts = Cut::processor_inventory();
+    for cut in &cuts {
+        eprintln!(
+            "  {:<18} {:>7} gate-eq, {:>6} collapsed faults",
+            cut.name(),
+            cut.gate_equivalents(),
+            cut.fault_count()
+        );
+    }
+    eprintln!("generating Table 1 (builds, runs and grades every routine)...");
+    let table = Table1::generate(&cuts).expect("table generation succeeds");
+    println!("{table}");
+
+    // The Section 4 execution-time analysis on the combined program.
+    let stats = ExecStats {
+        cycles: table.total_cycles,
+        imem_accesses: table.total_cycles, // ~1 fetch per cycle upper bound
+        dmem_accesses: table.total_data_refs,
+        ..ExecStats::default()
+    };
+    let est = ExecTimeEstimate::from_stats(
+        &stats,
+        QuantumConfig::default(),
+        Some(AnalyticStallModel::default()),
+    );
+    println!(
+        "execution time @57 MHz with 5% miss/20-cycle penalty: {:?} \
+         ({:.4}% of a 200 ms quantum; fits: {})",
+        est.time,
+        est.quantum_fraction * 100.0,
+        est.fits_in_quantum()
+    );
+    eprintln!("total wall time: {:?}", start.elapsed());
+}

@@ -1,0 +1,2 @@
+//! Benchmark harness (binaries and Criterion benches regenerating the
+//! paper's tables and figures). See `src/bin/` and `benches/`.

@@ -1,0 +1,266 @@
+//! Shared adder building blocks (full adders, ripple-carry chains,
+//! adder/subtractors) used by the ALU, multiplier, divider and PC unit.
+
+use sbst_gates::{Bus, NetId, NetlistBuilder};
+
+/// One-bit full adder; returns `(sum, carry_out)`.
+///
+/// Uses the canonical 5-gate realization: `sum = a ⊕ b ⊕ ci`,
+/// `co = a·b + ci·(a ⊕ b)`.
+pub fn full_adder(b: &mut NetlistBuilder, a: NetId, x: NetId, ci: NetId) -> (NetId, NetId) {
+    let axb = b.xor2(a, x);
+    let sum = b.xor2(axb, ci);
+    let t1 = b.and2(a, x);
+    let t2 = b.and2(axb, ci);
+    let co = b.or2(t1, t2);
+    (sum, co)
+}
+
+/// One-bit half adder; returns `(sum, carry_out)`.
+pub fn half_adder(b: &mut NetlistBuilder, a: NetId, x: NetId) -> (NetId, NetId) {
+    (b.xor2(a, x), b.and2(a, x))
+}
+
+/// Ripple-carry adder over two equal-width buses with optional carry-in.
+///
+/// Returns `(sum, carry_out)`. Without a carry-in the low bit uses a half
+/// adder, avoiding a redundant constant.
+///
+/// # Panics
+///
+/// Panics if the widths differ or the buses are empty.
+pub fn ripple_add(
+    b: &mut NetlistBuilder,
+    a: &Bus,
+    x: &Bus,
+    carry_in: Option<NetId>,
+) -> (Bus, NetId) {
+    assert_eq!(a.width(), x.width(), "adder operand width mismatch");
+    assert!(!a.is_empty(), "adder needs at least one bit");
+    let mut sum = Vec::with_capacity(a.width());
+    let mut carry = carry_in;
+    for i in 0..a.width() {
+        let (s, c) = match carry {
+            Some(ci) => full_adder(b, a.net(i), x.net(i), ci),
+            None => half_adder(b, a.net(i), x.net(i)),
+        };
+        sum.push(s);
+        carry = Some(c);
+    }
+    (Bus::new(sum), carry.expect("non-empty adder has a carry"))
+}
+
+/// Ripple-carry adder/subtractor: computes `a + x` when `sub` is low and
+/// `a - x` (two's complement) when `sub` is high.
+///
+/// Returns `(sum, carry_out)`; on subtraction, `carry_out == 1` means no
+/// borrow (`a >= x` unsigned).
+pub fn ripple_addsub(b: &mut NetlistBuilder, a: &Bus, x: &Bus, sub: NetId) -> (Bus, NetId) {
+    let x_inverted: Bus = x.iter().map(|&bit| b.xor2(bit, sub)).collect();
+    ripple_add(b, a, &x_inverted, Some(sub))
+}
+
+/// Subtracts a *shorter* operand: `minuend - subtrahend` where the
+/// subtrahend is zero-extended to the minuend's width. Missing subtrahend
+/// bits invert to constant 1, degenerating those stages to
+/// `sum = ¬(m ⊕ c)`, `co = m + c` — no constant gates required.
+///
+/// Returns `(difference, carry_out)` (`carry_out == 1` means no borrow).
+///
+/// # Panics
+///
+/// Panics if the subtrahend is wider than the minuend or the minuend is
+/// empty.
+pub fn ripple_sub_extended(
+    b: &mut NetlistBuilder,
+    minuend: &Bus,
+    subtrahend: &Bus,
+) -> (Bus, NetId) {
+    assert!(
+        subtrahend.width() <= minuend.width(),
+        "subtrahend wider than minuend"
+    );
+    assert!(!minuend.is_empty(), "subtractor needs at least one bit");
+    let mut diff = Vec::with_capacity(minuend.width());
+    let mut carry: Option<NetId> = None;
+    for i in 0..minuend.width() {
+        let m = minuend.net(i);
+        if i < subtrahend.width() {
+            let inv = b.not(subtrahend.net(i));
+            let ci = match carry {
+                Some(c) => c,
+                None => {
+                    // carry-in of a subtractor is 1: bit 0 degenerates to
+                    // sum = m ⊕ inv ⊕ 1 = ¬(m ⊕ inv) = xnor, and
+                    // co = m·inv + 1·(m ⊕ inv) = m + inv.
+                    let s = b.gate(sbst_gates::GateKind::Xnor, &[m, inv]);
+                    let c = b.or2(m, inv);
+                    diff.push(s);
+                    carry = Some(c);
+                    continue;
+                }
+            };
+            let (s, c) = full_adder(b, m, inv, ci);
+            diff.push(s);
+            carry = Some(c);
+        } else {
+            // Subtrahend bit is 0, inverted to 1: sum = m ⊕ 1 ⊕ c = ¬(m ⊕ c),
+            // co = m·1 + c·(m ⊕ 1) = m + c.
+            let c = carry.expect("extended bits follow at least one real bit");
+            let s = b.gate(sbst_gates::GateKind::Xnor, &[m, c]);
+            let co = b.or2(m, c);
+            diff.push(s);
+            carry = Some(co);
+        }
+    }
+    (Bus::new(diff), carry.expect("non-empty subtractor"))
+}
+
+/// Adds a small constant to a bus (used by the PC incrementer, `pc + 4`).
+///
+/// Bits of the constant are folded into half-adder/pass-through stages, so
+/// no constant gates are generated.
+///
+/// # Panics
+///
+/// Panics if the bus is empty.
+pub fn ripple_add_const(b: &mut NetlistBuilder, a: &Bus, constant: u64) -> Bus {
+    assert!(!a.is_empty(), "adder needs at least one bit");
+    let mut sum = Vec::with_capacity(a.width());
+    let mut carry: Option<NetId> = None;
+    for i in 0..a.width() {
+        let bit = (constant >> i) & 1 == 1;
+        let m = a.net(i);
+        match (bit, carry) {
+            (false, None) => sum.push(m), // 0 + 0 carry: passthrough
+            (false, Some(c)) => {
+                let (s, co) = half_adder(b, m, c);
+                sum.push(s);
+                carry = Some(co);
+            }
+            (true, None) => {
+                // m + 1: sum = ¬m, carry = m.
+                sum.push(b.not(m));
+                carry = Some(m);
+            }
+            (true, Some(c)) => {
+                // m + 1 + c: sum = ¬(m ⊕ c), carry = m + c.
+                let s = b.gate(sbst_gates::GateKind::Xnor, &[m, c]);
+                let co = b.or2(m, c);
+                sum.push(s);
+                carry = Some(co);
+            }
+        }
+    }
+    Bus::new(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_gates::Simulator;
+
+    fn harness<F>(width: usize, build: F) -> (sbst_gates::Netlist, Bus, Bus, Bus)
+    where
+        F: FnOnce(&mut NetlistBuilder, &Bus, &Bus) -> Bus,
+    {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_bus("a", width);
+        let x = b.input_bus("x", width);
+        let out = build(&mut b, &a, &x);
+        b.mark_output_bus(&out, "out");
+        let n = b.finish().unwrap();
+        (n, a, x, out)
+    }
+
+    #[test]
+    fn ripple_add_matches_arithmetic() {
+        let (n, a, x, out) = harness(8, |b, a, x| {
+            let (sum, co) = ripple_add(b, a, x, None);
+            sum.concat(&Bus::from(co))
+        });
+        let mut sim = Simulator::new(&n);
+        for (va, vx) in [(0u64, 0u64), (255, 1), (170, 85), (200, 100), (255, 255)] {
+            sim.set_bus(&a, va);
+            sim.set_bus(&x, vx);
+            sim.eval();
+            assert_eq!(sim.bus_value(&out), va + vx, "{va}+{vx}");
+        }
+    }
+
+    #[test]
+    fn addsub_both_modes() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_bus("a", 8);
+        let x = b.input_bus("x", 8);
+        let sub = b.input("sub");
+        let (sum, co) = ripple_addsub(&mut b, &a, &x, sub);
+        b.mark_output_bus(&sum, "sum");
+        b.mark_output(co, "co");
+        let n = b.finish().unwrap();
+        let sum_bus = sum;
+        let mut sim = Simulator::new(&n);
+        // add
+        sim.set_bus(&a, 100);
+        sim.set_bus(&x, 27);
+        sim.set_input(sub, false);
+        sim.eval();
+        assert_eq!(sim.bus_value(&sum_bus), 127);
+        // sub, no borrow
+        sim.set_input(sub, true);
+        sim.eval();
+        assert_eq!(sim.bus_value(&sum_bus), 73);
+        assert_eq!(sim.value(co) & 1, 1);
+        // sub with borrow
+        sim.set_bus(&a, 27);
+        sim.set_bus(&x, 100);
+        sim.eval();
+        assert_eq!(sim.bus_value(&sum_bus), (27u64.wrapping_sub(100)) & 0xFF);
+        assert_eq!(sim.value(co) & 1, 0);
+    }
+
+    #[test]
+    fn sub_extended_zero_extends() {
+        let mut b = NetlistBuilder::new("t");
+        let m = b.input_bus("m", 9);
+        let s = b.input_bus("s", 8);
+        let (diff, co) = ripple_sub_extended(&mut b, &m, &s);
+        b.mark_output_bus(&diff, "diff");
+        b.mark_output(co, "co");
+        let n = b.finish().unwrap();
+        let mut sim = Simulator::new(&n);
+        for (vm, vs) in [(300u64, 45u64), (0, 0), (511, 255), (10, 20)] {
+            sim.set_bus(&m, vm);
+            sim.set_bus(&s, vs);
+            sim.eval();
+            let expect = vm.wrapping_sub(vs) & 0x1FF;
+            assert_eq!(sim.bus_value(&diff), expect, "{vm}-{vs}");
+            assert_eq!(sim.value(co) & 1, u64::from(vm >= vs), "borrow {vm}-{vs}");
+        }
+    }
+
+    #[test]
+    fn add_const_matches() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_bus("a", 8);
+        let out = ripple_add_const(&mut b, &a, 4);
+        b.mark_output_bus(&out, "out");
+        let n = b.finish().unwrap();
+        let mut sim = Simulator::new(&n);
+        for va in [0u64, 3, 4, 251, 252, 255] {
+            sim.set_bus(&a, va);
+            sim.eval();
+            assert_eq!(sim.bus_value(&out), (va + 4) & 0xFF, "{va}+4");
+        }
+    }
+
+    #[test]
+    fn add_const_zero_is_passthrough() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_bus("a", 4);
+        let out = ripple_add_const(&mut b, &a, 0);
+        b.mark_output_bus(&out, "out");
+        let n = b.finish().unwrap();
+        assert_eq!(n.gate_count(), 0);
+    }
+}

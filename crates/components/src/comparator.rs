@@ -1,0 +1,241 @@
+//! Magnitude/equality comparator.
+//!
+//! The paper's list of regular processor components includes comparators
+//! (Section 3.3: "arithmetic and logic components, shifters, comparators,
+//! multiplexers, registers and register files"). Cores with a dedicated
+//! branch comparator (rather than reusing the ALU subtractor, as the
+//! Plasma does) test it with the linear-size regular set in
+//! [`sbst_tpg`-style](crate) fashion: the iterative prefix-equality chain
+//! makes single-bit-difference patterns a complete basis.
+
+use sbst_gates::{NetId, NetlistBuilder, Stimulus};
+
+use crate::{Component, ComponentClass, ComponentKind, PatternBuilder, PortMap};
+
+/// One comparator excitation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmpOp {
+    /// First operand.
+    pub a: u32,
+    /// Second operand.
+    pub b: u32,
+}
+
+/// Builds a `width`-bit comparator.
+///
+/// Ports: inputs `a[width]`, `b[width]`; outputs `eq`, `lt_u` (unsigned
+/// less-than), `lt_s` (signed less-than).
+///
+/// # Panics
+///
+/// Panics if `width` is smaller than 2 or greater than 32.
+pub fn comparator(width: usize) -> Component {
+    assert!((2..=32).contains(&width), "comparator width must be 2..=32");
+    let mut b = NetlistBuilder::new(&format!("cmp{width}"));
+    let a_bus = b.input_bus("a", width);
+    let b_bus = b.input_bus("b", width);
+
+    // Per-bit equality.
+    let eq_bits: Vec<NetId> = (0..width)
+        .map(|i| b.gate(sbst_gates::GateKind::Xnor, &[a_bus.net(i), b_bus.net(i)]))
+        .collect();
+    let eq = b.reduce_and(&eq_bits.clone().into_iter().collect());
+
+    // Unsigned less-than: MSB-first prefix chain.
+    let msb = width - 1;
+    let na = b.not(a_bus.net(msb));
+    let mut lt = b.and2(na, b_bus.net(msb));
+    let mut prefix = eq_bits[msb];
+    for i in (0..msb).rev() {
+        let na_i = b.not(a_bus.net(i));
+        let t = b.and2(na_i, b_bus.net(i));
+        let term = b.and2(prefix, t);
+        lt = b.or2(lt, term);
+        if i > 0 {
+            prefix = b.and2(prefix, eq_bits[i]);
+        }
+    }
+    // Signed less-than: flip the verdict when the sign bits differ.
+    let signs_differ = b.xor2(a_bus.net(msb), b_bus.net(msb));
+    let lt_s = b.xor2(lt, signs_differ);
+
+    b.mark_output(eq, "eq");
+    b.mark_output(lt, "lt_u");
+    b.mark_output(lt_s, "lt_s");
+
+    let mut ports = PortMap::new();
+    ports.add_input("a", a_bus);
+    ports.add_input("b", b_bus);
+    ports.add_output("eq", eq.into());
+    ports.add_output("lt_u", lt.into());
+    ports.add_output("lt_s", lt_s.into());
+
+    let netlist = b.finish().expect("comparator netlist is structurally valid");
+    let area = netlist.gate_equivalents();
+    Component {
+        netlist,
+        ports,
+        kind: ComponentKind::Comparator,
+        class: ComponentClass::DataVisible,
+        width,
+        area_split: vec![(ComponentClass::DataVisible, area)],
+    }
+}
+
+/// Functional oracle: `(eq, lt_u, lt_s)`.
+pub fn model(a: u32, b: u32, width: usize) -> (bool, bool, bool) {
+    let mask: u32 = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    let (a, b) = (a & mask, b & mask);
+    let shift = 32 - width;
+    let sa = ((a << shift) as i32) >> shift;
+    let sb = ((b << shift) as i32) >> shift;
+    (a == b, a < b, sa < sb)
+}
+
+/// Converts an operation trace into a fault-simulation stimulus.
+pub fn stimulus(cmp: &Component, ops: &[CmpOp]) -> Stimulus {
+    let mut stim = Stimulus::new();
+    for op in ops {
+        let bits = PatternBuilder::new(cmp)
+            .set("a", op.a as u64)
+            .set("b", op.b as u64)
+            .into_bits();
+        stim.push_pattern(&bits);
+    }
+    stim
+}
+
+/// The linear-size regular test set: for every bit position, the
+/// single-bit-difference pair in both directions under both surrounding
+/// polarities, plus equality corners — the canonical complete basis for the
+/// prefix-equality chain.
+pub fn regular_ops(width: usize) -> Vec<CmpOp> {
+    let mask: u32 = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    let cb = 0x5555_5555 & mask;
+    let cbi = 0xAAAA_AAAA & mask;
+    let mut ops = vec![
+        CmpOp { a: 0, b: 0 },
+        CmpOp { a: mask, b: mask },
+        CmpOp { a: cb, b: cb },
+        CmpOp { a: cbi, b: cbi },
+        CmpOp { a: cb, b: cbi },
+        CmpOp { a: cbi, b: cb },
+    ];
+    for i in 0..width {
+        let bit = 1u32 << i;
+        for base in [0u32, mask & !bit, cb & !bit, cbi & !bit] {
+            ops.push(CmpOp {
+                a: base & !bit,
+                b: (base & !bit) | bit,
+            });
+            ops.push(CmpOp {
+                a: (base & !bit) | bit,
+                b: base & !bit,
+            });
+        }
+    }
+    // Double-difference pairs: exercise the OR accumulation and the prefix
+    // kill at every chain position (a lower-bit difference must be masked
+    // by a higher-bit difference in both directions).
+    for i in 0..width - 1 {
+        let lo = 1u32 << i;
+        let hi = 1u32 << (i + 1);
+        ops.push(CmpOp { a: lo, b: hi });
+        ops.push(CmpOp { a: hi, b: lo });
+        ops.push(CmpOp {
+            a: mask & !hi,
+            b: mask & !lo,
+        });
+        ops.push(CmpOp {
+            a: mask & !lo,
+            b: mask & !hi,
+        });
+        // Against the top bit, covering the signed-flip interaction.
+        let top = 1u32 << (width - 1);
+        ops.push(CmpOp { a: lo | top, b: hi });
+        ops.push(CmpOp { a: hi, b: lo | top });
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_gates::{FaultSimulator, Simulator};
+
+    #[test]
+    fn exhaustive_4bit_against_oracle() {
+        let c = comparator(4);
+        let mut sim = Simulator::new(&c.netlist);
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                sim.set_bus(c.ports.input("a"), a as u64);
+                sim.set_bus(c.ports.input("b"), b as u64);
+                sim.eval();
+                let (eq, lt_u, lt_s) = model(a, b, 4);
+                assert_eq!(sim.bus_value(c.ports.output("eq")) & 1 == 1, eq, "{a} eq {b}");
+                assert_eq!(
+                    sim.bus_value(c.ports.output("lt_u")) & 1 == 1,
+                    lt_u,
+                    "{a} ltu {b}"
+                );
+                assert_eq!(
+                    sim.bus_value(c.ports.output("lt_s")) & 1 == 1,
+                    lt_s,
+                    "{a} lts {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_corners() {
+        let c = comparator(32);
+        let mut sim = Simulator::new(&c.netlist);
+        for (a, b) in [
+            (0u32, u32::MAX),
+            (u32::MAX, 0),
+            (0x8000_0000, 0x7FFF_FFFF),
+            (0x7FFF_FFFF, 0x8000_0000),
+            (12345, 12345),
+        ] {
+            sim.set_bus(c.ports.input("a"), a as u64);
+            sim.set_bus(c.ports.input("b"), b as u64);
+            sim.eval();
+            let (eq, lt_u, lt_s) = model(a, b, 32);
+            assert_eq!(sim.bus_value(c.ports.output("eq")) & 1 == 1, eq);
+            assert_eq!(sim.bus_value(c.ports.output("lt_u")) & 1 == 1, lt_u);
+            assert_eq!(sim.bus_value(c.ports.output("lt_s")) & 1 == 1, lt_s);
+        }
+    }
+
+    #[test]
+    fn regular_set_reaches_high_coverage() {
+        let c = comparator(8);
+        let faults = c.netlist.collapsed_faults();
+        let stim = stimulus(&c, &regular_ops(8));
+        let result = FaultSimulator::new(&c.netlist).simulate(&faults, &stim);
+        assert!(
+            result.coverage().percent() > 97.0,
+            "coverage {}",
+            result.coverage()
+        );
+    }
+
+    #[test]
+    fn regular_set_is_linear() {
+        let n8 = regular_ops(8).len();
+        let n16 = regular_ops(16).len();
+        // 8 single-difference ops per added bit position, plus 6
+        // double-difference ops per added chain position.
+        assert_eq!(n16 - n8, 8 * 8 + 6 * 8);
+    }
+}

@@ -1,0 +1,420 @@
+//! Control logic (instruction decoder).
+//!
+//! A two-level AND-OR decoder from the instruction's `opcode`/`funct`/`rt`
+//! fields to the datapath control word — the paper's *partially visible
+//! component* (PVC). Its outputs steer the visible components, so it is
+//! tested functionally by executing all instruction opcodes (Section 3.2),
+//! not by structural TPG.
+
+use sbst_gates::{Bus, NetId, NetlistBuilder, Stimulus};
+
+use crate::{Component, ComponentClass, ComponentKind, PatternBuilder, PortMap};
+
+/// Control word signal indices (bit positions in the `ctrl` output bus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CtrlSignal {
+    /// Writes a general-purpose register.
+    RegWrite = 0,
+    /// Destination is `rd` (R-type) rather than `rt`.
+    RegDst = 1,
+    /// Second ALU operand is the immediate.
+    AluSrc = 2,
+    /// Reads data memory.
+    MemRead = 3,
+    /// Writes data memory.
+    MemWrite = 4,
+    /// Writeback comes from memory rather than the ALU.
+    MemToReg = 5,
+    /// Conditional branch.
+    Branch = 6,
+    /// Unconditional jump.
+    Jump = 7,
+    /// Shifter operation.
+    Shift = 8,
+    /// Starts the multiply/divide unit.
+    MulDivStart = 9,
+    /// Writeback comes from Hi/Lo.
+    HiLoToReg = 10,
+    /// Writes the link register (`jal`, `jalr`).
+    Link = 11,
+    /// Immediate is zero-extended (logical immediates).
+    ImmUnsigned = 12,
+    /// Sub-word memory access (byte/half).
+    SubWord = 13,
+}
+
+/// Number of control word bits.
+pub const CTRL_BITS: usize = 14;
+
+/// One instruction presented to the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlOp {
+    /// Major opcode (bits 31..26 of the instruction).
+    pub opcode: u8,
+    /// Function code (bits 5..0; don't-care unless `opcode == 0`).
+    pub funct: u8,
+    /// `rt` field (bits 20..16; selects REGIMM branches).
+    pub rt: u8,
+}
+
+impl ControlOp {
+    /// Extracts the decoder-relevant fields from an instruction word.
+    pub fn from_word(word: u32) -> Self {
+        ControlOp {
+            opcode: (word >> 26) as u8 & 0x3F,
+            funct: (word & 0x3F) as u8,
+            rt: (word >> 16) as u8 & 0x1F,
+        }
+    }
+}
+
+/// A decode-table row: matching fields and the control word they assert.
+#[derive(Debug, Clone, Copy)]
+struct DecodeEntry {
+    opcode: u8,
+    funct: Option<u8>,
+    rt: Option<u8>,
+    ctrl: u16,
+}
+
+const fn sig(s: CtrlSignal) -> u16 {
+    1 << (s as u16)
+}
+
+/// The decode table for the implemented MIPS-I subset.
+fn decode_table() -> Vec<DecodeEntry> {
+    use CtrlSignal::*;
+    let rw = sig(RegWrite);
+    let rd = sig(RegDst);
+    let r3 = rw | rd; // R-type ALU op
+    let imm = rw | sig(AluSrc);
+    let mut t = Vec::new();
+    fn special(t: &mut Vec<DecodeEntry>, funct: u8, ctrl: u16) {
+        t.push(DecodeEntry {
+            opcode: 0,
+            funct: Some(funct),
+            rt: None,
+            ctrl,
+        });
+    }
+    fn plain(t: &mut Vec<DecodeEntry>, opcode: u8, ctrl: u16) {
+        t.push(DecodeEntry {
+            opcode,
+            funct: None,
+            rt: None,
+            ctrl,
+        });
+    }
+    // R-type ALU.
+    for funct in [0x20, 0x21, 0x22, 0x23, 0x24, 0x25, 0x26, 0x27, 0x2A, 0x2B] {
+        special(&mut t, funct, r3);
+    }
+    // Shifts.
+    for funct in [0x00, 0x02, 0x03, 0x04, 0x06, 0x07] {
+        special(&mut t, funct, r3 | sig(Shift));
+    }
+    // Multiply/divide unit.
+    for funct in [0x18, 0x19, 0x1A, 0x1B] {
+        special(&mut t, funct, sig(MulDivStart));
+    }
+    special(&mut t, 0x10, rw | rd | sig(HiLoToReg)); // mfhi
+    special(&mut t, 0x12, rw | rd | sig(HiLoToReg)); // mflo
+    special(&mut t, 0x11, sig(MulDivStart)); // mthi
+    special(&mut t, 0x13, sig(MulDivStart)); // mtlo
+    special(&mut t, 0x08, sig(Jump)); // jr
+    special(&mut t, 0x09, sig(Jump) | sig(Link) | rw | rd); // jalr
+    special(&mut t, 0x0D, 0); // break
+    // Immediates.
+    plain(&mut t, 0x08, imm); // addi
+    plain(&mut t, 0x09, imm); // addiu
+    plain(&mut t, 0x0A, imm); // slti
+    plain(&mut t, 0x0B, imm); // sltiu
+    plain(&mut t, 0x0C, imm | sig(ImmUnsigned)); // andi
+    plain(&mut t, 0x0D, imm | sig(ImmUnsigned)); // ori
+    plain(&mut t, 0x0E, imm | sig(ImmUnsigned)); // xori
+    plain(&mut t, 0x0F, imm | sig(ImmUnsigned)); // lui
+    // Branches.
+    plain(&mut t, 0x04, sig(Branch));
+    plain(&mut t, 0x05, sig(Branch));
+    plain(&mut t, 0x06, sig(Branch));
+    plain(&mut t, 0x07, sig(Branch));
+    t.push(DecodeEntry {
+        opcode: 0x01,
+        funct: None,
+        rt: Some(0),
+        ctrl: sig(Branch),
+    }); // bltz
+    t.push(DecodeEntry {
+        opcode: 0x01,
+        funct: None,
+        rt: Some(1),
+        ctrl: sig(Branch),
+    }); // bgez
+    // Jumps.
+    plain(&mut t, 0x02, sig(Jump));
+    plain(&mut t, 0x03, sig(Jump) | sig(Link) | rw);
+    // Loads.
+    let load = rw | sig(AluSrc) | sig(MemRead) | sig(MemToReg);
+    plain(&mut t, 0x20, load | sig(SubWord)); // lb
+    plain(&mut t, 0x21, load | sig(SubWord)); // lh
+    plain(&mut t, 0x23, load); // lw
+    plain(&mut t, 0x24, load | sig(SubWord)); // lbu
+    plain(&mut t, 0x25, load | sig(SubWord)); // lhu
+    // Stores.
+    let store = sig(AluSrc) | sig(MemWrite);
+    plain(&mut t, 0x28, store | sig(SubWord)); // sb
+    plain(&mut t, 0x29, store | sig(SubWord)); // sh
+    plain(&mut t, 0x2B, store); // sw
+    t
+}
+
+/// Builds the control decoder.
+///
+/// Ports: inputs `opcode[6]`, `funct[6]`, `rt[5]`; output
+/// `ctrl[`[`CTRL_BITS`]`]`.
+pub fn control() -> Component {
+    let mut b = NetlistBuilder::new("control");
+    let opcode = b.input_bus("opcode", 6);
+    let funct = b.input_bus("funct", 6);
+    let rt = b.input_bus("rt", 5);
+
+    let opcode_n: Vec<NetId> = opcode.iter().map(|&n| b.not(n)).collect();
+    let funct_n: Vec<NetId> = funct.iter().map(|&n| b.not(n)).collect();
+    let rt_n: Vec<NetId> = rt.iter().map(|&n| b.not(n)).collect();
+
+    // Shared pre-decode, as synthesis would produce: one opcode comparator
+    // per major opcode and one funct comparator per function code, combined
+    // by 2-input ANDs. `is_special` (opcode 0) is shared by all R-type
+    // minterms, `is_regimm` by the rt-dispatched branches.
+    let table = decode_table();
+    let mut opcode_match: std::collections::HashMap<u8, NetId> = std::collections::HashMap::new();
+    let mut funct_match: std::collections::HashMap<u8, NetId> = std::collections::HashMap::new();
+    let mut rt_match: std::collections::HashMap<u8, NetId> = std::collections::HashMap::new();
+    for e in &table {
+        opcode_match.entry(e.opcode).or_insert_with(|| {
+            let terms: Vec<NetId> = (0..6)
+                .map(|k| {
+                    if (e.opcode >> k) & 1 == 1 {
+                        opcode.net(k)
+                    } else {
+                        opcode_n[k]
+                    }
+                })
+                .collect();
+            b.gate(sbst_gates::GateKind::And, &terms)
+        });
+        if let Some(f) = e.funct {
+            funct_match.entry(f).or_insert_with(|| {
+                let terms: Vec<NetId> = (0..6)
+                    .map(|k| {
+                        if (f >> k) & 1 == 1 {
+                            funct.net(k)
+                        } else {
+                            funct_n[k]
+                        }
+                    })
+                    .collect();
+                b.gate(sbst_gates::GateKind::And, &terms)
+            });
+        }
+        if let Some(r) = e.rt {
+            rt_match.entry(r).or_insert_with(|| {
+                let terms: Vec<NetId> = (0..5)
+                    .map(|k| if (r >> k) & 1 == 1 { rt.net(k) } else { rt_n[k] })
+                    .collect();
+                b.gate(sbst_gates::GateKind::And, &terms)
+            });
+        }
+    }
+    let minterms: Vec<NetId> = table
+        .iter()
+        .map(|e| {
+            let mut m = opcode_match[&e.opcode];
+            if let Some(f) = e.funct {
+                m = b.and2(m, funct_match[&f]);
+            }
+            if let Some(r) = e.rt {
+                m = b.and2(m, rt_match[&r]);
+            }
+            m
+        })
+        .collect();
+
+    let ctrl: Bus = (0..CTRL_BITS)
+        .map(|bit| {
+            let sources: Vec<NetId> = table
+                .iter()
+                .zip(&minterms)
+                .filter(|(e, _)| (e.ctrl >> bit) & 1 == 1)
+                .map(|(_, &m)| m)
+                .collect();
+            match sources.len() {
+                0 => unreachable!("every control bit has at least one source"),
+                1 => b.gate(sbst_gates::GateKind::Buf, &[sources[0]]),
+                _ => b.gate(sbst_gates::GateKind::Or, &sources),
+            }
+        })
+        .collect();
+    b.mark_output_bus(&ctrl, "ctrl");
+
+    let mut ports = PortMap::new();
+    ports.add_input("opcode", opcode);
+    ports.add_input("funct", funct);
+    ports.add_input("rt", rt);
+    ports.add_output("ctrl", ctrl);
+
+    let netlist = b.finish().expect("control netlist is structurally valid");
+    let area = netlist.gate_equivalents();
+    Component {
+        netlist,
+        ports,
+        kind: ComponentKind::ControlLogic,
+        class: ComponentClass::PartiallyVisible,
+        width: CTRL_BITS,
+        area_split: vec![(ComponentClass::PartiallyVisible, area)],
+    }
+}
+
+/// Functional oracle: the control word asserted for the given fields
+/// (0 for undecoded combinations).
+pub fn model(op: &ControlOp) -> u16 {
+    decode_table()
+        .iter()
+        .find(|e| {
+            e.opcode == op.opcode
+                && e.funct.is_none_or(|f| f == op.funct)
+                && e.rt.is_none_or(|r| r == op.rt)
+        })
+        .map(|e| e.ctrl)
+        .unwrap_or(0)
+}
+
+/// Converts an instruction trace into a fault-simulation stimulus.
+pub fn stimulus(ctl: &Component, ops: &[ControlOp]) -> Stimulus {
+    debug_assert_eq!(ctl.kind, ComponentKind::ControlLogic);
+    let mut stim = Stimulus::new();
+    for op in ops {
+        let bits = PatternBuilder::new(ctl)
+            .set("opcode", op.opcode as u64)
+            .set("funct", op.funct as u64)
+            .set("rt", op.rt as u64)
+            .into_bits();
+        stim.push_pattern(&bits);
+    }
+    stim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_gates::Simulator;
+
+    fn decode(c: &Component, op: &ControlOp) -> u16 {
+        let mut sim = Simulator::new(&c.netlist);
+        sim.set_bus(c.ports.input("opcode"), op.opcode as u64);
+        sim.set_bus(c.ports.input("funct"), op.funct as u64);
+        sim.set_bus(c.ports.input("rt"), op.rt as u64);
+        sim.eval();
+        sim.bus_value(c.ports.output("ctrl")) as u16
+    }
+
+    #[test]
+    fn decodes_match_oracle_for_table_entries() {
+        let c = control();
+        for e in decode_table() {
+            let op = ControlOp {
+                opcode: e.opcode,
+                funct: e.funct.unwrap_or(0x20),
+                rt: e.rt.unwrap_or(9),
+            };
+            assert_eq!(decode(&c, &op), model(&op), "opcode {:#x}", e.opcode);
+        }
+    }
+
+    #[test]
+    fn rtype_add_asserts_regwrite_regdst() {
+        let c = control();
+        let op = ControlOp {
+            opcode: 0,
+            funct: 0x20,
+            rt: 9,
+        };
+        let ctrl = decode(&c, &op);
+        assert_ne!(ctrl & sig(CtrlSignal::RegWrite), 0);
+        assert_ne!(ctrl & sig(CtrlSignal::RegDst), 0);
+        assert_eq!(ctrl & sig(CtrlSignal::MemWrite), 0);
+    }
+
+    #[test]
+    fn lw_and_sw_memory_signals() {
+        let c = control();
+        let lw = decode(
+            &c,
+            &ControlOp {
+                opcode: 0x23,
+                funct: 0,
+                rt: 8,
+            },
+        );
+        assert_ne!(lw & sig(CtrlSignal::MemRead), 0);
+        assert_ne!(lw & sig(CtrlSignal::MemToReg), 0);
+        assert_eq!(lw & sig(CtrlSignal::SubWord), 0);
+        let sb = decode(
+            &c,
+            &ControlOp {
+                opcode: 0x28,
+                funct: 0,
+                rt: 8,
+            },
+        );
+        assert_ne!(sb & sig(CtrlSignal::MemWrite), 0);
+        assert_ne!(sb & sig(CtrlSignal::SubWord), 0);
+        assert_eq!(sb & sig(CtrlSignal::RegWrite), 0);
+    }
+
+    #[test]
+    fn regimm_branches_distinguished_by_rt() {
+        let c = control();
+        let bltz = ControlOp {
+            opcode: 1,
+            funct: 0,
+            rt: 0,
+        };
+        let bgez = ControlOp {
+            opcode: 1,
+            funct: 0,
+            rt: 1,
+        };
+        let other = ControlOp {
+            opcode: 1,
+            funct: 0,
+            rt: 5,
+        };
+        assert_ne!(decode(&c, &bltz) & sig(CtrlSignal::Branch), 0);
+        assert_ne!(decode(&c, &bgez) & sig(CtrlSignal::Branch), 0);
+        assert_eq!(decode(&c, &other), 0);
+    }
+
+    #[test]
+    fn undecoded_opcode_is_all_zero() {
+        let c = control();
+        assert_eq!
+            (decode(
+                &c,
+                &ControlOp {
+                    opcode: 0x3F,
+                    funct: 0,
+                    rt: 0,
+                }
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn classification_is_pvc() {
+        let c = control();
+        assert_eq!(c.class, ComponentClass::PartiallyVisible);
+    }
+}

@@ -1,0 +1,269 @@
+//! Serial restoring divider.
+//!
+//! A classic sequential restoring divider: `width` iterations of
+//! shift-compare-subtract over a remainder/quotient register pair. This is
+//! the Plasma-style multi-cycle divide unit and a *sequential* D-VC: its
+//! self-test stimulus spans `width + 1` clock cycles per operation (one load
+//! cycle plus `width` iteration cycles).
+
+use sbst_gates::{Bus, NetlistBuilder, Stimulus};
+
+use crate::adder::ripple_sub_extended;
+use crate::{Component, ComponentClass, ComponentKind, PatternBuilder, PortMap};
+
+/// One divide operation (unsigned; the CPU performs sign correction for
+/// signed `div` around this core, as the real Plasma does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivOp {
+    /// Dividend.
+    pub dividend: u32,
+    /// Divisor (a zero divisor yields quotient `!0` and remainder =
+    /// dividend, matching the restoring array's natural behaviour).
+    pub divisor: u32,
+}
+
+/// Builds a `width`-bit serial restoring divider.
+///
+/// Ports: inputs `start`, `dividend[width]`, `divisor[width]`; outputs
+/// `quotient[width]`, `remainder[width]`.
+///
+/// Protocol: assert `start` with operands for one cycle, then clock `width`
+/// iteration cycles; `quotient`/`remainder` are valid afterwards.
+///
+/// # Panics
+///
+/// Panics if `width` is smaller than 2 or greater than 32.
+pub fn divider(width: usize) -> Component {
+    assert!((2..=32).contains(&width), "divider width must be 2..=32");
+    let mut b = NetlistBuilder::new(&format!("div{width}"));
+    let start = b.input("start");
+    let dividend = b.input_bus("dividend", width);
+    let divisor = b.input_bus("divisor", width);
+
+    // State registers. Declared as placeholder DFFs whose `d` inputs are
+    // rewired below once the next-state logic exists — the builder pattern
+    // for sequential feedback.
+    // R: width+1 bits (holds the trial remainder), Q: width, D: width.
+    // Build next-state logic from the current outputs, so create the DFFs
+    // first with temporary inputs.
+    let not_start = b.not(start);
+
+    // Temporarily use the start net as DFF input; rewired after logic built.
+    // R needs only `width` bits: the restoring invariant R < D keeps the
+    // shifted remainder's top bit clear whenever it is stored back.
+    let r_q: Vec<_> = (0..width).map(|_| b.dff(start)).collect();
+    let q_q: Vec<_> = (0..width).map(|_| b.dff(start)).collect();
+    let d_q: Vec<_> = (0..width).map(|_| b.dff(start)).collect();
+    let r_bus = Bus::new(r_q.clone());
+    let q_bus = Bus::new(q_q.clone());
+    let d_bus = Bus::new(d_q.clone());
+
+    // Iteration: shifted = (R << 1) | Q[msb], a width+1-bit trial value.
+    let mut shifted = Vec::with_capacity(width + 1);
+    shifted.push(q_bus.net(width - 1));
+    for i in 0..width {
+        shifted.push(r_bus.net(i));
+    }
+    let shifted = Bus::new(shifted);
+
+    // Trial subtraction: shifted - D (D zero-extended to width+1).
+    let (diff, no_borrow) = ripple_sub_extended(&mut b, &shifted, &d_bus);
+
+    // Next R (low `width` bits; the stored value is < D so the top bit of
+    // the selected width+1-bit result is always 0): on start → 0; else
+    // borrow ? shifted : diff.
+    let r_next: Vec<_> = (0..width)
+        .map(|i| {
+            let iter_val = b.mux2(no_borrow, shifted.net(i), diff.net(i));
+            b.and2(iter_val, not_start) // start clears R
+        })
+        .collect();
+
+    // Next Q: on start → dividend; else (Q << 1) | no_borrow.
+    let q_next: Vec<_> = (0..width)
+        .map(|i| {
+            let shifted_in = if i == 0 { no_borrow } else { q_bus.net(i - 1) };
+            b.mux2(start, shifted_in, dividend.net(i))
+        })
+        .collect();
+
+    // Next D: on start → divisor; else hold.
+    let d_next: Vec<_> = (0..width)
+        .map(|i| b.mux2(start, d_bus.net(i), divisor.net(i)))
+        .collect();
+
+    // Rewire the DFF inputs (gate ids are the creation order; DFFs were the
+    // first gates created after `not_start`).
+    rewire_dffs(&mut b, &r_q, &r_next);
+    rewire_dffs(&mut b, &q_q, &q_next);
+    rewire_dffs(&mut b, &d_q, &d_next);
+
+    let quotient = q_bus.clone();
+    let remainder = r_bus.clone();
+    b.mark_output_bus(&quotient, "quotient");
+    b.mark_output_bus(&remainder, "remainder");
+
+    let mut ports = PortMap::new();
+    ports.add_input("start", start.into());
+    ports.add_input("dividend", dividend);
+    ports.add_input("divisor", divisor);
+    ports.add_output("quotient", quotient);
+    ports.add_output("remainder", remainder);
+
+    let netlist = b.finish().expect("divider netlist is structurally valid");
+    let area = netlist.gate_equivalents();
+    Component {
+        netlist,
+        ports,
+        kind: ComponentKind::Divider,
+        class: ComponentClass::DataVisible,
+        width,
+        area_split: vec![(ComponentClass::DataVisible, area)],
+    }
+}
+
+/// Rewires placeholder DFF `d` inputs to the real next-state nets.
+fn rewire_dffs(b: &mut NetlistBuilder, q_nets: &[sbst_gates::NetId], d_nets: &[sbst_gates::NetId]) {
+    for (q, d) in q_nets.iter().zip(d_nets) {
+        b.rewire_dff_input(*q, *d);
+    }
+}
+
+/// Functional oracle: `(quotient, remainder)`; division by zero yields
+/// `(all-ones, dividend)` like the restoring array.
+pub fn model(dividend: u32, divisor: u32, width: usize) -> (u32, u32) {
+    let mask: u32 = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    let (n, d) = (dividend & mask, divisor & mask);
+    match (n.checked_div(d), n.checked_rem(d)) {
+        (Some(q), Some(r)) => (q, r),
+        _ => (mask, n),
+    }
+}
+
+/// Converts an operation trace into a fault-simulation stimulus: each
+/// operation becomes one `start` cycle plus `width` iteration cycles, with
+/// outputs observed on the final cycle.
+pub fn stimulus(div: &Component, ops: &[DivOp]) -> Stimulus {
+    debug_assert_eq!(div.kind, ComponentKind::Divider);
+    let width = div.width;
+    let mut stim = Stimulus::new();
+    for op in ops {
+        let load = PatternBuilder::new(div)
+            .set("start", 1)
+            .set("dividend", op.dividend as u64)
+            .set("divisor", op.divisor as u64)
+            .into_bits();
+        stim.push_hidden_cycle(&load);
+        let run = PatternBuilder::new(div)
+            .set("start", 0)
+            .set("dividend", op.dividend as u64)
+            .set("divisor", op.divisor as u64)
+            .into_bits();
+        for cycle in 0..width {
+            stim.push_cycle(&run, cycle == width - 1);
+        }
+    }
+    stim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_gates::Simulator;
+
+    fn run_divide(c: &Component, dividend: u32, divisor: u32) -> (u32, u32) {
+        let mut sim = Simulator::new(&c.netlist);
+        sim.set_bus(c.ports.input("start"), 1);
+        sim.set_bus(c.ports.input("dividend"), dividend as u64);
+        sim.set_bus(c.ports.input("divisor"), divisor as u64);
+        sim.eval();
+        sim.step();
+        sim.set_bus(c.ports.input("start"), 0);
+        for _ in 0..c.width {
+            sim.eval();
+            sim.step();
+        }
+        sim.eval();
+        (
+            sim.bus_value(c.ports.output("quotient")) as u32,
+            sim.bus_value(c.ports.output("remainder")) as u32,
+        )
+    }
+
+    #[test]
+    fn exhaustive_4bit() {
+        let c = divider(4);
+        for n in 0..16u32 {
+            for d in 1..16u32 {
+                assert_eq!(run_divide(&c, n, d), model(n, d, 4), "{n}/{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_cases() {
+        let c = divider(16);
+        for (n, d) in [
+            (0xFFFFu32, 1u32),
+            (0xFFFF, 0xFFFF),
+            (12345, 67),
+            (1, 2),
+            (0x8000, 3),
+            (0, 5),
+        ] {
+            assert_eq!(run_divide(&c, n, d), model(n, d, 16), "{n}/{d}");
+        }
+    }
+
+    #[test]
+    fn divide_by_zero_matches_model() {
+        let c = divider(8);
+        assert_eq!(run_divide(&c, 200, 0), model(200, 0, 8));
+    }
+
+    #[test]
+    fn back_to_back_operations() {
+        // A second operation must not be polluted by the first.
+        let c = divider(8);
+        let mut sim = Simulator::new(&c.netlist);
+        for (n, d) in [(100u32, 7u32), (250, 9)] {
+            sim.set_bus(c.ports.input("start"), 1);
+            sim.set_bus(c.ports.input("dividend"), n as u64);
+            sim.set_bus(c.ports.input("divisor"), d as u64);
+            sim.eval();
+            sim.step();
+            sim.set_bus(c.ports.input("start"), 0);
+            for _ in 0..8 {
+                sim.eval();
+                sim.step();
+            }
+            sim.eval();
+            assert_eq!(
+                (
+                    sim.bus_value(c.ports.output("quotient")) as u32,
+                    sim.bus_value(c.ports.output("remainder")) as u32
+                ),
+                model(n, d, 8),
+                "{n}/{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn stimulus_cycle_count() {
+        let c = divider(8);
+        let stim = stimulus(
+            &c,
+            &[DivOp {
+                dividend: 9,
+                divisor: 2,
+            }],
+        );
+        assert_eq!(stim.len(), 9);
+        assert_eq!(stim.observed_cycles(), 1);
+    }
+}

@@ -1,0 +1,329 @@
+//! Gate-level processor components.
+//!
+//! Each module generates the structural netlist of one processor component
+//! of the Plasma-class MIPS core the paper evaluates — ALU, barrel shifter,
+//! parallel array multiplier, serial divider, register file, memory
+//! controller datapath, control decoder, pipeline registers and the
+//! PC/branch address unit — together with:
+//!
+//! - a [`Component`] wrapper carrying the port map, the paper's Phase-B
+//!   [`ComponentClass`], and gate-count accounting;
+//! - an *operation* type (e.g. [`alu::AluOp`]) describing one
+//!   instruction-level excitation of the component;
+//! - a stimulus builder converting operation traces into
+//!   [`sbst_gates::Stimulus`] for fault grading;
+//! - a functional oracle used by the test suite to prove the netlist
+//!   equivalent to plain `u32` arithmetic.
+//!
+//! # Example
+//!
+//! ```
+//! use sbst_components::alu::{self, AluFunc, AluOp};
+//!
+//! let alu = alu::alu(8);
+//! let ops = vec![AluOp { func: AluFunc::Add, a: 0x55, b: 0x0F }];
+//! let stim = alu::stimulus(&alu, &ops);
+//! assert_eq!(stim.len(), 1);
+//! ```
+
+pub mod adder;
+pub mod alu;
+pub mod comparator;
+pub mod control;
+pub mod divider;
+pub mod memctrl;
+pub mod misc;
+pub mod multiplier;
+pub mod pipeline;
+pub mod regfile;
+pub mod shifter;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sbst_gates::{Bus, Netlist};
+
+/// The paper's Phase-B component classification (Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComponentClass {
+    /// Data visible component (D-VC): inputs/outputs carry data reachable
+    /// through registers, immediates or data memory. Highest test priority.
+    DataVisible,
+    /// Address visible component (A-VC): inputs/outputs carry memory
+    /// addresses; visible only through memory placement. Not suited to
+    /// on-line periodic testing.
+    AddressVisible,
+    /// Mixed address/data visible component (M-VC), e.g. the PC-relative
+    /// branch adder.
+    MixedVisible,
+    /// Partially visible component (PVC): control FSMs, tested functionally.
+    PartiallyVisible,
+    /// Hidden component (HC): pipeline plumbing invisible to the assembly
+    /// programmer; tested as a side effect of D-VC testing.
+    Hidden,
+}
+
+impl ComponentClass {
+    /// The abbreviation used in Table 1 of the paper.
+    pub fn code(self) -> &'static str {
+        match self {
+            ComponentClass::DataVisible => "D-VC",
+            ComponentClass::AddressVisible => "A-VC",
+            ComponentClass::MixedVisible => "M-VC",
+            ComponentClass::PartiallyVisible => "PVC",
+            ComponentClass::Hidden => "HC",
+        }
+    }
+
+    /// Test development priority (lower value = higher priority): D-VCs
+    /// first, then PVCs, then A-VC/M-VC, hidden components last (side-effect
+    /// tested only).
+    pub fn priority(self) -> u8 {
+        match self {
+            ComponentClass::DataVisible => 0,
+            ComponentClass::PartiallyVisible => 1,
+            ComponentClass::MixedVisible => 2,
+            ComponentClass::AddressVisible => 3,
+            ComponentClass::Hidden => 4,
+        }
+    }
+}
+
+impl fmt::Display for ComponentClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Which processor component a netlist implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComponentKind {
+    /// Arithmetic/logic unit.
+    Alu,
+    /// Dedicated branch/magnitude comparator.
+    Comparator,
+    /// Barrel shifter.
+    Shifter,
+    /// Parallel (array) multiplier.
+    Multiplier,
+    /// Serial restoring divider.
+    Divider,
+    /// General-purpose register file.
+    RegisterFile,
+    /// Memory controller datapath (MAR, MDR, alignment muxes).
+    MemoryController,
+    /// Instruction decoder / control logic.
+    ControlLogic,
+    /// Pipeline registers and forwarding muxes.
+    Pipeline,
+    /// PC incrementer, branch adder and sign extender.
+    PcUnit,
+}
+
+impl ComponentKind {
+    /// Human-readable name matching the paper's Table 1 rows.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            ComponentKind::Alu => "ALU",
+            ComponentKind::Comparator => "Comparator",
+            ComponentKind::Shifter => "Shifter",
+            ComponentKind::Multiplier => "Parallel Mul.",
+            ComponentKind::Divider => "Serial Div.",
+            ComponentKind::RegisterFile => "Register File",
+            ComponentKind::MemoryController => "Memory controller",
+            ComponentKind::ControlLogic => "Control Logic",
+            ComponentKind::Pipeline => "Pipeline",
+            ComponentKind::PcUnit => "PC / branch unit",
+        }
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// Named input/output buses of a component netlist.
+#[derive(Debug, Clone, Default)]
+pub struct PortMap {
+    inputs: BTreeMap<String, Bus>,
+    outputs: BTreeMap<String, Bus>,
+}
+
+impl PortMap {
+    /// Creates an empty port map.
+    pub fn new() -> Self {
+        PortMap::default()
+    }
+
+    /// Registers an input bus.
+    pub fn add_input(&mut self, name: &str, bus: Bus) {
+        self.inputs.insert(name.to_owned(), bus);
+    }
+
+    /// Registers an output bus.
+    pub fn add_output(&mut self, name: &str, bus: Bus) {
+        self.outputs.insert(name.to_owned(), bus);
+    }
+
+    /// The input bus called `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such input exists.
+    pub fn input(&self, name: &str) -> &Bus {
+        self.try_input(name)
+            .unwrap_or_else(|| panic!("no input port `{name}`"))
+    }
+
+    /// The output bus called `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such output exists.
+    pub fn output(&self, name: &str) -> &Bus {
+        self.try_output(name)
+            .unwrap_or_else(|| panic!("no output port `{name}`"))
+    }
+
+    /// The input bus called `name`, if present.
+    pub fn try_input(&self, name: &str) -> Option<&Bus> {
+        self.inputs.get(name)
+    }
+
+    /// The output bus called `name`, if present.
+    pub fn try_output(&self, name: &str) -> Option<&Bus> {
+        self.outputs.get(name)
+    }
+
+    /// Iterates over `(name, bus)` input pairs in name order.
+    pub fn inputs(&self) -> impl Iterator<Item = (&str, &Bus)> {
+        self.inputs.iter().map(|(n, b)| (n.as_str(), b))
+    }
+
+    /// Iterates over `(name, bus)` output pairs in name order.
+    pub fn outputs(&self) -> impl Iterator<Item = (&str, &Bus)> {
+        self.outputs.iter().map(|(n, b)| (n.as_str(), b))
+    }
+}
+
+/// A processor component: a validated netlist plus the metadata the SBST
+/// methodology needs (ports, classification, area accounting).
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// The gate-level implementation.
+    pub netlist: Netlist,
+    /// Named port buses.
+    pub ports: PortMap,
+    /// Which component this is.
+    pub kind: ComponentKind,
+    /// Phase-B classification of the dominant part of the component.
+    pub class: ComponentClass,
+    /// Data path width in bits.
+    pub width: usize,
+    /// Gate-equivalent area per class, for components that mix classes
+    /// (the paper's memory controller is 73 % D-VC / 23 % A-VC / 4 % PVC).
+    pub area_split: Vec<(ComponentClass, u32)>,
+}
+
+impl Component {
+    /// Total NAND2-equivalent gate count.
+    pub fn gate_equivalents(&self) -> u32 {
+        self.netlist.gate_equivalents()
+    }
+
+    /// Percentage of the component's area in the given class.
+    pub fn class_fraction(&self, class: ComponentClass) -> f64 {
+        let total: u32 = self.area_split.iter().map(|(_, a)| a).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let part: u32 = self
+            .area_split
+            .iter()
+            .filter(|(c, _)| *c == class)
+            .map(|(_, a)| a)
+            .sum();
+        part as f64 / total as f64 * 100.0
+    }
+}
+
+/// Builds single-cycle input vectors for a component, port by port.
+///
+/// ```
+/// use sbst_components::{alu, PatternBuilder};
+///
+/// let alu = alu::alu(8);
+/// let bits = PatternBuilder::new(&alu)
+///     .set("a", 0x55)
+///     .set("b", 0xAA)
+///     .set("op", alu::AluFunc::Xor.encoding() as u64)
+///     .into_bits();
+/// assert_eq!(bits.len(), alu.netlist.inputs().len());
+/// ```
+#[derive(Debug)]
+pub struct PatternBuilder<'a> {
+    component: &'a Component,
+    bits: Vec<bool>,
+}
+
+impl<'a> PatternBuilder<'a> {
+    /// Starts an all-zero pattern for `component`.
+    pub fn new(component: &'a Component) -> Self {
+        PatternBuilder {
+            component,
+            bits: vec![false; component.netlist.inputs().len()],
+        }
+    }
+
+    /// Sets input port `port` to `value` (little-endian over the bus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or is not made of primary inputs.
+    pub fn set(mut self, port: &str, value: u64) -> Self {
+        self.set_in_place(port, value);
+        self
+    }
+
+    /// Non-consuming variant of [`PatternBuilder::set`].
+    pub fn set_in_place(&mut self, port: &str, value: u64) {
+        let bus = self.component.ports.input(port);
+        for (i, &net) in bus.iter().enumerate() {
+            let pos = self
+                .component
+                .netlist
+                .input_position(net)
+                .unwrap_or_else(|| panic!("port `{port}` bit {i} is not a primary input"));
+            self.bits[pos] = (value >> i) & 1 == 1;
+        }
+    }
+
+    /// Finishes the pattern.
+    pub fn into_bits(self) -> Vec<bool> {
+        self.bits
+    }
+}
+
+/// Reads the value a raw input pattern assigns to a named port — the
+/// inverse of [`PatternBuilder::set`], used to turn ATPG-generated input
+/// vectors back into instruction operands.
+///
+/// # Panics
+///
+/// Panics if the port does not exist or is not made of primary inputs.
+pub fn pattern_port_value(component: &Component, bits: &[bool], port: &str) -> u64 {
+    let bus = component.ports.input(port);
+    let mut value = 0u64;
+    for (i, &net) in bus.iter().enumerate() {
+        let pos = component
+            .netlist
+            .input_position(net)
+            .unwrap_or_else(|| panic!("port `{port}` bit {i} is not a primary input"));
+        if bits[pos] {
+            value |= 1 << i;
+        }
+    }
+    value
+}

@@ -1,0 +1,159 @@
+//! PC/branch address unit — the paper's *mixed visible* (M-VC) example.
+//!
+//! Contains the PC incrementer (`pc + 4`) and the PC-relative branch adder
+//! (`pc + 4 + (sign-extended offset << 2)`), the component the paper calls
+//! out explicitly as M-VC: its inputs are addresses (visible only through
+//! memory placement) combined with instruction data (the offset field).
+//! Like the A-VCs, it is tested only as a side effect during on-line
+//! periodic testing; `sbst-core` grades it from the control-transfer trace.
+
+use sbst_gates::{Bus, NetlistBuilder, Stimulus};
+
+use crate::adder::{ripple_add, ripple_add_const};
+use crate::{Component, ComponentClass, ComponentKind, PatternBuilder, PortMap};
+
+/// One control-transfer (or sequential-fetch) excitation of the PC unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcOp {
+    /// Current program counter.
+    pub pc: u32,
+    /// Branch offset field (signed, in instructions).
+    pub offset: i16,
+}
+
+/// Builds the PC unit for a `width`-bit address space with an
+/// `offset_bits`-bit branch offset field.
+///
+/// Ports: inputs `pc[width]`, `offset[offset_bits]`; outputs
+/// `pc_plus4[width]`, `branch_target[width]`.
+///
+/// # Panics
+///
+/// Panics unless `3 <= offset_bits + 2 <= width <= 32`.
+pub fn pc_unit(width: usize, offset_bits: usize) -> Component {
+    assert!(
+        offset_bits >= 1 && offset_bits + 2 <= width && width <= 32,
+        "need 1 <= offset_bits, offset_bits + 2 <= width <= 32"
+    );
+    let mut b = NetlistBuilder::new(&format!("pc_unit{width}"));
+    let pc = b.input_bus("pc", width);
+    let offset = b.input_bus("offset", offset_bits);
+
+    let pc_plus4 = ripple_add_const(&mut b, &pc, 4);
+
+    // Sign-extend the offset and shift left twice (wiring); the low two
+    // target bits equal the low two PC bits (word-aligned instructions keep
+    // them zero, but the hardware simply passes them through the adder).
+    let sign = offset.net(offset_bits - 1);
+    let ext_bus: Bus = (0..width - 2)
+        .map(|i| {
+            if i < offset_bits {
+                offset.net(i)
+            } else {
+                sign
+            }
+        })
+        .collect();
+    let (target_high, _carry) = ripple_add(&mut b, &pc_plus4.slice(2..width), &ext_bus, None);
+    let branch_target = pc_plus4.slice(0..2).concat(&target_high);
+
+    b.mark_output_bus(&pc_plus4, "pc_plus4");
+    b.mark_output_bus(&branch_target, "branch_target");
+
+    let mut ports = PortMap::new();
+    ports.add_input("pc", pc);
+    ports.add_input("offset", offset);
+    ports.add_output("pc_plus4", pc_plus4);
+    ports.add_output("branch_target", branch_target);
+
+    let netlist = b.finish().expect("pc unit netlist is structurally valid");
+    let area = netlist.gate_equivalents();
+    Component {
+        netlist,
+        ports,
+        kind: ComponentKind::PcUnit,
+        class: ComponentClass::MixedVisible,
+        width,
+        area_split: vec![(ComponentClass::MixedVisible, area)],
+    }
+}
+
+/// Functional oracle: `(pc_plus4, branch_target)`.
+pub fn model(pc: u32, offset: i16, width: usize, offset_bits: usize) -> (u32, u32) {
+    let mask: u64 = if width == 32 {
+        u32::MAX as u64
+    } else {
+        (1u64 << width) - 1
+    };
+    let pc4 = (pc as u64 + 4) & mask;
+    let off_mask = (1i64 << offset_bits) - 1;
+    let off = ((offset as i64 & off_mask) << (64 - offset_bits)) >> (64 - offset_bits);
+    let target = (pc4 as i64 + (off << 2)) as u64 & mask;
+    (pc4 as u32, target as u32)
+}
+
+/// Converts a fetch/branch trace into a fault-simulation stimulus.
+pub fn stimulus(unit: &Component, ops: &[PcOp]) -> Stimulus {
+    debug_assert_eq!(unit.kind, ComponentKind::PcUnit);
+    let offset_bits = unit.ports.input("offset").width();
+    let mut stim = Stimulus::new();
+    for op in ops {
+        let off_mask = (1u64 << offset_bits) - 1;
+        let bits = PatternBuilder::new(unit)
+            .set("pc", op.pc as u64)
+            .set("offset", (op.offset as i64 as u64) & off_mask)
+            .into_bits();
+        stim.push_pattern(&bits);
+    }
+    stim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_gates::Simulator;
+
+    fn check(width: usize, offset_bits: usize, pc: u32, offset: i16) {
+        let c = pc_unit(width, offset_bits);
+        let off_mask = (1u64 << offset_bits) - 1;
+        let mut sim = Simulator::new(&c.netlist);
+        sim.set_bus(c.ports.input("pc"), pc as u64);
+        sim.set_bus(c.ports.input("offset"), (offset as i64 as u64) & off_mask);
+        sim.eval();
+        let (e4, et) = model(pc, offset, width, offset_bits);
+        assert_eq!(
+            sim.bus_value(c.ports.output("pc_plus4")) as u32,
+            e4,
+            "pc+4 for {pc:#x}"
+        );
+        assert_eq!(
+            sim.bus_value(c.ports.output("branch_target")) as u32,
+            et,
+            "target for {pc:#x} offset {offset}"
+        );
+    }
+
+    #[test]
+    fn forward_and_backward_targets() {
+        check(32, 16, 0x0040_0100, 16);
+        check(32, 16, 0x0040_0100, -16);
+        check(32, 16, 0x0040_0100, 0);
+        check(32, 16, 0xFFFF_FFF8, 1); // wraps
+    }
+
+    #[test]
+    fn small_width_exhaustive() {
+        for pc in (0..64u32).step_by(4) {
+            for offset in -4i16..4 {
+                check(8, 4, pc, offset);
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_mvc() {
+        let c = pc_unit(16, 8);
+        assert_eq!(c.class, ComponentClass::MixedVisible);
+        assert_eq!(c.kind, ComponentKind::PcUnit);
+    }
+}

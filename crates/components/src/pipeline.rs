@@ -1,0 +1,270 @@
+//! Pipeline registers and forwarding muxes — the paper's *hidden
+//! components* (HC).
+//!
+//! These structures are invisible to the assembly programmer: two data-field
+//! pipeline stages with enable (stall) and flush controls, plus the 3:1
+//! forwarding mux of the bypass network. The paper notes that hidden
+//! components used for data pipelining are "sufficiently tested as a
+//! side-effect of testing the D-VCs" — `sbst-core` grades them by replaying
+//! the operand streams the D-VC routines push through the pipe.
+
+use sbst_gates::{Bus, NetlistBuilder, Stimulus};
+
+use crate::{Component, ComponentClass, ComponentKind, PatternBuilder, PortMap};
+
+/// One cycle of pipeline activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineOp {
+    /// Data entering the first stage register.
+    pub d: u32,
+    /// Pipeline advance enable (low = stall, registers hold).
+    pub en: bool,
+    /// Flush (clears both stages, e.g. on a taken branch without a filled
+    /// delay slot).
+    pub flush: bool,
+    /// Register-file operand arriving at the forwarding mux.
+    pub rf_data: u32,
+    /// Execute-stage bypass value.
+    pub ex_fwd: u32,
+    /// Memory-stage bypass value.
+    pub mem_fwd: u32,
+    /// Forwarding select: 0 = register file, 1 = EX bypass, 2 = MEM bypass.
+    pub fwd_sel: u8,
+}
+
+impl PipelineOp {
+    /// A plain advance cycle pushing `d` with no forwarding.
+    pub fn advance(d: u32) -> Self {
+        PipelineOp {
+            d,
+            en: true,
+            flush: false,
+            rf_data: d,
+            ex_fwd: 0,
+            mem_fwd: 0,
+            fwd_sel: 0,
+        }
+    }
+}
+
+/// Builds a two-stage, `width`-bit pipeline data path slice with a 3:1
+/// forwarding mux.
+///
+/// Ports: inputs `d[width]`, `en`, `flush`, `rf_data[width]`,
+/// `ex_fwd[width]`, `mem_fwd[width]`, `fwd_sel[2]`; outputs `q1[width]`,
+/// `q2[width]`, `fwd_out[width]`.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 32.
+pub fn pipeline(width: usize) -> Component {
+    assert!((1..=32).contains(&width), "pipeline width must be 1..=32");
+    let mut b = NetlistBuilder::new(&format!("pipeline{width}"));
+    let d = b.input_bus("d", width);
+    let en = b.input("en");
+    let flush = b.input("flush");
+    let rf_data = b.input_bus("rf_data", width);
+    let ex_fwd = b.input_bus("ex_fwd", width);
+    let mem_fwd = b.input_bus("mem_fwd", width);
+    let fwd_sel = b.input_bus("fwd_sel", 2);
+
+    let not_flush = b.not(flush);
+    let stage = |b: &mut NetlistBuilder, input: &Bus| -> Bus {
+        input
+            .iter()
+            .map(|&bit| {
+                let q = b.dff(bit); // placeholder, rewired below
+                let held = b.mux2(en, q, bit);
+                let cleared = b.and2(held, not_flush);
+                b.rewire_dff_input(q, cleared);
+                q
+            })
+            .collect()
+    };
+    let q1 = stage(&mut b, &d);
+    let q2 = stage(&mut b, &q1);
+
+    // Forwarding mux: sel 0 → rf, 1 → ex, 2 → mem (3 → mem as well).
+    let s0 = fwd_sel.net(0);
+    let s1 = fwd_sel.net(1);
+    let fwd_out: Bus = (0..width)
+        .map(|i| {
+            let low = b.mux2(s0, rf_data.net(i), ex_fwd.net(i));
+            b.mux2(s1, low, mem_fwd.net(i))
+        })
+        .collect();
+
+    b.mark_output_bus(&q1, "q1");
+    b.mark_output_bus(&q2, "q2");
+    b.mark_output_bus(&fwd_out, "fwd_out");
+
+    let mut ports = PortMap::new();
+    ports.add_input("d", d);
+    ports.add_input("en", en.into());
+    ports.add_input("flush", flush.into());
+    ports.add_input("rf_data", rf_data);
+    ports.add_input("ex_fwd", ex_fwd);
+    ports.add_input("mem_fwd", mem_fwd);
+    ports.add_input("fwd_sel", fwd_sel);
+    ports.add_output("q1", q1);
+    ports.add_output("q2", q2);
+    ports.add_output("fwd_out", fwd_out);
+
+    let netlist = b.finish().expect("pipeline netlist is structurally valid");
+    let area = netlist.gate_equivalents();
+    Component {
+        netlist,
+        ports,
+        kind: ComponentKind::Pipeline,
+        class: ComponentClass::Hidden,
+        width,
+        area_split: vec![(ComponentClass::Hidden, area)],
+    }
+}
+
+/// Functional oracle: per-cycle `(q1, q2, fwd_out)` values (state *before*
+/// the cycle's clock edge, since outputs are the register outputs).
+pub fn model(width: usize, ops: &[PipelineOp]) -> Vec<(u32, u32, u32)> {
+    let mask: u32 = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    let (mut q1, mut q2) = (0u32, 0u32);
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        let fwd = match op.fwd_sel & 3 {
+            0 => op.rf_data,
+            1 => op.ex_fwd,
+            _ => op.mem_fwd,
+        } & mask;
+        out.push((q1, q2, fwd));
+        let next_q1 = if op.flush {
+            0
+        } else if op.en {
+            op.d & mask
+        } else {
+            q1
+        };
+        let next_q2 = if op.flush {
+            0
+        } else if op.en {
+            q1
+        } else {
+            q2
+        };
+        q1 = next_q1;
+        q2 = next_q2;
+    }
+    out
+}
+
+/// Converts a cycle trace into a fault-simulation stimulus (every cycle
+/// observed).
+pub fn stimulus(pipe: &Component, ops: &[PipelineOp]) -> Stimulus {
+    debug_assert_eq!(pipe.kind, ComponentKind::Pipeline);
+    let mut stim = Stimulus::new();
+    for op in ops {
+        let bits = PatternBuilder::new(pipe)
+            .set("d", op.d as u64)
+            .set("en", u64::from(op.en))
+            .set("flush", u64::from(op.flush))
+            .set("rf_data", op.rf_data as u64)
+            .set("ex_fwd", op.ex_fwd as u64)
+            .set("mem_fwd", op.mem_fwd as u64)
+            .set("fwd_sel", (op.fwd_sel & 3) as u64)
+            .into_bits();
+        stim.push_pattern(&bits);
+    }
+    stim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_gates::Simulator;
+
+    fn replay(c: &Component, ops: &[PipelineOp]) -> Vec<(u32, u32, u32)> {
+        let mut sim = Simulator::new(&c.netlist);
+        let mut out = Vec::new();
+        for op in ops {
+            sim.set_bus(c.ports.input("d"), op.d as u64);
+            sim.set_bus(c.ports.input("en"), u64::from(op.en));
+            sim.set_bus(c.ports.input("flush"), u64::from(op.flush));
+            sim.set_bus(c.ports.input("rf_data"), op.rf_data as u64);
+            sim.set_bus(c.ports.input("ex_fwd"), op.ex_fwd as u64);
+            sim.set_bus(c.ports.input("mem_fwd"), op.mem_fwd as u64);
+            sim.set_bus(c.ports.input("fwd_sel"), (op.fwd_sel & 3) as u64);
+            sim.eval();
+            out.push((
+                sim.bus_value(c.ports.output("q1")) as u32,
+                sim.bus_value(c.ports.output("q2")) as u32,
+                sim.bus_value(c.ports.output("fwd_out")) as u32,
+            ));
+            sim.step();
+        }
+        out
+    }
+
+    #[test]
+    fn data_flows_through_stages() {
+        let c = pipeline(8);
+        let ops: Vec<PipelineOp> = [0x11u32, 0x22, 0x33, 0x44]
+            .iter()
+            .map(|&d| PipelineOp::advance(d))
+            .collect();
+        assert_eq!(replay(&c, &ops), model(8, &ops));
+    }
+
+    #[test]
+    fn stall_holds_registers() {
+        let c = pipeline(8);
+        let mut ops = vec![PipelineOp::advance(0xAA)];
+        let mut stalled = PipelineOp::advance(0xBB);
+        stalled.en = false;
+        ops.push(stalled);
+        ops.push(stalled);
+        ops.push(PipelineOp::advance(0xCC));
+        let out = replay(&c, &ops);
+        assert_eq!(out, model(8, &ops));
+        // q1 holds 0xAA across the stall cycles.
+        assert_eq!(out[2].0, 0xAA);
+        assert_eq!(out[3].0, 0xAA);
+    }
+
+    #[test]
+    fn flush_clears_both_stages() {
+        let c = pipeline(8);
+        let mut flush = PipelineOp::advance(0xEE);
+        flush.flush = true;
+        let ops = vec![
+            PipelineOp::advance(0x11),
+            PipelineOp::advance(0x22),
+            flush,
+            PipelineOp::advance(0x33),
+        ];
+        let out = replay(&c, &ops);
+        assert_eq!(out, model(8, &ops));
+        assert_eq!((out[3].0, out[3].1), (0, 0));
+    }
+
+    #[test]
+    fn forwarding_mux_selects() {
+        let c = pipeline(8);
+        let mut op = PipelineOp::advance(0);
+        op.rf_data = 0x01;
+        op.ex_fwd = 0x02;
+        op.mem_fwd = 0x03;
+        for (sel, expect) in [(0u8, 0x01u32), (1, 0x02), (2, 0x03), (3, 0x03)] {
+            op.fwd_sel = sel;
+            let out = replay(&c, &[op]);
+            assert_eq!(out[0].2, expect, "sel {sel}");
+        }
+    }
+
+    #[test]
+    fn classification_is_hidden() {
+        let c = pipeline(8);
+        assert_eq!(c.class, ComponentClass::Hidden);
+    }
+}

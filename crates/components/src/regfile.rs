@@ -1,0 +1,303 @@
+//! General-purpose register file.
+//!
+//! A `regs × width` register file with one write port and two combinational
+//! read ports: a write-address decoder, per-bit write-enable muxes feeding
+//! D flip-flops, and a binary mux tree per read port. Register 0 is a real
+//! register here (the `$zero` semantics are enforced by the CPU writeback
+//! path, as in the Plasma RTL, where the register file array itself is a
+//! plain memory). This is the largest or second-largest D-VC of the
+//! processor, mirroring Table 1.
+
+use sbst_gates::{Bus, NetId, NetlistBuilder, Stimulus};
+
+use crate::{Component, ComponentClass, ComponentKind, PatternBuilder, PortMap};
+
+/// One cycle of register-file activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegFileOp {
+    /// Write enable.
+    pub we: bool,
+    /// Write address.
+    pub waddr: u8,
+    /// Write data.
+    pub wdata: u32,
+    /// Read address, port A.
+    pub raddr_a: u8,
+    /// Read address, port B.
+    pub raddr_b: u8,
+}
+
+impl RegFileOp {
+    /// A pure write cycle (read addresses pinned to the written register so
+    /// the write becomes observable on the next cycle).
+    pub fn write(waddr: u8, wdata: u32) -> Self {
+        RegFileOp {
+            we: true,
+            waddr,
+            wdata,
+            raddr_a: waddr,
+            raddr_b: waddr,
+        }
+    }
+
+    /// A pure read cycle.
+    pub fn read(raddr_a: u8, raddr_b: u8) -> Self {
+        RegFileOp {
+            we: false,
+            waddr: 0,
+            wdata: 0,
+            raddr_a,
+            raddr_b,
+        }
+    }
+}
+
+/// Builds a register file with `regs` registers of `width` bits.
+///
+/// Ports: inputs `we`, `waddr[log2 regs]`, `wdata[width]`,
+/// `raddr_a[log2 regs]`, `raddr_b[log2 regs]`; outputs `rdata_a[width]`,
+/// `rdata_b[width]`.
+///
+/// # Panics
+///
+/// Panics unless `regs` is a power of two in `2..=32` and `width` in
+/// `1..=32`.
+pub fn regfile(regs: usize, width: usize) -> Component {
+    assert!(
+        regs.is_power_of_two() && (2..=32).contains(&regs),
+        "register count must be a power of two in 2..=32"
+    );
+    assert!((1..=32).contains(&width), "width must be 1..=32");
+    let abits = regs.trailing_zeros() as usize;
+    let mut b = NetlistBuilder::new(&format!("regfile{regs}x{width}"));
+    let we = b.input("we");
+    let waddr = b.input_bus("waddr", abits);
+    let wdata = b.input_bus("wdata", width);
+    let raddr_a = b.input_bus("raddr_a", abits);
+    let raddr_b = b.input_bus("raddr_b", abits);
+
+    // Write-address decoder (shared inverters).
+    let waddr_n: Vec<NetId> = waddr.iter().map(|&n| b.not(n)).collect();
+    let wen: Vec<NetId> = (0..regs)
+        .map(|r| {
+            let mut terms: Vec<NetId> = (0..abits)
+                .map(|k| {
+                    if (r >> k) & 1 == 1 {
+                        waddr.net(k)
+                    } else {
+                        waddr_n[k]
+                    }
+                })
+                .collect();
+            terms.push(we);
+            b.gate(sbst_gates::GateKind::And, &terms)
+        })
+        .collect();
+
+    // Storage array with write-enable muxes.
+    let mut cells: Vec<Bus> = Vec::with_capacity(regs);
+    for &wen_r in &wen {
+        let bits: Vec<NetId> = (0..width)
+            .map(|i| {
+                let q = b.dff(we); // placeholder input, rewired below
+                let d = b.mux2(wen_r, q, wdata.net(i));
+                b.rewire_dff_input(q, d);
+                q
+            })
+            .collect();
+        cells.push(Bus::new(bits));
+    }
+
+    // Read mux trees.
+    let rdata_a = read_tree(&mut b, &cells, &raddr_a);
+    let rdata_b = read_tree(&mut b, &cells, &raddr_b);
+    b.mark_output_bus(&rdata_a, "rdata_a");
+    b.mark_output_bus(&rdata_b, "rdata_b");
+
+    let mut ports = PortMap::new();
+    ports.add_input("we", we.into());
+    ports.add_input("waddr", waddr);
+    ports.add_input("wdata", wdata);
+    ports.add_input("raddr_a", raddr_a);
+    ports.add_input("raddr_b", raddr_b);
+    ports.add_output("rdata_a", rdata_a);
+    ports.add_output("rdata_b", rdata_b);
+
+    let netlist = b.finish().expect("regfile netlist is structurally valid");
+    let area = netlist.gate_equivalents();
+    Component {
+        netlist,
+        ports,
+        kind: ComponentKind::RegisterFile,
+        class: ComponentClass::DataVisible,
+        width,
+        area_split: vec![(ComponentClass::DataVisible, area)],
+    }
+}
+
+/// Binary mux tree selecting one of `cells` by `addr` (LSB selects between
+/// adjacent registers, matching the decoder's bit order).
+fn read_tree(b: &mut NetlistBuilder, cells: &[Bus], addr: &Bus) -> Bus {
+    let mut level: Vec<Bus> = cells.to_vec();
+    let mut bit = 0;
+    while level.len() > 1 {
+        let sel = addr.net(bit);
+        level = level
+            .chunks(2)
+            .map(|pair| b.bus_mux2(sel, &pair[0], &pair[1]))
+            .collect();
+        bit += 1;
+    }
+    level.pop().expect("at least one register")
+}
+
+/// Converts a cycle trace into a fault-simulation stimulus. Every cycle is
+/// observed (the read ports are combinational).
+pub fn stimulus(rf: &Component, ops: &[RegFileOp]) -> Stimulus {
+    debug_assert_eq!(rf.kind, ComponentKind::RegisterFile);
+    let mut stim = Stimulus::new();
+    for op in ops {
+        let bits = PatternBuilder::new(rf)
+            .set("we", u64::from(op.we))
+            .set("waddr", op.waddr as u64)
+            .set("wdata", op.wdata as u64)
+            .set("raddr_a", op.raddr_a as u64)
+            .set("raddr_b", op.raddr_b as u64)
+            .into_bits();
+        stim.push_pattern(&bits);
+    }
+    stim
+}
+
+/// Functional oracle: replays `ops` over an array, returning the
+/// `(rdata_a, rdata_b)` values visible on each cycle (reads see the state
+/// *before* the cycle's write, since reads are combinational off the DFFs).
+pub fn model(regs: usize, width: usize, ops: &[RegFileOp]) -> Vec<(u32, u32)> {
+    let mask: u32 = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    let mut file = vec![0u32; regs];
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        out.push((
+            file[op.raddr_a as usize % regs],
+            file[op.raddr_b as usize % regs],
+        ));
+        if op.we {
+            file[op.waddr as usize % regs] = op.wdata & mask;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_gates::Simulator;
+
+    fn replay(c: &Component, ops: &[RegFileOp]) -> Vec<(u32, u32)> {
+        let mut sim = Simulator::new(&c.netlist);
+        let mut out = Vec::new();
+        for op in ops {
+            sim.set_bus(c.ports.input("we"), u64::from(op.we));
+            sim.set_bus(c.ports.input("waddr"), op.waddr as u64);
+            sim.set_bus(c.ports.input("wdata"), op.wdata as u64);
+            sim.set_bus(c.ports.input("raddr_a"), op.raddr_a as u64);
+            sim.set_bus(c.ports.input("raddr_b"), op.raddr_b as u64);
+            sim.eval();
+            out.push((
+                sim.bus_value(c.ports.output("rdata_a")) as u32,
+                sim.bus_value(c.ports.output("rdata_b")) as u32,
+            ));
+            sim.step();
+        }
+        out
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let c = regfile(8, 8);
+        let ops = vec![
+            RegFileOp::write(3, 0xA5),
+            RegFileOp::write(5, 0x5A),
+            RegFileOp::read(3, 5),
+            RegFileOp::read(5, 3),
+        ];
+        assert_eq!(replay(&c, &ops), model(8, 8, &ops));
+    }
+
+    #[test]
+    fn walk_all_registers() {
+        let c = regfile(8, 8);
+        let mut ops = Vec::new();
+        for r in 0..8u8 {
+            ops.push(RegFileOp::write(r, 0x11u32.wrapping_mul(r as u32 + 1)));
+        }
+        for r in 0..8u8 {
+            ops.push(RegFileOp::read(r, 7 - r));
+        }
+        assert_eq!(replay(&c, &ops), model(8, 8, &ops));
+    }
+
+    #[test]
+    fn write_disabled_holds_state() {
+        let c = regfile(4, 8);
+        let ops = vec![
+            RegFileOp::write(2, 0xFF),
+            RegFileOp {
+                we: false,
+                waddr: 2,
+                wdata: 0x00,
+                raddr_a: 2,
+                raddr_b: 2,
+            },
+            RegFileOp::read(2, 2),
+        ];
+        let out = replay(&c, &ops);
+        assert_eq!(out[2], (0xFF, 0xFF));
+    }
+
+    #[test]
+    fn read_sees_pre_write_state() {
+        let c = regfile(4, 8);
+        let ops = vec![
+            RegFileOp::write(1, 0xAA),
+            // Simultaneous read of r1 while overwriting it.
+            RegFileOp {
+                we: true,
+                waddr: 1,
+                wdata: 0x55,
+                raddr_a: 1,
+                raddr_b: 1,
+            },
+            RegFileOp::read(1, 1),
+        ];
+        let out = replay(&c, &ops);
+        assert_eq!(out[1], (0xAA, 0xAA)); // old value during the write cycle
+        assert_eq!(out[2], (0x55, 0x55)); // new value after
+    }
+
+    #[test]
+    fn matches_model_on_mixed_trace() {
+        let c = regfile(8, 16);
+        let ops: Vec<RegFileOp> = (0..50)
+            .map(|i| RegFileOp {
+                we: i % 3 != 0,
+                waddr: (i * 5 % 8) as u8,
+                wdata: (i as u32).wrapping_mul(0x9E37),
+                raddr_a: (i % 8) as u8,
+                raddr_b: (i * 3 % 8) as u8,
+            })
+            .collect();
+        assert_eq!(replay(&c, &ops), model(8, 16, &ops));
+    }
+
+    #[test]
+    fn area_dominated_by_flip_flops() {
+        let c = regfile(8, 8);
+        // 64 DFFs at 6 gate-equivalents each is already 384.
+        assert!(c.gate_equivalents() > 384);
+    }
+}

@@ -1,0 +1,226 @@
+//! Barrel shifter (`sll`, `srl`, `sra`).
+//!
+//! A mux-tree barrel shifter: the operand is conditionally reversed, shifted
+//! right through log2(width) mux stages, and conditionally reversed back —
+//! the classic single-direction-core structure. Its mux tree has an
+//! *irregular* fan-in pattern, which is why the paper tests the shifter with
+//! deterministic ATPG rather than regular deterministic patterns.
+
+use sbst_gates::{Bus, NetId, NetlistBuilder, Stimulus};
+
+use crate::{Component, ComponentClass, ComponentKind, PatternBuilder, PortMap};
+
+/// Shift operation select (2 bits: `op[1..0]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftFunc {
+    /// Logical left shift (`op = 00`).
+    Sll,
+    /// Logical right shift (`op = 01`).
+    Srl,
+    /// Arithmetic right shift (`op = 11`).
+    Sra,
+}
+
+impl ShiftFunc {
+    /// All three functions.
+    pub const ALL: [ShiftFunc; 3] = [ShiftFunc::Sll, ShiftFunc::Srl, ShiftFunc::Sra];
+
+    /// The 2-bit operation encoding: bit 0 = right, bit 1 = arithmetic.
+    pub fn encoding(self) -> u8 {
+        match self {
+            ShiftFunc::Sll => 0b00,
+            ShiftFunc::Srl => 0b01,
+            ShiftFunc::Sra => 0b11,
+        }
+    }
+}
+
+/// One instruction-level excitation of the shifter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShiftOp {
+    /// The shift function.
+    pub func: ShiftFunc,
+    /// The operand being shifted.
+    pub data: u32,
+    /// Shift amount (0..width).
+    pub amount: u8,
+}
+
+/// Builds a `width`-bit barrel shifter; `width` must be a power of two.
+///
+/// Ports: inputs `data[width]`, `amount[log2 width]`, `op[2]`; output
+/// `result[width]`.
+///
+/// # Panics
+///
+/// Panics unless `width` is a power of two in `2..=32`.
+pub fn shifter(width: usize) -> Component {
+    assert!(
+        width.is_power_of_two() && (2..=32).contains(&width),
+        "shifter width must be a power of two in 2..=32"
+    );
+    let stages = width.trailing_zeros() as usize;
+    let mut b = NetlistBuilder::new(&format!("shifter{width}"));
+    let data = b.input_bus("data", width);
+    let amount = b.input_bus("amount", stages);
+    let op = b.input_bus("op", 2);
+    let right = op.net(0);
+    let arith = op.net(1);
+
+    // Fill bit: sign bit for sra; 0 for srl and (reversed) sll.
+    // arith is only set together with right, so fill = arith & data[msb].
+    let fill = b.and2(arith, data.net(width - 1));
+
+    // Conditional input reversal: select the reversed word for left shifts.
+    let mut current: Vec<NetId> = (0..width)
+        .map(|i| b.mux2(right, data.net(width - 1 - i), data.net(i)))
+        .collect();
+
+    // log2(width) right-shift stages.
+    for k in 0..stages {
+        let sh = amount.net(k);
+        let step = 1usize << k;
+        current = (0..width)
+            .map(|i| {
+                let shifted = if i + step < width {
+                    current[i + step]
+                } else {
+                    fill
+                };
+                b.mux2(sh, current[i], shifted)
+            })
+            .collect();
+    }
+
+    // Conditional output reversal.
+    let result: Bus = (0..width)
+        .map(|i| b.mux2(right, current[width - 1 - i], current[i]))
+        .collect();
+    b.mark_output_bus(&result, "result");
+
+    let mut ports = PortMap::new();
+    ports.add_input("data", data);
+    ports.add_input("amount", amount);
+    ports.add_input("op", op);
+    ports.add_output("result", result);
+
+    let netlist = b.finish().expect("shifter netlist is structurally valid");
+    let area = netlist.gate_equivalents();
+    Component {
+        netlist,
+        ports,
+        kind: ComponentKind::Shifter,
+        class: ComponentClass::DataVisible,
+        width,
+        area_split: vec![(ComponentClass::DataVisible, area)],
+    }
+}
+
+/// Functional oracle for the shifter.
+pub fn model(func: ShiftFunc, data: u32, amount: u8, width: usize) -> u32 {
+    let mask: u32 = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    let data = data & mask;
+    let amount = (amount as usize) % width;
+    let out = match func {
+        ShiftFunc::Sll => data << amount,
+        ShiftFunc::Srl => data >> amount,
+        ShiftFunc::Sra => {
+            let shift = 32 - width;
+            (((data << shift) as i32 >> shift) >> amount) as u32
+        }
+    };
+    out & mask
+}
+
+/// Converts an operation trace into a fault-simulation stimulus.
+pub fn stimulus(shifter: &Component, ops: &[ShiftOp]) -> Stimulus {
+    debug_assert_eq!(shifter.kind, ComponentKind::Shifter);
+    let mut stim = Stimulus::new();
+    for op in ops {
+        let bits = PatternBuilder::new(shifter)
+            .set("data", op.data as u64)
+            .set("amount", op.amount as u64)
+            .set("op", op.func.encoding() as u64)
+            .into_bits();
+        stim.push_pattern(&bits);
+    }
+    stim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_gates::Simulator;
+
+    fn check(width: usize, func: ShiftFunc, data: u32, amount: u8) {
+        let c = shifter(width);
+        let mut sim = Simulator::new(&c.netlist);
+        sim.set_bus(c.ports.input("data"), data as u64);
+        sim.set_bus(c.ports.input("amount"), amount as u64);
+        sim.set_bus(c.ports.input("op"), func.encoding() as u64);
+        sim.eval();
+        assert_eq!(
+            sim.bus_value(c.ports.output("result")) as u32,
+            model(func, data, amount, width),
+            "{func:?} {data:#x} >> {amount} w{width}"
+        );
+    }
+
+    #[test]
+    fn exhaustive_8bit() {
+        let c = shifter(8);
+        let mut sim = Simulator::new(&c.netlist);
+        for func in ShiftFunc::ALL {
+            for amount in 0..8u8 {
+                for data in [0x01u32, 0x80, 0xFF, 0xA5, 0x5A, 0x00] {
+                    sim.set_bus(c.ports.input("data"), data as u64);
+                    sim.set_bus(c.ports.input("amount"), amount as u64);
+                    sim.set_bus(c.ports.input("op"), func.encoding() as u64);
+                    sim.eval();
+                    assert_eq!(
+                        sim.bus_value(c.ports.output("result")) as u32,
+                        model(func, data, amount, 8),
+                        "{func:?} {data:#x} by {amount}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_width_cases() {
+        check(32, ShiftFunc::Sll, 0xDEAD_BEEF, 31);
+        check(32, ShiftFunc::Srl, 0x8000_0000, 31);
+        check(32, ShiftFunc::Sra, 0x8000_0000, 31);
+        check(32, ShiftFunc::Sra, 0x7FFF_FFFF, 15);
+        check(32, ShiftFunc::Sll, 0xFFFF_FFFF, 0);
+    }
+
+    #[test]
+    fn sra_fills_with_sign() {
+        // 0b1000_0000 >> 3 arithmetic = 0b1111_0000 for 8 bits.
+        check(8, ShiftFunc::Sra, 0x80, 3);
+        check(8, ShiftFunc::Sra, 0x40, 3); // positive: zero fill
+    }
+
+    #[test]
+    fn stimulus_builds() {
+        let c = shifter(8);
+        let ops = vec![ShiftOp {
+            func: ShiftFunc::Sll,
+            data: 1,
+            amount: 3,
+        }];
+        assert_eq!(stimulus(&c, &ops).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = shifter(12);
+    }
+}

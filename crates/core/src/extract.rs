@@ -1,0 +1,209 @@
+//! Phase A: information extraction.
+//!
+//! From the ISA and the RT-level micro-operation structure, identify — for
+//! every component — the operations it performs, the instructions that
+//! excite each operation, and the instructions that control its inputs and
+//! observe its outputs (Section 3.1). The inventory is data the rest of the
+//! methodology consumes: the code-style emitters pick exciting instructions
+//! from it, and the classification of Phase B follows from whether
+//! controll/observe sequences exist.
+
+use sbst_components::ComponentKind;
+
+/// How a component input is controlled from software (Section 3.2's
+/// enumeration for D-VC inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlPath {
+    /// Pattern arrives through an immediate field (`lui`/`ori`…).
+    Immediate,
+    /// Pattern arrives from the register file (register addressing).
+    Register,
+    /// Pattern arrives from data memory (`lw` and friends).
+    DataMemory,
+    /// Value is a memory address, controlled by code/data placement.
+    AddressPlacement,
+    /// Value is an instruction field decoded by hardware (opcodes).
+    InstructionEncoding,
+    /// Not directly controllable (hidden pipeline state).
+    Indirect,
+}
+
+/// How a component output is observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservePath {
+    /// Result lands in the register file and can be compacted/stored.
+    RegisterFile,
+    /// Result lands in Hi/Lo and is read with `mfhi`/`mflo`.
+    HiLo,
+    /// Result reaches data memory directly.
+    DataMemory,
+    /// Observable only through its effect on other components (control
+    /// signals, pipeline movement, instruction addresses).
+    SideEffect,
+}
+
+/// One operation of a component with its exciting instructions.
+#[derive(Debug, Clone)]
+pub struct OperationInfo {
+    /// Operation name (e.g. `"add"`, `"sll"`, `"read-port-a"`).
+    pub operation: &'static str,
+    /// Mnemonics of the instructions that excite it.
+    pub exciting_instructions: &'static [&'static str],
+}
+
+/// The Phase-A inventory for a component.
+#[derive(Debug, Clone)]
+pub struct ComponentInventory {
+    /// Which component this describes.
+    pub kind: ComponentKind,
+    /// Its operations and exciting instructions.
+    pub operations: Vec<OperationInfo>,
+    /// How its inputs are controlled.
+    pub control: ControlPath,
+    /// How its outputs are observed.
+    pub observe: ObservePath,
+}
+
+/// Returns the operation inventory for a component kind — the product of
+/// Phase A applied to the Plasma-class MIPS core.
+pub fn inventory(kind: ComponentKind) -> ComponentInventory {
+    use ComponentKind::*;
+    let (operations, control, observe): (Vec<OperationInfo>, _, _) = match kind {
+        Alu => (
+            vec![
+                op("and", &["and", "andi"]),
+                op("or", &["or", "ori"]),
+                op("xor", &["xor", "xori"]),
+                op("nor", &["nor"]),
+                op("add", &["add", "addu", "addi", "addiu", "lw", "sw", "lb", "lbu", "lh",
+                    "lhu", "sb", "sh"]),
+                op("sub", &["sub", "subu", "beq", "bne"]),
+                op("slt", &["slt", "slti", "bltz", "bgez", "blez", "bgtz"]),
+                op("sltu", &["sltu", "sltiu"]),
+            ],
+            ControlPath::Register,
+            ObservePath::RegisterFile,
+        ),
+        Comparator => (
+            vec![
+                op("equal", &["beq", "bne"]),
+                op("less-than", &["blez", "bgtz", "bltz", "bgez", "slt", "sltu"]),
+            ],
+            ControlPath::Register,
+            ObservePath::SideEffect,
+        ),
+        Shifter => (
+            vec![
+                op("sll", &["sll", "sllv", "lui"]),
+                op("srl", &["srl", "srlv"]),
+                op("sra", &["sra", "srav"]),
+            ],
+            ControlPath::Register,
+            ObservePath::RegisterFile,
+        ),
+        Multiplier => (
+            vec![op("multiply", &["mult", "multu"])],
+            ControlPath::Register,
+            ObservePath::HiLo,
+        ),
+        Divider => (
+            vec![op("divide", &["div", "divu"])],
+            ControlPath::Register,
+            ObservePath::HiLo,
+        ),
+        RegisterFile => (
+            vec![
+                op("write", &["lui", "ori", "addiu", "lw", "jal"]),
+                op("read", &["add", "or", "sw", "beq", "jr"]),
+            ],
+            ControlPath::Immediate,
+            ObservePath::RegisterFile,
+        ),
+        MemoryController => (
+            vec![
+                op("store-align", &["sw", "sh", "sb"]),
+                op("load-extract", &["lw", "lh", "lhu", "lb", "lbu"]),
+            ],
+            ControlPath::DataMemory,
+            ObservePath::DataMemory,
+        ),
+        ControlLogic => (
+            vec![op("decode", &["<all opcodes>"])],
+            ControlPath::InstructionEncoding,
+            ObservePath::SideEffect,
+        ),
+        Pipeline => (
+            vec![op("advance/forward", &["<any sequence>"])],
+            ControlPath::Indirect,
+            ObservePath::SideEffect,
+        ),
+        PcUnit => (
+            vec![
+                op("increment", &["<sequential fetch>"]),
+                op("branch-target", &["beq", "bne", "blez", "bgtz", "bltz", "bgez"]),
+            ],
+            ControlPath::AddressPlacement,
+            ObservePath::SideEffect,
+        ),
+    };
+    ComponentInventory {
+        kind,
+        operations,
+        control,
+        observe,
+    }
+}
+
+fn op(operation: &'static str, insns: &'static [&'static str]) -> OperationInfo {
+    OperationInfo {
+        operation,
+        exciting_instructions: insns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_operations_cover_all_functions() {
+        let inv = inventory(ComponentKind::Alu);
+        assert_eq!(inv.operations.len(), 8);
+        assert_eq!(inv.observe, ObservePath::RegisterFile);
+    }
+
+    #[test]
+    fn address_components_use_placement_control() {
+        let inv = inventory(ComponentKind::PcUnit);
+        assert_eq!(inv.control, ControlPath::AddressPlacement);
+        assert_eq!(inv.observe, ObservePath::SideEffect);
+    }
+
+    #[test]
+    fn loads_excite_the_alu_address_path() {
+        let inv = inventory(ComponentKind::Alu);
+        let add = inv
+            .operations
+            .iter()
+            .find(|o| o.operation == "add")
+            .unwrap();
+        assert!(add.exciting_instructions.contains(&"lw"));
+    }
+
+    #[test]
+    fn every_kind_has_an_inventory() {
+        for kind in [
+            ComponentKind::Alu,
+            ComponentKind::Shifter,
+            ComponentKind::Multiplier,
+            ComponentKind::Divider,
+            ComponentKind::RegisterFile,
+            ComponentKind::MemoryController,
+            ComponentKind::ControlLogic,
+            ComponentKind::Pipeline,
+            ComponentKind::PcUnit,
+        ] {
+            assert!(!inventory(kind).operations.is_empty());
+        }
+    }
+}

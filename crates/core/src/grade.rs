@@ -1,0 +1,297 @@
+//! Fault grading: routines → ISS execution → trace replay → coverage.
+//!
+//! A routine is graded by running it (fault-free) on the ISS with operand
+//! tracing enabled, replaying the captured operand stream through the CUT's
+//! gate-level netlist under every collapsed stuck-at fault (64 machines per
+//! simulation pass), and counting the faults whose outputs diverge at an
+//! observed cycle. Divergent outputs flow into the routine's MISR in the
+//! real system, and the paper argues (and [`sbst_tpg::Misr32`] confirms)
+//! that MISR aliasing is negligible — so output divergence is the detection
+//! criterion, exactly as in commercial fault grading.
+//!
+//! [`arch_validate`] cross-checks this on sampled faults by *mounting* the
+//! faulty netlist in the datapath and comparing end-to-end signatures.
+
+use std::error::Error;
+use std::fmt;
+
+use sbst_components::{
+    alu, comparator, control, divider, memctrl, misc, multiplier, pipeline, regfile, shifter,
+    ComponentKind,
+};
+use sbst_cpu::{ArchFault, Cpu, CpuConfig, CpuError, ExecStats, OperandTrace};
+use sbst_gates::{Fault, FaultCoverage, FaultSimulator, Stimulus};
+
+use crate::cut::Cut;
+use crate::routine::SelfTestRoutine;
+
+/// Error from grading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GradeError {
+    /// The routine failed to execute.
+    Cpu(CpuError),
+    /// The routine never exercised the CUT (empty trace stream).
+    EmptyTrace {
+        /// The component kind with no recorded operations.
+        kind: ComponentKind,
+    },
+}
+
+impl fmt::Display for GradeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GradeError::Cpu(e) => write!(f, "routine execution failed: {e}"),
+            GradeError::EmptyTrace { kind } => {
+                write!(f, "routine applied no operations to {kind}")
+            }
+        }
+    }
+}
+
+impl Error for GradeError {}
+
+impl From<CpuError> for GradeError {
+    fn from(e: CpuError) -> Self {
+        GradeError::Cpu(e)
+    }
+}
+
+/// Converts the relevant stream of an operand trace into a gate-level
+/// stimulus for the CUT.
+pub fn stimulus_for(cut: &Cut, trace: &OperandTrace) -> Stimulus {
+    let c = &cut.component;
+    match cut.kind() {
+        ComponentKind::Alu => alu::stimulus(c, &trace.alu),
+        ComponentKind::Comparator => comparator::stimulus(c, &trace.comparator),
+        ComponentKind::Shifter => shifter::stimulus(c, &trace.shifter),
+        ComponentKind::Multiplier => multiplier::stimulus(c, &trace.multiplier),
+        ComponentKind::Divider => divider::stimulus(c, &trace.divider),
+        ComponentKind::RegisterFile => regfile::stimulus(c, &trace.regfile),
+        ComponentKind::MemoryController => memctrl::stimulus(c, &trace.memctrl),
+        ComponentKind::ControlLogic => control::stimulus(c, &trace.control),
+        ComponentKind::Pipeline => pipeline::stimulus(c, &trace.pipeline),
+        ComponentKind::PcUnit => misc::stimulus(c, &trace.pc_unit),
+    }
+}
+
+/// Grades the CUT's collapsed fault list against a recorded trace.
+pub fn grade_trace(cut: &Cut, trace: &OperandTrace) -> FaultCoverage {
+    let stimulus = stimulus_for(cut, trace);
+    if stimulus.is_empty() {
+        return FaultCoverage::new(0, cut.fault_count());
+    }
+    let faults = cut.component.netlist.collapsed_faults();
+    FaultSimulator::new(&cut.component.netlist)
+        .simulate(&faults, &stimulus)
+        .coverage()
+}
+
+/// A graded routine: coverage plus the Table-1 statistics.
+#[derive(Debug, Clone)]
+pub struct GradedRoutine {
+    /// Stuck-at coverage of the CUT achieved by the routine.
+    pub coverage: FaultCoverage,
+    /// Execution statistics of the (fault-free) run.
+    pub stats: ExecStats,
+    /// The fault-free signature the routine left in data memory.
+    pub signature: u32,
+    /// Program footprint in words.
+    pub size_words: usize,
+}
+
+/// Executes a routine on the ISS and grades its CUT.
+///
+/// # Errors
+///
+/// Returns [`GradeError`] if execution fails or the routine never touched
+/// the CUT.
+pub fn grade_routine(cut: &Cut, routine: &SelfTestRoutine) -> Result<GradedRoutine, GradeError> {
+    let (stats, trace, signature) = execute_routine(routine)?;
+    let stimulus = stimulus_for(cut, &trace);
+    if stimulus.is_empty() {
+        return Err(GradeError::EmptyTrace { kind: cut.kind() });
+    }
+    let faults = cut.component.netlist.collapsed_faults();
+    let coverage = FaultSimulator::new(&cut.component.netlist)
+        .simulate(&faults, &stimulus)
+        .coverage();
+    Ok(GradedRoutine {
+        coverage,
+        stats,
+        signature,
+        size_words: routine.size_words(),
+    })
+}
+
+/// Runs a routine fault-free with tracing; returns statistics, the trace
+/// and the unloaded signature.
+pub fn execute_routine(
+    routine: &SelfTestRoutine,
+) -> Result<(ExecStats, OperandTrace, u32), GradeError> {
+    let mut cpu = Cpu::new(CpuConfig {
+        trace: true,
+        undecoded_as_nop: true, // the FT routine sweeps the opcode space
+        ..CpuConfig::default()
+    });
+    cpu.load_program(&routine.program);
+    let outcome = cpu.run()?;
+    let sig_addr = routine
+        .program
+        .symbol(&routine.sig_label)
+        .expect("routine programs always define their signature label");
+    let signature = cpu.memory().read_word(sig_addr);
+    Ok((outcome.stats, cpu.take_trace(), signature))
+}
+
+/// Result of architectural cross-validation on a fault sample.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArchValidation {
+    /// Faults where trace-replay and end-to-end signature detection agree.
+    pub agreements: usize,
+    /// Faults detected by trace replay but not end-to-end.
+    pub replay_only: usize,
+    /// Faults detected end-to-end but not by trace replay.
+    pub arch_only: usize,
+}
+
+impl ArchValidation {
+    /// Total faults compared.
+    pub fn total(&self) -> usize {
+        self.agreements + self.replay_only + self.arch_only
+    }
+
+    /// Agreement rate in percent.
+    pub fn agreement_percent(&self) -> f64 {
+        if self.total() == 0 {
+            100.0
+        } else {
+            self.agreements as f64 / self.total() as f64 * 100.0
+        }
+    }
+}
+
+/// Cross-validates trace-replay grading against end-to-end architectural
+/// fault injection for a sample of faults (ALU, shifter or multiplier CUTs
+/// at full width only).
+///
+/// For each fault the routine runs with the faulty netlist mounted in the
+/// datapath; end-to-end detection means the final signature differs from
+/// the fault-free one **or** execution itself derails (a fault corrupting
+/// control flow is a detection too).
+///
+/// # Errors
+///
+/// Returns [`GradeError`] if the fault-free run fails.
+pub fn arch_validate(
+    cut: &Cut,
+    routine: &SelfTestRoutine,
+    faults: &[Fault],
+) -> Result<ArchValidation, GradeError> {
+    // Reference: fault-free signature + replay detections.
+    let (ref_stats, trace, good_signature) = execute_routine(routine)?;
+    let stimulus = stimulus_for(cut, &trace);
+    let replay = FaultSimulator::new(&cut.component.netlist).simulate(
+        faults,
+        &stimulus,
+    );
+
+    let mut v = ArchValidation::default();
+    for (i, fault) in faults.iter().enumerate() {
+        let mut cpu = Cpu::new(CpuConfig {
+            undecoded_as_nop: true,
+            // A fault that corrupts loop control can spin forever; a tight
+            // watchdog (vs the fault-free instruction count) converts that
+            // into a detection instead of an unbounded simulation.
+            max_instructions: ref_stats.instructions * 16 + 10_000,
+            ..CpuConfig::default()
+        });
+        cpu.load_program(&routine.program);
+        cpu.mount_fault(ArchFault::new(cut.component.clone(), *fault));
+        let arch_detected = match cpu.run() {
+            Ok(_) => {
+                let sig_addr = routine
+                    .program
+                    .symbol(&routine.sig_label)
+                    .expect("signature label exists");
+                cpu.memory().read_word(sig_addr) != good_signature
+            }
+            Err(_) => true, // derailed execution is an observable failure
+        };
+        if arch_detected == replay.detected[i] {
+            v.agreements += 1;
+        } else if replay.detected[i] {
+            v.replay_only += 1;
+        } else {
+            v.arch_only += 1;
+        }
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routine::RoutineSpec;
+
+    #[test]
+    fn alu_regular_routine_covers_well() {
+        let cut = Cut::alu(8);
+        let routine = RoutineSpec::recommended(&cut).build(&cut).unwrap();
+        let graded = grade_routine(&cut, &routine).unwrap();
+        assert!(
+            graded.coverage.percent() > 90.0,
+            "ALU coverage {}",
+            graded.coverage
+        );
+        assert!(graded.stats.cycles > 0);
+        assert_ne!(graded.signature, 0);
+    }
+
+    #[test]
+    fn shifter_atpg_routine_covers_well() {
+        let cut = Cut::shifter(8);
+        let routine = RoutineSpec::recommended(&cut).build(&cut).unwrap();
+        let graded = grade_routine(&cut, &routine).unwrap();
+        assert!(
+            graded.coverage.percent() > 90.0,
+            "shifter coverage {}",
+            graded.coverage
+        );
+    }
+
+    #[test]
+    fn multiplier_regular_routine_covers_well() {
+        let cut = Cut::multiplier(8);
+        let routine = RoutineSpec::recommended(&cut).build(&cut).unwrap();
+        let graded = grade_routine(&cut, &routine).unwrap();
+        assert!(
+            graded.coverage.percent() > 85.0,
+            "multiplier coverage {}",
+            graded.coverage
+        );
+    }
+
+    #[test]
+    fn grading_against_foreign_trace_fails_cleanly() {
+        // A memory-controller routine never multiplies, so its trace can't
+        // grade the multiplier.
+        let mc = Cut::memctrl();
+        let routine = RoutineSpec::recommended(&mc).build(&mc).unwrap();
+        let (_, trace, _) = execute_routine(&routine).unwrap();
+        let mul = Cut::multiplier(8);
+        assert!(stimulus_for(&mul, &trace).is_empty());
+        assert!(matches!(
+            grade_routine(&mul, &routine),
+            Err(GradeError::EmptyTrace { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_scores_zero_coverage() {
+        let mc = Cut::memctrl();
+        let trace = sbst_cpu::OperandTrace::new();
+        let coverage = grade_trace(&mc, &trace);
+        assert_eq!(coverage.detected, 0);
+        assert_eq!(coverage.total, mc.fault_count());
+    }
+}

@@ -1,0 +1,236 @@
+//! Whole self-test program composition.
+//!
+//! The on-line periodic test program is the concatenation of one routine
+//! per targeted CUT, sharing a single 8-word MISR subroutine; at the end of
+//! the run one signature per CUT sits in data memory for error
+//! identification (the paper unloads 7 signatures). The program must meet
+//! the Section 2 requirements: small footprint, no unresolved hazards,
+//! compact loops, few data references.
+
+use sbst_components::ComponentKind;
+use sbst_cpu::{Cpu, CpuConfig, ExecStats, OperandTrace};
+use sbst_isa::{Asm, Instruction, Program};
+
+use crate::codestyle::{emit_misr_subroutine, emit_prologue, emit_signature_unload};
+use crate::cut::Cut;
+use crate::grade::GradeError;
+use crate::routine::{BuildRoutineError, RoutineSpec, DATA_BASE, MISR_LABEL};
+
+/// Builds a combined self-test program from per-CUT routine specs.
+#[derive(Debug, Default)]
+pub struct SelfTestProgramBuilder {
+    entries: Vec<(Cut, RoutineSpec)>,
+}
+
+impl SelfTestProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SelfTestProgramBuilder::default()
+    }
+
+    /// Adds a CUT with its recommended routine spec.
+    pub fn add(&mut self, cut: Cut) -> &mut Self {
+        let spec = RoutineSpec::recommended(&cut);
+        self.entries.push((cut, spec));
+        self
+    }
+
+    /// Adds a CUT with an explicit spec.
+    pub fn add_with_spec(&mut self, cut: Cut, spec: RoutineSpec) -> &mut Self {
+        self.entries.push((cut, spec));
+        self
+    }
+
+    /// Assembles the combined program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildRoutineError`] if any routine body fails to build, or
+    /// (as [`BuildRoutineError::UnsupportedStyle`]) if the same CUT kind is
+    /// added twice (label uniqueness).
+    pub fn build(&self) -> Result<SelfTestProgram, BuildRoutineError> {
+        let mut seen: Vec<ComponentKind> = Vec::new();
+        for (cut, spec) in &self.entries {
+            if seen.contains(&cut.kind()) {
+                return Err(BuildRoutineError::UnsupportedStyle {
+                    kind: cut.kind(),
+                    style: spec.style,
+                });
+            }
+            seen.push(cut.kind());
+        }
+        let mut asm = Asm::new();
+        let mut sig_labels = Vec::new();
+        for (cut, spec) in &self.entries {
+            let sig_label = format!("sig_{}", routine_tag(cut.kind()));
+            asm.data_label(&sig_label);
+            asm.word(0);
+            emit_prologue(&mut asm); // reseed the MISR per routine
+            spec.emit_body(cut, &mut asm)?;
+            emit_signature_unload(&mut asm, &sig_label);
+            sig_labels.push(sig_label);
+        }
+        asm.insn(Instruction::Break { code: 0 });
+        emit_misr_subroutine(&mut asm, MISR_LABEL);
+        let program = asm.assemble(0, DATA_BASE)?;
+        Ok(SelfTestProgram {
+            program,
+            cuts: self.entries.iter().map(|(c, _)| c.clone()).collect(),
+            sig_labels,
+        })
+    }
+}
+
+fn routine_tag(kind: ComponentKind) -> &'static str {
+    match kind {
+        ComponentKind::Alu => "alu",
+        ComponentKind::Comparator => "cmp",
+        ComponentKind::Shifter => "shifter",
+        ComponentKind::Multiplier => "mul",
+        ComponentKind::Divider => "div",
+        ComponentKind::RegisterFile => "regfile",
+        ComponentKind::MemoryController => "memctrl",
+        ComponentKind::ControlLogic => "control",
+        ComponentKind::Pipeline => "pipeline",
+        ComponentKind::PcUnit => "pc_unit",
+    }
+}
+
+/// The combined on-line periodic self-test program.
+#[derive(Debug, Clone)]
+pub struct SelfTestProgram {
+    /// The assembled program.
+    pub program: Program,
+    /// The routine CUTs, in emission order.
+    pub cuts: Vec<Cut>,
+    /// Signature labels, parallel to `cuts`.
+    pub sig_labels: Vec<String>,
+}
+
+/// The result of one fault-free program execution.
+#[derive(Debug, Clone)]
+pub struct ProgramRun {
+    /// Execution statistics.
+    pub stats: ExecStats,
+    /// The full operand trace (all components, all routines — also the
+    /// side-effect stimulus for hidden/address components).
+    pub trace: OperandTrace,
+    /// `(label, signature)` pairs unloaded to data memory.
+    pub signatures: Vec<(String, u32)>,
+}
+
+impl SelfTestProgram {
+    /// Memory footprint in words.
+    pub fn size_words(&self) -> usize {
+        self.program.size_words()
+    }
+
+    /// Runs the program fault-free with tracing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GradeError`] if execution fails.
+    pub fn run(&self) -> Result<ProgramRun, GradeError> {
+        let mut cpu = Cpu::new(CpuConfig {
+            trace: true,
+            undecoded_as_nop: true, // the FT routine sweeps the opcode space
+            ..CpuConfig::default()
+        });
+        cpu.load_program(&self.program);
+        let outcome = cpu.run()?;
+        let signatures = self
+            .sig_labels
+            .iter()
+            .map(|label| {
+                let addr = self
+                    .program
+                    .symbol(label)
+                    .expect("builder defined every signature label");
+                (label.clone(), cpu.memory().read_word(addr))
+            })
+            .collect();
+        Ok(ProgramRun {
+            stats: outcome.stats,
+            trace: cpu.take_trace(),
+            signatures,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grade::grade_trace;
+
+    fn small_program() -> SelfTestProgram {
+        let mut b = SelfTestProgramBuilder::new();
+        b.add(Cut::alu(8));
+        b.add(Cut::shifter(8));
+        b.add(Cut::control());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn combined_program_runs_and_unloads_signatures() {
+        let p = small_program();
+        let run = p.run().unwrap();
+        assert_eq!(run.signatures.len(), 3);
+        for (label, sig) in &run.signatures {
+            assert_ne!(*sig, 0, "signature {label} never written");
+        }
+        assert!(run.stats.instructions > 100);
+    }
+
+    #[test]
+    fn shared_misr_appears_once() {
+        let p = small_program();
+        // Shared subroutine: combined program is smaller than the sum of
+        // standalone routines (each of which carries its own MISR copy).
+        let standalone: usize = [Cut::alu(8), Cut::shifter(8), Cut::control()]
+            .iter()
+            .map(|cut| {
+                RoutineSpec::recommended(cut)
+                    .build(cut)
+                    .unwrap()
+                    .size_words()
+            })
+            .sum();
+        assert!(p.size_words() < standalone);
+    }
+
+    #[test]
+    fn duplicate_kind_rejected() {
+        let mut b = SelfTestProgramBuilder::new();
+        b.add(Cut::alu(8));
+        b.add(Cut::alu(8));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn branch_stream_grades_a_dedicated_comparator() {
+        // Cores with a dedicated branch comparator grade it from the same
+        // trace, without any routine of its own.
+        let p = small_program();
+        let run = p.run().unwrap();
+        let cmp = Cut::comparator(8);
+        let coverage = grade_trace(&cmp, &run.trace);
+        assert!(
+            coverage.percent() > 40.0,
+            "comparator side-effect coverage {coverage}"
+        );
+    }
+
+    #[test]
+    fn full_trace_grades_side_effect_components() {
+        let p = small_program();
+        let run = p.run().unwrap();
+        // The pipeline (HC) gets meaningful side-effect coverage from the
+        // combined program's data flow, without any routine of its own.
+        let pipe = Cut::pipeline(8);
+        let coverage = grade_trace(&pipe, &run.trace);
+        assert!(
+            coverage.percent() > 50.0,
+            "side-effect pipeline coverage {coverage}"
+        );
+    }
+}

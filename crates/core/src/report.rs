@@ -1,0 +1,337 @@
+//! Table-1 report generation.
+//!
+//! Reproduces the paper's Table 1: per component — gate count,
+//! classification, code style, program size (words), CPU clock cycles,
+//! data memory references, single-stuck-at fault coverage, and the share
+//! of the overall fault universe left uncovered ("Miss. FC").
+
+use std::fmt;
+
+use sbst_components::ComponentClass;
+use sbst_gates::FaultCoverage;
+
+use crate::cut::Cut;
+use crate::grade::{grade_routine, grade_trace, GradeError};
+use crate::program::SelfTestProgramBuilder;
+use crate::routine::{BuildRoutineError, RoutineSpec};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Component name.
+    pub name: String,
+    /// NAND2-equivalent gate count.
+    pub gates: u32,
+    /// Classification string (e.g. `"D-VC"` or `"73% D-VC"`).
+    pub classification: String,
+    /// Code style, `None` for side-effect-only components.
+    pub code_style: Option<String>,
+    /// Routine size in words.
+    pub size_words: Option<usize>,
+    /// Routine CPU clock cycles.
+    pub cpu_cycles: Option<u64>,
+    /// Routine data memory references.
+    pub data_refs: Option<u64>,
+    /// Per-component fault coverage.
+    pub coverage: FaultCoverage,
+    /// Whether the coverage came from a dedicated routine (`true`) or from
+    /// side-effect grading against the full program trace (`false`).
+    pub dedicated_routine: bool,
+}
+
+impl Table1Row {
+    /// The "Miss. FC (%)" column: this component's undetected faults as a
+    /// share of the whole processor's fault universe.
+    pub fn missing_fc(&self, universe_total: usize) -> f64 {
+        self.coverage.missing_percent_of(universe_total)
+    }
+}
+
+/// Error from [`Table1::generate`].
+#[derive(Debug)]
+pub enum Table1Error {
+    /// A routine failed to build.
+    Build(BuildRoutineError),
+    /// A routine failed to run or grade.
+    Grade(GradeError),
+}
+
+impl fmt::Display for Table1Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Table1Error::Build(e) => write!(f, "building a routine failed: {e}"),
+            Table1Error::Grade(e) => write!(f, "grading failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Table1Error {}
+
+impl From<BuildRoutineError> for Table1Error {
+    fn from(e: BuildRoutineError) -> Self {
+        Table1Error::Build(e)
+    }
+}
+
+impl From<GradeError> for Table1Error {
+    fn from(e: GradeError) -> Self {
+        Table1Error::Grade(e)
+    }
+}
+
+/// The reproduced Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Per-component rows.
+    pub rows: Vec<Table1Row>,
+    /// Total gate count.
+    pub total_gates: u32,
+    /// Total program size in words (sum of routine rows, shared MISR
+    /// counted once via the combined program).
+    pub total_size_words: usize,
+    /// Total CPU cycles (combined program run).
+    pub total_cycles: u64,
+    /// Total data references (combined program run).
+    pub total_data_refs: u64,
+    /// Overall fault coverage across every component's fault universe.
+    pub overall_coverage: FaultCoverage,
+    /// Share of processor area in D-VC components, in percent (the paper
+    /// reports 92 %).
+    pub dvc_area_percent: f64,
+}
+
+impl Table1 {
+    /// Generates the table for a component inventory.
+    ///
+    /// Components whose class receives a routine (D-VC, PVC) are built and
+    /// graded individually; the remaining components (A-VC/M-VC/HC) are
+    /// graded as side effects of the combined program's trace, as the paper
+    /// prescribes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Table1Error`] if any routine fails to build, run or grade.
+    pub fn generate(cuts: &[Cut]) -> Result<Table1, Table1Error> {
+        let mut rows = Vec::with_capacity(cuts.len());
+        let mut builder = SelfTestProgramBuilder::new();
+        let mut routine_cuts = Vec::new();
+        for cut in cuts {
+            if matches!(
+                cut.class(),
+                ComponentClass::DataVisible | ComponentClass::PartiallyVisible
+            ) {
+                builder.add(cut.clone());
+                routine_cuts.push(cut);
+            }
+        }
+        let combined = builder.build()?;
+        let combined_run = combined.run()?;
+
+        for cut in cuts {
+            let classification = classification_string(cut);
+            let row = if routine_cuts.iter().any(|c| c.kind() == cut.kind()) {
+                let spec = RoutineSpec::recommended(cut);
+                let routine = spec.build(cut)?;
+                let graded = grade_routine(cut, &routine)?;
+                Table1Row {
+                    name: cut.name().to_owned(),
+                    gates: cut.gate_equivalents(),
+                    classification,
+                    code_style: Some(spec.style.code().to_owned()),
+                    size_words: Some(graded.size_words),
+                    cpu_cycles: Some(graded.stats.total_cycles()),
+                    data_refs: Some(graded.stats.data_refs()),
+                    coverage: graded.coverage,
+                    dedicated_routine: true,
+                }
+            } else {
+                let coverage = grade_trace(cut, &combined_run.trace);
+                Table1Row {
+                    name: cut.name().to_owned(),
+                    gates: cut.gate_equivalents(),
+                    classification,
+                    code_style: None,
+                    size_words: None,
+                    cpu_cycles: None,
+                    data_refs: None,
+                    coverage,
+                    dedicated_routine: false,
+                }
+            };
+            rows.push(row);
+        }
+
+        let total_gates = rows.iter().map(|r| r.gates).sum();
+        let overall_coverage: FaultCoverage = rows.iter().map(|r| r.coverage).sum();
+        let dvc_gates: u32 = cuts
+            .iter()
+            .flat_map(|c| c.component.area_split.iter())
+            .filter(|(class, _)| *class == ComponentClass::DataVisible)
+            .map(|(_, a)| a)
+            .sum();
+        Ok(Table1 {
+            rows,
+            total_gates,
+            total_size_words: combined.size_words(),
+            total_cycles: combined_run.stats.total_cycles(),
+            total_data_refs: combined_run.stats.data_refs(),
+            overall_coverage,
+            dvc_area_percent: if total_gates == 0 {
+                0.0
+            } else {
+                dvc_gates as f64 / total_gates as f64 * 100.0
+            },
+        })
+    }
+}
+
+impl Table1 {
+    /// Renders the table as GitHub-flavoured markdown (the format used in
+    /// EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let universe = self.overall_coverage.total;
+        let _ = writeln!(
+            out,
+            "| Component | Gates | Class | Style | Words | Cycles | Refs | FC % | Miss FC % |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.2} |",
+                row.name,
+                row.gates,
+                row.classification,
+                row.code_style.as_deref().unwrap_or("—"),
+                row.size_words.map_or("—".to_owned(), |v| v.to_string()),
+                row.cpu_cycles.map_or("—".to_owned(), |v| v.to_string()),
+                row.data_refs.map_or("—".to_owned(), |v| v.to_string()),
+                row.coverage.percent(),
+                row.missing_fc(universe),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "| **Total** | **{}** | **{:.0}% D-VC** | | **{}** | **{}** | **{}** | **{:.2}** | |",
+            self.total_gates,
+            self.dvc_area_percent,
+            self.total_size_words,
+            self.total_cycles,
+            self.total_data_refs,
+            self.overall_coverage.percent(),
+        );
+        out
+    }
+}
+
+fn classification_string(cut: &Cut) -> String {
+    if cut.component.area_split.len() <= 1 {
+        cut.class().code().to_owned()
+    } else {
+        let total: u32 = cut.component.area_split.iter().map(|(_, a)| a).sum();
+        cut.component
+            .area_split
+            .iter()
+            .map(|(class, area)| {
+                let pct = *area as f64 / total as f64 * 100.0;
+                if pct > 0.0 && pct < 1.0 {
+                    format!("<1% {}", class.code())
+                } else {
+                    format!("{pct:.0}% {}", class.code())
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" / ")
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<18} {:>8}  {:<22} {:<13} {:>7} {:>9} {:>6} {:>8} {:>9}",
+            "Component",
+            "Gates",
+            "Classification",
+            "Code Style",
+            "Words",
+            "Cycles",
+            "Refs",
+            "FC (%)",
+            "Miss. FC"
+        )?;
+        let universe = self.overall_coverage.total;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<18} {:>8}  {:<22} {:<13} {:>7} {:>9} {:>6} {:>8.2} {:>9.2}",
+                row.name,
+                row.gates,
+                row.classification,
+                row.code_style.as_deref().unwrap_or("-"),
+                row.size_words
+                    .map_or("-".to_owned(), |v| v.to_string()),
+                row.cpu_cycles
+                    .map_or("-".to_owned(), |v| v.to_string()),
+                row.data_refs
+                    .map_or("-".to_owned(), |v| v.to_string()),
+                row.coverage.percent(),
+                row.missing_fc(universe),
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<18} {:>8}  {:<22} {:<13} {:>7} {:>9} {:>6} {:>8.2}",
+            "Total",
+            self.total_gates,
+            format!("{:.0}% D-VC", self.dvc_area_percent),
+            "",
+            self.total_size_words,
+            self.total_cycles,
+            self.total_data_refs,
+            self.overall_coverage.percent(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_table_generates() {
+        // A reduced inventory keeps the test fast while exercising every
+        // row type: dedicated-routine D-VCs, a PVC, and side-effect rows.
+        let cuts = vec![
+            Cut::alu(8),
+            Cut::shifter(8),
+            Cut::control(),
+            Cut::pipeline(8),
+            Cut::pc_unit(8, 4),
+        ];
+        let table = Table1::generate(&cuts).unwrap();
+        assert_eq!(table.rows.len(), 5);
+        // Routine rows carry stats; side-effect rows don't.
+        let alu = &table.rows[0];
+        assert!(alu.dedicated_routine);
+        assert!(alu.size_words.is_some());
+        assert!(alu.coverage.percent() > 90.0);
+        let pipe = table.rows.iter().find(|r| r.name == "Pipeline").unwrap();
+        assert!(!pipe.dedicated_routine);
+        assert!(pipe.code_style.is_none());
+        // Rendering works and contains the header.
+        let text = table.to_string();
+        assert!(text.contains("Component"));
+        assert!(text.contains("Total"));
+    }
+
+    #[test]
+    fn overall_coverage_accumulates_all_components() {
+        let cuts = vec![Cut::alu(8), Cut::pipeline(8)];
+        let table = Table1::generate(&cuts).unwrap();
+        let expected_total: usize = cuts.iter().map(Cut::fault_count).sum();
+        assert_eq!(table.overall_coverage.total, expected_total);
+    }
+}

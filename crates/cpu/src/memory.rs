@@ -1,0 +1,127 @@
+//! Sparse big-endian memory.
+
+use std::collections::HashMap;
+
+use sbst_isa::Program;
+
+/// Word-granular sparse memory with MIPS big-endian byte ordering.
+///
+/// Unwritten locations read as zero (like an initialized SRAM model); this
+/// keeps self-test program behaviour deterministic without requiring an
+/// explicit memory map.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    words: HashMap<u32, u32>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Reads the aligned 32-bit word containing `addr`.
+    pub fn read_word(&self, addr: u32) -> u32 {
+        self.words.get(&(addr & !3)).copied().unwrap_or(0)
+    }
+
+    /// Writes the aligned 32-bit word containing `addr`.
+    pub fn write_word(&mut self, addr: u32, value: u32) {
+        self.words.insert(addr & !3, value);
+    }
+
+    /// Reads the byte at `addr` (big-endian lane numbering).
+    pub fn read_byte(&self, addr: u32) -> u8 {
+        let word = self.read_word(addr);
+        let lane = 3 - (addr & 3);
+        (word >> (lane * 8)) as u8
+    }
+
+    /// Writes the byte at `addr`.
+    pub fn write_byte(&mut self, addr: u32, value: u8) {
+        let lane = 3 - (addr & 3);
+        let mask = 0xFFu32 << (lane * 8);
+        let word = self.read_word(addr);
+        self.write_word(addr, (word & !mask) | ((value as u32) << (lane * 8)));
+    }
+
+    /// Reads the half-word at the 2-byte-aligned `addr`.
+    pub fn read_half(&self, addr: u32) -> u16 {
+        let word = self.read_word(addr);
+        let lane = 1 - ((addr >> 1) & 1);
+        (word >> (lane * 16)) as u16
+    }
+
+    /// Writes the half-word at the 2-byte-aligned `addr`.
+    pub fn write_half(&mut self, addr: u32, value: u16) {
+        let lane = 1 - ((addr >> 1) & 1);
+        let mask = 0xFFFFu32 << (lane * 16);
+        let word = self.read_word(addr);
+        self.write_word(addr, (word & !mask) | ((value as u32) << (lane * 16)));
+    }
+
+    /// Loads a program's text and data segments.
+    pub fn load_program(&mut self, program: &Program) {
+        for (i, &word) in program.text.iter().enumerate() {
+            self.write_word(program.text_base + (i as u32) * 4, word);
+        }
+        for (i, &word) in program.data.iter().enumerate() {
+            self.write_word(program.data_base + (i as u32) * 4, word);
+        }
+    }
+
+    /// Number of words ever written (footprint proxy).
+    pub fn written_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip_and_default_zero() {
+        let mut m = Memory::new();
+        assert_eq!(m.read_word(0x100), 0);
+        m.write_word(0x100, 0xDEADBEEF);
+        assert_eq!(m.read_word(0x100), 0xDEADBEEF);
+        assert_eq!(m.read_word(0x102), 0xDEADBEEF); // same aligned word
+    }
+
+    #[test]
+    fn big_endian_bytes() {
+        let mut m = Memory::new();
+        m.write_word(0, 0x1122_3344);
+        assert_eq!(m.read_byte(0), 0x11);
+        assert_eq!(m.read_byte(1), 0x22);
+        assert_eq!(m.read_byte(2), 0x33);
+        assert_eq!(m.read_byte(3), 0x44);
+        m.write_byte(1, 0xAB);
+        assert_eq!(m.read_word(0), 0x11AB_3344);
+    }
+
+    #[test]
+    fn big_endian_halves() {
+        let mut m = Memory::new();
+        m.write_half(4, 0xCAFE);
+        m.write_half(6, 0xBABE);
+        assert_eq!(m.read_word(4), 0xCAFE_BABE);
+        assert_eq!(m.read_half(4), 0xCAFE);
+        assert_eq!(m.read_half(6), 0xBABE);
+    }
+
+    #[test]
+    fn program_loading() {
+        use sbst_isa::{Asm, Reg};
+        let mut asm = Asm::new();
+        asm.li(Reg::T0, 1);
+        asm.data_label("d");
+        asm.word(0x55);
+        let p = asm.assemble(0x0, 0x1000).unwrap();
+        let mut m = Memory::new();
+        m.load_program(&p);
+        assert_ne!(m.read_word(0), 0);
+        assert_eq!(m.read_word(0x1000), 0x55);
+    }
+}

@@ -1,0 +1,175 @@
+//! Energy model for self-test execution.
+//!
+//! Section 2 of the paper argues the memory-system cost of a test program
+//! in *power* terms, citing Intel's mobile power study: about a third of a
+//! notebook's power goes to the CPU, of which 20–30 % is the cache system
+//! and ~30 % the clock tree, and every cache miss additionally "pulls up
+//! and down the external bus" — so "reduction of memory stalls also reduces
+//! power consumption during on-line periodic testing".
+//!
+//! [`EnergyModel`] turns execution statistics into a normalized energy
+//! figure with exactly those components: core-cycle energy (clock tree +
+//! datapath), per-access cache energy, and a large per-miss external-bus
+//! penalty. Absolute calibration is irrelevant for the paper's argument;
+//! what matters — and what the tests pin down — is the *ordering* between
+//! code styles: locality-preserving loops beat miss-heavy code.
+
+use crate::cpu::ExecStats;
+
+/// Normalized per-event energy weights.
+///
+/// Defaults follow the paper's cited breakdown: with core-cycle energy
+/// normalized to 1, a cache access costs a fraction of a cycle's energy
+/// (the cache system is 20–30 % of CPU power at roughly one access per
+/// cycle) and an external-memory transfer costs an order of magnitude more
+/// than an on-chip access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per CPU clock cycle (clock tree + datapath), normalized.
+    pub cycle_energy: f64,
+    /// Energy per cache access (instruction or data).
+    pub cache_access_energy: f64,
+    /// Energy per cache miss (line fill over the external bus).
+    pub miss_energy: f64,
+    /// Energy per stall cycle (clock tree keeps toggling while stalled).
+    pub stall_cycle_energy: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            cycle_energy: 1.0,
+            cache_access_energy: 0.3,
+            miss_energy: 25.0,
+            stall_cycle_energy: 0.4,
+        }
+    }
+}
+
+/// An energy estimate broken into the paper's components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyEstimate {
+    /// Core (clock + datapath) energy.
+    pub core: f64,
+    /// Cache-array access energy.
+    pub cache: f64,
+    /// External-bus / line-fill energy.
+    pub memory: f64,
+    /// Stall-cycle energy.
+    pub stalls: f64,
+}
+
+impl EnergyEstimate {
+    /// Total normalized energy.
+    pub fn total(&self) -> f64 {
+        self.core + self.cache + self.memory + self.stalls
+    }
+}
+
+impl EnergyModel {
+    /// Estimates the energy of a run. Misses come from the simulated
+    /// caches when present; otherwise pass an analytic miss count through
+    /// `fallback_misses`.
+    pub fn estimate(&self, stats: &ExecStats, fallback_misses: u64) -> EnergyEstimate {
+        let misses = if stats.icache_misses + stats.dcache_misses > 0 {
+            stats.icache_misses + stats.dcache_misses
+        } else {
+            fallback_misses
+        };
+        EnergyEstimate {
+            core: stats.cycles as f64 * self.cycle_energy,
+            cache: (stats.imem_accesses + stats.dmem_accesses) as f64
+                * self.cache_access_energy,
+            memory: misses as f64 * self.miss_energy,
+            stalls: (stats.pipeline_stall_cycles + stats.memory_stall_cycles) as f64
+                * self.stall_cycle_energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::cpu::{Cpu, CpuConfig};
+    use sbst_isa::parse_asm;
+
+    fn run_cached(src: &str) -> ExecStats {
+        let p = parse_asm(src).unwrap().assemble(0, 0x1_0000).unwrap();
+        let mut cpu = Cpu::new(CpuConfig {
+            icache: Some(CacheConfig::default()),
+            dcache: Some(CacheConfig::default()),
+            ..CpuConfig::default()
+        });
+        cpu.load_program(&p);
+        cpu.run().unwrap().stats
+    }
+
+    #[test]
+    fn misses_dominate_when_locality_is_poor() {
+        // A strided load loop that thrashes the data cache...
+        let thrash = run_cached(
+            "li $t0, 0
+             li $t1, 64
+             li $t2, 0x4000
+             loop:
+             lw $t3, 0($t2)
+             addiu $t2, $t2, 1024    # same index, different tag
+             addiu $t0, $t0, 1
+             bne $t0, $t1, loop
+             nop
+             break 0",
+        );
+        // ...versus the same loads hitting one line.
+        let local = run_cached(
+            "li $t0, 0
+             li $t1, 64
+             li $t2, 0x4000
+             loop:
+             lw $t3, 0($t2)
+             addiu $t0, $t0, 1
+             bne $t0, $t1, loop
+             nop
+             break 0",
+        );
+        let model = EnergyModel::default();
+        let e_thrash = model.estimate(&thrash, 0);
+        let e_local = model.estimate(&local, 0);
+        assert!(
+            e_thrash.total() > 1.5 * e_local.total(),
+            "thrash {} vs local {}",
+            e_thrash.total(),
+            e_local.total()
+        );
+        // And the gap is specifically the memory component.
+        assert!(e_thrash.memory > 10.0 * e_local.memory.max(1.0));
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let stats = ExecStats {
+            cycles: 1000,
+            imem_accesses: 900,
+            dmem_accesses: 100,
+            icache_misses: 10,
+            dcache_misses: 5,
+            pipeline_stall_cycles: 20,
+            memory_stall_cycles: 300,
+            ..ExecStats::default()
+        };
+        let e = EnergyModel::default().estimate(&stats, 0);
+        let expect = 1000.0 + 0.3 * 1000.0 + 25.0 * 15.0 + 0.4 * 320.0;
+        assert!((e.total() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fallback_misses_used_without_caches() {
+        let stats = ExecStats {
+            cycles: 100,
+            imem_accesses: 100,
+            ..ExecStats::default()
+        };
+        let e = EnergyModel::default().estimate(&stats, 5);
+        assert!((e.memory - 125.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Fault coverage bookkeeping.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Detected-over-total fault tally.
+///
+/// Coverage values combine with `+` (and [`Sum`]), which is how per-component
+/// coverages roll up into the processor-wide figure of Table 1:
+///
+/// ```
+/// use sbst_gates::FaultCoverage;
+///
+/// let alu = FaultCoverage { total: 200, detected: 198 };
+/// let shifter = FaultCoverage { total: 100, detected: 95 };
+/// let overall: FaultCoverage = [alu, shifter].into_iter().sum();
+/// assert_eq!(overall.total, 300);
+/// assert_eq!(overall.detected, 293);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FaultCoverage {
+    /// Number of (collapsed) faults graded.
+    pub total: usize,
+    /// Number of faults detected.
+    pub detected: usize,
+}
+
+impl FaultCoverage {
+    /// Creates a coverage tally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detected > total`.
+    pub fn new(detected: usize, total: usize) -> Self {
+        assert!(detected <= total, "detected faults exceed total");
+        FaultCoverage { total, detected }
+    }
+
+    /// Coverage as a percentage; 100 % when there are no faults to detect.
+    pub fn percent(&self) -> f64 {
+        if self.total == 0 {
+            100.0
+        } else {
+            self.detected as f64 / self.total as f64 * 100.0
+        }
+    }
+
+    /// Number of undetected faults.
+    pub fn undetected(&self) -> usize {
+        self.total - self.detected
+    }
+
+    /// This tally's undetected faults as a percentage of some larger fault
+    /// universe — the "missing fault coverage" column of Table 1.
+    pub fn missing_percent_of(&self, universe_total: usize) -> f64 {
+        if universe_total == 0 {
+            0.0
+        } else {
+            self.undetected() as f64 / universe_total as f64 * 100.0
+        }
+    }
+}
+
+impl Add for FaultCoverage {
+    type Output = FaultCoverage;
+
+    fn add(self, rhs: FaultCoverage) -> FaultCoverage {
+        FaultCoverage {
+            total: self.total + rhs.total,
+            detected: self.detected + rhs.detected,
+        }
+    }
+}
+
+impl Sum for FaultCoverage {
+    fn sum<I: Iterator<Item = FaultCoverage>>(iter: I) -> FaultCoverage {
+        iter.fold(FaultCoverage::default(), Add::add)
+    }
+}
+
+impl fmt::Display for FaultCoverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} ({:.2}%)",
+            self.detected,
+            self.total,
+            self.percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_basic() {
+        assert_eq!(FaultCoverage::new(50, 100).percent(), 50.0);
+        assert_eq!(FaultCoverage::default().percent(), 100.0);
+    }
+
+    #[test]
+    fn missing_percent() {
+        let c = FaultCoverage::new(90, 100);
+        assert!((c.missing_percent_of(1000) - 1.0).abs() < 1e-12);
+        assert_eq!(c.missing_percent_of(0), 0.0);
+    }
+
+    #[test]
+    fn sum_rolls_up() {
+        let total: FaultCoverage = (0..4).map(|_| FaultCoverage::new(9, 10)).sum();
+        assert_eq!(total, FaultCoverage::new(36, 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "detected faults exceed total")]
+    fn new_validates() {
+        let _ = FaultCoverage::new(2, 1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(FaultCoverage::new(1, 2).to_string(), "1/2 (50.00%)");
+    }
+}

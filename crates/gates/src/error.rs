@@ -1,0 +1,72 @@
+//! Error types for netlist construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::net::NetId;
+
+/// Error returned by [`NetlistBuilder::finish`](crate::NetlistBuilder::finish)
+/// when the netlist under construction is structurally invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildNetlistError {
+    /// A net is driven by more than one gate.
+    MultipleDrivers {
+        /// The multiply-driven net.
+        net: NetId,
+    },
+    /// A net that is not a primary input has no driver.
+    UndrivenNet {
+        /// The floating net.
+        net: NetId,
+    },
+    /// A primary input net is also driven by a gate.
+    DrivenInput {
+        /// The conflicting input net.
+        net: NetId,
+    },
+    /// The combinational part of the netlist contains a cycle.
+    CombinationalLoop {
+        /// A net on the cycle.
+        net: NetId,
+    },
+    /// A gate was created with an illegal number of inputs.
+    BadArity {
+        /// The offending gate kind.
+        kind: GateKind,
+        /// The number of inputs supplied.
+        got: usize,
+    },
+    /// A net id from a different netlist was used.
+    ForeignNet {
+        /// The out-of-range net.
+        net: NetId,
+    },
+}
+
+impl fmt::Display for BuildNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildNetlistError::MultipleDrivers { net } => {
+                write!(f, "net {net} has multiple drivers")
+            }
+            BuildNetlistError::UndrivenNet { net } => {
+                write!(f, "net {net} has no driver and is not a primary input")
+            }
+            BuildNetlistError::DrivenInput { net } => {
+                write!(f, "primary input {net} is driven by a gate")
+            }
+            BuildNetlistError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net {net}")
+            }
+            BuildNetlistError::BadArity { kind, got } => {
+                write!(f, "gate kind {kind} cannot take {got} inputs")
+            }
+            BuildNetlistError::ForeignNet { net } => {
+                write!(f, "net {net} does not belong to this netlist")
+            }
+        }
+    }
+}
+
+impl Error for BuildNetlistError {}

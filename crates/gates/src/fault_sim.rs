@@ -1,0 +1,345 @@
+//! Parallel single-stuck-at fault simulation.
+
+use crate::coverage::FaultCoverage;
+use crate::fault::Fault;
+use crate::netlist::Netlist;
+use crate::sim::{Simulator, LANES};
+
+/// A sequence of input patterns applied to a netlist, one per clock cycle,
+/// with per-cycle observability.
+///
+/// For combinational circuits every cycle is simply one test pattern. For
+/// sequential circuits a stimulus describes a multi-cycle test session
+/// (e.g. load a divider, clock it 32 times, observe the result), where
+/// outputs are compared only on cycles marked observable.
+#[derive(Debug, Clone, Default)]
+pub struct Stimulus {
+    /// One entry per cycle: the input vector (parallel to
+    /// [`Netlist::inputs`]) and whether outputs are observed this cycle.
+    cycles: Vec<(Vec<bool>, bool)>,
+}
+
+impl Stimulus {
+    /// Creates an empty stimulus.
+    pub fn new() -> Self {
+        Stimulus::default()
+    }
+
+    /// Appends an observed pattern (the common case for combinational CUTs).
+    pub fn push_pattern(&mut self, inputs: &[bool]) {
+        self.cycles.push((inputs.to_vec(), true));
+    }
+
+    /// Appends a cycle whose outputs are not compared (sequential set-up or
+    /// internal compute cycles).
+    pub fn push_hidden_cycle(&mut self, inputs: &[bool]) {
+        self.cycles.push((inputs.to_vec(), false));
+    }
+
+    /// Appends a cycle with explicit observability.
+    pub fn push_cycle(&mut self, inputs: &[bool], observe: bool) {
+        self.cycles.push((inputs.to_vec(), observe));
+    }
+
+    /// Number of cycles.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Returns `true` if no cycles have been added.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Number of cycles whose outputs are observed.
+    pub fn observed_cycles(&self) -> usize {
+        self.cycles.iter().filter(|(_, o)| *o).count()
+    }
+
+    /// Iterates over `(inputs, observe)` cycles.
+    pub fn iter(&self) -> impl Iterator<Item = (&[bool], bool)> {
+        self.cycles.iter().map(|(v, o)| (v.as_slice(), *o))
+    }
+}
+
+/// Configuration for [`FaultSimulator`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSimConfig {
+    /// Stop simulating a batch as soon as every fault in it is detected.
+    pub drop_on_detect: bool,
+    /// Reset flip-flops before each batch (almost always desired).
+    pub reset_between_batches: bool,
+}
+
+impl Default for FaultSimConfig {
+    fn default() -> Self {
+        FaultSimConfig {
+            drop_on_detect: true,
+            reset_between_batches: true,
+        }
+    }
+}
+
+/// Result of a fault simulation run.
+#[derive(Debug, Clone)]
+pub struct FaultSimResult {
+    /// Per-fault detection flag, parallel to the fault list that was graded.
+    pub detected: Vec<bool>,
+    /// For detected faults, the (0-based) cycle of first detection.
+    pub detecting_cycle: Vec<Option<u32>>,
+    /// Fault-free output words per observed cycle (outputs packed LSB-first
+    /// into `u64`s, 64 outputs per word).
+    pub fault_free_responses: Vec<Vec<u64>>,
+}
+
+impl FaultSimResult {
+    /// Coverage over the graded fault list.
+    pub fn coverage(&self) -> FaultCoverage {
+        FaultCoverage {
+            total: self.detected.len(),
+            detected: self.detected.iter().filter(|d| **d).count(),
+        }
+    }
+
+    /// Indices of undetected faults.
+    pub fn undetected(&self) -> Vec<usize> {
+        self.detected
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !**d)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Parallel single-stuck-at fault simulator.
+///
+/// Packs up to [`LANES`]` - 1` faulty machines plus one fault-free
+/// reference machine (lane 0) into each simulation pass. A fault is
+/// *detected* when any primary output differs from the reference lane on an
+/// observed cycle — the same criterion commercial fault simulators use.
+/// MISR aliasing, which the paper argues is negligible, can be audited
+/// separately with `sbst-tpg`'s MISR model.
+#[derive(Debug)]
+pub struct FaultSimulator<'a> {
+    netlist: &'a Netlist,
+    config: FaultSimConfig,
+}
+
+impl<'a> FaultSimulator<'a> {
+    /// Creates a fault simulator with the default configuration.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        FaultSimulator {
+            netlist,
+            config: FaultSimConfig::default(),
+        }
+    }
+
+    /// Creates a fault simulator with an explicit configuration.
+    pub fn with_config(netlist: &'a Netlist, config: FaultSimConfig) -> Self {
+        FaultSimulator { netlist, config }
+    }
+
+    /// Grades `faults` against `stimulus`.
+    ///
+    /// Returns per-fault detection data; see [`FaultSimResult`].
+    pub fn simulate(&self, faults: &[Fault], stimulus: &Stimulus) -> FaultSimResult {
+        let mut detected = vec![false; faults.len()];
+        let mut detecting_cycle = vec![None; faults.len()];
+        let mut fault_free_responses: Vec<Vec<u64>> = Vec::new();
+        let mut recorded_reference = false;
+
+        let per_batch = LANES - 1;
+        let batches = faults.len().div_ceil(per_batch).max(1);
+        for batch in 0..batches {
+            let start = batch * per_batch;
+            let end = (start + per_batch).min(faults.len());
+            let batch_faults = &faults[start..end];
+            if batch_faults.is_empty() && recorded_reference {
+                break;
+            }
+
+            let mut sim = Simulator::new(self.netlist);
+            if self.config.reset_between_batches {
+                sim.reset();
+            }
+            for (lane_off, fault) in batch_faults.iter().enumerate() {
+                sim.inject_fault(fault, 1u64 << (lane_off + 1));
+            }
+            // Mask of lanes carrying live (not yet detected) faults:
+            // lanes 1..=batch_faults.len().
+            let live_mask: u64 = (((1u128 << batch_faults.len()) - 1) as u64) << 1;
+            let mut undetected_mask = live_mask;
+
+            for (cycle, (inputs, observe)) in stimulus.iter().enumerate() {
+                let cycle_index = cycle as u32;
+                debug_assert_eq!(inputs.len(), self.netlist.inputs().len());
+                for (pos, &net) in self.netlist.inputs().iter().enumerate() {
+                    sim.set_input(net, inputs[pos]);
+                }
+                sim.eval();
+                if observe {
+                    let mut diff_mask = 0u64;
+                    let outputs = self.netlist.outputs();
+                    let mut response_words: Vec<u64> = if recorded_reference {
+                        Vec::new()
+                    } else {
+                        vec![0; outputs.len().div_ceil(64)]
+                    };
+                    for (k, &out) in outputs.iter().enumerate() {
+                        let v = sim.value(out);
+                        let reference = 0u64.wrapping_sub(v & 1); // broadcast lane 0
+                        diff_mask |= v ^ reference;
+                        if !recorded_reference && (v & 1) == 1 {
+                            response_words[k / 64] |= 1u64 << (k % 64);
+                        }
+                    }
+                    if !recorded_reference {
+                        fault_free_responses.push(response_words);
+                    }
+                    let newly = diff_mask & undetected_mask;
+                    if newly != 0 {
+                        let mut bits = newly;
+                        while bits != 0 {
+                            let lane = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let idx = start + lane - 1;
+                            detected[idx] = true;
+                            detecting_cycle[idx] = Some(cycle_index);
+                        }
+                        undetected_mask &= !newly;
+                        if self.config.drop_on_detect
+                            && undetected_mask == 0
+                            && recorded_reference
+                        {
+                            break;
+                        }
+                    }
+                }
+                sim.step();
+            }
+            recorded_reference = true;
+        }
+
+        FaultSimResult {
+            detected,
+            detecting_cycle,
+            fault_free_responses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::netlist::NetlistBuilder;
+
+    fn and2_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("and2");
+        let a = b.input("a");
+        let c = b.input("b");
+        let o = b.and2(a, c);
+        b.mark_output(o, "o");
+        b.finish().unwrap()
+    }
+
+    fn exhaustive2() -> Stimulus {
+        let mut s = Stimulus::new();
+        for v in 0..4u8 {
+            s.push_pattern(&[v & 1 != 0, v & 2 != 0]);
+        }
+        s
+    }
+
+    #[test]
+    fn and_gate_full_coverage() {
+        let n = and2_netlist();
+        let faults = n.collapsed_faults();
+        let res = FaultSimulator::new(&n).simulate(&faults, &exhaustive2());
+        assert_eq!(res.coverage().percent(), 100.0);
+    }
+
+    #[test]
+    fn insufficient_patterns_miss_faults() {
+        let n = and2_netlist();
+        let faults = n.collapsed_faults();
+        let mut s = Stimulus::new();
+        s.push_pattern(&[false, false]); // only detects output s-a-1
+        let res = FaultSimulator::new(&n).simulate(&faults, &s);
+        assert!(res.coverage().detected < faults.len());
+        assert!(!res.undetected().is_empty());
+    }
+
+    #[test]
+    fn detecting_cycle_reported() {
+        let n = and2_netlist();
+        let f = vec![Fault::stem_sa0(n.outputs()[0])];
+        let mut s = Stimulus::new();
+        s.push_pattern(&[false, false]); // no difference (output 0 anyway)
+        s.push_pattern(&[true, true]); // output should be 1, fault forces 0
+        let res = FaultSimulator::new(&n).simulate(&f, &s);
+        assert!(res.detected[0]);
+        assert_eq!(res.detecting_cycle[0], Some(1));
+    }
+
+    #[test]
+    fn sequential_fault_detection() {
+        // d -> dff -> out; a stuck q is only visible after a step.
+        let mut b = NetlistBuilder::new("reg");
+        let d = b.input("d");
+        let q = b.dff(d);
+        let o = b.gate(GateKind::Buf, &[q]);
+        b.mark_output(o, "q");
+        let n = b.finish().unwrap();
+        let faults = n.collapsed_faults();
+        let mut s = Stimulus::new();
+        s.push_hidden_cycle(&[true]); // latch a 1
+        s.push_pattern(&[false]); // observe 1; latch 0
+        s.push_pattern(&[false]); // observe 0
+        let res = FaultSimulator::new(&n).simulate(&faults, &s);
+        assert_eq!(res.coverage().percent(), 100.0);
+    }
+
+    #[test]
+    fn more_faults_than_one_batch() {
+        // A wide OR tree has > 63 collapsed faults; exercise multi-batch.
+        let mut b = NetlistBuilder::new("wide");
+        let bus = b.input_bus("a", 40);
+        let o = b.reduce_or(&bus);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let faults = n.collapsed_faults();
+        assert!(faults.len() > 63);
+        // Walking-one plus all-zero detects everything in an OR tree.
+        let mut s = Stimulus::new();
+        s.push_pattern(&[false; 40]);
+        for i in 0..40 {
+            let mut v = vec![false; 40];
+            v[i] = true;
+            s.push_pattern(&v);
+        }
+        let res = FaultSimulator::new(&n).simulate(&faults, &s);
+        assert_eq!(res.coverage().percent(), 100.0);
+    }
+
+    #[test]
+    fn fault_free_responses_recorded_once() {
+        let n = and2_netlist();
+        let faults = n.collapsed_faults();
+        let stim = exhaustive2();
+        let cfg = FaultSimConfig {
+            drop_on_detect: false,
+            ..FaultSimConfig::default()
+        };
+        let res = FaultSimulator::with_config(&n, cfg).simulate(&faults, &stim);
+        assert_eq!(res.fault_free_responses.len(), stim.observed_cycles());
+        // AND truth table: 0,0,0,1.
+        let bits: Vec<u64> = res
+            .fault_free_responses
+            .iter()
+            .map(|w| w[0] & 1)
+            .collect();
+        assert_eq!(bits, vec![0, 0, 0, 1]);
+    }
+}

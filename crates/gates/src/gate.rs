@@ -1,0 +1,216 @@
+//! Primitive gate types.
+
+use std::fmt;
+
+use crate::net::NetId;
+
+/// Identifier of a gate inside a [`Netlist`](crate::Netlist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// Index of this gate in the owning netlist's gate table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(index: usize) -> Self {
+        GateId(u32::try_from(index).expect("netlist has more than u32::MAX gates"))
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The primitive cell library.
+///
+/// `And`/`Or`/`Nand`/`Nor` accept two or more inputs; `Xor`/`Xnor` are
+/// two-input; `Mux2` takes `[sel, d0, d1]` and outputs `d1` when `sel` is
+/// high; `Dff` is a positive-edge D flip-flop with a single `d` input,
+/// clock and reset implicit (cycle-based simulation, reset to 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Constant logic 0 source (no inputs).
+    Const0,
+    /// Constant logic 1 source (no inputs).
+    Const1,
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// N-input AND.
+    And,
+    /// N-input OR.
+    Or,
+    /// N-input NAND.
+    Nand,
+    /// N-input NOR.
+    Nor,
+    /// Two-input XOR.
+    Xor,
+    /// Two-input XNOR.
+    Xnor,
+    /// Two-to-one multiplexer, inputs `[sel, d0, d1]`.
+    Mux2,
+    /// D flip-flop, input `[d]`, cycle-based.
+    Dff,
+}
+
+impl GateKind {
+    /// Legal fan-in range for the gate kind, `(min, max)` with `max = None`
+    /// meaning unbounded.
+    pub fn arity(self) -> (usize, Option<usize>) {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => (0, Some(0)),
+            GateKind::Buf | GateKind::Not | GateKind::Dff => (1, Some(1)),
+            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => (2, None),
+            GateKind::Xor | GateKind::Xnor => (2, Some(2)),
+            GateKind::Mux2 => (3, Some(3)),
+        }
+    }
+
+    /// NAND2-equivalent area of a gate with the given fan-in, used for the
+    /// gate-count accounting reported in Table 1 of the paper.
+    ///
+    /// The weights are the customary rough equivalences: inverters and
+    /// buffers count 1, an n-input simple gate counts `n - 1`, XOR/XNOR and
+    /// 2:1 muxes count 3, and a D flip-flop counts 6.
+    pub fn gate_equivalents(self, fanin: usize) -> u32 {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Buf | GateKind::Not => 1,
+            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => {
+                (fanin.saturating_sub(1)).max(1) as u32
+            }
+            GateKind::Xor | GateKind::Xnor => 3,
+            GateKind::Mux2 => 3,
+            GateKind::Dff => 6,
+        }
+    }
+
+    /// Evaluates the gate over 64 parallel one-bit machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `inputs` violates [`GateKind::arity`].
+    #[inline]
+    pub fn eval(self, inputs: &[u64]) -> u64 {
+        match self {
+            GateKind::Const0 => 0,
+            GateKind::Const1 => !0,
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().fold(!0u64, |acc, v| acc & v),
+            GateKind::Or => inputs.iter().fold(0u64, |acc, v| acc | v),
+            GateKind::Nand => !inputs.iter().fold(!0u64, |acc, v| acc & v),
+            GateKind::Nor => !inputs.iter().fold(0u64, |acc, v| acc | v),
+            GateKind::Xor => inputs[0] ^ inputs[1],
+            GateKind::Xnor => !(inputs[0] ^ inputs[1]),
+            GateKind::Mux2 => {
+                let sel = inputs[0];
+                (inputs[1] & !sel) | (inputs[2] & sel)
+            }
+            GateKind::Dff => inputs[0],
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Const0 => "const0",
+            GateKind::Const1 => "const1",
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Mux2 => "mux2",
+            GateKind::Dff => "dff",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A gate instance: a kind, its input nets and its single output net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// The primitive implemented by this gate.
+    pub kind: GateKind,
+    /// Input nets, in positional order (see [`GateKind`] for semantics).
+    pub inputs: Vec<NetId>,
+    /// The net driven by this gate.
+    pub output: NetId,
+}
+
+impl Gate {
+    /// NAND2-equivalent area of this instance.
+    pub fn gate_equivalents(&self) -> u32 {
+        self.kind.gate_equivalents(self.inputs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_truth_tables_two_input() {
+        // Lanes encode the 4 input combinations: a = 0b0101..., b = 0b0011...
+        let a = 0b0101u64;
+        let b = 0b0011u64;
+        assert_eq!(GateKind::And.eval(&[a, b]) & 0xF, 0b0001);
+        assert_eq!(GateKind::Or.eval(&[a, b]) & 0xF, 0b0111);
+        assert_eq!(GateKind::Nand.eval(&[a, b]) & 0xF, 0b1110);
+        assert_eq!(GateKind::Nor.eval(&[a, b]) & 0xF, 0b1000);
+        assert_eq!(GateKind::Xor.eval(&[a, b]) & 0xF, 0b0110);
+        assert_eq!(GateKind::Xnor.eval(&[a, b]) & 0xF, 0b1001);
+    }
+
+    #[test]
+    fn eval_unary_and_const() {
+        assert_eq!(GateKind::Not.eval(&[0b01]) & 0b11, 0b10);
+        assert_eq!(GateKind::Buf.eval(&[0b01]) & 0b11, 0b01);
+        assert_eq!(GateKind::Const0.eval(&[]), 0);
+        assert_eq!(GateKind::Const1.eval(&[]), !0);
+    }
+
+    #[test]
+    fn eval_mux_selects_d1_when_high() {
+        // sel, d0, d1
+        assert_eq!(GateKind::Mux2.eval(&[0, 0xAA, 0x55]), 0xAA);
+        assert_eq!(GateKind::Mux2.eval(&[!0, 0xAA, 0x55]), 0x55);
+        assert_eq!(GateKind::Mux2.eval(&[0x0F, 0xAA, 0x55]) & 0xFF, 0xA5);
+    }
+
+    #[test]
+    fn eval_wide_and() {
+        assert_eq!(GateKind::And.eval(&[!0, !0, 0b1, !0]), 0b1);
+        assert_eq!(GateKind::Nor.eval(&[0, 0, 0]), !0);
+    }
+
+    #[test]
+    fn gate_equivalents_weights() {
+        assert_eq!(GateKind::And.gate_equivalents(2), 1);
+        assert_eq!(GateKind::And.gate_equivalents(4), 3);
+        assert_eq!(GateKind::Not.gate_equivalents(1), 1);
+        assert_eq!(GateKind::Xor.gate_equivalents(2), 3);
+        assert_eq!(GateKind::Mux2.gate_equivalents(3), 3);
+        assert_eq!(GateKind::Dff.gate_equivalents(1), 6);
+        assert_eq!(GateKind::Const0.gate_equivalents(0), 0);
+    }
+
+    #[test]
+    fn arity_bounds() {
+        assert_eq!(GateKind::Mux2.arity(), (3, Some(3)));
+        assert_eq!(GateKind::And.arity(), (2, None));
+        assert_eq!(GateKind::Dff.arity(), (1, Some(1)));
+        assert_eq!(GateKind::Const1.arity(), (0, Some(0)));
+    }
+}

@@ -1,0 +1,64 @@
+//! Gate-level netlists, bit-parallel logic simulation and single-stuck-at
+//! fault simulation.
+//!
+//! This crate is the structural substrate of the `sbst` workspace: processor
+//! components (ALU, shifter, multiplier, …) are described as [`Netlist`]s of
+//! primitive gates, simulated 64 machines at a time with [`Simulator`], and
+//! fault-graded with [`FaultSimulator`] under the industry-standard
+//! single-stuck-at fault model with equivalence collapsing.
+//!
+//! # Example
+//!
+//! Build a full adder, enumerate its collapsed faults, and grade an
+//! exhaustive test:
+//!
+//! ```
+//! use sbst_gates::{NetlistBuilder, GateKind, Stimulus, FaultSimulator};
+//!
+//! # fn main() -> Result<(), sbst_gates::BuildNetlistError> {
+//! let mut b = NetlistBuilder::new("full_adder");
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let ci = b.input("ci");
+//! let axb = b.gate(GateKind::Xor, &[a, c]);
+//! let sum = b.gate(GateKind::Xor, &[axb, ci]);
+//! let g1 = b.gate(GateKind::And, &[a, c]);
+//! let g2 = b.gate(GateKind::And, &[axb, ci]);
+//! let co = b.gate(GateKind::Or, &[g1, g2]);
+//! b.mark_output(sum, "sum");
+//! b.mark_output(co, "co");
+//! let netlist = b.finish()?;
+//!
+//! let faults = netlist.collapsed_faults();
+//! let mut stim = Stimulus::new();
+//! for v in 0..8u32 {
+//!     stim.push_pattern(&[v & 1 != 0, v & 2 != 0, v & 4 != 0]);
+//! }
+//! let result = FaultSimulator::new(&netlist).simulate(&faults, &stim);
+//! assert_eq!(result.coverage().percent(), 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod fault;
+mod fault_sim;
+mod gate;
+mod net;
+mod netlist;
+mod sim;
+
+pub mod coverage;
+pub mod scoap;
+pub mod verilog;
+
+pub use error::BuildNetlistError;
+pub use scoap::Testability;
+pub use fault::{collapse_faults, enumerate_faults, Fault, FaultSite};
+pub use fault_sim::{FaultSimConfig, FaultSimResult, FaultSimulator, Stimulus};
+pub use gate::{Gate, GateId, GateKind};
+pub use net::{Bus, NetId};
+pub use netlist::{Netlist, NetlistBuilder};
+pub use sim::{Simulator, LANES};
+
+pub use coverage::FaultCoverage;

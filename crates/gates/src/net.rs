@@ -1,0 +1,170 @@
+//! Net identifiers and multi-bit buses.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Identifier of a single wire (net) inside a [`Netlist`](crate::Netlist).
+///
+/// Net ids are only meaningful for the netlist that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Index of this net in the owning netlist's net table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(index: usize) -> Self {
+        NetId(u32::try_from(index).expect("netlist has more than u32::MAX nets"))
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An ordered group of nets interpreted as a binary word, bit 0 first (LSB).
+///
+/// Buses are the unit of connection for word-oriented components: a 32-bit
+/// ALU input is a `Bus` of width 32. A bus does not own the nets; it is a
+/// view that can be sliced and concatenated freely.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bus {
+    nets: Vec<NetId>,
+}
+
+impl Bus {
+    /// Creates a bus from nets in LSB-first order.
+    pub fn new(nets: Vec<NetId>) -> Self {
+        Bus { nets }
+    }
+
+    /// Number of bits in the bus.
+    pub fn width(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Returns `true` if the bus has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Net carrying bit `bit` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= self.width()`.
+    pub fn net(&self, bit: usize) -> NetId {
+        self.nets[bit]
+    }
+
+    /// All nets, LSB first.
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// A sub-bus covering `range` (bit indices, LSB-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bus {
+        Bus::new(self.nets[range].to_vec())
+    }
+
+    /// Concatenation `{other, self}`: `self` provides the low bits.
+    pub fn concat(&self, high: &Bus) -> Bus {
+        let mut nets = self.nets.clone();
+        nets.extend_from_slice(&high.nets);
+        Bus::new(nets)
+    }
+
+    /// Iterator over the nets, LSB first.
+    pub fn iter(&self) -> std::slice::Iter<'_, NetId> {
+        self.nets.iter()
+    }
+}
+
+impl From<Vec<NetId>> for Bus {
+    fn from(nets: Vec<NetId>) -> Self {
+        Bus::new(nets)
+    }
+}
+
+impl From<NetId> for Bus {
+    fn from(net: NetId) -> Self {
+        Bus::new(vec![net])
+    }
+}
+
+impl<'a> IntoIterator for &'a Bus {
+    type Item = &'a NetId;
+    type IntoIter = std::slice::Iter<'a, NetId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.nets.iter()
+    }
+}
+
+impl FromIterator<NetId> for Bus {
+    fn from_iter<I: IntoIterator<Item = NetId>>(iter: I) -> Self {
+        Bus::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus4() -> Bus {
+        Bus::new((0..4).map(NetId).collect())
+    }
+
+    #[test]
+    fn width_and_indexing() {
+        let b = bus4();
+        assert_eq!(b.width(), 4);
+        assert_eq!(b.net(0), NetId(0));
+        assert_eq!(b.net(3), NetId(3));
+        assert!(!b.is_empty());
+        assert!(Bus::default().is_empty());
+    }
+
+    #[test]
+    fn slice_takes_lsb_range() {
+        let b = bus4();
+        let lo = b.slice(0..2);
+        assert_eq!(lo.nets(), &[NetId(0), NetId(1)]);
+        let hi = b.slice(2..4);
+        assert_eq!(hi.nets(), &[NetId(2), NetId(3)]);
+    }
+
+    #[test]
+    fn concat_puts_self_low() {
+        let lo = Bus::new(vec![NetId(0)]);
+        let hi = Bus::new(vec![NetId(1), NetId(2)]);
+        let all = lo.concat(&hi);
+        assert_eq!(all.nets(), &[NetId(0), NetId(1), NetId(2)]);
+    }
+
+    #[test]
+    fn from_single_net() {
+        let b = Bus::from(NetId(7));
+        assert_eq!(b.width(), 1);
+        assert_eq!(b.net(0), NetId(7));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let b: Bus = (0..3).map(NetId).collect();
+        assert_eq!(b.width(), 3);
+    }
+
+    #[test]
+    fn display_net() {
+        assert_eq!(NetId(42).to_string(), "n42");
+    }
+}

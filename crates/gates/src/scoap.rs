@@ -1,0 +1,363 @@
+//! SCOAP testability analysis.
+//!
+//! Computes the classic Goldstein SCOAP measures: 0/1-controllability
+//! (`CC0`/`CC1`, the effort to set a net to a value, counted in "gate
+//! decisions") and observability (`CO`, the effort to propagate a net's
+//! value to a primary output). The paper's Phase-B classification asserts
+//! that data-visible components "have the highest testability" — these
+//! measures put a number on that claim (see `sbst-core`'s classification
+//! report and the bench harness).
+//!
+//! Sequential elements are handled with a bounded fix-point: a DFF passes
+//! controllability through with +1 per time frame, which is the standard
+//! combinational approximation for shallow pipelines like the components
+//! here.
+
+use crate::gate::{GateId, GateKind};
+use crate::netlist::Netlist;
+
+/// Saturation ceiling for unreachable values (e.g. `CC1` of a constant 0).
+pub const UNREACHABLE: u32 = u32::MAX / 4;
+
+fn sat_add(a: u32, b: u32) -> u32 {
+    a.saturating_add(b).min(UNREACHABLE)
+}
+
+/// Per-net SCOAP measures for a netlist.
+#[derive(Debug, Clone)]
+pub struct Testability {
+    /// 0-controllability per net (indexed by
+    /// [`NetId::index`](crate::NetId::index)).
+    pub cc0: Vec<u32>,
+    /// 1-controllability per net.
+    pub cc1: Vec<u32>,
+    /// Observability per net.
+    pub co: Vec<u32>,
+}
+
+impl Testability {
+    /// Computes SCOAP measures for `netlist`.
+    pub fn analyze(netlist: &Netlist) -> Self {
+        let n = netlist.net_count();
+        let mut cc0 = vec![UNREACHABLE; n];
+        let mut cc1 = vec![UNREACHABLE; n];
+        for &pi in netlist.inputs() {
+            cc0[pi.index()] = 1;
+            cc1[pi.index()] = 1;
+        }
+        // DFF outputs start unreachable and improve over time frames.
+        let frames = if netlist.is_combinational() { 1 } else { 4 };
+        for _ in 0..frames {
+            // Present DFF state controllability (previous frame's D).
+            for &gid in netlist.dff_gates() {
+                let gate = netlist.gate(gid);
+                let d = gate.inputs[0].index();
+                let q = gate.output.index();
+                cc0[q] = cc0[q].min(sat_add(cc0[d], 1));
+                cc1[q] = cc1[q].min(sat_add(cc1[d], 1));
+            }
+            for &gid in netlist.comb_order() {
+                let gate = netlist.gate(gid);
+                let (c0, c1) = controllability(gate.kind, &gate.inputs, &cc0, &cc1, netlist);
+                let o = gate.output.index();
+                cc0[o] = cc0[o].min(c0);
+                cc1[o] = cc1[o].min(c1);
+            }
+        }
+
+        let mut co = vec![UNREACHABLE; n];
+        for &po in netlist.outputs() {
+            co[po.index()] = 0;
+        }
+        for _ in 0..frames {
+            for &gid in netlist.comb_order().iter().rev() {
+                let gate = netlist.gate(gid);
+                propagate_observability(gate.kind, gid, gate, &cc0, &cc1, &mut co, netlist);
+            }
+            for &gid in netlist.dff_gates() {
+                let gate = netlist.gate(gid);
+                let d = gate.inputs[0].index();
+                let q = gate.output.index();
+                co[d] = co[d].min(sat_add(co[q], 1));
+            }
+        }
+        Testability { cc0, cc1, co }
+    }
+
+    /// Mean controllability over primary-input cones — the average of
+    /// `min(CC0, CC1)` over all nets (lower is easier to control).
+    pub fn mean_controllability(&self) -> f64 {
+        let usable: Vec<u32> = self
+            .cc0
+            .iter()
+            .zip(&self.cc1)
+            .map(|(&a, &b)| a.min(b))
+            .filter(|&v| v < UNREACHABLE)
+            .collect();
+        if usable.is_empty() {
+            return f64::INFINITY;
+        }
+        usable.iter().map(|&v| v as f64).sum::<f64>() / usable.len() as f64
+    }
+
+    /// Mean observability over all nets that can reach an output.
+    pub fn mean_observability(&self) -> f64 {
+        let usable: Vec<u32> = self
+            .co
+            .iter()
+            .copied()
+            .filter(|&v| v < UNREACHABLE)
+            .collect();
+        if usable.is_empty() {
+            return f64::INFINITY;
+        }
+        usable.iter().map(|&v| v as f64).sum::<f64>() / usable.len() as f64
+    }
+
+    /// Fraction of nets whose value can never reach a primary output
+    /// (structurally unobservable).
+    pub fn unobservable_fraction(&self) -> f64 {
+        let dead = self.co.iter().filter(|&&v| v >= UNREACHABLE).count();
+        dead as f64 / self.co.len().max(1) as f64
+    }
+}
+
+fn controllability(
+    kind: GateKind,
+    inputs: &[crate::net::NetId],
+    cc0: &[u32],
+    cc1: &[u32],
+    _netlist: &Netlist,
+) -> (u32, u32) {
+    let c0 = |i: usize| cc0[inputs[i].index()];
+    let c1 = |i: usize| cc1[inputs[i].index()];
+    match kind {
+        GateKind::Const0 => (1, UNREACHABLE),
+        GateKind::Const1 => (UNREACHABLE, 1),
+        GateKind::Buf => (sat_add(c0(0), 1), sat_add(c1(0), 1)),
+        GateKind::Not => (sat_add(c1(0), 1), sat_add(c0(0), 1)),
+        GateKind::And | GateKind::Nand => {
+            let all1 = inputs
+                .iter()
+                .fold(0u32, |acc, i| sat_add(acc, cc1[i.index()]));
+            let any0 = inputs
+                .iter()
+                .map(|i| cc0[i.index()])
+                .min()
+                .unwrap_or(UNREACHABLE);
+            let (out0, out1) = (sat_add(any0, 1), sat_add(all1, 1));
+            if kind == GateKind::Nand {
+                (out1, out0)
+            } else {
+                (out0, out1)
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let all0 = inputs
+                .iter()
+                .fold(0u32, |acc, i| sat_add(acc, cc0[i.index()]));
+            let any1 = inputs
+                .iter()
+                .map(|i| cc1[i.index()])
+                .min()
+                .unwrap_or(UNREACHABLE);
+            let (out0, out1) = (sat_add(all0, 1), sat_add(any1, 1));
+            if kind == GateKind::Nor {
+                (out1, out0)
+            } else {
+                (out0, out1)
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let same = sat_add(c0(0), c0(1)).min(sat_add(c1(0), c1(1)));
+            let diff = sat_add(c0(0), c1(1)).min(sat_add(c1(0), c0(1)));
+            let (out0, out1) = (sat_add(same, 1), sat_add(diff, 1));
+            if kind == GateKind::Xnor {
+                (out1, out0)
+            } else {
+                (out0, out1)
+            }
+        }
+        GateKind::Mux2 => {
+            // inputs: [sel, d0, d1]
+            let v0 = |want1: bool| {
+                let d0 = if want1 { c1(1) } else { c0(1) };
+                sat_add(c0(0), d0)
+            };
+            let v1 = |want1: bool| {
+                let d1 = if want1 { c1(2) } else { c0(2) };
+                sat_add(c1(0), d1)
+            };
+            (
+                sat_add(v0(false).min(v1(false)), 1),
+                sat_add(v0(true).min(v1(true)), 1),
+            )
+        }
+        GateKind::Dff => (sat_add(c0(0), 1), sat_add(c1(0), 1)),
+    }
+}
+
+fn propagate_observability(
+    kind: GateKind,
+    _gid: GateId,
+    gate: &crate::gate::Gate,
+    cc0: &[u32],
+    cc1: &[u32],
+    co: &mut [u32],
+    _netlist: &Netlist,
+) {
+    let out_co = co[gate.output.index()];
+    if out_co >= UNREACHABLE {
+        return;
+    }
+    match kind {
+        GateKind::Const0 | GateKind::Const1 => {}
+        GateKind::Buf | GateKind::Not | GateKind::Dff => {
+            let i = gate.inputs[0].index();
+            co[i] = co[i].min(sat_add(out_co, 1));
+        }
+        GateKind::And | GateKind::Nand => {
+            for (k, inp) in gate.inputs.iter().enumerate() {
+                let others: u32 = gate
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != k)
+                    .fold(0, |acc, (_, o)| sat_add(acc, cc1[o.index()]));
+                let i = inp.index();
+                co[i] = co[i].min(sat_add(sat_add(out_co, others), 1));
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            for (k, inp) in gate.inputs.iter().enumerate() {
+                let others: u32 = gate
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != k)
+                    .fold(0, |acc, (_, o)| sat_add(acc, cc0[o.index()]));
+                let i = inp.index();
+                co[i] = co[i].min(sat_add(sat_add(out_co, others), 1));
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            for (k, inp) in gate.inputs.iter().enumerate() {
+                let other = gate.inputs[1 - k].index();
+                let set_other = cc0[other].min(cc1[other]);
+                let i = inp.index();
+                co[i] = co[i].min(sat_add(sat_add(out_co, set_other), 1));
+            }
+        }
+        GateKind::Mux2 => {
+            let (s, d0, d1) = (
+                gate.inputs[0].index(),
+                gate.inputs[1].index(),
+                gate.inputs[2].index(),
+            );
+            co[d0] = co[d0].min(sat_add(sat_add(out_co, cc0[s]), 1));
+            co[d1] = co[d1].min(sat_add(sat_add(out_co, cc1[s]), 1));
+            // Select observed when the data inputs differ.
+            let make_differ =
+                sat_add(cc0[d0], cc1[d1]).min(sat_add(cc1[d0], cc0[d1]));
+            co[s] = co[s].min(sat_add(sat_add(out_co, make_differ), 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    #[test]
+    fn primary_io_measures() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let x = b.input("x");
+        let o = b.and2(a, x);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let t = Testability::analyze(&n);
+        assert_eq!(t.cc0[a.index()], 1);
+        assert_eq!(t.cc1[a.index()], 1);
+        assert_eq!(t.co[o.index()], 0);
+        // AND output: CC1 = 1 + 1 + 1 = 3; CC0 = 1 + 1 = 2.
+        assert_eq!(t.cc1[o.index()], 3);
+        assert_eq!(t.cc0[o.index()], 2);
+        // Observing `a` requires x = 1: CO = 0 + CC1(x) + 1 = 2.
+        assert_eq!(t.co[a.index()], 2);
+    }
+
+    #[test]
+    fn chains_accumulate_cost() {
+        // Deeper logic is harder to control and observe.
+        let build = |depth: usize| {
+            let mut b = NetlistBuilder::new("chain");
+            let mut cur = b.input("a");
+            let other = b.input("b");
+            for _ in 0..depth {
+                cur = b.and2(cur, other);
+            }
+            b.mark_output(cur, "o");
+            b.finish().unwrap()
+        };
+        let shallow = Testability::analyze(&build(2));
+        let deep = Testability::analyze(&build(8));
+        assert!(deep.mean_observability() > shallow.mean_observability());
+        assert!(deep.mean_controllability() > shallow.mean_controllability());
+    }
+
+    #[test]
+    fn constant_is_uncontrollable_to_opposite() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let k = b.const0();
+        let o = b.or2(a, k);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let t = Testability::analyze(&n);
+        assert_eq!(t.cc0[k.index()], 1);
+        assert!(t.cc1[k.index()] >= UNREACHABLE);
+    }
+
+    #[test]
+    fn unobservable_net_detected() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let dead = b.not(a); // never reaches an output
+        let o = b.gate(GateKind::Buf, &[a]);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let t = Testability::analyze(&n);
+        assert!(t.co[dead.index()] >= UNREACHABLE);
+        assert!(t.unobservable_fraction() > 0.0);
+    }
+
+    #[test]
+    fn sequential_fixpoint_reaches_dffs() {
+        let mut b = NetlistBuilder::new("t");
+        let d = b.input("d");
+        let q1 = b.dff(d);
+        let q2 = b.dff(q1);
+        b.mark_output(q2, "q");
+        let n = b.finish().unwrap();
+        let t = Testability::analyze(&n);
+        // Controllable through two time frames, observable backwards.
+        assert!(t.cc1[q2.index()] < UNREACHABLE);
+        assert!(t.co[d.index()] < UNREACHABLE);
+    }
+
+    #[test]
+    fn mux_select_observability_requires_differing_data() {
+        let mut b = NetlistBuilder::new("t");
+        let s = b.input("s");
+        let d0 = b.input("d0");
+        let d1 = b.input("d1");
+        let o = b.mux2(s, d0, d1);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let t = Testability::analyze(&n);
+        // CO(s) = 0 + min(CC0(d0)+CC1(d1), CC1(d0)+CC0(d1)) + 1 = 3.
+        assert_eq!(t.co[s.index()], 3);
+    }
+}

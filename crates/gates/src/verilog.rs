@@ -1,0 +1,240 @@
+//! Structural Verilog export.
+//!
+//! Writes a [`Netlist`] as a synthesizable structural Verilog module using
+//! primitive gates and behavioural flip-flops, so the components generated
+//! by this workspace can be taken into real synthesis, ATPG or
+//! fault-simulation flows for cross-checking.
+
+use std::fmt::Write as _;
+
+use crate::gate::GateKind;
+use crate::net::NetId;
+use crate::netlist::Netlist;
+
+/// Renders `netlist` as a structural Verilog module named after the
+/// netlist (sanitized to an identifier).
+///
+/// - Primary inputs/outputs become module ports (named from the net names).
+/// - Combinational gates become `assign` expressions.
+/// - DFFs become a positive-edge `always` block with synchronous reset to
+///   0 (`rst`), matching the cycle-based simulation semantics.
+///
+/// # Example
+///
+/// ```
+/// use sbst_gates::{NetlistBuilder, verilog};
+///
+/// # fn main() -> Result<(), sbst_gates::BuildNetlistError> {
+/// let mut b = NetlistBuilder::new("and2");
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let o = b.and2(x, y);
+/// b.mark_output(o, "o");
+/// let netlist = b.finish()?;
+/// let v = verilog::to_verilog(&netlist);
+/// assert!(v.contains("module and2"));
+/// assert!(v.contains("assign"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_verilog(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let module = sanitize(netlist.name());
+    let has_dffs = !netlist.is_combinational();
+
+    let net_name = |net: NetId| -> String {
+        match netlist.net_name(net) {
+            Some(name) => sanitize(name),
+            None => format!("n{}", net.index()),
+        }
+    };
+
+    // Header.
+    let mut ports: Vec<String> = Vec::new();
+    if has_dffs {
+        ports.push("clk".to_owned());
+        ports.push("rst".to_owned());
+    }
+    ports.extend(netlist.inputs().iter().map(|&n| net_name(n)));
+    // Outputs may repeat nets (a net can be marked output twice); dedup.
+    let mut seen_out = std::collections::HashSet::new();
+    let outputs: Vec<NetId> = netlist
+        .outputs()
+        .iter()
+        .copied()
+        .filter(|n| seen_out.insert(*n))
+        .collect();
+    ports.extend(outputs.iter().map(|&n| net_name(n)));
+    let _ = writeln!(out, "module {module} (");
+    let _ = writeln!(out, "  {}", ports.join(",\n  "));
+    let _ = writeln!(out, ");");
+    if has_dffs {
+        let _ = writeln!(out, "  input clk;");
+        let _ = writeln!(out, "  input rst;");
+    }
+    for &n in netlist.inputs() {
+        let _ = writeln!(out, "  input {};", net_name(n));
+    }
+    for &n in &outputs {
+        let _ = writeln!(out, "  output {};", net_name(n));
+    }
+    // Internal wires and registers.
+    let output_set: std::collections::HashSet<usize> =
+        outputs.iter().map(|n| n.index()).collect();
+    let input_set: std::collections::HashSet<usize> =
+        netlist.inputs().iter().map(|n| n.index()).collect();
+    for gate in netlist.gates() {
+        let idx = gate.output.index();
+        if input_set.contains(&idx) {
+            continue;
+        }
+        let kw = if gate.kind == GateKind::Dff {
+            "reg "
+        } else if output_set.contains(&idx) {
+            continue; // outputs already declared as wires by `output`
+        } else {
+            "wire"
+        };
+        let _ = writeln!(out, "  {kw} {};", net_name(gate.output));
+    }
+
+    // Combinational logic.
+    for &gid in netlist.comb_order() {
+        let gate = netlist.gate(gid);
+        let ins: Vec<String> = gate.inputs.iter().map(|&n| net_name(n)).collect();
+        let expr = match gate.kind {
+            GateKind::Const0 => "1'b0".to_owned(),
+            GateKind::Const1 => "1'b1".to_owned(),
+            GateKind::Buf => ins[0].clone(),
+            GateKind::Not => format!("~{}", ins[0]),
+            GateKind::And => ins.join(" & "),
+            GateKind::Or => ins.join(" | "),
+            GateKind::Nand => format!("~({})", ins.join(" & ")),
+            GateKind::Nor => format!("~({})", ins.join(" | ")),
+            GateKind::Xor => format!("{} ^ {}", ins[0], ins[1]),
+            GateKind::Xnor => format!("~({} ^ {})", ins[0], ins[1]),
+            GateKind::Mux2 => format!("{} ? {} : {}", ins[0], ins[2], ins[1]),
+            GateKind::Dff => unreachable!("DFFs are not in comb_order"),
+        };
+        let _ = writeln!(out, "  assign {} = {};", net_name(gate.output), expr);
+    }
+
+    // Sequential logic.
+    if has_dffs {
+        let _ = writeln!(out, "  always @(posedge clk) begin");
+        let _ = writeln!(out, "    if (rst) begin");
+        for &gid in netlist.dff_gates() {
+            let gate = netlist.gate(gid);
+            let _ = writeln!(out, "      {} <= 1'b0;", net_name(gate.output));
+        }
+        let _ = writeln!(out, "    end else begin");
+        for &gid in netlist.dff_gates() {
+            let gate = netlist.gate(gid);
+            let _ = writeln!(
+                out,
+                "      {} <= {};",
+                net_name(gate.output),
+                net_name(gate.inputs[0])
+            );
+        }
+        let _ = writeln!(out, "    end");
+        let _ = writeln!(out, "  end");
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Turns an arbitrary name into a legal Verilog identifier.
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    #[test]
+    fn combinational_module_shape() {
+        let mut b = NetlistBuilder::new("fa");
+        let a = b.input("a");
+        let x = b.input("b");
+        let s = b.xor2(a, x);
+        let c = b.and2(a, x);
+        b.mark_output(s, "sum");
+        b.mark_output(c, "carry");
+        let v = to_verilog(&b.finish().unwrap());
+        assert!(v.contains("module fa"));
+        assert!(v.contains("input a;"));
+        assert!(v.contains("output sum;"));
+        assert!(v.contains("assign sum"));
+        assert!(v.contains("^"));
+        assert!(v.ends_with("endmodule\n"));
+        assert!(!v.contains("clk"));
+    }
+
+    #[test]
+    fn sequential_module_has_clock_and_reset() {
+        let mut b = NetlistBuilder::new("reg1");
+        let d = b.input("d");
+        let q = b.dff(d);
+        b.mark_output(q, "q");
+        let v = to_verilog(&b.finish().unwrap());
+        assert!(v.contains("input clk;"));
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.contains("<="));
+        assert!(v.contains("if (rst)"));
+    }
+
+    #[test]
+    fn bus_names_sanitized() {
+        let mut b = NetlistBuilder::new("bus");
+        let bus = b.input_bus("data", 2);
+        let o = b.and2(bus.net(0), bus.net(1));
+        b.mark_output(o, "out[0]");
+        let v = to_verilog(&b.finish().unwrap());
+        assert!(v.contains("data_0_"));
+        assert!(!v.contains('['));
+    }
+
+    #[test]
+    fn mux_renders_as_ternary() {
+        let mut b = NetlistBuilder::new("m");
+        let s = b.input("s");
+        let d0 = b.input("d0");
+        let d1 = b.input("d1");
+        let o = b.mux2(s, d0, d1);
+        b.mark_output(o, "o");
+        let v = to_verilog(&b.finish().unwrap());
+        assert!(v.contains("s ? d1 : d0"));
+    }
+
+    #[test]
+    fn exports_a_real_component_scale_netlist() {
+        // A wider circuit with buses and reductions exports without panics
+        // and declares every wire exactly once.
+        let mut b = NetlistBuilder::new("wide");
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let z = b.bus_op(GateKind::Xor, &x, &y);
+        let any = b.reduce_or(&z);
+        b.mark_output(any, "any");
+        let v = to_verilog(&b.finish().unwrap());
+        let wires = v.matches("wire ").count();
+        // 8 xor + 7 or-tree = 15 gates, one output declared as output.
+        assert_eq!(wires, 14);
+    }
+}

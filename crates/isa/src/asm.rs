@@ -1,0 +1,587 @@
+//! Programmatic two-pass assembler.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::insn::Instruction;
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// Conditional branch shapes that can target a label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BranchKind {
+    Beq(Reg, Reg),
+    Bne(Reg, Reg),
+    Blez(Reg),
+    Bgtz(Reg),
+    Bltz(Reg),
+    Bgez(Reg),
+}
+
+#[derive(Debug, Clone)]
+enum TextItem {
+    Insn(Instruction),
+    /// A raw instruction word placed verbatim in the text segment (used to
+    /// exercise undecoded opcodes in functional tests).
+    Raw(u32),
+    Branch { kind: BranchKind, label: String },
+    Jump { link: bool, label: String },
+    /// `la rt, label` — always expands to `lui` + `ori` (2 words).
+    La { rt: Reg, label: String },
+    /// `li rt, value` — expands to 1 or 2 words depending on the value.
+    Li { rt: Reg, value: u32 },
+}
+
+impl TextItem {
+    fn size_words(&self) -> u32 {
+        match self {
+            TextItem::Insn(_)
+            | TextItem::Raw(_)
+            | TextItem::Branch { .. }
+            | TextItem::Jump { .. } => 1,
+            TextItem::La { .. } => 2,
+            TextItem::Li { value, .. } => li_words(*value),
+        }
+    }
+}
+
+/// Number of machine words `li` expands to for a given value.
+fn li_words(value: u32) -> u32 {
+    if value >> 16 == 0 || value & 0xFFFF == 0 {
+        1
+    } else {
+        2
+    }
+}
+
+/// Error produced by [`Asm::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// A label was defined more than once.
+    DuplicateLabel {
+        /// The re-defined label.
+        label: String,
+    },
+    /// A branch target does not fit in the 16-bit signed offset.
+    BranchOutOfRange {
+        /// The unreachable label.
+        label: String,
+    },
+    /// A jump target lies outside the branch's 256 MiB region.
+    JumpOutOfRange {
+        /// The unreachable label.
+        label: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+            AsmError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            AsmError::BranchOutOfRange { label } => {
+                write!(f, "branch to `{label}` out of range")
+            }
+            AsmError::JumpOutOfRange { label } => write!(f, "jump to `{label}` out of range"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// Two-pass assembler building a [`Program`] from instructions, labels and
+/// data words.
+///
+/// The `li`/`la` pseudo-instructions expand to `lui`/`ori` pairs exactly as
+/// the paper assumes ("test patterns are loaded in registers using the `li`
+/// pseudo-instruction, which the assembler decomposes to `lui` and `ori`
+/// without transferring data from memory"); `li` of a value that fits in
+/// 16 bits shrinks to a single instruction.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    text: Vec<TextItem>,
+    /// Text labels: name → index of the item they precede (an index equal to
+    /// `text.len()` at assembly time points just past the segment).
+    text_labels: Vec<(String, usize)>,
+    data: Vec<u32>,
+    data_labels: Vec<(String, u32)>,
+}
+
+impl Asm {
+    /// Creates an empty assembly unit.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Defines a text label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.text_labels.push((name.to_owned(), self.text.len()));
+        self
+    }
+
+    fn push(&mut self, item: TextItem) -> &mut Self {
+        self.text.push(item);
+        self
+    }
+
+    /// Emits a concrete instruction.
+    pub fn insn(&mut self, insn: Instruction) -> &mut Self {
+        self.push(TextItem::Insn(insn))
+    }
+
+    /// Emits a raw 32-bit instruction word verbatim — including encodings
+    /// outside the implemented subset, which a Plasma-class core executes
+    /// as no-ops (no exception support). Used by the control-logic
+    /// functional test to sweep the opcode space.
+    pub fn raw_word(&mut self, word: u32) -> &mut Self {
+        self.push(TextItem::Raw(word))
+    }
+
+    /// Emits `nop` (used by the paper to fill delay slots when needed).
+    pub fn nop(&mut self) -> &mut Self {
+        self.insn(Instruction::nop())
+    }
+
+    /// Emits `li rt, value` (`lui`+`ori`, or a single word when possible).
+    pub fn li(&mut self, rt: Reg, value: u32) -> &mut Self {
+        self.push(TextItem::Li { rt, value })
+    }
+
+    /// Emits `la rt, label` (always `lui`+`ori`).
+    pub fn la(&mut self, rt: Reg, label: &str) -> &mut Self {
+        self.push(TextItem::La {
+            rt,
+            label: label.to_owned(),
+        })
+    }
+
+    /// Emits `move rd, rs`.
+    pub fn move_reg(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.insn(Instruction::move_reg(rd, rs))
+    }
+
+    /// Emits `beq rs, rt, label`.
+    pub fn beq(&mut self, rs: Reg, rt: Reg, label: &str) -> &mut Self {
+        self.push(TextItem::Branch {
+            kind: BranchKind::Beq(rs, rt),
+            label: label.to_owned(),
+        })
+    }
+
+    /// Emits `bne rs, rt, label`.
+    pub fn bne(&mut self, rs: Reg, rt: Reg, label: &str) -> &mut Self {
+        self.push(TextItem::Branch {
+            kind: BranchKind::Bne(rs, rt),
+            label: label.to_owned(),
+        })
+    }
+
+    /// Emits `blez rs, label`.
+    pub fn blez(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.push(TextItem::Branch {
+            kind: BranchKind::Blez(rs),
+            label: label.to_owned(),
+        })
+    }
+
+    /// Emits `bgtz rs, label`.
+    pub fn bgtz(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.push(TextItem::Branch {
+            kind: BranchKind::Bgtz(rs),
+            label: label.to_owned(),
+        })
+    }
+
+    /// Emits `bltz rs, label`.
+    pub fn bltz(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.push(TextItem::Branch {
+            kind: BranchKind::Bltz(rs),
+            label: label.to_owned(),
+        })
+    }
+
+    /// Emits `bgez rs, label`.
+    pub fn bgez(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.push(TextItem::Branch {
+            kind: BranchKind::Bgez(rs),
+            label: label.to_owned(),
+        })
+    }
+
+    /// Emits `j label`.
+    pub fn j(&mut self, label: &str) -> &mut Self {
+        self.push(TextItem::Jump {
+            link: false,
+            label: label.to_owned(),
+        })
+    }
+
+    /// Emits `jal label`.
+    pub fn jal(&mut self, label: &str) -> &mut Self {
+        self.push(TextItem::Jump {
+            link: true,
+            label: label.to_owned(),
+        })
+    }
+
+    /// Defines a data label at the current end of the data segment.
+    pub fn data_label(&mut self, name: &str) -> &mut Self {
+        self.data_labels.push((name.to_owned(), self.data.len() as u32));
+        self
+    }
+
+    /// Appends a data word.
+    pub fn word(&mut self, value: u32) -> &mut Self {
+        self.data.push(value);
+        self
+    }
+
+    /// Appends several data words.
+    pub fn words<I: IntoIterator<Item = u32>>(&mut self, values: I) -> &mut Self {
+        self.data.extend(values);
+        self
+    }
+
+    /// Number of instructions emitted so far (pseudo-instructions counted by
+    /// their expansion size).
+    pub fn text_words(&self) -> u32 {
+        self.text.iter().map(TextItem::size_words).sum()
+    }
+
+    /// Assembles into a [`Program`] with the given segment bases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for undefined or duplicate labels and for branch
+    /// or jump targets out of range.
+    pub fn assemble(&self, text_base: u32, data_base: u32) -> Result<Program, AsmError> {
+        // Pass 1: layout.
+        let mut symbols: HashMap<String, u32> = HashMap::new();
+        let define = |name: &str, addr: u32, symbols: &mut HashMap<String, u32>| {
+            if symbols.insert(name.to_owned(), addr).is_some() {
+                return Err(AsmError::DuplicateLabel {
+                    label: name.to_owned(),
+                });
+            }
+            Ok(())
+        };
+        let mut offset = 0u32;
+        let mut item_addr = Vec::with_capacity(self.text.len() + 1);
+        for item in &self.text {
+            item_addr.push(text_base + offset * 4);
+            offset += item.size_words();
+        }
+        item_addr.push(text_base + offset * 4); // one-past-end for trailing labels
+        for (name, idx) in &self.text_labels {
+            define(name, item_addr[*idx], &mut symbols)?;
+        }
+        for (name, word_off) in &self.data_labels {
+            define(name, data_base + word_off * 4, &mut symbols)?;
+        }
+
+        // Pass 2: emit.
+        let mut text: Vec<u32> = Vec::with_capacity(offset as usize);
+        for (i, item) in self.text.iter().enumerate() {
+            let addr = item_addr[i];
+            match item {
+                TextItem::Insn(insn) => text.push(insn.encode()),
+                TextItem::Raw(word) => text.push(*word),
+                TextItem::Li { rt, value } => emit_li(&mut text, *rt, *value),
+                TextItem::La { rt, label } => {
+                    let target = lookup(&symbols, label)?;
+                    text.push(
+                        Instruction::Lui {
+                            rt: *rt,
+                            imm: (target >> 16) as u16,
+                        }
+                        .encode(),
+                    );
+                    text.push(
+                        Instruction::Ori {
+                            rt: *rt,
+                            rs: *rt,
+                            imm: (target & 0xFFFF) as u16,
+                        }
+                        .encode(),
+                    );
+                }
+                TextItem::Branch { kind, label } => {
+                    let target = lookup(&symbols, label)?;
+                    let delta = (target as i64 - (addr as i64 + 4)) / 4;
+                    let offset: i16 =
+                        i16::try_from(delta).map_err(|_| AsmError::BranchOutOfRange {
+                            label: label.clone(),
+                        })?;
+                    let insn = match *kind {
+                        BranchKind::Beq(rs, rt) => Instruction::Beq { rs, rt, offset },
+                        BranchKind::Bne(rs, rt) => Instruction::Bne { rs, rt, offset },
+                        BranchKind::Blez(rs) => Instruction::Blez { rs, offset },
+                        BranchKind::Bgtz(rs) => Instruction::Bgtz { rs, offset },
+                        BranchKind::Bltz(rs) => Instruction::Bltz { rs, offset },
+                        BranchKind::Bgez(rs) => Instruction::Bgez { rs, offset },
+                    };
+                    text.push(insn.encode());
+                }
+                TextItem::Jump { link, label } => {
+                    let target = lookup(&symbols, label)?;
+                    if (target >> 28) != ((addr + 4) >> 28) {
+                        return Err(AsmError::JumpOutOfRange {
+                            label: label.clone(),
+                        });
+                    }
+                    let field = (target >> 2) & 0x03FF_FFFF;
+                    let insn = if *link {
+                        Instruction::Jal { target: field }
+                    } else {
+                        Instruction::J { target: field }
+                    };
+                    text.push(insn.encode());
+                }
+            }
+        }
+
+        Ok(Program {
+            text_base,
+            text,
+            data_base,
+            data: self.data.clone(),
+            symbols,
+        })
+    }
+}
+
+fn lookup(symbols: &HashMap<String, u32>, label: &str) -> Result<u32, AsmError> {
+    symbols
+        .get(label)
+        .copied()
+        .ok_or_else(|| AsmError::UndefinedLabel {
+            label: label.to_owned(),
+        })
+}
+
+fn emit_li(text: &mut Vec<u32>, rt: Reg, value: u32) {
+    if value >> 16 == 0 {
+        text.push(
+            Instruction::Ori {
+                rt,
+                rs: Reg::ZERO,
+                imm: value as u16,
+            }
+            .encode(),
+        );
+    } else if value & 0xFFFF == 0 {
+        text.push(
+            Instruction::Lui {
+                rt,
+                imm: (value >> 16) as u16,
+            }
+            .encode(),
+        );
+    } else {
+        text.push(
+            Instruction::Lui {
+                rt,
+                imm: (value >> 16) as u16,
+            }
+            .encode(),
+        );
+        text.push(
+            Instruction::Ori {
+                rt,
+                rs: rt,
+                imm: (value & 0xFFFF) as u16,
+            }
+            .encode(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn li_expansion_sizes() {
+        assert_eq!(li_words(0x1234), 1);
+        assert_eq!(li_words(0xABCD_0000), 1);
+        assert_eq!(li_words(0x1234_5678), 2);
+        assert_eq!(li_words(0), 1);
+    }
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let mut asm = Asm::new();
+        asm.label("top");
+        asm.nop();
+        asm.beq(Reg::T0, Reg::T1, "bottom");
+        asm.nop();
+        asm.bne(Reg::T0, Reg::T1, "top");
+        asm.nop();
+        asm.label("bottom");
+        asm.insn(Instruction::Break { code: 0 });
+        let p = asm.assemble(0, 0x1000).unwrap();
+        // beq at word 1: target word 5 -> offset = 5 - 2 = 3
+        match Instruction::decode(p.text[1]).unwrap() {
+            Instruction::Beq { offset, .. } => assert_eq!(offset, 3),
+            other => panic!("unexpected {other}"),
+        }
+        // bne at word 3: target word 0 -> offset = 0 - 4 = -4
+        match Instruction::decode(p.text[3]).unwrap() {
+            Instruction::Bne { offset, .. } => assert_eq!(offset, -4),
+            other => panic!("unexpected {other}"),
+        }
+        assert_eq!(p.symbol("bottom"), Some(20));
+    }
+
+    #[test]
+    fn li_before_branch_keeps_offsets_right() {
+        let mut asm = Asm::new();
+        asm.label("top");
+        asm.li(Reg::S0, 0xDEAD_BEEF); // 2 words
+        asm.bne(Reg::S0, Reg::ZERO, "top");
+        asm.nop();
+        let p = asm.assemble(0, 0x1000).unwrap();
+        assert_eq!(p.text.len(), 4);
+        match Instruction::decode(p.text[2]).unwrap() {
+            Instruction::Bne { offset, .. } => assert_eq!(offset, -3),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn la_resolves_data_labels() {
+        let mut asm = Asm::new();
+        asm.data_label("patterns");
+        asm.word(0x11111111);
+        asm.word(0x22222222);
+        asm.data_label("sig");
+        asm.word(0);
+        asm.la(Reg::S3, "patterns");
+        asm.la(Reg::S5, "sig");
+        let p = asm.assemble(0, 0x2000).unwrap();
+        assert_eq!(p.symbol("patterns"), Some(0x2000));
+        assert_eq!(p.symbol("sig"), Some(0x2008));
+        // la $s5, sig -> lui 0x0000; ori 0x2008
+        match Instruction::decode(p.text[3]).unwrap() {
+            Instruction::Ori { imm, .. } => assert_eq!(imm, 0x2008),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let mut asm = Asm::new();
+        asm.j("nowhere");
+        assert_eq!(
+            asm.assemble(0, 0).err(),
+            Some(AsmError::UndefinedLabel {
+                label: "nowhere".to_owned()
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut asm = Asm::new();
+        asm.label("x");
+        asm.nop();
+        asm.label("x");
+        asm.nop();
+        assert!(matches!(
+            asm.assemble(0, 0).err(),
+            Some(AsmError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn jump_targets_encoded() {
+        let mut asm = Asm::new();
+        asm.j("end");
+        asm.nop();
+        asm.label("end");
+        asm.insn(Instruction::Break { code: 0 });
+        let p = asm.assemble(0x0040_0000, 0).unwrap();
+        match Instruction::decode(p.text[0]).unwrap() {
+            Instruction::J { target } => assert_eq!(target << 2, 0x0040_0008),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn multiple_labels_same_address() {
+        let mut asm = Asm::new();
+        asm.label("a");
+        asm.label("b");
+        asm.nop();
+        let p = asm.assemble(0x100, 0).unwrap();
+        assert_eq!(p.symbol("a"), Some(0x100));
+        assert_eq!(p.symbol("b"), Some(0x100));
+    }
+
+    #[test]
+    fn trailing_label_points_past_end() {
+        let mut asm = Asm::new();
+        asm.nop();
+        asm.label("end");
+        let p = asm.assemble(0, 0).unwrap();
+        assert_eq!(p.symbol("end"), Some(4));
+    }
+
+    #[test]
+    fn branch_out_of_range_rejected() {
+        let mut asm = Asm::new();
+        asm.beq(Reg::T0, Reg::T1, "far");
+        asm.nop();
+        // 40k instructions later: beyond the signed 16-bit offset.
+        for _ in 0..40_000 {
+            asm.nop();
+        }
+        asm.label("far");
+        asm.insn(Instruction::Break { code: 0 });
+        assert!(matches!(
+            asm.assemble(0, 0).err(),
+            Some(AsmError::BranchOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn jump_out_of_region_rejected() {
+        let mut asm = Asm::new();
+        asm.j("far");
+        asm.nop();
+        asm.label("far");
+        asm.insn(Instruction::Break { code: 0 });
+        // Text at the top of one 256 MiB region, target in another.
+        assert!(matches!(
+            asm.assemble(0x0FFF_FFF8, 0).err(),
+            Some(AsmError::JumpOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn raw_words_pass_through_verbatim() {
+        let mut asm = Asm::new();
+        asm.raw_word(0xFC00_0001); // undecodable encoding
+        asm.nop();
+        let p = asm.assemble(0, 0).unwrap();
+        assert_eq!(p.text[0], 0xFC00_0001);
+        assert!(Instruction::decode(p.text[0]).is_err());
+    }
+
+    #[test]
+    fn text_words_counts_expansions() {
+        let mut asm = Asm::new();
+        asm.li(Reg::T0, 0x12345678);
+        asm.li(Reg::T1, 7);
+        asm.nop();
+        assert_eq!(asm.text_words(), 4);
+    }
+}

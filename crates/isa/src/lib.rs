@@ -1,0 +1,42 @@
+//! MIPS-I subset instruction set architecture.
+//!
+//! Provides the instruction encoding/decoding ([`Instruction`]), register
+//! naming ([`Reg`]), and a two-pass assembler ([`Asm`], [`parse_asm`]) used
+//! by the self-test routine generators in `sbst-core` and executed by the
+//! instruction-set simulator in `sbst-cpu`.
+//!
+//! The subset matches what the Plasma core (the paper's evaluation vehicle)
+//! implements: the MIPS-I integer ISA with branch delay slots and Hi/Lo
+//! multiply/divide, without exceptions or coprocessors. The `li` pseudo
+//! instruction decomposes to `lui`+`ori` exactly as the paper assumes.
+//!
+//! # Example
+//!
+//! ```
+//! use sbst_isa::{Asm, Instruction, Reg};
+//!
+//! # fn main() -> Result<(), sbst_isa::AsmError> {
+//! let mut asm = Asm::new();
+//! asm.li(Reg::T0, 0x1234_5678);          // expands to lui + ori
+//! asm.label("loop");
+//! asm.insn(Instruction::Addiu { rt: Reg::T0, rs: Reg::T0, imm: -1 });
+//! asm.bne(Reg::T0, Reg::ZERO, "loop");
+//! asm.insn(Instruction::nop());          // branch delay slot
+//! asm.insn(Instruction::Break { code: 0 });
+//! let program = asm.assemble(0x0, 0x1000)?;
+//! assert_eq!(program.text.len(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+mod asm;
+mod insn;
+mod parse;
+mod program;
+mod reg;
+
+pub use asm::{Asm, AsmError};
+pub use insn::{DecodeError, Instruction};
+pub use parse::{parse_asm, ParseAsmError};
+pub use program::Program;
+pub use reg::{ParseRegError, Reg};

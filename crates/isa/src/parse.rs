@@ -1,0 +1,555 @@
+//! Text-format assembly parser.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::asm::Asm;
+use crate::insn::Instruction;
+use crate::reg::Reg;
+
+/// Error from [`parse_asm`], with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based source line of the error.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseAsmError {}
+
+/// Parses MIPS assembly text into an [`Asm`] unit.
+///
+/// Supports labels (`name:`), comments (`#` or `;` to end of line), the
+/// `.data` / `.text` segment directives, `.word` data, the full implemented
+/// instruction subset and the `li`, `la`, `move`, `nop` and `b`
+/// pseudo-instructions — enough to assemble every listing in the paper.
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] with the offending line on any syntax error.
+///
+/// # Example
+///
+/// ```
+/// use sbst_isa::parse_asm;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let asm = parse_asm(
+///     "       li   $s0, 0x55555555
+///      loop:  addiu $t0, $t0, 1
+///             bne  $t0, $s4, loop
+///             nop
+///             break 0
+///      .data
+///      sig:   .word 0",
+/// )?;
+/// let program = asm.assemble(0, 0x1000)?;
+/// assert_eq!(program.symbol("sig"), Some(0x1000));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_asm(source: &str) -> Result<Asm, ParseAsmError> {
+    let mut asm = Asm::new();
+    let mut in_data = false;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let err = |message: String| ParseAsmError { line, message };
+        let mut text = raw;
+        if let Some(pos) = text.find(['#', ';']) {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        // Leading labels (possibly several).
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !is_ident(name) {
+                return Err(err(format!("invalid label `{name}`")));
+            }
+            if in_data {
+                asm.data_label(name);
+            } else {
+                asm.label(name);
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(pos) => (&text[..pos], text[pos..].trim()),
+            None => (text, ""),
+        };
+        let mnemonic = mnemonic.to_ascii_lowercase();
+        match mnemonic.as_str() {
+            ".text" => {
+                in_data = false;
+                continue;
+            }
+            ".data" => {
+                in_data = true;
+                continue;
+            }
+            ".word" => {
+                for piece in rest.split(',') {
+                    let v = parse_number(piece.trim())
+                        .ok_or_else(|| err(format!("bad .word operand `{piece}`")))?;
+                    asm.word(v as u32);
+                }
+                continue;
+            }
+            _ => {}
+        }
+        if in_data {
+            return Err(err(format!(
+                "instruction `{mnemonic}` not allowed in .data segment"
+            )));
+        }
+        parse_instruction(&mut asm, &mnemonic, rest).map_err(err)?;
+    }
+    Ok(asm)
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_number(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -value } else { value })
+}
+
+struct Operands<'a> {
+    parts: Vec<&'a str>,
+    at: usize,
+}
+
+impl<'a> Operands<'a> {
+    fn new(rest: &'a str) -> Self {
+        let parts = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        Operands { parts, at: 0 }
+    }
+
+    fn next(&mut self) -> Result<&'a str, String> {
+        let p = self
+            .parts
+            .get(self.at)
+            .copied()
+            .ok_or_else(|| "missing operand".to_owned())?;
+        self.at += 1;
+        Ok(p)
+    }
+
+    fn reg(&mut self) -> Result<Reg, String> {
+        let p = self.next()?;
+        p.parse::<Reg>().map_err(|e| e.to_string())
+    }
+
+    fn imm(&mut self) -> Result<i64, String> {
+        let p = self.next()?;
+        parse_number(p).ok_or_else(|| format!("bad immediate `{p}`"))
+    }
+
+    fn label(&mut self) -> Result<&'a str, String> {
+        let p = self.next()?;
+        if is_ident(p) {
+            Ok(p)
+        } else {
+            Err(format!("bad label `{p}`"))
+        }
+    }
+
+    /// `offset(base)` memory operand; the offset may be omitted (`($reg)`).
+    fn mem(&mut self) -> Result<(i16, Reg), String> {
+        let p = self.next()?;
+        let open = p.find('(').ok_or_else(|| format!("bad memory operand `{p}`"))?;
+        let close = p.rfind(')').ok_or_else(|| format!("bad memory operand `{p}`"))?;
+        let off_text = p[..open].trim();
+        let offset = if off_text.is_empty() {
+            0
+        } else {
+            parse_number(off_text).ok_or_else(|| format!("bad offset `{off_text}`"))? as i16
+        };
+        let base = p[open + 1..close]
+            .trim()
+            .parse::<Reg>()
+            .map_err(|e| e.to_string())?;
+        Ok((offset, base))
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.at == self.parts.len() {
+            Ok(())
+        } else {
+            Err(format!("extra operand `{}`", self.parts[self.at]))
+        }
+    }
+}
+
+fn parse_instruction(asm: &mut Asm, mnemonic: &str, rest: &str) -> Result<(), String> {
+    use Instruction::*;
+    let mut ops = Operands::new(rest);
+    macro_rules! r3 {
+        ($variant:ident) => {{
+            let rd = ops.reg()?;
+            let rs = ops.reg()?;
+            let rt = ops.reg()?;
+            asm.insn($variant { rd, rs, rt });
+        }};
+    }
+    macro_rules! shift_imm {
+        ($variant:ident) => {{
+            let rd = ops.reg()?;
+            let rt = ops.reg()?;
+            let shamt = ops.imm()?;
+            if !(0..32).contains(&shamt) {
+                return Err(format!("shift amount {shamt} out of range"));
+            }
+            asm.insn($variant {
+                rd,
+                rt,
+                shamt: shamt as u8,
+            });
+        }};
+    }
+    macro_rules! shift_var {
+        ($variant:ident) => {{
+            let rd = ops.reg()?;
+            let rt = ops.reg()?;
+            let rs = ops.reg()?;
+            asm.insn($variant { rd, rt, rs });
+        }};
+    }
+    macro_rules! imm_signed {
+        ($variant:ident) => {{
+            let rt = ops.reg()?;
+            let rs = ops.reg()?;
+            let imm = ops.imm()?;
+            if !(-32768..=32767).contains(&imm) {
+                return Err(format!("immediate {imm} out of signed 16-bit range"));
+            }
+            asm.insn($variant {
+                rt,
+                rs,
+                imm: imm as i16,
+            });
+        }};
+    }
+    macro_rules! imm_unsigned {
+        ($variant:ident) => {{
+            let rt = ops.reg()?;
+            let rs = ops.reg()?;
+            let imm = ops.imm()?;
+            if !(0..=0xFFFF).contains(&imm) {
+                return Err(format!("immediate {imm} out of unsigned 16-bit range"));
+            }
+            asm.insn($variant {
+                rt,
+                rs,
+                imm: imm as u16,
+            });
+        }};
+    }
+    macro_rules! load_store {
+        ($variant:ident) => {{
+            let rt = ops.reg()?;
+            let (offset, base) = ops.mem()?;
+            asm.insn($variant { rt, base, offset });
+        }};
+    }
+    match mnemonic {
+        "add" => r3!(Add),
+        "addu" => r3!(Addu),
+        "sub" => r3!(Sub),
+        "subu" => r3!(Subu),
+        "and" => r3!(And),
+        "or" => r3!(Or),
+        "xor" => r3!(Xor),
+        "nor" => r3!(Nor),
+        "slt" => r3!(Slt),
+        "sltu" => r3!(Sltu),
+        "sll" => shift_imm!(Sll),
+        "srl" => shift_imm!(Srl),
+        "sra" => shift_imm!(Sra),
+        "sllv" => shift_var!(Sllv),
+        "srlv" => shift_var!(Srlv),
+        "srav" => shift_var!(Srav),
+        "mult" => {
+            let rs = ops.reg()?;
+            let rt = ops.reg()?;
+            asm.insn(Mult { rs, rt });
+        }
+        "multu" => {
+            let rs = ops.reg()?;
+            let rt = ops.reg()?;
+            asm.insn(Multu { rs, rt });
+        }
+        "div" => {
+            let rs = ops.reg()?;
+            let rt = ops.reg()?;
+            asm.insn(Div { rs, rt });
+        }
+        "divu" => {
+            let rs = ops.reg()?;
+            let rt = ops.reg()?;
+            asm.insn(Divu { rs, rt });
+        }
+        "mfhi" => {
+            let rd = ops.reg()?;
+            asm.insn(Mfhi { rd });
+        }
+        "mflo" => {
+            let rd = ops.reg()?;
+            asm.insn(Mflo { rd });
+        }
+        "mthi" => {
+            let rs = ops.reg()?;
+            asm.insn(Mthi { rs });
+        }
+        "mtlo" => {
+            let rs = ops.reg()?;
+            asm.insn(Mtlo { rs });
+        }
+        "addi" => imm_signed!(Addi),
+        "addiu" => imm_signed!(Addiu),
+        "slti" => imm_signed!(Slti),
+        "sltiu" => imm_signed!(Sltiu),
+        "andi" => imm_unsigned!(Andi),
+        "ori" => imm_unsigned!(Ori),
+        "xori" => imm_unsigned!(Xori),
+        "lui" => {
+            let rt = ops.reg()?;
+            let imm = ops.imm()?;
+            if !(0..=0xFFFF).contains(&imm) {
+                return Err(format!("immediate {imm} out of unsigned 16-bit range"));
+            }
+            asm.insn(Lui {
+                rt,
+                imm: imm as u16,
+            });
+        }
+        "beq" => {
+            let rs = ops.reg()?;
+            let rt = ops.reg()?;
+            let label = ops.label()?;
+            asm.beq(rs, rt, label);
+        }
+        "bne" => {
+            let rs = ops.reg()?;
+            let rt = ops.reg()?;
+            let label = ops.label()?;
+            asm.bne(rs, rt, label);
+        }
+        "blez" => {
+            let rs = ops.reg()?;
+            let label = ops.label()?;
+            asm.blez(rs, label);
+        }
+        "bgtz" => {
+            let rs = ops.reg()?;
+            let label = ops.label()?;
+            asm.bgtz(rs, label);
+        }
+        "bltz" => {
+            let rs = ops.reg()?;
+            let label = ops.label()?;
+            asm.bltz(rs, label);
+        }
+        "bgez" => {
+            let rs = ops.reg()?;
+            let label = ops.label()?;
+            asm.bgez(rs, label);
+        }
+        "b" => {
+            let label = ops.label()?;
+            asm.beq(Reg::ZERO, Reg::ZERO, label);
+        }
+        "j" => {
+            let label = ops.label()?;
+            asm.j(label);
+        }
+        "jal" => {
+            let label = ops.label()?;
+            asm.jal(label);
+        }
+        "jr" => {
+            let rs = ops.reg()?;
+            asm.insn(Jr { rs });
+        }
+        "jalr" => {
+            let rd = ops.reg()?;
+            let rs = ops.reg()?;
+            asm.insn(Jalr { rd, rs });
+        }
+        "lb" => load_store!(Lb),
+        "lbu" => load_store!(Lbu),
+        "lh" => load_store!(Lh),
+        "lhu" => load_store!(Lhu),
+        "lw" => load_store!(Lw),
+        "sb" => load_store!(Sb),
+        "sh" => load_store!(Sh),
+        "sw" => load_store!(Sw),
+        "break" => {
+            let code = if ops.parts.is_empty() { 0 } else { ops.imm()? };
+            asm.insn(Break { code: code as u32 });
+        }
+        "nop" => {
+            asm.nop();
+        }
+        "li" => {
+            let rt = ops.reg()?;
+            let value = ops.imm()?;
+            asm.li(rt, value as u32);
+        }
+        "la" => {
+            let rt = ops.reg()?;
+            let label = ops.label()?;
+            asm.la(rt, label);
+        }
+        "move" => {
+            let rd = ops.reg()?;
+            let rs = ops.reg()?;
+            asm.move_reg(rd, rs);
+        }
+        other => return Err(format!("unknown mnemonic `{other}`")),
+    }
+    ops.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_figure1_style_listing() {
+        // The shape of the paper's Figure 1 (ATPG immediate code style).
+        let src = "
+            li $s0, 0x00010002
+            li $s1, 0x00030004
+            and $s2, $s0, $s1
+            li $s3, 0x2000          # signature_address
+            sw $s2, 4($s3)          # signature_displacement
+            break 0
+        ";
+        let asm = parse_asm(src).unwrap();
+        let p = asm.assemble(0, 0x2000).unwrap();
+        // 2 + 2 + 1 + 1 + 1 + 1 words (both li need lui+ori, address fits).
+        assert_eq!(p.text.len(), 8);
+    }
+
+    #[test]
+    fn parse_loop_with_labels() {
+        let src = "
+            test_pattern_loop:
+                addiu $t0, $t0, 0x0001
+                bne $s4, $t0, test_pattern_loop
+                nop
+        ";
+        let asm = parse_asm(src).unwrap();
+        let p = asm.assemble(0x100, 0).unwrap();
+        assert_eq!(p.symbol("test_pattern_loop"), Some(0x100));
+        assert_eq!(p.text.len(), 3);
+    }
+
+    #[test]
+    fn parse_data_segment() {
+        let src = "
+            lw $s0, 0($s3)
+            .data
+            first_pattern_address: .word 0x11111111, 0x22222222
+            sig: .word 0
+        ";
+        let asm = parse_asm(src).unwrap();
+        let p = asm.assemble(0, 0x4000).unwrap();
+        assert_eq!(p.data, vec![0x11111111, 0x22222222, 0]);
+        assert_eq!(p.symbol("sig"), Some(0x4008));
+    }
+
+    #[test]
+    fn parse_memory_operands() {
+        let asm = parse_asm("lw $t0, -8($sp)\nsw $t1, ($gp)").unwrap();
+        let p = asm.assemble(0, 0).unwrap();
+        match Instruction::decode(p.text[0]).unwrap() {
+            Instruction::Lw { offset, base, .. } => {
+                assert_eq!(offset, -8);
+                assert_eq!(base, Reg::SP);
+            }
+            other => panic!("unexpected {other}"),
+        }
+        match Instruction::decode(p.text[1]).unwrap() {
+            Instruction::Sw { offset, base, .. } => {
+                assert_eq!(offset, 0);
+                assert_eq!(base, Reg::GP);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_asm("nop\nbogus $t0").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_bad_shift_amount() {
+        assert!(parse_asm("sll $t0, $t1, 32").is_err());
+    }
+
+    #[test]
+    fn rejects_extra_operands() {
+        assert!(parse_asm("jr $ra, $t0").is_err());
+    }
+
+    #[test]
+    fn pseudo_b_is_unconditional_beq() {
+        let asm = parse_asm("b out\nnop\nout: break 0").unwrap();
+        let p = asm.assemble(0, 0).unwrap();
+        match Instruction::decode(p.text[0]).unwrap() {
+            Instruction::Beq { rs, rt, offset } => {
+                assert_eq!((rs, rt), (Reg::ZERO, Reg::ZERO));
+                assert_eq!(offset, 1);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn label_and_insn_same_line() {
+        let asm = parse_asm("start: nop").unwrap();
+        let p = asm.assemble(0x40, 0).unwrap();
+        assert_eq!(p.symbol("start"), Some(0x40));
+    }
+
+    #[test]
+    fn break_with_no_operand() {
+        let asm = parse_asm("break").unwrap();
+        let p = asm.assemble(0, 0).unwrap();
+        assert_eq!(
+            Instruction::decode(p.text[0]).unwrap(),
+            Instruction::Break { code: 0 }
+        );
+    }
+}

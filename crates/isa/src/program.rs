@@ -1,0 +1,155 @@
+//! Assembled programs.
+
+use std::collections::HashMap;
+
+use crate::insn::Instruction;
+
+/// An assembled program: a text segment, a data segment and a symbol table.
+///
+/// Self-test programs in the paper reside in non-volatile memory (flash) and
+/// are measured in *words*: the paper's "Size (words)" column counts both
+/// code and data words, which [`Program::size_words`] reproduces.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Base address of the text segment (word aligned).
+    pub text_base: u32,
+    /// Encoded instruction words.
+    pub text: Vec<u32>,
+    /// Base address of the data segment (word aligned).
+    pub data_base: u32,
+    /// Initialized data words.
+    pub data: Vec<u32>,
+    /// Label → address map (text and data labels).
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Total memory footprint in 32-bit words (code + data), the paper's
+    /// "Size (words)" metric.
+    pub fn size_words(&self) -> usize {
+        self.text.len() + self.data.len()
+    }
+
+    /// Number of instruction words.
+    pub fn code_words(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Number of data words.
+    pub fn data_words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Address of `label`, if defined.
+    pub fn symbol(&self, label: &str) -> Option<u32> {
+        self.symbols.get(label).copied()
+    }
+
+    /// Entry point (start of the text segment).
+    pub fn entry(&self) -> u32 {
+        self.text_base
+    }
+
+    /// Decodes the text segment back to instructions (for disassembly or
+    /// inspection). Words that fail to decode are returned as `Err` entries.
+    pub fn disassemble(&self) -> Vec<Result<Instruction, crate::insn::DecodeError>> {
+        self.text.iter().map(|&w| Instruction::decode(w)).collect()
+    }
+
+    /// Renders the text segment as an assembly listing with addresses.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        // Invert the symbol table for label annotations.
+        let mut labels: HashMap<u32, Vec<&str>> = HashMap::new();
+        for (name, &addr) in &self.symbols {
+            labels.entry(addr).or_default().push(name);
+        }
+        for (i, &word) in self.text.iter().enumerate() {
+            let addr = self.text_base + (i as u32) * 4;
+            if let Some(names) = labels.get(&addr) {
+                for name in names {
+                    let _ = writeln!(out, "{name}:");
+                }
+            }
+            match Instruction::decode(word) {
+                Ok(insn) => {
+                    let _ = writeln!(out, "    {addr:#010x}:  {insn}");
+                }
+                Err(_) => {
+                    let _ = writeln!(out, "    {addr:#010x}:  .word {word:#010x}");
+                }
+            }
+        }
+        if !self.data.is_empty() {
+            let _ = writeln!(out, "# data @ {:#010x}", self.data_base);
+            for (i, &word) in self.data.iter().enumerate() {
+                let addr = self.data_base + (i as u32) * 4;
+                if let Some(names) = labels.get(&addr) {
+                    for name in names {
+                        let _ = writeln!(out, "{name}:");
+                    }
+                }
+                let _ = writeln!(out, "    {addr:#010x}:  .word {word:#010x}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn size_accounting() {
+        let p = Program {
+            text_base: 0,
+            text: vec![0; 10],
+            data_base: 0x100,
+            data: vec![0; 3],
+            symbols: HashMap::new(),
+        };
+        assert_eq!(p.size_words(), 13);
+        assert_eq!(p.code_words(), 10);
+        assert_eq!(p.data_words(), 3);
+    }
+
+    #[test]
+    fn listing_contains_labels_and_mnemonics() {
+        let insn = Instruction::Addu {
+            rd: Reg::T0,
+            rs: Reg::S0,
+            rt: Reg::S1,
+        };
+        let mut symbols = HashMap::new();
+        symbols.insert("start".to_owned(), 0u32);
+        let p = Program {
+            text_base: 0,
+            text: vec![insn.encode()],
+            data_base: 0x100,
+            data: vec![0xDEADBEEF],
+            symbols,
+        };
+        let listing = p.listing();
+        assert!(listing.contains("start:"));
+        assert!(listing.contains("addu $t0, $s0, $s1"));
+        assert!(listing.contains("0xdeadbeef"));
+    }
+
+    #[test]
+    fn disassemble_roundtrip() {
+        let insn = Instruction::nop();
+        let p = Program {
+            text: vec![insn.encode()],
+            ..Program::default()
+        };
+        assert_eq!(p.disassemble()[0], Ok(insn));
+    }
+}

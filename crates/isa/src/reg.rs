@@ -1,0 +1,158 @@
+//! Architectural registers.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 32 MIPS general-purpose registers.
+///
+/// Register 0 (`$zero`) reads as zero and ignores writes. Constants are
+/// provided for every conventional name:
+///
+/// ```
+/// use sbst_isa::Reg;
+///
+/// assert_eq!(Reg::S0.number(), 16);
+/// assert_eq!("$s0".parse::<Reg>().unwrap(), Reg::S0);
+/// assert_eq!("$16".parse::<Reg>().unwrap(), Reg::S0);
+/// assert_eq!(Reg::S0.to_string(), "$s0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+const NAMES: [&str; 32] = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+    "fp", "ra",
+];
+
+macro_rules! reg_consts {
+    ($($name:ident = $num:expr;)*) => {
+        $(
+            #[doc = concat!("Register $", stringify!($num), ".")]
+            pub const $name: Reg = Reg($num);
+        )*
+    };
+}
+
+impl Reg {
+    reg_consts! {
+        ZERO = 0; AT = 1; V0 = 2; V1 = 3;
+        A0 = 4; A1 = 5; A2 = 6; A3 = 7;
+        T0 = 8; T1 = 9; T2 = 10; T3 = 11; T4 = 12; T5 = 13; T6 = 14; T7 = 15;
+        S0 = 16; S1 = 17; S2 = 18; S3 = 19; S4 = 20; S5 = 21; S6 = 22; S7 = 23;
+        T8 = 24; T9 = 25; K0 = 26; K1 = 27;
+        GP = 28; SP = 29; FP = 30; RA = 31;
+    }
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number >= 32`.
+    pub fn new(number: u8) -> Self {
+        assert!(number < 32, "register number out of range: {number}");
+        Reg(number)
+    }
+
+    /// Creates a register from its number, if in range.
+    pub fn try_new(number: u8) -> Option<Self> {
+        (number < 32).then_some(Reg(number))
+    }
+
+    /// The register number (0–31).
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The conventional assembly name (without the `$` sigil).
+    pub fn name(self) -> &'static str {
+        NAMES[self.0 as usize]
+    }
+
+    /// Iterator over all 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+/// Error parsing a register name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.text)
+    }
+}
+
+impl Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseRegError { text: s.to_owned() };
+        let body = s.strip_prefix('$').ok_or_else(err)?;
+        if let Ok(n) = body.parse::<u8>() {
+            return Reg::try_new(n).ok_or_else(err);
+        }
+        // `$s8` is an alias for `$fp`.
+        if body == "s8" {
+            return Ok(Reg::FP);
+        }
+        NAMES
+            .iter()
+            .position(|&n| n == body)
+            .map(|i| Reg(i as u8))
+            .ok_or_else(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_and_names() {
+        assert_eq!(Reg::ZERO.number(), 0);
+        assert_eq!(Reg::RA.number(), 31);
+        assert_eq!(Reg::T8.name(), "t8");
+        assert_eq!(Reg::new(29), Reg::SP);
+    }
+
+    #[test]
+    fn parse_names_and_numbers() {
+        for reg in Reg::all() {
+            assert_eq!(reg.to_string().parse::<Reg>().unwrap(), reg);
+            assert_eq!(format!("${}", reg.number()).parse::<Reg>().unwrap(), reg);
+        }
+        assert_eq!("$s8".parse::<Reg>().unwrap(), Reg::FP);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("s0".parse::<Reg>().is_err()); // missing sigil
+        assert!("$x9".parse::<Reg>().is_err());
+        assert!("$32".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "register number out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn all_yields_32() {
+        assert_eq!(Reg::all().count(), 32);
+    }
+}

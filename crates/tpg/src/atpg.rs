@@ -1,0 +1,665 @@
+//! Deterministic ATPG: PODEM with instruction-imposed input constraints.
+//!
+//! The paper's first TPG strategy generates compact deterministic tests for
+//! combinational D-VCs using *constrained* ATPG — constraints model what the
+//! instruction set can actually apply (e.g. the shifter's `op` lines are
+//! fixed by the executing instruction). This module implements the PODEM
+//! algorithm (decision space over primary inputs, objective/backtrace/imply)
+//! on `sbst-gates` netlists, preceded by a random-fill phase with fault
+//! dropping and pattern compaction.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sbst_gates::{Fault, FaultSimulator, FaultSite, GateKind, NetId, Netlist, Stimulus};
+
+/// Fixes a primary input to a constant for every generated pattern —
+/// the "instruction-imposed constraints" of the paper (e.g. operation
+/// select lines pinned by the exciting instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputConstraint {
+    /// The constrained primary input.
+    pub net: NetId,
+    /// Its pinned value.
+    pub value: bool,
+}
+
+/// ATPG configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AtpgConfig {
+    /// Random patterns tried (with fault dropping) before PODEM.
+    pub random_patterns: usize,
+    /// PODEM backtrack limit per fault.
+    pub backtrack_limit: usize,
+    /// Seed for the random phase and X-filling.
+    pub rng_seed: u64,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            random_patterns: 256,
+            backtrack_limit: 2_000,
+            rng_seed: 0x5B57_1E57,
+        }
+    }
+}
+
+/// Per-fault outcome of an ATPG run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtpgOutcome {
+    /// Detected by a random-phase pattern.
+    DetectedByRandom,
+    /// Detected by a PODEM-generated pattern.
+    DetectedByPodem,
+    /// Proved untestable under the given constraints (search space
+    /// exhausted without heuristic cutoffs).
+    Redundant,
+    /// Search abandoned (backtrack limit or heuristic dead end).
+    Aborted,
+}
+
+impl AtpgOutcome {
+    /// Whether the fault ended up covered by some pattern.
+    pub fn is_detected(self) -> bool {
+        matches!(
+            self,
+            AtpgOutcome::DetectedByRandom | AtpgOutcome::DetectedByPodem
+        )
+    }
+}
+
+/// Result of an ATPG run: the compacted pattern set and per-fault outcomes.
+#[derive(Debug, Clone)]
+pub struct AtpgResult {
+    /// Generated patterns, each a full input vector in
+    /// [`Netlist::inputs`] order.
+    pub patterns: Vec<Vec<bool>>,
+    /// Outcome per fault (parallel to the fault list given to
+    /// [`Atpg::run`]).
+    pub outcomes: Vec<AtpgOutcome>,
+}
+
+impl AtpgResult {
+    /// The pattern set as a fault-simulation stimulus.
+    pub fn stimulus(&self) -> Stimulus {
+        let mut stim = Stimulus::new();
+        for p in &self.patterns {
+            stim.push_pattern(p);
+        }
+        stim
+    }
+
+    /// Fraction of faults detected, in percent (testable coverage counts
+    /// redundant faults as undetectable).
+    pub fn detected_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_detected()).count()
+    }
+}
+
+/// Three-valued logic value.
+type T3 = Option<bool>;
+
+/// Dual-rail (good, faulty) net values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct DualRail {
+    good: T3,
+    faulty: T3,
+}
+
+impl DualRail {
+    fn has_effect(self) -> bool {
+        matches!((self.good, self.faulty), (Some(g), Some(f)) if g != f)
+    }
+
+    fn is_x(self) -> bool {
+        self.good.is_none() || self.faulty.is_none()
+    }
+}
+
+fn eval3(kind: GateKind, inputs: &[T3]) -> T3 {
+    match kind {
+        GateKind::Const0 => Some(false),
+        GateKind::Const1 => Some(true),
+        GateKind::Buf => inputs[0],
+        GateKind::Not => inputs[0].map(|v| !v),
+        GateKind::And | GateKind::Nand => {
+            let v = if inputs.contains(&Some(false)) {
+                Some(false)
+            } else if inputs.iter().all(|i| *i == Some(true)) {
+                Some(true)
+            } else {
+                None
+            };
+            if kind == GateKind::Nand {
+                v.map(|x| !x)
+            } else {
+                v
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let v = if inputs.contains(&Some(true)) {
+                Some(true)
+            } else if inputs.iter().all(|i| *i == Some(false)) {
+                Some(false)
+            } else {
+                None
+            };
+            if kind == GateKind::Nor {
+                v.map(|x| !x)
+            } else {
+                v
+            }
+        }
+        GateKind::Xor => match (inputs[0], inputs[1]) {
+            (Some(a), Some(b)) => Some(a ^ b),
+            _ => None,
+        },
+        GateKind::Xnor => match (inputs[0], inputs[1]) {
+            (Some(a), Some(b)) => Some(!(a ^ b)),
+            _ => None,
+        },
+        GateKind::Mux2 => match inputs[0] {
+            Some(false) => inputs[1],
+            Some(true) => inputs[2],
+            None => match (inputs[1], inputs[2]) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                _ => None,
+            },
+        },
+        GateKind::Dff => unreachable!("PODEM runs on combinational netlists"),
+    }
+}
+
+/// PODEM automatic test pattern generator over a combinational netlist.
+///
+/// # Example
+///
+/// ```
+/// use sbst_tpg::{Atpg, AtpgConfig};
+/// use sbst_components::shifter;
+///
+/// let cut = shifter::shifter(8);
+/// let faults = cut.netlist.collapsed_faults();
+/// let result = Atpg::new(&cut.netlist).run(&faults);
+/// let detected = result.detected_count();
+/// assert!(detected as f64 / faults.len() as f64 > 0.95);
+/// ```
+#[derive(Debug)]
+pub struct Atpg<'a> {
+    netlist: &'a Netlist,
+    constraints: HashMap<NetId, bool>,
+    config: AtpgConfig,
+}
+
+impl<'a> Atpg<'a> {
+    /// Creates an unconstrained ATPG engine for a combinational netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is sequential.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        assert!(
+            netlist.is_combinational(),
+            "PODEM requires a combinational netlist"
+        );
+        Atpg {
+            netlist,
+            constraints: HashMap::new(),
+            config: AtpgConfig::default(),
+        }
+    }
+
+    /// Adds instruction-imposed constraints.
+    pub fn with_constraints(mut self, constraints: &[InputConstraint]) -> Self {
+        for c in constraints {
+            assert!(
+                self.netlist.input_position(c.net).is_some(),
+                "constraint target must be a primary input"
+            );
+            self.constraints.insert(c.net, c.value);
+        }
+        self
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: AtpgConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the random phase followed by PODEM on the remaining faults.
+    pub fn run(&self, faults: &[Fault]) -> AtpgResult {
+        let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
+        let n_inputs = self.netlist.inputs().len();
+        let mut outcomes = vec![AtpgOutcome::Aborted; faults.len()];
+        let mut patterns: Vec<Vec<bool>> = Vec::new();
+
+        // --- Random phase with fault dropping and pattern compaction ---
+        if self.config.random_patterns > 0 {
+            let mut stim = Stimulus::new();
+            let mut random_set = Vec::with_capacity(self.config.random_patterns);
+            for _ in 0..self.config.random_patterns {
+                let p: Vec<bool> = (0..n_inputs)
+                    .map(|i| {
+                        let net = self.netlist.inputs()[i];
+                        self.constraints
+                            .get(&net)
+                            .copied()
+                            .unwrap_or_else(|| rng.random())
+                    })
+                    .collect();
+                stim.push_pattern(&p);
+                random_set.push(p);
+            }
+            let sim = FaultSimulator::new(self.netlist);
+            let res = sim.simulate(faults, &stim);
+            // Keep only patterns that were the first detector of some fault.
+            let mut keep: Vec<u32> = res
+                .detecting_cycle
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            keep.sort_unstable();
+            keep.dedup();
+            for &cycle in &keep {
+                patterns.push(random_set[cycle as usize].clone());
+            }
+            for (i, det) in res.detected.iter().enumerate() {
+                if *det {
+                    outcomes[i] = AtpgOutcome::DetectedByRandom;
+                }
+            }
+        }
+
+        // --- PODEM phase ---
+        for target in 0..faults.len() {
+            if outcomes[target].is_detected() {
+                continue;
+            }
+            match self.podem(&faults[target], &mut rng) {
+                PodemOutcome::Test(pattern) => {
+                    // Drop other remaining faults detected by this pattern.
+                    let remaining: Vec<usize> = (0..faults.len())
+                        .filter(|&i| !outcomes[i].is_detected())
+                        .collect();
+                    let remaining_faults: Vec<Fault> =
+                        remaining.iter().map(|&i| faults[i]).collect();
+                    let mut stim = Stimulus::new();
+                    stim.push_pattern(&pattern);
+                    let res = FaultSimulator::new(self.netlist)
+                        .simulate(&remaining_faults, &stim);
+                    for (k, &i) in remaining.iter().enumerate() {
+                        if res.detected[k] {
+                            outcomes[i] = AtpgOutcome::DetectedByPodem;
+                        }
+                    }
+                    debug_assert!(outcomes[target].is_detected(), "podem pattern must work");
+                    patterns.push(pattern);
+                }
+                PodemOutcome::Redundant => outcomes[target] = AtpgOutcome::Redundant,
+                PodemOutcome::Aborted => outcomes[target] = AtpgOutcome::Aborted,
+            }
+        }
+
+        AtpgResult { patterns, outcomes }
+    }
+
+    /// Dual-rail three-valued simulation under a partial PI assignment.
+    fn simulate(&self, pi: &[T3], fault: &Fault) -> Vec<DualRail> {
+        let nl = self.netlist;
+        let mut values = vec![DualRail::default(); nl.net_count()];
+        for (pos, &net) in nl.inputs().iter().enumerate() {
+            let v = pi[pos];
+            let mut dr = DualRail { good: v, faulty: v };
+            if fault.site == FaultSite::Stem(net) {
+                dr.faulty = Some(fault.stuck_value);
+            }
+            values[net.index()] = dr;
+        }
+        let mut good_in: Vec<T3> = Vec::with_capacity(8);
+        let mut faulty_in: Vec<T3> = Vec::with_capacity(8);
+        for &gid in nl.comb_order() {
+            let gate = nl.gate(gid);
+            good_in.clear();
+            faulty_in.clear();
+            for (pin, &inp) in gate.inputs.iter().enumerate() {
+                let dr = values[inp.index()];
+                good_in.push(dr.good);
+                let mut f = dr.faulty;
+                if let FaultSite::Pin { gate: fg, pin: fp } = fault.site {
+                    if fg == gid && fp as usize == pin {
+                        f = Some(fault.stuck_value);
+                    }
+                }
+                faulty_in.push(f);
+            }
+            let mut dr = DualRail {
+                good: eval3(gate.kind, &good_in),
+                faulty: eval3(gate.kind, &faulty_in),
+            };
+            if fault.site == FaultSite::Stem(gate.output) {
+                dr.faulty = Some(fault.stuck_value);
+            }
+            values[gate.output.index()] = dr;
+        }
+        values
+    }
+
+    /// The net whose good value activates the fault, and the required value.
+    fn activation_objective(&self, fault: &Fault) -> (NetId, bool) {
+        let net = match fault.site {
+            FaultSite::Stem(net) => net,
+            FaultSite::Pin { gate, pin } => self.netlist.gate(gate).inputs[pin as usize],
+        };
+        (net, !fault.stuck_value)
+    }
+
+    /// Backtraces an objective to an unassigned primary input.
+    fn backtrace(&self, values: &[DualRail], mut net: NetId, mut value: bool) -> Option<(NetId, bool)> {
+        loop {
+            match self.netlist.driver(net) {
+                None => {
+                    // A primary input with good X is necessarily unassigned
+                    // and unconstrained.
+                    debug_assert!(values[net.index()].good.is_none());
+                    return Some((net, value));
+                }
+                Some(gid) => {
+                    let gate = self.netlist.gate(gid);
+                    let x_input = gate
+                        .inputs
+                        .iter()
+                        .find(|i| values[i.index()].good.is_none())?;
+                    value = match gate.kind {
+                        GateKind::Nand | GateKind::Nor | GateKind::Not => !value,
+                        _ => value,
+                    };
+                    net = *x_input;
+                }
+            }
+        }
+    }
+
+    fn podem(&self, fault: &Fault, rng: &mut StdRng) -> PodemOutcome {
+        let nl = self.netlist;
+        let n_inputs = nl.inputs().len();
+        let mut pi: Vec<T3> = (0..n_inputs)
+            .map(|pos| self.constraints.get(&nl.inputs()[pos]).copied())
+            .collect();
+        // Decision stack: (input position, value, flipped yet?).
+        let mut stack: Vec<(usize, bool, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+        let mut heuristic_cutoff = false;
+        let (act_net, act_value) = self.activation_objective(fault);
+
+        loop {
+            let values = self.simulate(&pi, fault);
+
+            // Success: fault effect at a primary output.
+            if nl
+                .outputs()
+                .iter()
+                .any(|o| values[o.index()].has_effect())
+            {
+                let pattern: Vec<bool> = pi
+                    .iter()
+                    .map(|v| v.unwrap_or_else(|| rng.random()))
+                    .collect();
+                return PodemOutcome::Test(pattern);
+            }
+
+            // Derive an objective, or fail this branch.
+            let objective = {
+                let act = values[act_net.index()].good;
+                if act == Some(!act_value) {
+                    None // activation conflict: sound failure
+                } else if act.is_none() {
+                    Some((act_net, act_value))
+                } else {
+                    // Activated: drive the D-frontier.
+                    match self.d_frontier_objective(&values, fault) {
+                        FrontierObjective::Objective(net, value) => Some((net, value)),
+                        FrontierObjective::NoFrontier => None, // sound failure
+                        FrontierObjective::NoXInput => {
+                            heuristic_cutoff = true;
+                            None
+                        }
+                    }
+                }
+            };
+
+            let decision = objective.and_then(|(net, value)| {
+                self.backtrace(&values, net, value).or_else(|| {
+                    heuristic_cutoff = true;
+                    None
+                })
+            });
+
+            match decision {
+                Some((net, value)) => {
+                    let pos = nl.input_position(net).expect("backtrace ends at a PI");
+                    debug_assert!(pi[pos].is_none());
+                    pi[pos] = Some(value);
+                    stack.push((pos, value, false));
+                }
+                None => {
+                    // Backtrack.
+                    backtracks += 1;
+                    if backtracks > self.config.backtrack_limit {
+                        return PodemOutcome::Aborted;
+                    }
+                    loop {
+                        match stack.pop() {
+                            Some((pos, value, false)) => {
+                                pi[pos] = Some(!value);
+                                stack.push((pos, !value, true));
+                                break;
+                            }
+                            Some((pos, _, true)) => {
+                                pi[pos] = None;
+                            }
+                            None => {
+                                return if heuristic_cutoff {
+                                    PodemOutcome::Aborted
+                                } else {
+                                    PodemOutcome::Redundant
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Picks a D-frontier gate and an X input with its non-controlling
+    /// value.
+    fn d_frontier_objective(&self, values: &[DualRail], fault: &Fault) -> FrontierObjective {
+        let nl = self.netlist;
+        let mut saw_frontier = false;
+        for &gid in nl.comb_order() {
+            let gate = nl.gate(gid);
+            let out = values[gate.output.index()];
+            if out.has_effect() || !out.is_x() {
+                continue;
+            }
+            // A gate is on the D-frontier if an input carries a fault
+            // effect — or if it *is* the faulted gate of an (activated) pin
+            // fault, whose effect exists only at the pin itself.
+            let is_fault_gate = matches!(fault.site, FaultSite::Pin { gate: fg, .. } if fg == gid);
+            if !is_fault_gate
+                && !gate.inputs.iter().any(|i| values[i.index()].has_effect())
+            {
+                continue;
+            }
+            saw_frontier = true;
+            // Mux2: steer the select towards the input carrying the effect.
+            if gate.kind == GateKind::Mux2 {
+                let sel = values[gate.inputs[0].index()];
+                if sel.good.is_none() {
+                    let effect_on_d1 = values[gate.inputs[2].index()].has_effect();
+                    return FrontierObjective::Objective(gate.inputs[0], effect_on_d1);
+                }
+            }
+            let Some(x_input) = gate
+                .inputs
+                .iter()
+                .find(|i| values[i.index()].good.is_none())
+            else {
+                continue; // this frontier gate is saturated; try another
+            };
+            let value = match gate.kind {
+                GateKind::And | GateKind::Nand => true,
+                GateKind::Or | GateKind::Nor => false,
+                _ => false,
+            };
+            return FrontierObjective::Objective(*x_input, value);
+        }
+        if saw_frontier {
+            FrontierObjective::NoXInput
+        } else {
+            FrontierObjective::NoFrontier
+        }
+    }
+}
+
+#[derive(Debug)]
+enum FrontierObjective {
+    Objective(NetId, bool),
+    NoFrontier,
+    NoXInput,
+}
+
+#[derive(Debug)]
+enum PodemOutcome {
+    Test(Vec<bool>),
+    Redundant,
+    Aborted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_gates::{FaultSimulator, NetlistBuilder};
+
+    fn full_adder_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("fa");
+        let a = b.input("a");
+        let x = b.input("x");
+        let ci = b.input("ci");
+        let axb = b.xor2(a, x);
+        let sum = b.xor2(axb, ci);
+        let t1 = b.and2(a, x);
+        let t2 = b.and2(axb, ci);
+        let co = b.or2(t1, t2);
+        b.mark_output(sum, "sum");
+        b.mark_output(co, "co");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn full_adder_complete_coverage() {
+        let n = full_adder_netlist();
+        let faults = n.collapsed_faults();
+        let res = Atpg::new(&n).run(&faults);
+        assert!(res.outcomes.iter().all(|o| o.is_detected()));
+        // Verify the patterns really detect everything.
+        let check = FaultSimulator::new(&n).simulate(&faults, &res.stimulus());
+        assert_eq!(check.coverage().percent(), 100.0);
+    }
+
+    #[test]
+    fn podem_without_random_phase() {
+        let n = full_adder_netlist();
+        let faults = n.collapsed_faults();
+        let res = Atpg::new(&n)
+            .with_config(AtpgConfig {
+                random_patterns: 0,
+                ..AtpgConfig::default()
+            })
+            .run(&faults);
+        assert!(res.outcomes.iter().all(|o| o.is_detected()));
+        let check = FaultSimulator::new(&n).simulate(&faults, &res.stimulus());
+        assert_eq!(check.coverage().percent(), 100.0);
+    }
+
+    #[test]
+    fn detects_redundant_fault() {
+        // y = a & !a is constantly 0: its stuck-at-0 is untestable.
+        let mut b = NetlistBuilder::new("red");
+        let a = b.input("a");
+        let na = b.not(a);
+        let y = b.and2(a, na);
+        b.mark_output(y, "y");
+        let n = b.finish().unwrap();
+        let fault = Fault::stem_sa0(n.outputs()[0]);
+        let res = Atpg::new(&n)
+            .with_config(AtpgConfig {
+                random_patterns: 0,
+                ..AtpgConfig::default()
+            })
+            .run(&[fault]);
+        assert_eq!(res.outcomes[0], AtpgOutcome::Redundant);
+    }
+
+    #[test]
+    fn constraints_restrict_patterns() {
+        // With input `a` pinned to 0, the AND output can never be 1, so
+        // output s-a-0 becomes untestable under constraints.
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let x = b.input("x");
+        let y = b.and2(a, x);
+        b.mark_output(y, "y");
+        let n = b.finish().unwrap();
+        let a_net = n.inputs()[0];
+        let fault = Fault::stem_sa0(n.outputs()[0]);
+        let unconstrained = Atpg::new(&n)
+            .with_config(AtpgConfig {
+                random_patterns: 0,
+                ..AtpgConfig::default()
+            })
+            .run(&[fault]);
+        assert!(unconstrained.outcomes[0].is_detected());
+        let constrained = Atpg::new(&n)
+            .with_constraints(&[InputConstraint {
+                net: a_net,
+                value: false,
+            }])
+            .with_config(AtpgConfig {
+                random_patterns: 0,
+                ..AtpgConfig::default()
+            })
+            .run(&[fault]);
+        assert_eq!(constrained.outcomes[0], AtpgOutcome::Redundant);
+        // Every emitted pattern honours the constraint.
+        for p in &constrained.patterns {
+            assert!(!p[0]);
+        }
+    }
+
+    #[test]
+    fn random_phase_detects_most_adder_faults() {
+        let n = full_adder_netlist();
+        let faults = n.collapsed_faults();
+        let res = Atpg::new(&n).run(&faults);
+        let by_random = res
+            .outcomes
+            .iter()
+            .filter(|o| **o == AtpgOutcome::DetectedByRandom)
+            .count();
+        assert!(by_random > faults.len() / 2);
+    }
+
+    #[test]
+    fn patterns_are_compacted() {
+        // 256 random patterns tried, but only first-detectors kept.
+        let n = full_adder_netlist();
+        let faults = n.collapsed_faults();
+        let res = Atpg::new(&n).run(&faults);
+        assert!(res.patterns.len() <= 8, "kept {}", res.patterns.len());
+    }
+}

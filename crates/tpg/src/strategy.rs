@@ -1,0 +1,135 @@
+//! TPG strategy selection (Section 3.3, "TPG strategy applicability").
+
+use std::fmt;
+
+use sbst_components::{Component, ComponentClass, ComponentKind};
+
+/// The paper's three test-pattern-generation strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpgStrategy {
+    /// Deterministic ATPG (gate-level, instruction-constrained PODEM);
+    /// applicable to combinational D-VCs when the pattern count is small.
+    DeterministicAtpg,
+    /// Pseudorandom software-LFSR patterns; applicable to combinational
+    /// D-VCs with irregular structure, at the cost of long pattern runs.
+    Pseudorandom,
+    /// Regular deterministic sets; applicable to combinational or
+    /// sequential D-VCs with inherent regularity — which dominate the
+    /// processor area.
+    RegularDeterministic,
+    /// High-level functional test (all opcodes / RTL coverage); the PVC
+    /// strategy, outside the three TPG strategies proper.
+    FunctionalTest,
+}
+
+impl TpgStrategy {
+    /// The abbreviation used in the paper's Table 1 ("Code Style" column
+    /// stem).
+    pub fn code(self) -> &'static str {
+        match self {
+            TpgStrategy::DeterministicAtpg => "AtpgD",
+            TpgStrategy::Pseudorandom => "PRnd",
+            TpgStrategy::RegularDeterministic => "RegD",
+            TpgStrategy::FunctionalTest => "FT",
+        }
+    }
+}
+
+impl fmt::Display for TpgStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A strategy recommendation with its rationale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyChoice {
+    /// The recommended strategy.
+    pub strategy: TpgStrategy,
+    /// Why (mirrors the paper's Section 3.3 arguments).
+    pub rationale: String,
+}
+
+/// Recommends a TPG strategy for a component, following the paper:
+///
+/// - regular deterministic for the regular D-VCs that dominate the area
+///   (ALU, multiplier, divider, register file, memory-controller datapath);
+/// - deterministic ATPG for combinational D-VCs with irregular structure
+///   and affordable deterministic pattern counts (the shifter);
+/// - functional test for PVCs (control logic);
+/// - hidden and address-visible components get no routine of their own —
+///   regular deterministic side-effect grading is reported for them.
+pub fn recommend(component: &Component) -> StrategyChoice {
+    let (strategy, rationale) = match component.kind {
+        ComponentKind::Alu
+        | ComponentKind::Comparator
+        | ComponentKind::Multiplier
+        | ComponentKind::Divider
+        | ComponentKind::RegisterFile
+        | ComponentKind::MemoryController => (
+            TpgStrategy::RegularDeterministic,
+            "regular iterative-logic D-VC: constant/linear test set independent of \
+             gate-level implementation"
+                .to_owned(),
+        ),
+        ComponentKind::Shifter => (
+            TpgStrategy::DeterministicAtpg,
+            "combinational D-VC with irregular mux-tree structure and small \
+             deterministic test set"
+                .to_owned(),
+        ),
+        ComponentKind::ControlLogic => (
+            TpgStrategy::FunctionalTest,
+            "PVC: apply all instruction opcodes for RTL coverage".to_owned(),
+        ),
+        ComponentKind::Pipeline | ComponentKind::PcUnit => (
+            TpgStrategy::RegularDeterministic,
+            match component.class {
+                ComponentClass::Hidden => {
+                    "hidden component: graded as a side effect of D-VC testing".to_owned()
+                }
+                _ => "address-carrying component: graded as a side effect; not \
+                      targeted by on-line periodic routines"
+                    .to_owned(),
+            },
+        ),
+    };
+    StrategyChoice {
+        strategy,
+        rationale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_components::{alu, control, shifter};
+
+    #[test]
+    fn regular_for_alu() {
+        let c = alu::alu(8);
+        assert_eq!(
+            recommend(&c).strategy,
+            TpgStrategy::RegularDeterministic
+        );
+    }
+
+    #[test]
+    fn atpg_for_shifter() {
+        let c = shifter::shifter(8);
+        assert_eq!(recommend(&c).strategy, TpgStrategy::DeterministicAtpg);
+    }
+
+    #[test]
+    fn functional_for_control() {
+        let c = control::control();
+        assert_eq!(recommend(&c).strategy, TpgStrategy::FunctionalTest);
+    }
+
+    #[test]
+    fn codes_match_table1() {
+        assert_eq!(TpgStrategy::RegularDeterministic.code(), "RegD");
+        assert_eq!(TpgStrategy::DeterministicAtpg.code(), "AtpgD");
+        assert_eq!(TpgStrategy::FunctionalTest.code(), "FT");
+    }
+}

@@ -1,0 +1,160 @@
+//! On-line periodic testing in a running system — the paper's Section 2
+//! scenario.
+//!
+//! Builds the whole self-test program, measures its execution time under
+//! the paper's cache assumptions, and evaluates the three activation
+//! policies (startup/shutdown, idle cycles, periodic timer) for permanent
+//! and intermittent fault detection latency, plus the scheduler overhead of
+//! periodic activation.
+//!
+//! ```text
+//! cargo run --example periodic_testing
+//! ```
+
+use std::error::Error;
+use std::time::Duration;
+
+use sbst::core::{Cut, GoldenSignatures, SelfTestProgramBuilder};
+use sbst::cpu::system::{run_time_shared, scheduler_overhead, TimeShareConfig};
+use sbst::cpu::{ActivationPolicy, AnalyticStallModel, ExecTimeEstimate, QuantumConfig};
+use sbst::isa::parse_asm;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Compose the periodic test program from the high-priority CUTs
+    // (reduced widths keep this example fast; the table1 binary runs the
+    // full 32-bit processor).
+    let mut builder = SelfTestProgramBuilder::new();
+    builder.add(Cut::alu(16));
+    builder.add(Cut::shifter(16));
+    builder.add(Cut::multiplier(8));
+    builder.add(Cut::divider(8));
+    builder.add(Cut::control());
+    let program = builder.build()?;
+    let run = program.run()?;
+    println!(
+        "self-test program: {} words, {} instructions, {} cycles, {} data refs",
+        program.size_words(),
+        run.stats.instructions,
+        run.stats.total_cycles(),
+        run.stats.data_refs()
+    );
+    for (label, sig) in &run.signatures {
+        println!("  {label}: {sig:#010x}");
+    }
+
+    let config = QuantumConfig::default();
+    let est = ExecTimeEstimate::from_stats(
+        &run.stats,
+        config,
+        Some(AnalyticStallModel::default()),
+    );
+    println!(
+        "\nexecution time @ {} MHz: {:?} — {:.4}% of one {:?} quantum (fits: {})",
+        config.clock_hz / 1e6,
+        est.time,
+        est.quantum_fraction * 100.0,
+        config.quantum,
+        est.fits_in_quantum()
+    );
+
+    // Fault-detection latency under the three activation policies.
+    println!("\npermanent-fault worst-case detection latency:");
+    let policies = [
+        (
+            "startup/shutdown (daily reboot)",
+            ActivationPolicy::StartupShutdown {
+                uptime: Duration::from_secs(24 * 3600),
+            },
+        ),
+        (
+            "scheduler idle cycles (~1 s gaps)",
+            ActivationPolicy::IdleCycles {
+                mean_idle_gap: Duration::from_secs(1),
+            },
+        ),
+        (
+            "periodic timer (500 ms)",
+            ActivationPolicy::PeriodicTimer {
+                interval: Duration::from_millis(500),
+            },
+        ),
+    ];
+    for (name, policy) in &policies {
+        println!(
+            "  {:<34} {:?}",
+            name,
+            policy.permanent_fault_latency(est.time)
+        );
+    }
+
+    // Intermittent faults: active `d` out of every `T`.
+    println!("\nintermittent fault (active 50 ms of every 2 s), timer policy:");
+    let timer = ActivationPolicy::PeriodicTimer {
+        interval: Duration::from_millis(500),
+    };
+    let active = Duration::from_millis(50);
+    let period = Duration::from_secs(2);
+    println!(
+        "  per-run detection probability: {:.3}",
+        timer.intermittent_detection_probability(active, period, est.time)
+    );
+    println!(
+        "  expected runs to detect:       {:.1}",
+        timer.expected_runs_to_detect(active, period, est.time)
+    );
+    println!(
+        "  expected detection latency:    {:?}",
+        timer.intermittent_fault_latency(active, period, est.time)
+    );
+
+    // What periodic testing costs the user programs (analytic).
+    let overhead = scheduler_overhead(est.time, Duration::from_millis(500), config);
+    println!(
+        "\nscheduler overhead at a 500 ms test period: {:.5}% CPU, \
+         {:.3} extra context switches/s, single-quantum: {}",
+        overhead.test_cpu_fraction * 100.0,
+        overhead.extra_context_switches_per_sec,
+        overhead.single_quantum
+    );
+
+    // ... and measured: actually time-share a user workload with the test
+    // process on one simulated CPU (round robin, real context switches).
+    let user = parse_asm(
+        "work:
+         addiu $t0, $t0, 1
+         multu $t0, $t0
+         mflo  $t1
+         j work
+         nop",
+    )?
+    .assemble(0x0010_0000, 0x0020_0000)?;
+    let share = run_time_shared(
+        &user,
+        &program.program,
+        TimeShareConfig {
+            quantum_cycles: 200_000,
+            test_period_cycles: 1_000_000,
+            context_switch_cycles: 100,
+            horizon_cycles: 10_000_000,
+        },
+    )?;
+    println!(
+        "\ntime-shared simulation over {} cycles: {} test runs completed, \
+         user retired {} instructions, measured test overhead {:.4}%",
+        share.total_cycles,
+        share.test_runs_completed,
+        share.user_instructions,
+        share.test_overhead_fraction() * 100.0
+    );
+
+    // Error identification: golden signatures vs an in-field run.
+    let golden = GoldenSignatures::capture(&program)?;
+    let later_run = program.run()?;
+    let diagnosis = golden.diagnose(&later_run);
+    println!(
+        "\ndiagnosis of a healthy in-field run: healthy = {}, faulty CUTs = {:?}",
+        diagnosis.healthy(),
+        diagnosis.faulty_components()
+    );
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Table-1 generation invariants on a reduced inventory, checking the
+//! *shape* of the paper's headline claims without the full 32-bit cost.
+
+use sbst::components::ComponentClass;
+use sbst::core::{Cut, Table1};
+
+fn small_cuts() -> Vec<Cut> {
+    // The full row structure: large D-VCs, the mixed-class memory
+    // controller, the PVC, and the side-effect HC/M-VC rows.
+    vec![
+        Cut::multiplier(8),
+        Cut::divider(8),
+        Cut::regfile(8, 8),
+        Cut::memctrl(),
+        Cut::shifter(8),
+        Cut::alu(8),
+        Cut::control(),
+        Cut::pipeline(8),
+        Cut::pc_unit(8, 4),
+    ]
+}
+
+#[test]
+fn table1_full_shape() {
+    let cuts = small_cuts();
+    let table = Table1::generate(&cuts).expect("table generates");
+    assert_eq!(table.rows.len(), 9);
+
+    // Seven rows carry dedicated routines (the paper unloads 7 signatures).
+    let routine_rows = table.rows.iter().filter(|r| r.dedicated_routine).count();
+    assert_eq!(routine_rows, 7);
+
+    // Every D-VC row reaches high coverage; the overall figure lands in the
+    // paper's neighbourhood ("acceptable high fault coverage").
+    for row in &table.rows {
+        if row.dedicated_routine && row.classification.starts_with("D-VC") {
+            assert!(
+                row.coverage.percent() > 85.0,
+                "{}: {}",
+                row.name,
+                row.coverage
+            );
+        }
+    }
+    assert!(
+        table.overall_coverage.percent() > 85.0,
+        "overall {}",
+        table.overall_coverage
+    );
+
+    // The memory controller is the only routine with heavy data traffic
+    // (80 of 87 references in the paper).
+    let memctrl = table
+        .rows
+        .iter()
+        .find(|r| r.name == "Memory controller")
+        .unwrap();
+    let others_max = table
+        .rows
+        .iter()
+        .filter(|r| r.name != "Memory controller")
+        .filter_map(|r| r.data_refs)
+        .max()
+        .unwrap();
+    assert!(memctrl.data_refs.unwrap() > 5 * others_max.max(1));
+
+    // Totals are consistent.
+    let gates_sum: u32 = table.rows.iter().map(|r| r.gates).sum();
+    assert_eq!(gates_sum, table.total_gates);
+    let universe: usize = cuts.iter().map(Cut::fault_count).sum();
+    assert_eq!(table.overall_coverage.total, universe);
+
+    // Missing-FC column sums to (100 - overall FC).
+    let missing_sum: f64 = table.rows.iter().map(|r| r.missing_fc(universe)).sum();
+    assert!(
+        (missing_sum - (100.0 - table.overall_coverage.percent())).abs() < 1e-6,
+        "missing sum {missing_sum}"
+    );
+}
+
+#[test]
+fn dvc_area_dominates_at_full_width() {
+    // The paper's 92 % D-VC claim concerns the 32-bit processor. Building
+    // the netlists is cheap (no fault simulation here).
+    let cuts = Cut::processor_inventory();
+    let total: u32 = cuts.iter().map(Cut::gate_equivalents).sum();
+    let dvc: u32 = cuts
+        .iter()
+        .flat_map(|c| c.component.area_split.iter())
+        .filter(|(class, _)| *class == ComponentClass::DataVisible)
+        .map(|(_, a)| a)
+        .sum();
+    let fraction = dvc as f64 / total as f64;
+    assert!(
+        fraction > 0.85,
+        "D-VC area fraction {fraction} should dominate as in the paper (92%)"
+    );
+    // Multiplier and register file are the two largest CUTs, as in Table 1.
+    let mut by_size: Vec<&Cut> = cuts.iter().collect();
+    by_size.sort_by_key(|c| std::cmp::Reverse(c.gate_equivalents()));
+    let top2: Vec<&str> = by_size[..2].iter().map(|c| c.name()).collect();
+    assert!(top2.contains(&"Register File"));
+    assert!(top2.contains(&"Parallel Mul."));
+}
