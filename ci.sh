@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint, and smoke-run the Table-1 pipeline.
+#
+#   ./ci.sh
+#
+# Everything runs with CARGO_NET_OFFLINE=true — the workspace vendors its
+# few dependencies (vendor/*), so no registry access is ever needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (tier 1: root package) =="
+cargo test -q
+
+echo "== tests (full workspace) =="
+cargo test --workspace -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== table1 smoke run (down-scaled 8-bit inventory) =="
+SBST_THREADS="${SBST_THREADS:-2}" cargo run --release -p sbst-bench --bin table1 -- --smoke
+
+echo "== ci.sh: all green =="

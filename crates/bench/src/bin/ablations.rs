@@ -17,6 +17,7 @@
 //! 5. **Fault-list collapsing**: grading cost with and without equivalence
 //!    collapsing (quality is unchanged by construction; the win is volume).
 
+use sbst_bench::sim_config_from_env;
 use sbst_core::grade::execute_routine;
 use sbst_core::{CodeStyle, Cut, RoutineSpec};
 use sbst_cpu::{CacheConfig, Cpu, CpuConfig, EnergyModel};
@@ -148,15 +149,18 @@ fn main() {
     let stimulus = sbst_core::stimulus_for(&cut, &trace);
     let all = cut.component.netlist.all_faults();
     let collapsed = cut.component.netlist.collapsed_faults();
+    let sim = sim_config_from_env();
     let t0 = Instant::now();
-    let full = FaultSimulator::new(&cut.component.netlist).simulate(&all, &stimulus);
+    let full = FaultSimulator::with_config(&cut.component.netlist, sim).simulate(&all, &stimulus);
     let t_full = t0.elapsed();
     let t0 = Instant::now();
-    let coll = FaultSimulator::new(&cut.component.netlist).simulate(&collapsed, &stimulus);
+    let coll =
+        FaultSimulator::with_config(&cut.component.netlist, sim).simulate(&collapsed, &stimulus);
     let t_coll = t0.elapsed();
     println!(
-        "uncollapsed: {} faults, {:.2?}, coverage {:.2}%",
+        "uncollapsed: {} faults ({} threads), {:.2?}, coverage {:.2}%",
         all.len(),
+        full.threads_used,
         t_full,
         full.coverage().percent()
     );

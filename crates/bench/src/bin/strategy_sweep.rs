@@ -9,10 +9,15 @@
 //! coverage that the regular deterministic and ATPG styles reach with
 //! constant/small test sets — which is why it is the fallback, not the
 //! default, for on-line periodic testing (execution time!).
+//!
+//! `SBST_THREADS` pins the fault-simulator worker count; coverage numbers
+//! are identical for every setting.
 
-use sbst_core::{grade_routine, CodeStyle, Cut, RoutineSpec};
+use sbst_bench::sim_config_from_env;
+use sbst_core::{grade_routine_with, CodeStyle, Cut, RoutineSpec};
 
 fn main() {
+    let sim = sim_config_from_env();
     for (name, cut) in [
         ("ALU (32-bit)", Cut::alu(32)),
         ("Shifter (32-bit)", Cut::shifter(32)),
@@ -23,7 +28,7 @@ fn main() {
             let mut spec = RoutineSpec::new(CodeStyle::PseudorandomLoop);
             spec.pseudorandom_count = count;
             let routine = spec.build(&cut).expect("routine builds");
-            let graded = grade_routine(&cut, &routine).expect("routine grades");
+            let graded = grade_routine_with(&cut, &routine, sim).expect("routine grades");
             println!(
                 "{:>9} {:>9} {:>9.2}",
                 count,
@@ -34,7 +39,7 @@ fn main() {
         // Reference: the recommended deterministic routine.
         let spec = RoutineSpec::recommended(&cut);
         let routine = spec.build(&cut).expect("routine builds");
-        let graded = grade_routine(&cut, &routine).expect("routine grades");
+        let graded = grade_routine_with(&cut, &routine, sim).expect("routine grades");
         println!(
             "{:>9} {:>9} {:>9.2}   <- {} (recommended)",
             "-",

@@ -1,2 +1,37 @@
 //! Benchmark harness (binaries and Criterion benches regenerating the
 //! paper's tables and figures). See `src/bin/` and `benches/`.
+
+use sbst_gates::FaultSimConfig;
+
+/// Fault-simulator configuration shared by the bench binaries.
+///
+/// Reads `SBST_THREADS` (a positive integer) to pin the worker-thread
+/// count — pinning is how runs on shared machines stay reproducible in
+/// wall time. Unset or invalid values fall back to the machine's
+/// available parallelism. Coverage numbers are identical either way.
+pub fn sim_config_from_env() -> FaultSimConfig {
+    let threads = std::env::var("SBST_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    FaultSimConfig {
+        threads,
+        ..FaultSimConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_override_parses() {
+        // Exercise the parsing path directly; the env var itself is
+        // process-global, so don't mutate it in a test.
+        let cfg = sim_config_from_env();
+        assert!(cfg.drop_on_detect);
+        if let Some(n) = cfg.threads {
+            assert!(n > 0);
+        }
+    }
+}

@@ -20,7 +20,7 @@ use sbst_components::{
     ComponentKind,
 };
 use sbst_cpu::{ArchFault, Cpu, CpuConfig, CpuError, ExecStats, OperandTrace};
-use sbst_gates::{Fault, FaultCoverage, FaultSimulator, Stimulus};
+use sbst_gates::{Fault, FaultCoverage, FaultSimConfig, FaultSimulator, Stimulus};
 
 use crate::cut::Cut;
 use crate::routine::SelfTestRoutine;
@@ -76,12 +76,19 @@ pub fn stimulus_for(cut: &Cut, trace: &OperandTrace) -> Stimulus {
 
 /// Grades the CUT's collapsed fault list against a recorded trace.
 pub fn grade_trace(cut: &Cut, trace: &OperandTrace) -> FaultCoverage {
+    grade_trace_with(cut, trace, FaultSimConfig::default())
+}
+
+/// [`grade_trace`] with an explicit fault-simulator configuration (thread
+/// count, drop-on-detect, …). Coverage is bit-identical for every
+/// configuration; only wall time differs.
+pub fn grade_trace_with(cut: &Cut, trace: &OperandTrace, sim: FaultSimConfig) -> FaultCoverage {
     let stimulus = stimulus_for(cut, trace);
     if stimulus.is_empty() {
         return FaultCoverage::new(0, cut.fault_count());
     }
     let faults = cut.component.netlist.collapsed_faults();
-    FaultSimulator::new(&cut.component.netlist)
+    FaultSimulator::with_config(&cut.component.netlist, sim)
         .simulate(&faults, &stimulus)
         .coverage()
 }
@@ -97,6 +104,10 @@ pub struct GradedRoutine {
     pub signature: u32,
     /// Program footprint in words.
     pub size_words: usize,
+    /// Worker threads the fault simulator used for grading.
+    pub sim_threads: usize,
+    /// Wall-clock time spent in fault simulation.
+    pub sim_wall_time: std::time::Duration,
 }
 
 /// Executes a routine on the ISS and grades its CUT.
@@ -106,20 +117,39 @@ pub struct GradedRoutine {
 /// Returns [`GradeError`] if execution fails or the routine never touched
 /// the CUT.
 pub fn grade_routine(cut: &Cut, routine: &SelfTestRoutine) -> Result<GradedRoutine, GradeError> {
+    grade_routine_with(cut, routine, FaultSimConfig::default())
+}
+
+/// [`grade_routine`] with an explicit fault-simulator configuration.
+///
+/// Coverage, signature and statistics are bit-identical for every thread
+/// count; [`GradedRoutine::sim_threads`] and
+/// [`GradedRoutine::sim_wall_time`] record how the grading itself ran.
+///
+/// # Errors
+///
+/// Returns [`GradeError`] if execution fails or the routine never touched
+/// the CUT.
+pub fn grade_routine_with(
+    cut: &Cut,
+    routine: &SelfTestRoutine,
+    sim: FaultSimConfig,
+) -> Result<GradedRoutine, GradeError> {
     let (stats, trace, signature) = execute_routine(routine)?;
     let stimulus = stimulus_for(cut, &trace);
     if stimulus.is_empty() {
         return Err(GradeError::EmptyTrace { kind: cut.kind() });
     }
     let faults = cut.component.netlist.collapsed_faults();
-    let coverage = FaultSimulator::new(&cut.component.netlist)
-        .simulate(&faults, &stimulus)
-        .coverage();
+    let result = FaultSimulator::with_config(&cut.component.netlist, sim)
+        .simulate(&faults, &stimulus);
     Ok(GradedRoutine {
-        coverage,
+        coverage: result.coverage(),
         stats,
         signature,
         size_words: routine.size_words(),
+        sim_threads: result.threads_used,
+        sim_wall_time: result.wall_time,
     })
 }
 
@@ -187,10 +217,25 @@ pub fn arch_validate(
     routine: &SelfTestRoutine,
     faults: &[Fault],
 ) -> Result<ArchValidation, GradeError> {
+    arch_validate_with(cut, routine, faults, FaultSimConfig::default())
+}
+
+/// [`arch_validate`] with an explicit fault-simulator configuration for the
+/// trace-replay side of the comparison.
+///
+/// # Errors
+///
+/// Returns [`GradeError`] if the fault-free run fails.
+pub fn arch_validate_with(
+    cut: &Cut,
+    routine: &SelfTestRoutine,
+    faults: &[Fault],
+    sim: FaultSimConfig,
+) -> Result<ArchValidation, GradeError> {
     // Reference: fault-free signature + replay detections.
     let (ref_stats, trace, good_signature) = execute_routine(routine)?;
     let stimulus = stimulus_for(cut, &trace);
-    let replay = FaultSimulator::new(&cut.component.netlist).simulate(
+    let replay = FaultSimulator::with_config(&cut.component.netlist, sim).simulate(
         faults,
         &stimulus,
     );

@@ -45,7 +45,10 @@ pub use classify::{classification_row, test_priority_order, testability_row};
 pub use codestyle::CodeStyle;
 pub use cut::Cut;
 pub use diagnose::{Diagnosis, GoldenSignatures};
-pub use grade::{grade_routine, grade_trace, stimulus_for, GradeError, GradedRoutine};
+pub use grade::{
+    arch_validate, arch_validate_with, grade_routine, grade_routine_with, grade_trace,
+    grade_trace_with, stimulus_for, ArchValidation, GradeError, GradedRoutine,
+};
 pub use plan::{plan_with_target, TestPlan};
 pub use program::{SelfTestProgram, SelfTestProgramBuilder};
 pub use report::{Table1, Table1Row};

@@ -6,12 +6,13 @@
 //! of the overall fault universe left uncovered ("Miss. FC").
 
 use std::fmt;
+use std::time::Duration;
 
 use sbst_components::ComponentClass;
-use sbst_gates::FaultCoverage;
+use sbst_gates::{FaultCoverage, FaultSimConfig};
 
 use crate::cut::Cut;
-use crate::grade::{grade_routine, grade_trace, GradeError};
+use crate::grade::{grade_routine_with, grade_trace_with, GradeError};
 use crate::program::SelfTestProgramBuilder;
 use crate::routine::{BuildRoutineError, RoutineSpec};
 
@@ -98,6 +99,10 @@ pub struct Table1 {
     /// Share of processor area in D-VC components, in percent (the paper
     /// reports 92 %).
     pub dvc_area_percent: f64,
+    /// Largest worker-thread count the fault simulator used while grading.
+    pub sim_threads: usize,
+    /// Total wall-clock time spent in fault simulation across all rows.
+    pub grading_wall_time: Duration,
 }
 
 impl Table1 {
@@ -112,7 +117,22 @@ impl Table1 {
     ///
     /// Returns [`Table1Error`] if any routine fails to build, run or grade.
     pub fn generate(cuts: &[Cut]) -> Result<Table1, Table1Error> {
+        Table1::generate_with(cuts, FaultSimConfig::default())
+    }
+
+    /// [`Table1::generate`] with an explicit fault-simulator configuration.
+    ///
+    /// Every coverage number is bit-identical for every thread count; the
+    /// configuration only changes [`Table1::grading_wall_time`] (and the
+    /// recorded [`Table1::sim_threads`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Table1Error`] if any routine fails to build, run or grade.
+    pub fn generate_with(cuts: &[Cut], sim: FaultSimConfig) -> Result<Table1, Table1Error> {
         let mut rows = Vec::with_capacity(cuts.len());
+        let mut sim_threads = 1usize;
+        let mut grading_wall_time = Duration::ZERO;
         let mut builder = SelfTestProgramBuilder::new();
         let mut routine_cuts = Vec::new();
         for cut in cuts {
@@ -132,7 +152,9 @@ impl Table1 {
             let row = if routine_cuts.iter().any(|c| c.kind() == cut.kind()) {
                 let spec = RoutineSpec::recommended(cut);
                 let routine = spec.build(cut)?;
-                let graded = grade_routine(cut, &routine)?;
+                let graded = grade_routine_with(cut, &routine, sim)?;
+                sim_threads = sim_threads.max(graded.sim_threads);
+                grading_wall_time += graded.sim_wall_time;
                 Table1Row {
                     name: cut.name().to_owned(),
                     gates: cut.gate_equivalents(),
@@ -145,7 +167,9 @@ impl Table1 {
                     dedicated_routine: true,
                 }
             } else {
-                let coverage = grade_trace(cut, &combined_run.trace);
+                let started = std::time::Instant::now();
+                let coverage = grade_trace_with(cut, &combined_run.trace, sim);
+                grading_wall_time += started.elapsed();
                 Table1Row {
                     name: cut.name().to_owned(),
                     gates: cut.gate_equivalents(),
@@ -181,6 +205,8 @@ impl Table1 {
             } else {
                 dvc_gates as f64 / total_gates as f64 * 100.0
             },
+            sim_threads,
+            grading_wall_time,
         })
     }
 }
@@ -221,6 +247,13 @@ impl Table1 {
             self.total_cycles,
             self.total_data_refs,
             self.overall_coverage.percent(),
+        );
+        let _ = writeln!(
+            out,
+            "\nFault grading: {} thread{} · {:.3} s wall",
+            self.sim_threads,
+            if self.sim_threads == 1 { "" } else { "s" },
+            self.grading_wall_time.as_secs_f64(),
         );
         out
     }
@@ -292,6 +325,13 @@ impl fmt::Display for Table1 {
             self.total_cycles,
             self.total_data_refs,
             self.overall_coverage.percent(),
+        )?;
+        writeln!(
+            f,
+            "Fault grading: {} thread{} · {:.3} s wall",
+            self.sim_threads,
+            if self.sim_threads == 1 { "" } else { "s" },
+            self.grading_wall_time.as_secs_f64(),
         )
     }
 }
@@ -325,6 +365,18 @@ mod tests {
         let text = table.to_string();
         assert!(text.contains("Component"));
         assert!(text.contains("Total"));
+    }
+
+    #[test]
+    fn pinned_thread_counts_reproduce_identical_coverage() {
+        let cuts = vec![Cut::alu(8), Cut::pipeline(8)];
+        let serial = Table1::generate_with(&cuts, FaultSimConfig::with_threads(1)).unwrap();
+        let parallel = Table1::generate_with(&cuts, FaultSimConfig::with_threads(4)).unwrap();
+        for (a, b) in serial.rows.iter().zip(&parallel.rows) {
+            assert_eq!(a.coverage, b.coverage, "{}", a.name);
+        }
+        assert_eq!(serial.overall_coverage, parallel.overall_coverage);
+        assert!(serial.to_string().contains("Fault grading: 1 thread"));
     }
 
     #[test]

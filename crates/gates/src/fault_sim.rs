@@ -1,4 +1,26 @@
 //! Parallel single-stuck-at fault simulation.
+//!
+//! Two levels of parallelism compose here:
+//!
+//! 1. **Bit-level**: each simulation pass packs up to [`LANES`]` - 1`
+//!    faulty machines plus one fault-free reference machine into the 64
+//!    lanes of a [`Simulator`] word.
+//! 2. **Thread-level**: the fault list is partitioned into those
+//!    [`LANES`]` - 1`-sized batches (see [`fault_batches`]), and the
+//!    batches fan out over scoped worker threads. Batches are mutually
+//!    independent — every worker owns a private [`Simulator`] — so the
+//!    reduction is a deterministic, fault-index-ordered merge and the
+//!    results are **bit-identical** to the single-threaded path.
+//!
+//! Workers publish detections into a shared atomic bitmap as they find
+//! them (each fault's bit is owned by exactly one batch, hence one
+//! thread), and `drop_on_detect` keeps working unchanged: a worker stops
+//! clocking a batch as soon as all of its own faults are detected.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 use crate::coverage::FaultCoverage;
 use crate::fault::Fault;
@@ -62,6 +84,24 @@ impl Stimulus {
     }
 }
 
+/// Partitions `fault_count` faults into the contiguous index ranges graded
+/// together in one simulation pass ([`LANES`]` - 1` faults per batch; lane 0
+/// carries the fault-free reference machine).
+///
+/// Every fault index appears in exactly one range, in order. An empty fault
+/// list yields a single empty batch: the simulator still runs one
+/// reference-only pass to record fault-free responses.
+pub fn fault_batches(fault_count: usize) -> Vec<Range<usize>> {
+    let per_batch = LANES - 1;
+    let n_batches = fault_count.div_ceil(per_batch).max(1);
+    (0..n_batches)
+        .map(|b| {
+            let start = b * per_batch;
+            start..(start + per_batch).min(fault_count)
+        })
+        .collect()
+}
+
 /// Configuration for [`FaultSimulator`].
 #[derive(Debug, Clone, Copy)]
 pub struct FaultSimConfig {
@@ -69,6 +109,14 @@ pub struct FaultSimConfig {
     pub drop_on_detect: bool,
     /// Reset flip-flops before each batch (almost always desired).
     pub reset_between_batches: bool,
+    /// Worker threads for fault-batch fan-out.
+    ///
+    /// `None` (the default) uses [`std::thread::available_parallelism`];
+    /// `Some(1)` is the exact single-threaded legacy path; `Some(n)` pins
+    /// the pool, which is how benches make wall-clock numbers reproducible.
+    /// The effective count never exceeds the number of batches. Coverage
+    /// results are bit-identical for every setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for FaultSimConfig {
@@ -76,7 +124,27 @@ impl Default for FaultSimConfig {
         FaultSimConfig {
             drop_on_detect: true,
             reset_between_batches: true,
+            threads: None,
         }
+    }
+}
+
+impl FaultSimConfig {
+    /// Default configuration with a pinned worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        FaultSimConfig {
+            threads: Some(threads.max(1)),
+            ..FaultSimConfig::default()
+        }
+    }
+
+    /// The worker count this configuration resolves to for `batch_count`
+    /// fault batches.
+    pub fn resolved_threads(&self, batch_count: usize) -> usize {
+        let requested = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        });
+        requested.clamp(1, batch_count.max(1))
     }
 }
 
@@ -90,6 +158,10 @@ pub struct FaultSimResult {
     /// Fault-free output words per observed cycle (outputs packed LSB-first
     /// into `u64`s, 64 outputs per word).
     pub fault_free_responses: Vec<Vec<u64>>,
+    /// Worker threads actually used for this run.
+    pub threads_used: usize,
+    /// Wall-clock time of the run.
+    pub wall_time: Duration,
 }
 
 impl FaultSimResult {
@@ -112,14 +184,42 @@ impl FaultSimResult {
     }
 }
 
+/// Shared atomic detection bitmap, one bit per fault index.
+///
+/// Each bit is set by at most one worker (the one grading the fault's
+/// batch), so relaxed ordering suffices; the scoped-thread join provides
+/// the final happens-before edge for the merge.
+struct DetectedBitmap {
+    words: Vec<AtomicU64>,
+}
+
+impl DetectedBitmap {
+    fn new(fault_count: usize) -> Self {
+        DetectedBitmap {
+            words: (0..fault_count.div_ceil(64).max(1))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    fn set(&self, index: usize) {
+        self.words[index / 64].fetch_or(1u64 << (index % 64), Ordering::Relaxed);
+    }
+
+    fn get(&self, index: usize) -> bool {
+        self.words[index / 64].load(Ordering::Relaxed) >> (index % 64) & 1 == 1
+    }
+}
+
 /// Parallel single-stuck-at fault simulator.
 ///
 /// Packs up to [`LANES`]` - 1` faulty machines plus one fault-free
-/// reference machine (lane 0) into each simulation pass. A fault is
-/// *detected* when any primary output differs from the reference lane on an
-/// observed cycle — the same criterion commercial fault simulators use.
-/// MISR aliasing, which the paper argues is negligible, can be audited
-/// separately with `sbst-tpg`'s MISR model.
+/// reference machine (lane 0) into each simulation pass, and fans the
+/// passes out over worker threads (see [`FaultSimConfig::threads`]). A
+/// fault is *detected* when any primary output differs from the reference
+/// lane on an observed cycle — the same criterion commercial fault
+/// simulators use. MISR aliasing, which the paper argues is negligible, can
+/// be audited separately with `sbst-tpg`'s MISR model.
 #[derive(Debug)]
 pub struct FaultSimulator<'a> {
     netlist: &'a Netlist,
@@ -142,90 +242,201 @@ impl<'a> FaultSimulator<'a> {
 
     /// Grades `faults` against `stimulus`.
     ///
-    /// Returns per-fault detection data; see [`FaultSimResult`].
+    /// Returns per-fault detection data; see [`FaultSimResult`]. The result
+    /// is bit-identical for every thread count.
     pub fn simulate(&self, faults: &[Fault], stimulus: &Stimulus) -> FaultSimResult {
+        let start = Instant::now();
+        let batches = fault_batches(faults.len());
+        let threads = self.config.resolved_threads(batches.len());
+        let mut result = if threads <= 1 {
+            self.simulate_serial(&batches, faults, stimulus)
+        } else {
+            self.simulate_threaded(&batches, faults, stimulus, threads)
+        };
+        result.threads_used = threads;
+        result.wall_time = start.elapsed();
+        result
+    }
+
+    /// The legacy single-threaded path: batches graded in order on the
+    /// calling thread.
+    fn simulate_serial(
+        &self,
+        batches: &[Range<usize>],
+        faults: &[Fault],
+        stimulus: &Stimulus,
+    ) -> FaultSimResult {
         let mut detected = vec![false; faults.len()];
         let mut detecting_cycle = vec![None; faults.len()];
-        let mut fault_free_responses: Vec<Vec<u64>> = Vec::new();
-        let mut recorded_reference = false;
-
-        let per_batch = LANES - 1;
-        let batches = faults.len().div_ceil(per_batch).max(1);
-        for batch in 0..batches {
-            let start = batch * per_batch;
-            let end = (start + per_batch).min(faults.len());
-            let batch_faults = &faults[start..end];
-            if batch_faults.is_empty() && recorded_reference {
-                break;
+        let mut fault_free_responses = Vec::new();
+        for (index, range) in batches.iter().enumerate() {
+            let reference = self.run_batch(
+                &faults[range.clone()],
+                range.start,
+                stimulus,
+                index == 0,
+                &mut |fault_index, cycle| {
+                    detected[fault_index] = true;
+                    detecting_cycle[fault_index] = Some(cycle);
+                },
+            );
+            if let Some(responses) = reference {
+                fault_free_responses = responses;
             }
-
-            let mut sim = Simulator::new(self.netlist);
-            if self.config.reset_between_batches {
-                sim.reset();
-            }
-            for (lane_off, fault) in batch_faults.iter().enumerate() {
-                sim.inject_fault(fault, 1u64 << (lane_off + 1));
-            }
-            // Mask of lanes carrying live (not yet detected) faults:
-            // lanes 1..=batch_faults.len().
-            let live_mask: u64 = (((1u128 << batch_faults.len()) - 1) as u64) << 1;
-            let mut undetected_mask = live_mask;
-
-            for (cycle, (inputs, observe)) in stimulus.iter().enumerate() {
-                let cycle_index = cycle as u32;
-                debug_assert_eq!(inputs.len(), self.netlist.inputs().len());
-                for (pos, &net) in self.netlist.inputs().iter().enumerate() {
-                    sim.set_input(net, inputs[pos]);
-                }
-                sim.eval();
-                if observe {
-                    let mut diff_mask = 0u64;
-                    let outputs = self.netlist.outputs();
-                    let mut response_words: Vec<u64> = if recorded_reference {
-                        Vec::new()
-                    } else {
-                        vec![0; outputs.len().div_ceil(64)]
-                    };
-                    for (k, &out) in outputs.iter().enumerate() {
-                        let v = sim.value(out);
-                        let reference = 0u64.wrapping_sub(v & 1); // broadcast lane 0
-                        diff_mask |= v ^ reference;
-                        if !recorded_reference && (v & 1) == 1 {
-                            response_words[k / 64] |= 1u64 << (k % 64);
-                        }
-                    }
-                    if !recorded_reference {
-                        fault_free_responses.push(response_words);
-                    }
-                    let newly = diff_mask & undetected_mask;
-                    if newly != 0 {
-                        let mut bits = newly;
-                        while bits != 0 {
-                            let lane = bits.trailing_zeros() as usize;
-                            bits &= bits - 1;
-                            let idx = start + lane - 1;
-                            detected[idx] = true;
-                            detecting_cycle[idx] = Some(cycle_index);
-                        }
-                        undetected_mask &= !newly;
-                        if self.config.drop_on_detect
-                            && undetected_mask == 0
-                            && recorded_reference
-                        {
-                            break;
-                        }
-                    }
-                }
-                sim.step();
-            }
-            recorded_reference = true;
         }
-
         FaultSimResult {
             detected,
             detecting_cycle,
             fault_free_responses,
+            threads_used: 1,
+            wall_time: Duration::ZERO,
         }
+    }
+
+    /// Fans batches out over `threads` scoped workers and merges the
+    /// per-batch results in fault-index order.
+    fn simulate_threaded(
+        &self,
+        batches: &[Range<usize>],
+        faults: &[Fault],
+        stimulus: &Stimulus,
+        threads: usize,
+    ) -> FaultSimResult {
+        let bitmap = DetectedBitmap::new(faults.len());
+        // One slot per batch for the detecting-cycle vector; each slot is
+        // written by exactly one worker.
+        let cycle_slots: Vec<OnceLock<Vec<Option<u32>>>> =
+            (0..batches.len()).map(|_| OnceLock::new()).collect();
+        let reference_slot: OnceLock<Vec<Vec<u64>>> = OnceLock::new();
+        let next_batch = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let index = next_batch.fetch_add(1, Ordering::Relaxed);
+                    let Some(range) = batches.get(index) else {
+                        break;
+                    };
+                    let mut cycles = vec![None; range.len()];
+                    let base = range.start;
+                    let reference = self.run_batch(
+                        &faults[range.clone()],
+                        base,
+                        stimulus,
+                        index == 0,
+                        &mut |fault_index, cycle| {
+                            bitmap.set(fault_index);
+                            cycles[fault_index - base] = Some(cycle);
+                        },
+                    );
+                    cycle_slots[index]
+                        .set(cycles)
+                        .expect("each batch is graded exactly once");
+                    if let Some(responses) = reference {
+                        reference_slot
+                            .set(responses)
+                            .expect("only batch 0 records the reference");
+                    }
+                });
+            }
+        });
+
+        // Deterministic reduction: visit batches (hence faults) in index
+        // order, independent of which worker graded what when.
+        let mut detected = vec![false; faults.len()];
+        let mut detecting_cycle = vec![None; faults.len()];
+        for (index, range) in batches.iter().enumerate() {
+            let cycles = cycle_slots[index].get().expect("every batch ran");
+            for (offset, fault_index) in range.clone().enumerate() {
+                detecting_cycle[fault_index] = cycles[offset];
+                detected[fault_index] = bitmap.get(fault_index);
+            }
+        }
+        FaultSimResult {
+            detected,
+            detecting_cycle,
+            fault_free_responses: reference_slot.into_inner().unwrap_or_default(),
+            threads_used: threads,
+            wall_time: Duration::ZERO,
+        }
+    }
+
+    /// Grades one batch of faults on a private [`Simulator`].
+    ///
+    /// Reports each detection through `on_detect(global_fault_index,
+    /// cycle)`. When `record_reference` is set (the first batch), the
+    /// fault-free lane-0 responses of every observed cycle are returned and
+    /// the batch never stops early — the reference must span the whole
+    /// stimulus. Other batches may stop early under
+    /// [`FaultSimConfig::drop_on_detect`].
+    fn run_batch(
+        &self,
+        batch_faults: &[Fault],
+        base_index: usize,
+        stimulus: &Stimulus,
+        record_reference: bool,
+        on_detect: &mut dyn FnMut(usize, u32),
+    ) -> Option<Vec<Vec<u64>>> {
+        debug_assert!(batch_faults.len() < LANES);
+        let mut sim = Simulator::new(self.netlist);
+        if self.config.reset_between_batches {
+            sim.reset();
+        }
+        for (lane_off, fault) in batch_faults.iter().enumerate() {
+            sim.inject_fault(fault, 1u64 << (lane_off + 1));
+        }
+        // Mask of lanes carrying live (not yet detected) faults:
+        // lanes 1..=batch_faults.len().
+        let live_mask: u64 = (((1u128 << batch_faults.len()) - 1) as u64) << 1;
+        let mut undetected_mask = live_mask;
+        let mut fault_free_responses: Vec<Vec<u64>> = Vec::new();
+
+        for (cycle, (inputs, observe)) in stimulus.iter().enumerate() {
+            let cycle_index = cycle as u32;
+            debug_assert_eq!(inputs.len(), self.netlist.inputs().len());
+            for (pos, &net) in self.netlist.inputs().iter().enumerate() {
+                sim.set_input(net, inputs[pos]);
+            }
+            sim.eval();
+            if observe {
+                let mut diff_mask = 0u64;
+                let outputs = self.netlist.outputs();
+                let mut response_words: Vec<u64> = if record_reference {
+                    vec![0; outputs.len().div_ceil(64)]
+                } else {
+                    Vec::new()
+                };
+                for (k, &out) in outputs.iter().enumerate() {
+                    let v = sim.value(out);
+                    let reference = 0u64.wrapping_sub(v & 1); // broadcast lane 0
+                    diff_mask |= v ^ reference;
+                    if record_reference && (v & 1) == 1 {
+                        response_words[k / 64] |= 1u64 << (k % 64);
+                    }
+                }
+                if record_reference {
+                    fault_free_responses.push(response_words);
+                }
+                let newly = diff_mask & undetected_mask;
+                if newly != 0 {
+                    let mut bits = newly;
+                    while bits != 0 {
+                        let lane = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        on_detect(base_index + lane - 1, cycle_index);
+                    }
+                    undetected_mask &= !newly;
+                    if self.config.drop_on_detect
+                        && undetected_mask == 0
+                        && !record_reference
+                    {
+                        break;
+                    }
+                }
+            }
+            sim.step();
+        }
+        record_reference.then_some(fault_free_responses)
     }
 }
 
@@ -341,5 +552,84 @@ mod tests {
             .map(|w| w[0] & 1)
             .collect();
         assert_eq!(bits, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn batches_partition_every_fault_exactly_once() {
+        for count in [0usize, 1, 62, 63, 64, 126, 127, 500] {
+            let batches = fault_batches(count);
+            let mut seen = vec![0usize; count];
+            for range in &batches {
+                assert!(range.len() < LANES);
+                for i in range.clone() {
+                    seen[i] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "count {count}");
+            assert!(!batches.is_empty());
+        }
+    }
+
+    #[test]
+    fn threaded_simulation_matches_serial_bitwise() {
+        // A wide XOR/OR mix with enough faults for several batches.
+        let mut b = NetlistBuilder::new("mix");
+        let bus = b.input_bus("a", 48);
+        let mut acc = bus.net(0);
+        for (i, &net) in bus.nets().iter().enumerate().skip(1) {
+            acc = if i % 3 == 0 {
+                b.xor2(acc, net)
+            } else if i % 3 == 1 {
+                b.and2(acc, net)
+            } else {
+                b.or2(acc, net)
+            };
+        }
+        b.mark_output(acc, "o");
+        let n = b.finish().unwrap();
+        let faults = n.collapsed_faults();
+        assert!(faults.len() > 2 * (LANES - 1), "need several batches");
+        let mut s = Stimulus::new();
+        let mut word = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..32 {
+            word = word.rotate_left(17).wrapping_mul(0xD134_2543_DE82_EF95);
+            let bits: Vec<bool> = (0..48).map(|i| word >> i & 1 == 1).collect();
+            s.push_pattern(&bits);
+        }
+        let serial = FaultSimulator::with_config(&n, FaultSimConfig::with_threads(1))
+            .simulate(&faults, &s);
+        for threads in [2usize, 3, 8] {
+            let parallel =
+                FaultSimulator::with_config(&n, FaultSimConfig::with_threads(threads))
+                    .simulate(&faults, &s);
+            assert_eq!(parallel.detected, serial.detected, "{threads} threads");
+            assert_eq!(
+                parallel.detecting_cycle, serial.detecting_cycle,
+                "{threads} threads"
+            );
+            assert_eq!(
+                parallel.fault_free_responses, serial.fault_free_responses,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_is_reported_and_clamped() {
+        let n = and2_netlist();
+        let faults = n.collapsed_faults(); // single batch
+        let res = FaultSimulator::with_config(&n, FaultSimConfig::with_threads(16))
+            .simulate(&faults, &exhaustive2());
+        assert_eq!(res.threads_used, 1, "clamped to the single batch");
+        assert_eq!(res.coverage().percent(), 100.0);
+    }
+
+    #[test]
+    fn empty_fault_list_still_records_reference_in_parallel() {
+        let n = and2_netlist();
+        let res = FaultSimulator::with_config(&n, FaultSimConfig::with_threads(4))
+            .simulate(&[], &exhaustive2());
+        assert_eq!(res.fault_free_responses.len(), 4);
+        assert!(res.detected.is_empty());
     }
 }

@@ -55,7 +55,7 @@ pub mod verilog;
 pub use error::BuildNetlistError;
 pub use scoap::Testability;
 pub use fault::{collapse_faults, enumerate_faults, Fault, FaultSite};
-pub use fault_sim::{FaultSimConfig, FaultSimResult, FaultSimulator, Stimulus};
+pub use fault_sim::{fault_batches, FaultSimConfig, FaultSimResult, FaultSimulator, Stimulus};
 pub use gate::{Gate, GateId, GateKind};
 pub use net::{Bus, NetId};
 pub use netlist::{Netlist, NetlistBuilder};

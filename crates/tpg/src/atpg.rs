@@ -12,7 +12,9 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use sbst_gates::{Fault, FaultSimulator, FaultSite, GateKind, NetId, Netlist, Stimulus};
+use sbst_gates::{
+    Fault, FaultSimConfig, FaultSimulator, FaultSite, GateKind, NetId, Netlist, Stimulus,
+};
 
 /// Fixes a primary input to a constant for every generated pattern —
 /// the "instruction-imposed constraints" of the paper (e.g. operation
@@ -34,6 +36,10 @@ pub struct AtpgConfig {
     pub backtrack_limit: usize,
     /// Seed for the random phase and X-filling.
     pub rng_seed: u64,
+    /// Worker threads for the fault-grading passes (random phase and PODEM
+    /// fault dropping); `None` uses the machine's available parallelism.
+    /// Pattern sets and outcomes are bit-identical for every setting.
+    pub sim_threads: Option<usize>,
 }
 
 impl Default for AtpgConfig {
@@ -42,6 +48,7 @@ impl Default for AtpgConfig {
             random_patterns: 256,
             backtrack_limit: 2_000,
             rng_seed: 0x5B57_1E57,
+            sim_threads: None,
         }
     }
 }
@@ -229,6 +236,14 @@ impl<'a> Atpg<'a> {
         self
     }
 
+    /// Fault-simulator configuration for the grading passes.
+    fn sim_config(&self) -> FaultSimConfig {
+        FaultSimConfig {
+            threads: self.config.sim_threads,
+            ..FaultSimConfig::default()
+        }
+    }
+
     /// Runs the random phase followed by PODEM on the remaining faults.
     pub fn run(&self, faults: &[Fault]) -> AtpgResult {
         let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
@@ -253,7 +268,7 @@ impl<'a> Atpg<'a> {
                 stim.push_pattern(&p);
                 random_set.push(p);
             }
-            let sim = FaultSimulator::new(self.netlist);
+            let sim = FaultSimulator::with_config(self.netlist, self.sim_config());
             let res = sim.simulate(faults, &stim);
             // Keep only patterns that were the first detector of some fault.
             let mut keep: Vec<u32> = res
@@ -289,7 +304,7 @@ impl<'a> Atpg<'a> {
                         remaining.iter().map(|&i| faults[i]).collect();
                     let mut stim = Stimulus::new();
                     stim.push_pattern(&pattern);
-                    let res = FaultSimulator::new(self.netlist)
+                    let res = FaultSimulator::with_config(self.netlist, self.sim_config())
                         .simulate(&remaining_faults, &stim);
                     for (k, &i) in remaining.iter().enumerate() {
                         if res.detected[k] {

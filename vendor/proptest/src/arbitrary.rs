@@ -1,0 +1,78 @@
+//! [`Arbitrary`] and [`any`]: type-driven generation for `name: Type`
+//! parameters of the `proptest!` macro.
+
+use std::marker::PhantomData;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly ASCII with occasional higher code points, always valid.
+        match rng.below(4) {
+            0..=2 => (0x20 + rng.below(0x5F) as u32) as u8 as char,
+            _ => char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}'),
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> std::fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "any::<{}>()", std::any::type_name::<T>())
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-domain strategy for `T` (mirror of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_small_domains() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[usize::from(any::<bool>().generate(&mut rng))] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

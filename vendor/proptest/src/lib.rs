@@ -1,0 +1,190 @@
+//! Offline stand-in for the subset of the [`proptest`] crate API this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small, dependency-free property-testing harness under the same crate
+//! name. It keeps the call sites source-compatible: the [`proptest!`] macro
+//! (with `#![proptest_config(..)]`, `pat in strategy` and `name: Type`
+//! parameters), [`strategy::Strategy`] with `prop_map`/`prop_flat_map`,
+//! [`arbitrary::any`], `prop::collection::vec`, `prop::sample::{select,
+//! Index}`, range strategies, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted for an offline
+//! test harness:
+//!
+//! - **No shrinking.** A failing case is reported verbatim (with its debug
+//!   representation, case number and seed) instead of being minimized.
+//! - **Deterministic seeding.** Each test derives its stream from the test
+//!   name and case index, so failures reproduce exactly in CI; set
+//!   `PROPTEST_SEED` to an integer to explore a different stream.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of the real crate's `prop` re-export module.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the current property case unless `cond` holds.
+///
+/// Expands to an early `return Err(..)` inside the case closure, exactly
+/// like the real crate — so it must be used inside `proptest!` bodies (or
+/// any function returning `Result<(), TestCaseError>`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}: `{:?}` == `{:?}`",
+            format!($($fmt)*),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current property case unless the two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}: `{:?}` != `{:?}`",
+            format!($($fmt)*),
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests.
+///
+/// Mirrors the real macro's surface for the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     /// Doc comments and attributes pass through.
+///     #[test]
+///     fn my_property(x in 0u32..100, y: u16) {
+///         prop_assert!(x < 100);
+///         let _ = y;
+///     }
+/// }
+/// ```
+///
+/// Parameters are either `pattern in strategy` or `name: Type` (the latter
+/// drawing from [`arbitrary::any`]).
+#[macro_export]
+macro_rules! proptest {
+    // Entry: explicit config.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@items ($config) $($rest)*);
+    };
+
+    // Item loop: done.
+    (@items ($config:expr)) => {};
+    // Item loop: one test function, then recurse.
+    (@items ($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)+) $body:block
+     $($rest:tt)*
+    ) => {
+        $crate::proptest!(
+            @munch {cfg: ($config), meta: ($(#[$meta])*), name: $name, body: ($body)}
+            [] [] $($params)+
+        );
+        $crate::proptest!(@items ($config) $($rest)*);
+    };
+
+    // Parameter munching: `pat in strategy`.
+    (@munch $fixed:tt [$($s:tt)*] [$($p:tt)*] $var:ident in $strat:expr, $($rest:tt)+) => {
+        $crate::proptest!(@munch $fixed [$($s)* ($strat),] [$($p)* $var,] $($rest)+);
+    };
+    (@munch $fixed:tt [$($s:tt)*] [$($p:tt)*] $var:ident in $strat:expr $(,)?) => {
+        $crate::proptest!(@emit $fixed [$($s)* ($strat),] [$($p)* $var,]);
+    };
+    // Parameter munching: `name: Type` (arbitrary).
+    (@munch $fixed:tt [$($s:tt)*] [$($p:tt)*] $var:ident : $ty:ty, $($rest:tt)+) => {
+        $crate::proptest!(
+            @munch $fixed [$($s)* ($crate::arbitrary::any::<$ty>()),] [$($p)* $var,] $($rest)+
+        );
+    };
+    (@munch $fixed:tt [$($s:tt)*] [$($p:tt)*] $var:ident : $ty:ty $(,)?) => {
+        $crate::proptest!(@emit $fixed [$($s)* ($crate::arbitrary::any::<$ty>()),] [$($p)* $var,]);
+    };
+
+    // Emit the finished test item.
+    (@emit {cfg: ($config:expr), meta: ($($meta:tt)*), name: $name:ident, body: ($body:block)}
+     [$($s:tt)*] [$($p:tt)*]
+    ) => {
+        $($meta)*
+        fn $name() {
+            let strategy = ($($s)*);
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner.run_named(stringify!($name), &strategy, |($($p)*)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    };
+
+    // Entry: default config. Must come after the `@` arms so it does not
+    // swallow internal invocations.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@items ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

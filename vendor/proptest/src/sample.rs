@@ -1,0 +1,78 @@
+//! Sampling strategies (`prop::sample::{select, Index}`).
+
+use crate::arbitrary::Arbitrary;
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy choosing uniformly from a fixed set of values.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Uniform choice from `options` (mirror of `proptest::sample::select`).
+///
+/// # Panics
+///
+/// The returned strategy panics on generation if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "select() needs options");
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+/// An index into a collection whose length is only known inside the test
+/// body (mirror of `proptest::sample::Index`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects onto a concrete collection length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn select_only_yields_options() {
+        let mut rng = TestRng::seed_from_u64(31);
+        let s = select(vec![2u8, 5, 9]);
+        for _ in 0..64 {
+            assert!([2, 5, 9].contains(&s.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn index_is_in_range() {
+        let mut rng = TestRng::seed_from_u64(32);
+        for len in [1usize, 2, 7, 100] {
+            for _ in 0..16 {
+                let idx = any::<Index>().generate(&mut rng);
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+}

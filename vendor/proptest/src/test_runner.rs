@@ -1,0 +1,143 @@
+//! The case loop: [`ProptestConfig`], [`TestRunner`] and failure reporting.
+
+use std::fmt;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Runner configuration (mirror of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Default configuration with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// An assertion failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Drives a strategy through the configured number of cases.
+///
+/// Unlike the real crate there is no shrinking: the first failing input is
+/// reported as-is, together with the seed that reproduces it.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner.
+    ///
+    /// The base seed is fixed (reproducible CI) unless `PROPTEST_SEED` is
+    /// set to a decimal integer in the environment.
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x5B57_C0DE_D00D_F00D);
+        TestRunner { config, seed }
+    }
+
+    /// Runs `test` against `config.cases` generated values, panicking on the
+    /// first failure with the offending input's debug form.
+    pub fn run_named<S>(
+        &mut self,
+        name: &str,
+        strategy: &S,
+        test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) where
+        S: Strategy,
+        S::Value: fmt::Debug,
+    {
+        // Mix the test name into the stream so sibling properties explore
+        // different inputs even with the shared base seed.
+        let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            name_hash = (name_hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        for case in 0..self.config.cases {
+            let case_seed = self
+                .seed
+                .wrapping_add(name_hash)
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case)));
+            let mut rng = TestRng::seed_from_u64(case_seed);
+            let value = strategy.generate(&mut rng);
+            let repr = format!("{value:?}");
+            if let Err(e) = test(value) {
+                panic!(
+                    "proptest '{name}' failed at case {case}/{total}: {e}\n\
+                     input: {repr}\n\
+                     reproduce with PROPTEST_SEED={seed}",
+                    total = self.config.cases,
+                    seed = self.seed,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro handles mixed `in`/`:` parameters and doc comments.
+        #[test]
+        fn macro_roundtrip(a in 1u32..100, b: u16, v in prop::collection::vec(0u8..4, 1..5)) {
+            prop_assert!((1..100).contains(&a));
+            prop_assert!(v.len() < 5 && !v.is_empty());
+            prop_assert_eq!(u32::from(b), u32::from(b));
+            prop_assert_ne!(a, 0);
+        }
+    }
+
+    proptest! {
+        /// Default config form (no inner attribute).
+        #[test]
+        fn default_config_form(x: u8) {
+            prop_assert!(u16::from(x) < 256);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_info() {
+        let mut runner = super::TestRunner::new(super::ProptestConfig::with_cases(16));
+        runner.run_named("always_fails", &(0u8..4), |_| {
+            Err(super::TestCaseError::fail("nope"))
+        });
+    }
+}

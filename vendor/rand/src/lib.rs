@@ -1,0 +1,173 @@
+//! Offline stand-in for the subset of the [`rand`] crate API this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! tiny, dependency-free generator under the same crate name instead of
+//! pulling the real implementation. Only the names actually referenced by
+//! workspace code exist here: [`rngs::StdRng`], [`SeedableRng`] and
+//! [`RngExt`].
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — statistically
+//! solid for test-pattern generation and fully deterministic for a given
+//! seed, which is all the ATPG random phase needs. The streams differ from
+//! the real `rand::rngs::StdRng` (ChaCha12); nothing in the workspace
+//! depends on the exact stream, only on determinism.
+//!
+//! [`rand`]: https://docs.rs/rand
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanded via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values drawable uniformly from a [`RngCore`] stream (the stand-in for
+/// `rand`'s `StandardUniform` distribution).
+pub trait SampleUniform {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Convenience sampling methods on any [`RngCore`] (the stand-in for
+/// `rand::Rng`/`rand::RngExt`).
+pub trait RngExt: RngCore {
+    /// Draws a uniformly distributed value.
+    fn random<T: SampleUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn random_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "random_below bound must be positive");
+        // Multiply-shift bounded sampling (Lemire); the slight modulo bias
+        // of the naive approach is irrelevant here, but this is just as
+        // cheap and unbiased enough for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (offline stand-in for the real
+    /// crate's ChaCha12-based `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn bool_draws_both_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let trues = (0..256).filter(|_| rng.random::<bool>()).count();
+        assert!(trues > 64 && trues < 192, "trues = {trues}");
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..32 {
+                assert!(rng.random_below(bound) < bound);
+            }
+        }
+    }
+}
