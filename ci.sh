@@ -10,6 +10,9 @@ cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
+echo "== format check =="
+cargo fmt --check
+
 echo "== build (release) =="
 cargo build --release
 
@@ -22,7 +25,14 @@ cargo test --workspace -q
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== table1 smoke run (down-scaled 8-bit inventory) =="
-SBST_THREADS="${SBST_THREADS:-2}" cargo run --release -p sbst-bench --bin table1 -- --smoke
+echo "== table1 smoke run (down-scaled 8-bit inventory, JSON report) =="
+rm -f BENCH_table1.json
+SBST_THREADS="${SBST_THREADS:-2}" cargo run --release -p sbst-bench --bin table1 -- --smoke --json BENCH_table1.json
+
+echo "== validate BENCH_table1.json =="
+# jsonlint exits nonzero when the report is missing, unparseable, or
+# lacks the expected top-level fields.
+cargo run --release -p sbst-bench --bin jsonlint -- BENCH_table1.json \
+  --require tool --require schema_version --require table1 --require execution_time
 
 echo "== ci.sh: all green =="

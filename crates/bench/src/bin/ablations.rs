@@ -1,7 +1,7 @@
 //! Ablation studies over the design choices DESIGN.md calls out.
 //!
 //! ```text
-//! cargo run --release -p sbst-bench --bin ablations
+//! cargo run --release -p sbst-bench --bin ablations [-- --json out.json]
 //! ```
 //!
 //! 1. **Branch architecture**: delay slots (Plasma) vs predict-not-taken
@@ -17,9 +17,9 @@
 //! 5. **Fault-list collapsing**: grading cost with and without equivalence
 //!    collapsing (quality is unchanged by construction; the win is volume).
 
-use sbst_bench::sim_config_from_env;
+use sbst_bench::{json_output_path, sim_config_from_env, write_report_if_requested};
 use sbst_core::grade::execute_routine;
-use sbst_core::{CodeStyle, Cut, RoutineSpec};
+use sbst_core::{CodeStyle, Cut, JsonValue, RoutineSpec, RunReport};
 use sbst_cpu::{CacheConfig, Cpu, CpuConfig, EnergyModel};
 use sbst_gates::FaultSimulator;
 use std::time::Instant;
@@ -34,6 +34,11 @@ fn run_with(routine: &sbst_core::SelfTestRoutine, config: CpuConfig) -> sbst_cpu
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = json_output_path(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let cut = Cut::alu(32);
     let styles = [
         CodeStyle::AtpgImmediate,
@@ -55,6 +60,7 @@ fn main() {
         "{:<14} {:>12} {:>14} {:>8}",
         "style", "delay slots", "penalty 2", "growth"
     );
+    let mut branch_rows = Vec::new();
     for (style, routine) in &routines {
         let base = run_with(routine, CpuConfig::default());
         let pred = run_with(
@@ -71,10 +77,19 @@ fn main() {
             pred.total_cycles(),
             (pred.total_cycles() as f64 / base.total_cycles() as f64 - 1.0) * 100.0
         );
+        branch_rows.push(JsonValue::object([
+            ("code_style", JsonValue::from(style.code())),
+            ("delay_slot_cycles", JsonValue::from(base.total_cycles())),
+            ("penalty2_cycles", JsonValue::from(pred.total_cycles())),
+        ]));
     }
 
     println!("\n== Ablation 2: forwarding (pipeline stall cycles) ==");
-    println!("{:<14} {:>12} {:>14}", "style", "forwarding", "no forwarding");
+    println!(
+        "{:<14} {:>12} {:>14}",
+        "style", "forwarding", "no forwarding"
+    );
+    let mut forwarding_rows = Vec::new();
     for (style, routine) in &routines {
         let with = run_with(routine, CpuConfig::default());
         let without = run_with(
@@ -90,6 +105,17 @@ fn main() {
             with.pipeline_stall_cycles,
             without.pipeline_stall_cycles
         );
+        forwarding_rows.push(JsonValue::object([
+            ("code_style", JsonValue::from(style.code())),
+            (
+                "forwarding_stalls",
+                JsonValue::from(with.pipeline_stall_cycles),
+            ),
+            (
+                "no_forwarding_stalls",
+                JsonValue::from(without.pipeline_stall_cycles),
+            ),
+        ]));
     }
 
     println!("\n== Ablation 3: energy by code style (normalized, 1 KiB caches) ==");
@@ -98,6 +124,7 @@ fn main() {
         "style", "core", "cache", "memory", "total"
     );
     let model = EnergyModel::default();
+    let mut energy_rows = Vec::new();
     for (style, routine) in &routines {
         let stats = run_with(
             routine,
@@ -116,33 +143,43 @@ fn main() {
             e.memory,
             e.total()
         );
+        energy_rows.push(JsonValue::object([
+            ("code_style", JsonValue::from(style.code())),
+            ("core", JsonValue::Float(e.core)),
+            ("cache", JsonValue::Float(e.cache)),
+            ("memory", JsonValue::Float(e.memory)),
+            ("total", JsonValue::Float(e.total())),
+        ]));
     }
 
     println!("\n== Ablation 4: MISR aliasing (signature-exact vs divergence grading) ==");
-    {
+    let misr = {
         let (_, trace, _) = execute_routine(&routines[3].1).expect("routine runs");
         let stimulus = sbst_core::stimulus_for(&cut, &trace);
         let faults = cut.component.netlist.collapsed_faults();
         let result = sbst_tpg::signature_grade(&cut.component.netlist, &faults, &stimulus);
-        let diverged = result
-            .detected_by_divergence
-            .iter()
-            .filter(|d| **d)
-            .count();
+        let diverged = result.detected_by_divergence.iter().filter(|d| **d).count();
+        let by_signature = result.detected_by_signature.iter().filter(|d| **d).count();
         println!(
             "{} faults: {} diverge at outputs, {} detected by signature, \
              {} aliased ({:.4}% aliasing rate)",
             faults.len(),
             diverged,
-            result
-                .detected_by_signature
-                .iter()
-                .filter(|d| **d)
-                .count(),
+            by_signature,
             result.aliased().len(),
             result.aliasing_rate() * 100.0
         );
-    }
+        JsonValue::object([
+            ("faults", JsonValue::from(faults.len())),
+            ("detected_by_divergence", JsonValue::from(diverged)),
+            ("detected_by_signature", JsonValue::from(by_signature)),
+            ("aliased", JsonValue::from(result.aliased().len())),
+            (
+                "aliasing_rate_percent",
+                JsonValue::Float(result.aliasing_rate() * 100.0),
+            ),
+        ])
+    };
 
     println!("\n== Ablation 5: fault-list collapsing (grading volume) ==");
     let (_, trace, _) = execute_routine(&routines[3].1).expect("routine runs");
@@ -170,4 +207,35 @@ fn main() {
         t_coll,
         coll.coverage().percent()
     );
+
+    let report = RunReport::new("ablations")
+        .field("branch_architecture", JsonValue::Array(branch_rows))
+        .field("forwarding", JsonValue::Array(forwarding_rows))
+        .field("energy", JsonValue::Array(energy_rows))
+        .field("misr_aliasing", misr)
+        .field(
+            "collapsing",
+            JsonValue::object([
+                ("uncollapsed_faults", JsonValue::from(all.len())),
+                ("collapsed_faults", JsonValue::from(collapsed.len())),
+                ("threads_used", JsonValue::from(full.threads_used)),
+                (
+                    "uncollapsed_wall_seconds",
+                    JsonValue::Float(t_full.as_secs_f64()),
+                ),
+                (
+                    "collapsed_wall_seconds",
+                    JsonValue::Float(t_coll.as_secs_f64()),
+                ),
+                (
+                    "uncollapsed_coverage_percent",
+                    JsonValue::Float(full.coverage().percent()),
+                ),
+                (
+                    "collapsed_coverage_percent",
+                    JsonValue::Float(coll.coverage().percent()),
+                ),
+            ]),
+        );
+    write_report_if_requested(&report, json_path.as_deref());
 }

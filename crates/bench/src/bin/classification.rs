@@ -16,7 +16,12 @@ fn main() {
     println!("== Phase A: operation inventory ==");
     for cut in &cuts {
         let inv = inventory(cut.kind());
-        println!("{} — control {:?}, observe {:?}", cut.name(), inv.control, inv.observe);
+        println!(
+            "{} — control {:?}, observe {:?}",
+            cut.name(),
+            inv.control,
+            inv.observe
+        );
         for op in &inv.operations {
             println!(
                 "    {:<16} excited by: {}",
@@ -26,7 +31,10 @@ fn main() {
         }
     }
 
-    println!("\n== Phase B: classification ({} gate-equivalents total) ==", total);
+    println!(
+        "\n== Phase B: classification ({} gate-equivalents total) ==",
+        total
+    );
     println!(
         "{:<18} {:<6} {:>8} {:>8}  routine?",
         "Component", "Class", "Gates", "Area %"
@@ -39,7 +47,11 @@ fn main() {
             row.class.code(),
             row.gates,
             row.area_percent,
-            if row.gets_routine { "yes" } else { "side-effect" }
+            if row.gets_routine {
+                "yes"
+            } else {
+                "side-effect"
+            }
         );
     }
 

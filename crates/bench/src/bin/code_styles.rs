@@ -1,7 +1,7 @@
 //! Figures 1–4: code-style characteristics (the Section 3.3 analysis).
 //!
 //! ```text
-//! cargo run --release -p sbst-bench --bin code_styles
+//! cargo run --release -p sbst-bench --bin code_styles [-- --json out.json]
 //! ```
 //!
 //! For the 32-bit ALU, builds the same test in all four code styles and
@@ -11,10 +11,16 @@
 //! qualitative claims: Figure 1 trades code size for zero loads, Figure 2
 //! the reverse, Figures 3–4 keep both constant.
 
+use sbst_bench::{json_output_path, write_report_if_requested};
 use sbst_core::codestyle::style_costs;
-use sbst_core::{grade_routine, CodeStyle, Cut, RoutineSpec};
+use sbst_core::{grade_routine, CodeStyle, Cut, JsonValue, RoutineSpec, RunReport};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = json_output_path(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let cut = Cut::alu(32);
     println!(
         "CUT: 32-bit ALU ({} gate-eq, {} collapsed faults)\n",
@@ -25,6 +31,7 @@ fn main() {
         "{:<14} {:>6} {:>6} {:>8} {:>6} {:>7} {:>8}   scaling",
         "style", "code", "data", "cycles", "loads", "stores", "FC (%)"
     );
+    let mut rows = Vec::new();
     for style in [
         CodeStyle::AtpgImmediate,
         CodeStyle::AtpgDataFetch,
@@ -48,8 +55,25 @@ fn main() {
             if costs.code_linear { "O(n)" } else { "O(1)" },
             if costs.data_linear { "O(n)" } else { "O(1)" },
         );
+        rows.push(JsonValue::object([
+            ("code_style", JsonValue::from(style.code())),
+            ("code_words", JsonValue::from(routine.program.code_words())),
+            ("data_words", JsonValue::from(routine.program.data_words())),
+            ("cpu_cycles", JsonValue::from(graded.stats.total_cycles())),
+            ("loads", JsonValue::from(graded.stats.loads)),
+            ("stores", JsonValue::from(graded.stats.stores)),
+            (
+                "fault_coverage_percent",
+                JsonValue::Float(graded.coverage.percent()),
+            ),
+            ("code_linear", JsonValue::from(costs.code_linear)),
+            ("data_linear", JsonValue::from(costs.data_linear)),
+            (
+                "sim_wall_seconds",
+                JsonValue::Float(graded.sim_wall_time.as_secs_f64()),
+            ),
+        ]));
     }
-
     // The selection argument of Section 3.3: both Figure 1 and Figure 2
     // are used in practice; the choice hinges on the CPI of `lw`.
     println!(
@@ -59,4 +83,16 @@ fn main() {
          by cache behaviour (instruction misses vs data misses), exactly \
          the\npaper's CPI(lw) argument."
     );
+
+    let report = RunReport::new("code_styles")
+        .field(
+            "cut",
+            JsonValue::object([
+                ("name", JsonValue::from(cut.name())),
+                ("gate_equivalents", JsonValue::from(cut.gate_equivalents())),
+                ("collapsed_faults", JsonValue::from(cut.fault_count())),
+            ]),
+        )
+        .field("styles", JsonValue::Array(rows));
+    write_report_if_requested(&report, json_path.as_deref());
 }

@@ -1,7 +1,7 @@
 //! Section 2 / Section 4 execution-time analysis.
 //!
 //! ```text
-//! cargo run --release -p sbst-bench --bin exec_time
+//! cargo run --release -p sbst-bench --bin exec_time [-- --json out.json]
 //! ```
 //!
 //! Evaluates the paper's execution-time equation
@@ -18,7 +18,8 @@
 
 use std::time::Duration;
 
-use sbst_core::{Cut, SelfTestProgramBuilder};
+use sbst_bench::{json_output_path, write_report_if_requested};
+use sbst_core::{Cut, JsonValue, RunReport, SelfTestProgramBuilder};
 use sbst_cpu::system::scheduler_overhead;
 use sbst_cpu::{
     ActivationPolicy, AnalyticStallModel, CacheConfig, Cpu, CpuConfig, ExecTimeEstimate,
@@ -26,6 +27,11 @@ use sbst_cpu::{
 };
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = json_output_path(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let mut builder = SelfTestProgramBuilder::new();
     builder.add(Cut::multiplier(32));
     builder.add(Cut::divider(32));
@@ -55,11 +61,8 @@ fn main() {
     let config = QuantumConfig::default();
 
     // (2) Analytic model (paper's Section 4 assumption).
-    let analytic = ExecTimeEstimate::from_stats(
-        &run.stats,
-        config,
-        Some(AnalyticStallModel::default()),
-    );
+    let analytic =
+        ExecTimeEstimate::from_stats(&run.stats, config, Some(AnalyticStallModel::default()));
     println!(
         "analytic (5% miss, 20-cycle penalty): {} total cycles -> {:?} \
          ({:.4}% of a 200 ms quantum, fits: {})",
@@ -92,6 +95,7 @@ fn main() {
     );
 
     // Activation policies.
+    let mut latency_fields = Vec::new();
     println!("\nfault detection latency (worst case, permanent faults):");
     for (name, policy) in [
         (
@@ -113,11 +117,9 @@ fn main() {
             },
         ),
     ] {
-        println!(
-            "  {:<26} {:?}",
-            name,
-            policy.permanent_fault_latency(analytic.time)
-        );
+        let latency = policy.permanent_fault_latency(analytic.time);
+        println!("  {name:<26} {latency:?}");
+        latency_fields.push((name.to_owned(), JsonValue::Float(latency.as_secs_f64())));
     }
     let overhead = scheduler_overhead(analytic.time, Duration::from_millis(500), config);
     println!(
@@ -125,4 +127,77 @@ fn main() {
         overhead.test_cpu_fraction * 100.0,
         overhead.single_quantum
     );
+
+    let report = RunReport::new("exec_time")
+        .field(
+            "program",
+            JsonValue::object([
+                ("size_words", JsonValue::from(program.size_words())),
+                ("code_words", JsonValue::from(program.program.code_words())),
+                ("data_words", JsonValue::from(program.program.data_words())),
+            ]),
+        )
+        .field(
+            "raw",
+            JsonValue::object([
+                ("instructions", JsonValue::from(run.stats.instructions)),
+                ("cpu_cycles", JsonValue::from(run.stats.cycles)),
+                (
+                    "pipeline_stall_cycles",
+                    JsonValue::from(run.stats.pipeline_stall_cycles),
+                ),
+                ("data_refs", JsonValue::from(run.stats.data_refs())),
+            ]),
+        )
+        .field(
+            "analytic",
+            JsonValue::object([
+                ("total_cycles", JsonValue::from(analytic.total_cycles())),
+                ("seconds", JsonValue::Float(analytic.time.as_secs_f64())),
+                (
+                    "quantum_fraction",
+                    JsonValue::Float(analytic.quantum_fraction),
+                ),
+                (
+                    "fits_in_quantum",
+                    JsonValue::from(analytic.fits_in_quantum()),
+                ),
+            ]),
+        )
+        .field(
+            "simulated_caches",
+            JsonValue::object([
+                ("icache_misses", JsonValue::from(cached.stats.icache_misses)),
+                ("imem_accesses", JsonValue::from(cached.stats.imem_accesses)),
+                (
+                    "icache_hit_rate",
+                    JsonValue::from(cached.stats.icache_hit_rate()),
+                ),
+                ("dcache_misses", JsonValue::from(cached.stats.dcache_misses)),
+                (
+                    "dcache_hit_rate",
+                    JsonValue::from(cached.stats.dcache_hit_rate()),
+                ),
+                (
+                    "memory_stall_cycles",
+                    JsonValue::from(cached.stats.memory_stall_cycles),
+                ),
+                ("seconds", JsonValue::Float(measured.time.as_secs_f64())),
+            ]),
+        )
+        .field(
+            "detection_latency_seconds",
+            JsonValue::Object(latency_fields),
+        )
+        .field(
+            "overhead_500ms",
+            JsonValue::object([
+                (
+                    "test_cpu_fraction",
+                    JsonValue::Float(overhead.test_cpu_fraction),
+                ),
+                ("single_quantum", JsonValue::from(overhead.single_quantum)),
+            ]),
+        );
+    write_report_if_requested(&report, json_path.as_deref());
 }

@@ -1,0 +1,70 @@
+//! Validates a machine-readable run report: parses it with the workspace
+//! JSON parser and optionally checks required top-level keys.
+//!
+//! ```text
+//! cargo run -p sbst-bench --bin jsonlint -- report.json [--require key]...
+//! ```
+//!
+//! Exits 0 when the file parses (and every `--require`d key is present at
+//! the top level), nonzero with a diagnostic otherwise. CI uses this to
+//! fail the build when a bench binary produces a missing or unparseable
+//! report.
+
+use sbst_core::json::{self, JsonValue};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut required = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--require" => match iter.next() {
+                Some(key) => required.push(key.clone()),
+                None => {
+                    eprintln!("error: --require needs a key argument");
+                    std::process::exit(2);
+                }
+            },
+            other if path.is_none() => path = Some(other.to_owned()),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: jsonlint <file.json> [--require key]...");
+        std::process::exit(2);
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let value = match json::parse(&text) {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut missing = Vec::new();
+    for key in &required {
+        let present = matches!(&value, JsonValue::Object(_)) && value.get(key).is_some();
+        if !present {
+            missing.push(key.as_str());
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "error: {path}: missing required keys: {}",
+            missing.join(", ")
+        );
+        std::process::exit(1);
+    }
+    println!("{path}: ok ({} bytes)", text.len());
+}

@@ -1,7 +1,7 @@
 //! Pseudorandom pattern-count vs coverage sweep.
 //!
 //! ```text
-//! cargo run --release -p sbst-bench --bin strategy_sweep
+//! cargo run --release -p sbst-bench --bin strategy_sweep [-- --json out.json]
 //! ```
 //!
 //! Backs the paper's strategy-applicability claims with curves: the
@@ -13,17 +13,24 @@
 //! `SBST_THREADS` pins the fault-simulator worker count; coverage numbers
 //! are identical for every setting.
 
-use sbst_bench::sim_config_from_env;
-use sbst_core::{grade_routine_with, CodeStyle, Cut, RoutineSpec};
+use sbst_bench::{json_output_path, sim_config_from_env, write_report_if_requested};
+use sbst_core::{grade_routine_with, CodeStyle, Cut, JsonValue, RoutineSpec, RunReport};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = json_output_path(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let sim = sim_config_from_env();
+    let mut sweeps = Vec::new();
     for (name, cut) in [
         ("ALU (32-bit)", Cut::alu(32)),
         ("Shifter (32-bit)", Cut::shifter(32)),
     ] {
         println!("== {name}: pseudorandom coverage vs pattern count ==");
         println!("{:>9} {:>9} {:>9}", "patterns", "cycles", "FC (%)");
+        let mut points = Vec::new();
         for count in [8u32, 16, 32, 64, 128, 256, 512] {
             let mut spec = RoutineSpec::new(CodeStyle::PseudorandomLoop);
             spec.pseudorandom_count = count;
@@ -35,6 +42,18 @@ fn main() {
                 graded.stats.total_cycles(),
                 graded.coverage.percent()
             );
+            points.push(JsonValue::object([
+                ("patterns", JsonValue::from(count)),
+                ("cpu_cycles", JsonValue::from(graded.stats.total_cycles())),
+                (
+                    "fault_coverage_percent",
+                    JsonValue::Float(graded.coverage.percent()),
+                ),
+                (
+                    "sim_wall_seconds",
+                    JsonValue::Float(graded.sim_wall_time.as_secs_f64()),
+                ),
+            ]));
         }
         // Reference: the recommended deterministic routine.
         let spec = RoutineSpec::recommended(&cut);
@@ -48,5 +67,26 @@ fn main() {
             spec.style.code()
         );
         println!();
+        sweeps.push(JsonValue::object([
+            ("cut", JsonValue::from(name)),
+            ("pseudorandom", JsonValue::Array(points)),
+            (
+                "recommended",
+                JsonValue::object([
+                    ("code_style", JsonValue::from(spec.style.code())),
+                    ("cpu_cycles", JsonValue::from(graded.stats.total_cycles())),
+                    (
+                        "fault_coverage_percent",
+                        JsonValue::Float(graded.coverage.percent()),
+                    ),
+                    (
+                        "sim_wall_seconds",
+                        JsonValue::Float(graded.sim_wall_time.as_secs_f64()),
+                    ),
+                ]),
+            ),
+        ]));
     }
+    let report = RunReport::new("strategy_sweep").field("sweeps", JsonValue::Array(sweeps));
+    write_report_if_requested(&report, json_path.as_deref());
 }

@@ -1,7 +1,7 @@
 //! Regenerates the paper's Table 1 on the full 32-bit processor inventory.
 //!
 //! ```text
-//! cargo run --release -p sbst-bench --bin table1 [-- --smoke]
+//! cargo run --release -p sbst-bench --bin table1 [-- --smoke] [--json out.json]
 //! SBST_THREADS=4 cargo run --release -p sbst-bench --bin table1
 //! ```
 //!
@@ -12,19 +12,25 @@
 //! in absolute numbers but reproduce the shape — see EXPERIMENTS.md).
 //!
 //! `--smoke` swaps in a down-scaled 8-bit inventory so CI can exercise the
-//! whole pipeline in seconds. `SBST_THREADS` pins the fault-simulator
-//! worker count (default: available parallelism); coverage is identical
-//! for every setting.
+//! whole pipeline in seconds. `--json <path>` additionally writes the
+//! machine-readable report (rows, totals, fault-sim timing). `SBST_THREADS`
+//! pins the fault-simulator worker count (default: available parallelism);
+//! coverage is identical for every setting.
 
 use std::time::Instant;
 
-use sbst_bench::sim_config_from_env;
-use sbst_core::{Cut, Table1};
-use sbst_cpu::{AnalyticStallModel, ExecTimeEstimate, QuantumConfig};
+use sbst_bench::{json_output_path, sim_config_from_env, write_report_if_requested};
+use sbst_core::{Cut, JsonValue, RunReport, Table1};
 use sbst_cpu::cpu::ExecStats;
+use sbst_cpu::{AnalyticStallModel, ExecTimeEstimate, QuantumConfig};
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = json_output_path(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let sim = sim_config_from_env();
     let start = Instant::now();
     let cuts = if smoke {
@@ -76,5 +82,20 @@ fn main() {
         table.sim_threads,
         table.grading_wall_time.as_secs_f64()
     );
-    eprintln!("total wall time: {:?}", start.elapsed());
+    let wall = start.elapsed();
+    eprintln!("total wall time: {wall:?}");
+
+    let report = RunReport::new("table1")
+        .field("smoke", JsonValue::from(smoke))
+        .field("table1", table.to_json())
+        .field(
+            "execution_time",
+            JsonValue::object([
+                ("seconds", JsonValue::Float(est.time.as_secs_f64())),
+                ("quantum_fraction", JsonValue::Float(est.quantum_fraction)),
+                ("fits_in_quantum", JsonValue::from(est.fits_in_quantum())),
+            ]),
+        )
+        .field("wall_seconds", JsonValue::Float(wall.as_secs_f64()));
+    write_report_if_requested(&report, json_path.as_deref());
 }

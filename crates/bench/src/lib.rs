@@ -1,6 +1,14 @@
 //! Benchmark harness (binaries and Criterion benches regenerating the
 //! paper's tables and figures). See `src/bin/` and `benches/`.
+//!
+//! Every binary supports `--json <path>`: alongside its human-readable
+//! stdout it writes a machine-readable [`sbst_core::RunReport`] so perf
+//! numbers are comparable run-over-run (the schema is documented in
+//! EXPERIMENTS.md).
 
+use std::path::PathBuf;
+
+use sbst_core::RunReport;
 use sbst_gates::FaultSimConfig;
 
 /// Fault-simulator configuration shared by the bench binaries.
@@ -20,9 +28,67 @@ pub fn sim_config_from_env() -> FaultSimConfig {
     }
 }
 
+/// Extracts the `--json <path>` flag from an argument list (as produced by
+/// `std::env::args().skip(1)`), returning the path if present.
+///
+/// Accepts both `--json out.json` and `--json=out.json`. Returns an error
+/// message when the flag is given without a path.
+pub fn json_output_path<I, S>(args: I) -> Result<Option<PathBuf>, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let arg = arg.as_ref();
+        if arg == "--json" {
+            return match iter.next() {
+                Some(path) => Ok(Some(PathBuf::from(path.as_ref()))),
+                None => Err("--json requires a path argument".to_owned()),
+            };
+        }
+        if let Some(path) = arg.strip_prefix("--json=") {
+            if path.is_empty() {
+                return Err("--json requires a path argument".to_owned());
+            }
+            return Ok(Some(PathBuf::from(path)));
+        }
+    }
+    Ok(None)
+}
+
+/// Writes a [`RunReport`] where [`json_output_path`] pointed, if anywhere.
+///
+/// Exits the process with an error message on I/O failure — bench binaries
+/// must not silently produce no report when one was asked for.
+pub fn write_report_if_requested(report: &RunReport, path: Option<&std::path::Path>) {
+    if let Some(path) = path {
+        if let Err(e) = report.write_to_path(path) {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_flag_forms() {
+        assert_eq!(json_output_path(["--smoke"] as [&str; 1]).unwrap(), None);
+        assert_eq!(
+            json_output_path(["--smoke", "--json", "out.json"]).unwrap(),
+            Some(PathBuf::from("out.json"))
+        );
+        assert_eq!(
+            json_output_path(["--json=x/y.json"] as [&str; 1]).unwrap(),
+            Some(PathBuf::from("x/y.json"))
+        );
+        assert!(json_output_path(["--json"] as [&str; 1]).is_err());
+        assert!(json_output_path(["--json="] as [&str; 1]).is_err());
+    }
 
     #[test]
     fn env_override_parses() {

@@ -70,7 +70,9 @@ pub fn comparator(width: usize) -> Component {
     ports.add_output("lt_u", lt.into());
     ports.add_output("lt_s", lt_s.into());
 
-    let netlist = b.finish().expect("comparator netlist is structurally valid");
+    let netlist = b
+        .finish()
+        .expect("comparator netlist is structurally valid");
     let area = netlist.gate_equivalents();
     Component {
         netlist,
@@ -181,7 +183,11 @@ mod tests {
                 sim.set_bus(c.ports.input("b"), b as u64);
                 sim.eval();
                 let (eq, lt_u, lt_s) = model(a, b, 4);
-                assert_eq!(sim.bus_value(c.ports.output("eq")) & 1 == 1, eq, "{a} eq {b}");
+                assert_eq!(
+                    sim.bus_value(c.ports.output("eq")) & 1 == 1,
+                    eq,
+                    "{a} eq {b}"
+                );
                 assert_eq!(
                     sim.bus_value(c.ports.output("lt_u")) & 1 == 1,
                     lt_u,

@@ -125,7 +125,7 @@ fn decode_table() -> Vec<DecodeEntry> {
     special(&mut t, 0x08, sig(Jump)); // jr
     special(&mut t, 0x09, sig(Jump) | sig(Link) | rw | rd); // jalr
     special(&mut t, 0x0D, 0); // break
-    // Immediates.
+                              // Immediates.
     plain(&mut t, 0x08, imm); // addi
     plain(&mut t, 0x09, imm); // addiu
     plain(&mut t, 0x0A, imm); // slti
@@ -134,7 +134,7 @@ fn decode_table() -> Vec<DecodeEntry> {
     plain(&mut t, 0x0D, imm | sig(ImmUnsigned)); // ori
     plain(&mut t, 0x0E, imm | sig(ImmUnsigned)); // xori
     plain(&mut t, 0x0F, imm | sig(ImmUnsigned)); // lui
-    // Branches.
+                                                 // Branches.
     plain(&mut t, 0x04, sig(Branch));
     plain(&mut t, 0x05, sig(Branch));
     plain(&mut t, 0x06, sig(Branch));
@@ -151,7 +151,7 @@ fn decode_table() -> Vec<DecodeEntry> {
         rt: Some(1),
         ctrl: sig(Branch),
     }); // bgez
-    // Jumps.
+        // Jumps.
     plain(&mut t, 0x02, sig(Jump));
     plain(&mut t, 0x03, sig(Jump) | sig(Link) | rw);
     // Loads.
@@ -161,7 +161,7 @@ fn decode_table() -> Vec<DecodeEntry> {
     plain(&mut t, 0x23, load); // lw
     plain(&mut t, 0x24, load | sig(SubWord)); // lbu
     plain(&mut t, 0x25, load | sig(SubWord)); // lhu
-    // Stores.
+                                              // Stores.
     let store = sig(AluSrc) | sig(MemWrite);
     plain(&mut t, 0x28, store | sig(SubWord)); // sb
     plain(&mut t, 0x29, store | sig(SubWord)); // sh
@@ -221,7 +221,13 @@ pub fn control() -> Component {
         if let Some(r) = e.rt {
             rt_match.entry(r).or_insert_with(|| {
                 let terms: Vec<NetId> = (0..5)
-                    .map(|k| if (r >> k) & 1 == 1 { rt.net(k) } else { rt_n[k] })
+                    .map(|k| {
+                        if (r >> k) & 1 == 1 {
+                            rt.net(k)
+                        } else {
+                            rt_n[k]
+                        }
+                    })
                     .collect();
                 b.gate(sbst_gates::GateKind::And, &terms)
             });
@@ -399,8 +405,8 @@ mod tests {
     #[test]
     fn undecoded_opcode_is_all_zero() {
         let c = control();
-        assert_eq!
-            (decode(
+        assert_eq!(
+            decode(
                 &c,
                 &ControlOp {
                     opcode: 0x3F,

@@ -46,13 +46,7 @@ pub fn pc_unit(width: usize, offset_bits: usize) -> Component {
     // them zero, but the hardware simply passes them through the adder).
     let sign = offset.net(offset_bits - 1);
     let ext_bus: Bus = (0..width - 2)
-        .map(|i| {
-            if i < offset_bits {
-                offset.net(i)
-            } else {
-                sign
-            }
-        })
+        .map(|i| if i < offset_bits { offset.net(i) } else { sign })
         .collect();
     let (target_high, _carry) = ripple_add(&mut b, &pc_plus4.slice(2..width), &ext_bus, None);
     let branch_target = pc_plus4.slice(0..2).concat(&target_high);

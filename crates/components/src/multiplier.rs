@@ -89,7 +89,9 @@ pub fn multiplier(width: usize) -> Component {
     ports.add_input("b", b_bus);
     ports.add_output("product", product);
 
-    let netlist = b.finish().expect("multiplier netlist is structurally valid");
+    let netlist = b
+        .finish()
+        .expect("multiplier netlist is structurally valid");
     let area = netlist.gate_equivalents();
     Component {
         netlist,

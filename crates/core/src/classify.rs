@@ -96,8 +96,10 @@ mod tests {
         // The first entries are D-VCs ordered by size; the multiplier or
         // register file leads.
         assert_eq!(ordered[0].class(), ComponentClass::DataVisible);
-        assert!(ordered[0].gate_equivalents() >= ordered[1].gate_equivalents()
-            || ordered[1].class() != ComponentClass::DataVisible);
+        assert!(
+            ordered[0].gate_equivalents() >= ordered[1].gate_equivalents()
+                || ordered[1].class() != ComponentClass::DataVisible
+        );
         // Hidden components come last.
         assert_eq!(ordered.last().unwrap().class(), ComponentClass::Hidden);
     }
@@ -133,10 +135,8 @@ mod tests {
     fn rows_report_area_share() {
         let cuts = Cut::small_inventory();
         let total: u32 = cuts.iter().map(Cut::gate_equivalents).sum();
-        let rows: Vec<ClassificationRow> = cuts
-            .iter()
-            .map(|c| classification_row(c, total))
-            .collect();
+        let rows: Vec<ClassificationRow> =
+            cuts.iter().map(|c| classification_row(c, total)).collect();
         let sum: f64 = rows.iter().map(|r| r.area_percent).sum();
         assert!((sum - 100.0).abs() < 1e-6);
         // Routines only for D-VC and PVC.

@@ -88,9 +88,7 @@ impl CodeStyle {
     /// The TPG strategy behind the style.
     pub fn strategy(self) -> TpgStrategy {
         match self {
-            CodeStyle::AtpgImmediate | CodeStyle::AtpgDataFetch => {
-                TpgStrategy::DeterministicAtpg
-            }
+            CodeStyle::AtpgImmediate | CodeStyle::AtpgDataFetch => TpgStrategy::DeterministicAtpg,
             CodeStyle::PseudorandomLoop => TpgStrategy::Pseudorandom,
             CodeStyle::RegularLoopImmediate | CodeStyle::RegularImmediate => {
                 TpgStrategy::RegularDeterministic

@@ -75,8 +75,13 @@ pub fn inventory(kind: ComponentKind) -> ComponentInventory {
                 op("or", &["or", "ori"]),
                 op("xor", &["xor", "xori"]),
                 op("nor", &["nor"]),
-                op("add", &["add", "addu", "addi", "addiu", "lw", "sw", "lb", "lbu", "lh",
-                    "lhu", "sb", "sh"]),
+                op(
+                    "add",
+                    &[
+                        "add", "addu", "addi", "addiu", "lw", "sw", "lb", "lbu", "lh", "lhu", "sb",
+                        "sh",
+                    ],
+                ),
                 op("sub", &["sub", "subu", "beq", "bne"]),
                 op("slt", &["slt", "slti", "bltz", "bgez", "blez", "bgtz"]),
                 op("sltu", &["sltu", "sltiu"]),
@@ -87,7 +92,10 @@ pub fn inventory(kind: ComponentKind) -> ComponentInventory {
         Comparator => (
             vec![
                 op("equal", &["beq", "bne"]),
-                op("less-than", &["blez", "bgtz", "bltz", "bgez", "slt", "sltu"]),
+                op(
+                    "less-than",
+                    &["blez", "bgtz", "bltz", "bgez", "slt", "sltu"],
+                ),
             ],
             ControlPath::Register,
             ObservePath::SideEffect,
@@ -140,7 +148,10 @@ pub fn inventory(kind: ComponentKind) -> ComponentInventory {
         PcUnit => (
             vec![
                 op("increment", &["<sequential fetch>"]),
-                op("branch-target", &["beq", "bne", "blez", "bgtz", "bltz", "bgez"]),
+                op(
+                    "branch-target",
+                    &["beq", "bne", "blez", "bgtz", "bltz", "bgez"],
+                ),
             ],
             ControlPath::AddressPlacement,
             ObservePath::SideEffect,

@@ -141,8 +141,8 @@ pub fn grade_routine_with(
         return Err(GradeError::EmptyTrace { kind: cut.kind() });
     }
     let faults = cut.component.netlist.collapsed_faults();
-    let result = FaultSimulator::with_config(&cut.component.netlist, sim)
-        .simulate(&faults, &stimulus);
+    let result =
+        FaultSimulator::with_config(&cut.component.netlist, sim).simulate(&faults, &stimulus);
     Ok(GradedRoutine {
         coverage: result.coverage(),
         stats,
@@ -235,10 +235,8 @@ pub fn arch_validate_with(
     // Reference: fault-free signature + replay detections.
     let (ref_stats, trace, good_signature) = execute_routine(routine)?;
     let stimulus = stimulus_for(cut, &trace);
-    let replay = FaultSimulator::with_config(&cut.component.netlist, sim).simulate(
-        faults,
-        &stimulus,
-    );
+    let replay =
+        FaultSimulator::with_config(&cut.component.netlist, sim).simulate(faults, &stimulus);
 
     let mut v = ArchValidation::default();
     for (i, fault) in faults.iter().enumerate() {

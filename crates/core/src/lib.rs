@@ -36,6 +36,8 @@ pub mod cut;
 pub mod diagnose;
 pub mod extract;
 pub mod grade;
+pub mod json;
+pub mod metrics;
 pub mod plan;
 pub mod program;
 pub mod report;
@@ -49,6 +51,8 @@ pub use grade::{
     arch_validate, arch_validate_with, grade_routine, grade_routine_with, grade_trace,
     grade_trace_with, stimulus_for, ArchValidation, GradeError, GradedRoutine,
 };
+pub use json::JsonValue;
+pub use metrics::{Metrics, RunReport};
 pub use plan::{plan_with_target, TestPlan};
 pub use program::{SelfTestProgram, SelfTestProgramBuilder};
 pub use report::{Table1, Table1Row};

@@ -1,0 +1,305 @@
+//! Zero-dependency run metrics: counters, gauges, wall-clock timers and
+//! scoped spans, serialized through the hand-rolled [`crate::json`] writer.
+//!
+//! The lower crates (`sbst-gates`, `sbst-tpg`, `sbst-cpu`) cannot depend on
+//! `sbst-core`, so they expose plain stats structs (`SimStats`, `AtpgStats`,
+//! `ExecStats`) from their hot paths; this module is the aggregation point
+//! where those numbers, plus anything recorded directly on a [`Metrics`]
+//! registry, become a machine-readable [`RunReport`] on disk. Every bench
+//! binary's `--json <path>` flag bottoms out here.
+//!
+//! # Example
+//!
+//! ```
+//! use sbst_core::metrics::{Metrics, RunReport};
+//!
+//! let metrics = Metrics::new();
+//! metrics.incr("patterns_tried", 64);
+//! metrics.gauge_set("coverage_percent", 97.5);
+//! {
+//!     let _span = metrics.span("fault_sim");
+//!     // ... timed work ...
+//! }
+//! let report = RunReport::new("example").with_metrics(&metrics);
+//! let text = report.to_value().to_json();
+//! assert!(text.contains("\"patterns_tried\":64"));
+//! ```
+
+use crate::json::JsonValue;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Version stamped into every emitted report so downstream tooling can
+/// detect schema changes. Bump when renaming or removing fields.
+pub const SCHEMA_VERSION: u32 = 1;
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    timers: BTreeMap<String, TimerStat>,
+}
+
+/// Accumulated observations for one named timer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimerStat {
+    /// Number of recorded intervals.
+    pub count: u64,
+    /// Total recorded wall-clock time.
+    pub total: Duration,
+}
+
+/// A thread-safe registry of named counters, gauges and timers.
+///
+/// Keys are stored in a `BTreeMap` so serialization order is deterministic
+/// regardless of recording order (important for diffable reports produced
+/// by multi-threaded runs).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (created at zero).
+    pub fn incr(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter; zero if never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Reads a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner.gauges.get(name).copied()
+    }
+
+    /// Records one interval of `elapsed` against the named timer.
+    pub fn record_duration(&self, name: &str, elapsed: Duration) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let stat = inner.timers.entry(name.to_owned()).or_default();
+        stat.count += 1;
+        stat.total += elapsed;
+    }
+
+    /// Reads a timer's accumulated stats, if any interval was recorded.
+    pub fn timer(&self, name: &str) -> Option<TimerStat> {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner.timers.get(name).copied()
+    }
+
+    /// Starts a scoped span; the elapsed time is recorded against `name`
+    /// when the returned guard drops.
+    pub fn span<'a>(&'a self, name: &str) -> Span<'a> {
+        Span {
+            metrics: self,
+            name: name.to_owned(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Snapshots the registry as a JSON object with `counters`, `gauges`
+    /// and `timers` sub-objects (timers as `{count, total_seconds}`).
+    pub fn to_value(&self) -> JsonValue {
+        let inner = self.inner.lock().expect("metrics lock");
+        JsonValue::object([
+            (
+                "counters",
+                JsonValue::Object(
+                    inner
+                        .counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                JsonValue::Object(
+                    inner
+                        .gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Float(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "timers",
+                JsonValue::Object(
+                    inner
+                        .timers
+                        .iter()
+                        .map(|(k, v)| {
+                            (
+                                k.clone(),
+                                JsonValue::object([
+                                    ("count", JsonValue::UInt(v.count)),
+                                    ("total_seconds", JsonValue::Float(v.total.as_secs_f64())),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Drop guard returned by [`Metrics::span`]; records elapsed wall-clock
+/// time when it goes out of scope.
+#[derive(Debug)]
+pub struct Span<'a> {
+    metrics: &'a Metrics,
+    name: String,
+    started: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.metrics
+            .record_duration(&self.name, self.started.elapsed());
+    }
+}
+
+/// A machine-readable run report: a named, schema-versioned JSON document
+/// that every bench binary writes behind its `--json <path>` flag.
+#[derive(Debug)]
+pub struct RunReport {
+    tool: String,
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl RunReport {
+    /// Starts a report for the named tool (e.g. `"table1"`).
+    pub fn new(tool: &str) -> Self {
+        Self {
+            tool: tool.to_owned(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a top-level field. Fields appear in insertion order after
+    /// the standard `tool` / `schema_version` header.
+    pub fn field(mut self, key: &str, value: JsonValue) -> Self {
+        self.fields.push((key.to_owned(), value));
+        self
+    }
+
+    /// Appends a `metrics` field with the registry snapshot.
+    pub fn with_metrics(self, metrics: &Metrics) -> Self {
+        self.field("metrics", metrics.to_value())
+    }
+
+    /// Builds the final JSON tree.
+    pub fn to_value(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("tool".to_owned(), JsonValue::Str(self.tool.clone())),
+            (
+                "schema_version".to_owned(),
+                JsonValue::UInt(SCHEMA_VERSION as u64),
+            ),
+        ];
+        pairs.extend(self.fields.iter().cloned());
+        JsonValue::Object(pairs)
+    }
+
+    /// Writes the report (pretty-printed) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to_path(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_value().to_json_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.incr("a", 2);
+        m.incr("a", 3);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let m = Metrics::new();
+        m.gauge_set("cov", 10.0);
+        m.gauge_set("cov", 97.5);
+        assert_eq!(m.gauge("cov"), Some(97.5));
+    }
+
+    #[test]
+    fn spans_record_timers() {
+        let m = Metrics::new();
+        {
+            let _s = m.span("work");
+        }
+        {
+            let _s = m.span("work");
+        }
+        let stat = m.timer("work").unwrap();
+        assert_eq!(stat.count, 2);
+    }
+
+    #[test]
+    fn report_serializes_header_and_fields() {
+        let m = Metrics::new();
+        m.incr("events", 7);
+        let report = RunReport::new("unit")
+            .field("answer", JsonValue::UInt(42))
+            .with_metrics(&m);
+        let v = report.to_value();
+        assert_eq!(v.get("tool").unwrap().as_str(), Some("unit"));
+        assert_eq!(
+            v.get("schema_version").unwrap().as_u64(),
+            Some(SCHEMA_VERSION as u64)
+        );
+        assert_eq!(v.get("answer").unwrap().as_u64(), Some(42));
+        let metrics = v.get("metrics").unwrap();
+        assert_eq!(
+            metrics
+                .get("counters")
+                .unwrap()
+                .get("events")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+        // Round-trips through the parser.
+        let text = v.to_json_pretty();
+        assert_eq!(crate::json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn metrics_snapshot_is_sorted() {
+        let m = Metrics::new();
+        m.incr("zeta", 1);
+        m.incr("alpha", 1);
+        let text = m.to_value().to_json();
+        let a = text.find("alpha").unwrap();
+        let z = text.find("zeta").unwrap();
+        assert!(a < z);
+    }
+}

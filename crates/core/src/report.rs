@@ -13,6 +13,7 @@ use sbst_gates::{FaultCoverage, FaultSimConfig};
 
 use crate::cut::Cut;
 use crate::grade::{grade_routine_with, grade_trace_with, GradeError};
+use crate::json::JsonValue;
 use crate::program::SelfTestProgramBuilder;
 use crate::routine::{BuildRoutineError, RoutineSpec};
 
@@ -38,6 +39,8 @@ pub struct Table1Row {
     /// Whether the coverage came from a dedicated routine (`true`) or from
     /// side-effect grading against the full program trace (`false`).
     pub dedicated_routine: bool,
+    /// Wall-clock time spent fault-simulating this component.
+    pub sim_wall_time: Duration,
 }
 
 impl Table1Row {
@@ -165,11 +168,13 @@ impl Table1 {
                     data_refs: Some(graded.stats.data_refs()),
                     coverage: graded.coverage,
                     dedicated_routine: true,
+                    sim_wall_time: graded.sim_wall_time,
                 }
             } else {
                 let started = std::time::Instant::now();
                 let coverage = grade_trace_with(cut, &combined_run.trace, sim);
-                grading_wall_time += started.elapsed();
+                let elapsed = started.elapsed();
+                grading_wall_time += elapsed;
                 Table1Row {
                     name: cut.name().to_owned(),
                     gates: cut.gate_equivalents(),
@@ -180,6 +185,7 @@ impl Table1 {
                     data_refs: None,
                     coverage,
                     dedicated_routine: false,
+                    sim_wall_time: elapsed,
                 }
             };
             rows.push(row);
@@ -212,6 +218,70 @@ impl Table1 {
 }
 
 impl Table1 {
+    /// Serializes the table through the workspace JSON writer
+    /// ([`crate::json`]): one object per row with the Table-1 columns plus
+    /// per-component fault-sim wall time, a `totals` object, and a
+    /// `fault_sim` object with the thread count and aggregate grading time.
+    pub fn to_json(&self) -> JsonValue {
+        let universe = self.overall_coverage.total;
+        let rows = self.rows.iter().map(|row| {
+            JsonValue::object([
+                ("name", JsonValue::from(row.name.as_str())),
+                ("gates", JsonValue::from(row.gates)),
+                (
+                    "classification",
+                    JsonValue::from(row.classification.as_str()),
+                ),
+                ("code_style", JsonValue::from(row.code_style.as_deref())),
+                ("size_words", JsonValue::from(row.size_words)),
+                ("cpu_cycles", JsonValue::from(row.cpu_cycles)),
+                ("data_refs", JsonValue::from(row.data_refs)),
+                ("fault_count", JsonValue::from(row.coverage.total)),
+                ("faults_detected", JsonValue::from(row.coverage.detected)),
+                (
+                    "fault_coverage_percent",
+                    JsonValue::Float(row.coverage.percent()),
+                ),
+                (
+                    "missing_fc_percent",
+                    JsonValue::Float(row.missing_fc(universe)),
+                ),
+                ("dedicated_routine", JsonValue::from(row.dedicated_routine)),
+                (
+                    "sim_wall_seconds",
+                    JsonValue::Float(row.sim_wall_time.as_secs_f64()),
+                ),
+            ])
+        });
+        JsonValue::object([
+            ("rows", JsonValue::array(rows)),
+            (
+                "totals",
+                JsonValue::object([
+                    ("gates", JsonValue::from(self.total_gates)),
+                    ("size_words", JsonValue::from(self.total_size_words)),
+                    ("cpu_cycles", JsonValue::from(self.total_cycles)),
+                    ("data_refs", JsonValue::from(self.total_data_refs)),
+                    (
+                        "fault_coverage_percent",
+                        JsonValue::Float(self.overall_coverage.percent()),
+                    ),
+                    ("dvc_area_percent", JsonValue::Float(self.dvc_area_percent)),
+                ]),
+            ),
+            (
+                "fault_sim",
+                JsonValue::object([
+                    ("threads", JsonValue::from(self.sim_threads)),
+                    (
+                        "wall_seconds",
+                        JsonValue::Float(self.grading_wall_time.as_secs_f64()),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
     /// Renders the table as GitHub-flavoured markdown (the format used in
     /// EXPERIMENTS.md).
     pub fn to_markdown(&self) -> String {
@@ -304,12 +374,9 @@ impl fmt::Display for Table1 {
                 row.gates,
                 row.classification,
                 row.code_style.as_deref().unwrap_or("-"),
-                row.size_words
-                    .map_or("-".to_owned(), |v| v.to_string()),
-                row.cpu_cycles
-                    .map_or("-".to_owned(), |v| v.to_string()),
-                row.data_refs
-                    .map_or("-".to_owned(), |v| v.to_string()),
+                row.size_words.map_or("-".to_owned(), |v| v.to_string()),
+                row.cpu_cycles.map_or("-".to_owned(), |v| v.to_string()),
+                row.data_refs.map_or("-".to_owned(), |v| v.to_string()),
                 row.coverage.percent(),
                 row.missing_fc(universe),
             )?;
@@ -377,6 +444,36 @@ mod tests {
         }
         assert_eq!(serial.overall_coverage, parallel.overall_coverage);
         assert!(serial.to_string().contains("Fault grading: 1 thread"));
+    }
+
+    #[test]
+    fn json_serialization_carries_table1_fields() {
+        let cuts = vec![Cut::alu(8), Cut::pipeline(8)];
+        let table = Table1::generate(&cuts).unwrap();
+        let v = table.to_json();
+        let rows = v.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        let alu = &rows[0];
+        assert_eq!(alu.get("name").unwrap().as_str(), Some("ALU"));
+        assert!(alu.get("size_words").unwrap().as_u64().is_some());
+        assert!(alu.get("fault_coverage_percent").unwrap().as_f64().unwrap() > 90.0);
+        assert!(alu.get("sim_wall_seconds").unwrap().as_f64().is_some());
+        // Side-effect rows serialize their absent columns as null.
+        let pipe = &rows[1];
+        assert_eq!(pipe.get("code_style"), Some(&crate::json::JsonValue::Null));
+        let totals = v.get("totals").unwrap();
+        assert_eq!(
+            totals.get("cpu_cycles").unwrap().as_u64(),
+            Some(table.total_cycles)
+        );
+        let sim = v.get("fault_sim").unwrap();
+        assert_eq!(
+            sim.get("threads").unwrap().as_u64(),
+            Some(table.sim_threads as u64)
+        );
+        // The document round-trips through the parser.
+        let text = v.to_json_pretty();
+        assert_eq!(crate::json::parse(&text).unwrap(), v);
     }
 
     #[test]

@@ -20,9 +20,8 @@ use sbst_tpg::misr;
 use sbst_tpg::{Atpg, AtpgConfig, InputConstraint};
 
 use crate::codestyle::{
-    emit_apply, emit_atpg_data_fetch, emit_atpg_immediate, emit_misr_inline,
-    emit_misr_subroutine, emit_prologue, emit_pseudorandom_loop, emit_signature_unload, regs,
-    ApplyOp, CodeStyle,
+    emit_apply, emit_atpg_data_fetch, emit_atpg_immediate, emit_misr_inline, emit_misr_subroutine,
+    emit_prologue, emit_pseudorandom_loop, emit_signature_unload, regs, ApplyOp, CodeStyle,
 };
 use crate::cut::Cut;
 
@@ -417,7 +416,12 @@ impl RoutineSpec {
         asm.word(0);
         asm.word(0);
         asm.la(regs::PTR, "membuf");
-        for pattern in [0x5555_5555u32, 0xAAAA_AAAAu32, 0x00FF_F00Fu32, 0xFF00_0FF0u32] {
+        for pattern in [
+            0x5555_5555u32,
+            0xAAAA_AAAAu32,
+            0x00FF_F00Fu32,
+            0xFF00_0FF0u32,
+        ] {
             asm.li(regs::X, pattern);
             // Word store, word load.
             asm.insn(Instruction::Sw {
@@ -602,22 +606,86 @@ impl RoutineSpec {
         asm.li(b, 0x0F0F_00FF);
         // R-type ALU ops, each result compacted.
         for insn in [
-            Addu { rd: d, rs: a, rt: b },
-            Add { rd: d, rs: a, rt: b },
-            Subu { rd: d, rs: a, rt: b },
-            Sub { rd: d, rs: a, rt: b },
-            And { rd: d, rs: a, rt: b },
-            Or { rd: d, rs: a, rt: b },
-            Xor { rd: d, rs: a, rt: b },
-            Nor { rd: d, rs: a, rt: b },
-            Slt { rd: d, rs: a, rt: b },
-            Sltu { rd: d, rs: a, rt: b },
-            Sll { rd: d, rt: b, shamt: 5 },
-            Srl { rd: d, rt: b, shamt: 5 },
-            Sra { rd: d, rt: b, shamt: 5 },
-            Sllv { rd: d, rt: b, rs: a },
-            Srlv { rd: d, rt: b, rs: a },
-            Srav { rd: d, rt: b, rs: a },
+            Addu {
+                rd: d,
+                rs: a,
+                rt: b,
+            },
+            Add {
+                rd: d,
+                rs: a,
+                rt: b,
+            },
+            Subu {
+                rd: d,
+                rs: a,
+                rt: b,
+            },
+            Sub {
+                rd: d,
+                rs: a,
+                rt: b,
+            },
+            And {
+                rd: d,
+                rs: a,
+                rt: b,
+            },
+            Or {
+                rd: d,
+                rs: a,
+                rt: b,
+            },
+            Xor {
+                rd: d,
+                rs: a,
+                rt: b,
+            },
+            Nor {
+                rd: d,
+                rs: a,
+                rt: b,
+            },
+            Slt {
+                rd: d,
+                rs: a,
+                rt: b,
+            },
+            Sltu {
+                rd: d,
+                rs: a,
+                rt: b,
+            },
+            Sll {
+                rd: d,
+                rt: b,
+                shamt: 5,
+            },
+            Srl {
+                rd: d,
+                rt: b,
+                shamt: 5,
+            },
+            Sra {
+                rd: d,
+                rt: b,
+                shamt: 5,
+            },
+            Sllv {
+                rd: d,
+                rt: b,
+                rs: a,
+            },
+            Srlv {
+                rd: d,
+                rt: b,
+                rs: a,
+            },
+            Srav {
+                rd: d,
+                rt: b,
+                rs: a,
+            },
         ] {
             asm.insn(insn);
             asm.jal(MISR_LABEL);
@@ -625,13 +693,41 @@ impl RoutineSpec {
         }
         // Immediates.
         for insn in [
-            Addi { rt: d, rs: a, imm: -64 },
-            Addiu { rt: d, rs: a, imm: 64 },
-            Slti { rt: d, rs: a, imm: 7 },
-            Sltiu { rt: d, rs: a, imm: 7 },
-            Andi { rt: d, rs: a, imm: 0xF00F },
-            Ori { rt: d, rs: a, imm: 0x1234 },
-            Xori { rt: d, rs: a, imm: 0x5555 },
+            Addi {
+                rt: d,
+                rs: a,
+                imm: -64,
+            },
+            Addiu {
+                rt: d,
+                rs: a,
+                imm: 64,
+            },
+            Slti {
+                rt: d,
+                rs: a,
+                imm: 7,
+            },
+            Sltiu {
+                rt: d,
+                rs: a,
+                imm: 7,
+            },
+            Andi {
+                rt: d,
+                rs: a,
+                imm: 0xF00F,
+            },
+            Ori {
+                rt: d,
+                rs: a,
+                imm: 0x1234,
+            },
+            Xori {
+                rt: d,
+                rs: a,
+                imm: 0x5555,
+            },
             Lui { rt: d, imm: 0xBEEF },
         ] {
             asm.insn(insn);
@@ -681,11 +777,31 @@ impl RoutineSpec {
             offset: 6,
         });
         for insn in [
-            Lw { rt: d, base: regs::PTR, offset: 0 },
-            Lh { rt: d, base: regs::PTR, offset: 4 },
-            Lhu { rt: d, base: regs::PTR, offset: 4 },
-            Lb { rt: d, base: regs::PTR, offset: 6 },
-            Lbu { rt: d, base: regs::PTR, offset: 6 },
+            Lw {
+                rt: d,
+                base: regs::PTR,
+                offset: 0,
+            },
+            Lh {
+                rt: d,
+                base: regs::PTR,
+                offset: 4,
+            },
+            Lhu {
+                rt: d,
+                base: regs::PTR,
+                offset: 4,
+            },
+            Lb {
+                rt: d,
+                base: regs::PTR,
+                offset: 6,
+            },
+            Lbu {
+                rt: d,
+                base: regs::PTR,
+                offset: 6,
+            },
         ] {
             asm.insn(insn);
             asm.jal(MISR_LABEL);
@@ -735,8 +851,8 @@ impl RoutineSpec {
         // free (all register fields are 0, so decoded survivors write
         // `$zero`).
         const SKIP_OPCODES: [u8; 16] = [
-            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x20, 0x21, 0x23, 0x24, 0x25,
-            0x28, 0x29, 0x2B,
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x20, 0x21, 0x23, 0x24, 0x25, 0x28,
+            0x29, 0x2B,
         ];
         for opcode in 0..64u8 {
             if SKIP_OPCODES.contains(&opcode) {

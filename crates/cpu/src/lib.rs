@@ -7,8 +7,10 @@
 //!
 //! - [`Cpu`] — a cycle-accounting ISS executing `sbst-isa` programs with the
 //!   documented Plasma-like timing model (branch delay slots, 1-cycle
-//!   memory pause for loads/stores, single-cycle parallel multiply,
-//!   32-cycle serial divide, full forwarding);
+//!   memory pause for loads/stores, single-cycle parallel multiply, a
+//!   33-cycle serial divide matching the divider netlist protocol of one
+//!   load cycle plus 32 iterations ([`cpu::DIV_LATENCY`]), full
+//!   forwarding);
 //! - [`Memory`] — big-endian sparse memory with program loading;
 //! - [`cache`] — direct-mapped I/D caches plus the paper's *analytic* stall
 //!   model (Section 4 assumes a 5 % miss rate and 20-cycle penalty);
@@ -56,7 +58,7 @@ pub mod system;
 pub mod trace;
 
 pub use cache::{AnalyticStallModel, Cache, CacheConfig};
-pub use cpu::{Cpu, CpuConfig, CpuError, ExecStats, RunOutcome};
+pub use cpu::{Cpu, CpuConfig, CpuError, ExecStats, RunOutcome, DIV_LATENCY};
 pub use faulty::{ArchFault, ArchFaultTarget, FaultActivity};
 pub use memory::Memory;
 pub use power::{EnergyEstimate, EnergyModel};

@@ -78,8 +78,7 @@ impl EnergyModel {
         };
         EnergyEstimate {
             core: stats.cycles as f64 * self.cycle_energy,
-            cache: (stats.imem_accesses + stats.dmem_accesses) as f64
-                * self.cache_access_energy,
+            cache: (stats.imem_accesses + stats.dmem_accesses) as f64 * self.cache_access_energy,
             memory: misses as f64 * self.miss_energy,
             stalls: (stats.pipeline_stall_cycles + stats.memory_stall_cycles) as f64
                 * self.stall_cycle_energy,

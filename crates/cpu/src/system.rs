@@ -290,10 +290,8 @@ pub fn run_time_shared(
             continue;
         }
         // One user quantum (or until the next test launch).
-        let user_slice_end =
-            (cpu.stats().cycles + config.quantum_cycles).min(
-                next_test_at.saturating_sub(charged_switches),
-            );
+        let user_slice_end = (cpu.stats().cycles + config.quantum_cycles)
+            .min(next_test_at.saturating_sub(charged_switches));
         let before_user = cpu.stats().instructions;
         while cpu.stats().cycles < user_slice_end
             && cpu.stats().cycles + charged_switches < config.horizon_cycles
@@ -443,9 +441,7 @@ mod tests {
         let timer = ActivationPolicy::PeriodicTimer {
             interval: Duration::from_secs(1),
         };
-        assert!(
-            startup.permanent_fault_latency(exec) > timer.permanent_fault_latency(exec)
-        );
+        assert!(startup.permanent_fault_latency(exec) > timer.permanent_fault_latency(exec));
         assert_eq!(
             timer.permanent_fault_latency(exec),
             Duration::from_secs(1) + exec
@@ -471,11 +467,10 @@ mod tests {
         assert!(p_long > p_short);
         assert!(p_long <= 1.0);
         // "intermittent faults with fairly large duration" detected fast:
-        assert!(timer.expected_runs_to_detect(
-            Duration::from_millis(500),
-            Duration::from_secs(1),
-            exec
-        ) <= 2.0);
+        assert!(
+            timer.expected_runs_to_detect(Duration::from_millis(500), Duration::from_secs(1), exec)
+                <= 2.0
+        );
     }
 
     #[test]

@@ -184,11 +184,13 @@ mod tests {
         // (fanout 2) kept; s-a-0 on pin from `x` (fanout 1) dropped.
         assert_eq!(collapsed.len(), 10);
         // All stem faults retained.
-        assert!(collapsed
-            .iter()
-            .filter(|f| matches!(f.site, FaultSite::Stem(_)))
-            .count()
-            == 8);
+        assert!(
+            collapsed
+                .iter()
+                .filter(|f| matches!(f.site, FaultSite::Stem(_)))
+                .count()
+                == 8
+        );
     }
 
     #[test]

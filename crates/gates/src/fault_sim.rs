@@ -141,10 +141,73 @@ impl FaultSimConfig {
     /// The worker count this configuration resolves to for `batch_count`
     /// fault batches.
     pub fn resolved_threads(&self, batch_count: usize) -> usize {
-        let requested = self.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        });
+        let requested = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         requested.clamp(1, batch_count.max(1))
+    }
+}
+
+/// Per-worker accounting for one [`FaultSimulator::simulate`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Fault batches this worker graded.
+    pub batches: u64,
+    /// Netlist cycles this worker clocked.
+    pub cycles: u64,
+    /// Wall-clock time this worker spent grading batches.
+    pub busy: Duration,
+}
+
+/// Instrumentation from one [`FaultSimulator::simulate`] run: how much
+/// simulation happened, how much `drop_on_detect` saved, and how evenly
+/// the work spread over the pool.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Fault batches graded ([`LANES`]` - 1` faults each, plus reference).
+    pub batches: u64,
+    /// Netlist cycles actually clocked, summed over batches.
+    pub cycles_simulated: u64,
+    /// Cycles that a full run would clock (`batches * stimulus.len()`);
+    /// the gap to `cycles_simulated` is the drop-on-detect saving.
+    pub cycles_scheduled: u64,
+    /// Gate-evaluation events (`cycles_simulated * gate_count`, each event
+    /// evaluating all [`LANES`] machines bit-parallel).
+    pub events_simulated: u64,
+    /// One entry per worker thread, in worker order.
+    pub per_thread: Vec<ThreadStats>,
+}
+
+impl SimStats {
+    /// Cycles skipped by `drop_on_detect` (early batch exits).
+    pub fn cycles_dropped(&self) -> u64 {
+        self.cycles_scheduled.saturating_sub(self.cycles_simulated)
+    }
+
+    /// Fraction of scheduled cycles skipped by `drop_on_detect`, as a
+    /// percentage in `0.0..=100.0`.
+    pub fn drop_savings_percent(&self) -> f64 {
+        if self.cycles_scheduled == 0 {
+            0.0
+        } else {
+            self.cycles_dropped() as f64 / self.cycles_scheduled as f64 * 100.0
+        }
+    }
+
+    /// Per-thread utilization relative to the run's wall-clock time
+    /// (`busy / wall`), in `0.0..=1.0` per worker.
+    pub fn utilization(&self, wall_time: Duration) -> Vec<f64> {
+        let wall = wall_time.as_secs_f64();
+        self.per_thread
+            .iter()
+            .map(|t| {
+                if wall > 0.0 {
+                    (t.busy.as_secs_f64() / wall).min(1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
     }
 }
 
@@ -162,6 +225,8 @@ pub struct FaultSimResult {
     pub threads_used: usize,
     /// Wall-clock time of the run.
     pub wall_time: Duration,
+    /// Simulation-volume and thread-utilization instrumentation.
+    pub stats: SimStats,
 }
 
 impl FaultSimResult {
@@ -181,6 +246,11 @@ impl FaultSimResult {
             .filter(|(_, d)| !**d)
             .map(|(i, _)| i)
             .collect()
+    }
+
+    /// Per-thread utilization (`busy / wall_time`) for this run.
+    pub fn thread_utilization(&self) -> Vec<f64> {
+        self.stats.utilization(self.wall_time)
     }
 }
 
@@ -255,6 +325,11 @@ impl<'a> FaultSimulator<'a> {
         };
         result.threads_used = threads;
         result.wall_time = start.elapsed();
+        result.stats.batches = batches.len() as u64;
+        result.stats.cycles_scheduled = batches.len() as u64 * stimulus.len() as u64;
+        result.stats.cycles_simulated = result.stats.per_thread.iter().map(|t| t.cycles).sum();
+        result.stats.events_simulated =
+            result.stats.cycles_simulated * self.netlist.gate_count() as u64;
         result
     }
 
@@ -269,8 +344,10 @@ impl<'a> FaultSimulator<'a> {
         let mut detected = vec![false; faults.len()];
         let mut detecting_cycle = vec![None; faults.len()];
         let mut fault_free_responses = Vec::new();
+        let mut thread_stats = ThreadStats::default();
+        let busy_start = Instant::now();
         for (index, range) in batches.iter().enumerate() {
-            let reference = self.run_batch(
+            let (cycles_run, reference) = self.run_batch(
                 &faults[range.clone()],
                 range.start,
                 stimulus,
@@ -280,16 +357,23 @@ impl<'a> FaultSimulator<'a> {
                     detecting_cycle[fault_index] = Some(cycle);
                 },
             );
+            thread_stats.batches += 1;
+            thread_stats.cycles += cycles_run;
             if let Some(responses) = reference {
                 fault_free_responses = responses;
             }
         }
+        thread_stats.busy = busy_start.elapsed();
         FaultSimResult {
             detected,
             detecting_cycle,
             fault_free_responses,
             threads_used: 1,
             wall_time: Duration::ZERO,
+            stats: SimStats {
+                per_thread: vec![thread_stats],
+                ..SimStats::default()
+            },
         }
     }
 
@@ -308,35 +392,52 @@ impl<'a> FaultSimulator<'a> {
         let cycle_slots: Vec<OnceLock<Vec<Option<u32>>>> =
             (0..batches.len()).map(|_| OnceLock::new()).collect();
         let reference_slot: OnceLock<Vec<Vec<u64>>> = OnceLock::new();
+        // One slot per worker for its accounting; written once at exit.
+        let thread_slots: Vec<OnceLock<ThreadStats>> =
+            (0..threads).map(|_| OnceLock::new()).collect();
         let next_batch = AtomicUsize::new(0);
 
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let index = next_batch.fetch_add(1, Ordering::Relaxed);
-                    let Some(range) = batches.get(index) else {
-                        break;
-                    };
-                    let mut cycles = vec![None; range.len()];
-                    let base = range.start;
-                    let reference = self.run_batch(
-                        &faults[range.clone()],
-                        base,
-                        stimulus,
-                        index == 0,
-                        &mut |fault_index, cycle| {
-                            bitmap.set(fault_index);
-                            cycles[fault_index - base] = Some(cycle);
-                        },
-                    );
-                    cycle_slots[index]
-                        .set(cycles)
-                        .expect("each batch is graded exactly once");
-                    if let Some(responses) = reference {
-                        reference_slot
-                            .set(responses)
-                            .expect("only batch 0 records the reference");
+            let bitmap = &bitmap;
+            let cycle_slots = &cycle_slots;
+            let reference_slot = &reference_slot;
+            let next_batch = &next_batch;
+            for thread_slot in &thread_slots {
+                scope.spawn(move || {
+                    let mut local = ThreadStats::default();
+                    let busy_start = Instant::now();
+                    loop {
+                        let index = next_batch.fetch_add(1, Ordering::Relaxed);
+                        let Some(range) = batches.get(index) else {
+                            break;
+                        };
+                        let mut cycles = vec![None; range.len()];
+                        let base = range.start;
+                        let (cycles_run, reference) = self.run_batch(
+                            &faults[range.clone()],
+                            base,
+                            stimulus,
+                            index == 0,
+                            &mut |fault_index, cycle| {
+                                bitmap.set(fault_index);
+                                cycles[fault_index - base] = Some(cycle);
+                            },
+                        );
+                        local.batches += 1;
+                        local.cycles += cycles_run;
+                        cycle_slots[index]
+                            .set(cycles)
+                            .expect("each batch is graded exactly once");
+                        if let Some(responses) = reference {
+                            reference_slot
+                                .set(responses)
+                                .expect("only batch 0 records the reference");
+                        }
                     }
+                    local.busy = busy_start.elapsed();
+                    thread_slot
+                        .set(local)
+                        .expect("each worker reports exactly once");
                 });
             }
         });
@@ -358,6 +459,13 @@ impl<'a> FaultSimulator<'a> {
             fault_free_responses: reference_slot.into_inner().unwrap_or_default(),
             threads_used: threads,
             wall_time: Duration::ZERO,
+            stats: SimStats {
+                per_thread: thread_slots
+                    .into_iter()
+                    .map(|slot| slot.into_inner().expect("every worker reported"))
+                    .collect(),
+                ..SimStats::default()
+            },
         }
     }
 
@@ -369,6 +477,9 @@ impl<'a> FaultSimulator<'a> {
     /// the batch never stops early — the reference must span the whole
     /// stimulus. Other batches may stop early under
     /// [`FaultSimConfig::drop_on_detect`].
+    ///
+    /// Returns the number of cycles actually clocked (for drop-on-detect
+    /// accounting) alongside the optional reference responses.
     fn run_batch(
         &self,
         batch_faults: &[Fault],
@@ -376,7 +487,7 @@ impl<'a> FaultSimulator<'a> {
         stimulus: &Stimulus,
         record_reference: bool,
         on_detect: &mut dyn FnMut(usize, u32),
-    ) -> Option<Vec<Vec<u64>>> {
+    ) -> (u64, Option<Vec<Vec<u64>>>) {
         debug_assert!(batch_faults.len() < LANES);
         let mut sim = Simulator::new(self.netlist);
         if self.config.reset_between_batches {
@@ -390,8 +501,10 @@ impl<'a> FaultSimulator<'a> {
         let live_mask: u64 = (((1u128 << batch_faults.len()) - 1) as u64) << 1;
         let mut undetected_mask = live_mask;
         let mut fault_free_responses: Vec<Vec<u64>> = Vec::new();
+        let mut cycles_run: u64 = 0;
 
         for (cycle, (inputs, observe)) in stimulus.iter().enumerate() {
+            cycles_run += 1;
             let cycle_index = cycle as u32;
             debug_assert_eq!(inputs.len(), self.netlist.inputs().len());
             for (pos, &net) in self.netlist.inputs().iter().enumerate() {
@@ -426,17 +539,14 @@ impl<'a> FaultSimulator<'a> {
                         on_detect(base_index + lane - 1, cycle_index);
                     }
                     undetected_mask &= !newly;
-                    if self.config.drop_on_detect
-                        && undetected_mask == 0
-                        && !record_reference
-                    {
+                    if self.config.drop_on_detect && undetected_mask == 0 && !record_reference {
                         break;
                     }
                 }
             }
             sim.step();
         }
-        record_reference.then_some(fault_free_responses)
+        (cycles_run, record_reference.then_some(fault_free_responses))
     }
 }
 
@@ -546,11 +656,7 @@ mod tests {
         let res = FaultSimulator::with_config(&n, cfg).simulate(&faults, &stim);
         assert_eq!(res.fault_free_responses.len(), stim.observed_cycles());
         // AND truth table: 0,0,0,1.
-        let bits: Vec<u64> = res
-            .fault_free_responses
-            .iter()
-            .map(|w| w[0] & 1)
-            .collect();
+        let bits: Vec<u64> = res.fault_free_responses.iter().map(|w| w[0] & 1).collect();
         assert_eq!(bits, vec![0, 0, 0, 1]);
     }
 
@@ -596,12 +702,11 @@ mod tests {
             let bits: Vec<bool> = (0..48).map(|i| word >> i & 1 == 1).collect();
             s.push_pattern(&bits);
         }
-        let serial = FaultSimulator::with_config(&n, FaultSimConfig::with_threads(1))
-            .simulate(&faults, &s);
+        let serial =
+            FaultSimulator::with_config(&n, FaultSimConfig::with_threads(1)).simulate(&faults, &s);
         for threads in [2usize, 3, 8] {
-            let parallel =
-                FaultSimulator::with_config(&n, FaultSimConfig::with_threads(threads))
-                    .simulate(&faults, &s);
+            let parallel = FaultSimulator::with_config(&n, FaultSimConfig::with_threads(threads))
+                .simulate(&faults, &s);
             assert_eq!(parallel.detected, serial.detected, "{threads} threads");
             assert_eq!(
                 parallel.detecting_cycle, serial.detecting_cycle,
@@ -622,6 +727,66 @@ mod tests {
             .simulate(&faults, &exhaustive2());
         assert_eq!(res.threads_used, 1, "clamped to the single batch");
         assert_eq!(res.coverage().percent(), 100.0);
+    }
+
+    #[test]
+    fn sim_stats_account_for_cycles_and_threads() {
+        let n = and2_netlist();
+        let faults = n.collapsed_faults();
+        let stim = exhaustive2();
+        let cfg = FaultSimConfig {
+            drop_on_detect: false,
+            ..FaultSimConfig::default()
+        };
+        let res = FaultSimulator::with_config(&n, cfg).simulate(&faults, &stim);
+        let batches = fault_batches(faults.len()).len() as u64;
+        assert_eq!(res.stats.batches, batches);
+        assert_eq!(res.stats.cycles_scheduled, batches * stim.len() as u64);
+        // drop_on_detect off: every scheduled cycle is clocked.
+        assert_eq!(res.stats.cycles_simulated, res.stats.cycles_scheduled);
+        assert_eq!(res.stats.cycles_dropped(), 0);
+        assert_eq!(res.stats.drop_savings_percent(), 0.0);
+        assert_eq!(
+            res.stats.events_simulated,
+            res.stats.cycles_simulated * n.gate_count() as u64
+        );
+        assert_eq!(res.stats.per_thread.len(), res.threads_used);
+        let per_thread_total: u64 = res.stats.per_thread.iter().map(|t| t.batches).sum();
+        assert_eq!(per_thread_total, batches);
+        assert_eq!(res.thread_utilization().len(), res.threads_used);
+    }
+
+    #[test]
+    fn drop_on_detect_savings_show_in_stats() {
+        // Wide OR tree, multi-batch; the all-ones tail patterns detect most
+        // faults early so later cycles are dropped in non-reference batches.
+        let mut b = NetlistBuilder::new("wide");
+        let bus = b.input_bus("a", 40);
+        let o = b.reduce_or(&bus);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let faults = n.collapsed_faults();
+        let mut s = Stimulus::new();
+        s.push_pattern(&[false; 40]);
+        for i in 0..40 {
+            let mut v = vec![false; 40];
+            v[i] = true;
+            s.push_pattern(&v);
+        }
+        // Pad with patterns that detect nothing new: dropped batches skip
+        // these entirely.
+        for _ in 0..64 {
+            s.push_pattern(&[false; 40]);
+        }
+        let res =
+            FaultSimulator::with_config(&n, FaultSimConfig::with_threads(2)).simulate(&faults, &s);
+        assert_eq!(res.coverage().percent(), 100.0);
+        assert!(
+            res.stats.cycles_simulated < res.stats.cycles_scheduled,
+            "expected drop-on-detect to skip padded cycles: {:?}",
+            res.stats
+        );
+        assert!(res.stats.drop_savings_percent() > 0.0);
     }
 
     #[test]

@@ -53,12 +53,14 @@ pub mod scoap;
 pub mod verilog;
 
 pub use error::BuildNetlistError;
-pub use scoap::Testability;
 pub use fault::{collapse_faults, enumerate_faults, Fault, FaultSite};
-pub use fault_sim::{fault_batches, FaultSimConfig, FaultSimResult, FaultSimulator, Stimulus};
+pub use fault_sim::{
+    fault_batches, FaultSimConfig, FaultSimResult, FaultSimulator, SimStats, Stimulus, ThreadStats,
+};
 pub use gate::{Gate, GateId, GateKind};
 pub use net::{Bus, NetId};
 pub use netlist::{Netlist, NetlistBuilder};
+pub use scoap::Testability;
 pub use sim::{Simulator, LANES};
 
 pub use coverage::FaultCoverage;

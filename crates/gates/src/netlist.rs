@@ -131,12 +131,7 @@ impl Netlist {
 
     /// Fan-out histogram summary: `(max, mean)` over driven nets.
     pub fn fanout_stats(&self) -> (u32, f64) {
-        let driven: Vec<u32> = self
-            .fanout
-            .iter()
-            .copied()
-            .filter(|&f| f > 0)
-            .collect();
+        let driven: Vec<u32> = self.fanout.iter().copied().filter(|&f| f > 0).collect();
         if driven.is_empty() {
             return (0, 0.0);
         }
@@ -205,7 +200,9 @@ impl NetlistBuilder {
 
     /// Declares a `width`-bit primary input bus named `name[0..width]`.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Bus {
-        (0..width).map(|i| self.input(&format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(&format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Marks an existing net as a primary output under `name`.

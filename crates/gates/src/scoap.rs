@@ -257,8 +257,7 @@ fn propagate_observability(
             co[d0] = co[d0].min(sat_add(sat_add(out_co, cc0[s]), 1));
             co[d1] = co[d1].min(sat_add(sat_add(out_co, cc1[s]), 1));
             // Select observed when the data inputs differ.
-            let make_differ =
-                sat_add(cc0[d0], cc1[d1]).min(sat_add(cc1[d0], cc0[d1]));
+            let make_differ = sat_add(cc0[d0], cc1[d1]).min(sat_add(cc1[d0], cc0[d1]));
             co[s] = co[s].min(sat_add(sat_add(out_co, make_differ), 1));
         }
     }

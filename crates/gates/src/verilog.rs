@@ -79,8 +79,7 @@ pub fn to_verilog(netlist: &Netlist) -> String {
         let _ = writeln!(out, "  output {};", net_name(n));
     }
     // Internal wires and registers.
-    let output_set: std::collections::HashSet<usize> =
-        outputs.iter().map(|n| n.index()).collect();
+    let output_set: std::collections::HashSet<usize> = outputs.iter().map(|n| n.index()).collect();
     let input_set: std::collections::HashSet<usize> =
         netlist.inputs().iter().map(|n| n.index()).collect();
     for gate in netlist.gates() {

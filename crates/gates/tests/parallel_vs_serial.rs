@@ -29,10 +29,8 @@ struct NetlistRecipe {
 fn recipe_strategy() -> impl Strategy<Value = NetlistRecipe> {
     (2usize..6, 8usize..60).prop_flat_map(|(n_inputs, n_gates)| {
         let gate = (0u8..9, prop::collection::vec(0usize..1000, 3));
-        prop::collection::vec(gate, n_gates).prop_map(move |gates| NetlistRecipe {
-            n_inputs,
-            gates,
-        })
+        prop::collection::vec(gate, n_gates)
+            .prop_map(move |gates| NetlistRecipe { n_inputs, gates })
     })
 }
 

@@ -7,8 +7,7 @@
 
 use proptest::prelude::*;
 use sbst_gates::{
-    fault_batches, FaultSimConfig, FaultSimulator, GateKind, NetId, NetlistBuilder, Stimulus,
-    LANES,
+    fault_batches, FaultSimConfig, FaultSimulator, GateKind, NetId, NetlistBuilder, Stimulus, LANES,
 };
 
 proptest! {

@@ -25,12 +25,24 @@ enum TextItem {
     /// A raw instruction word placed verbatim in the text segment (used to
     /// exercise undecoded opcodes in functional tests).
     Raw(u32),
-    Branch { kind: BranchKind, label: String },
-    Jump { link: bool, label: String },
+    Branch {
+        kind: BranchKind,
+        label: String,
+    },
+    Jump {
+        link: bool,
+        label: String,
+    },
     /// `la rt, label` — always expands to `lui` + `ori` (2 words).
-    La { rt: Reg, label: String },
+    La {
+        rt: Reg,
+        label: String,
+    },
     /// `li rt, value` — expands to 1 or 2 words depending on the value.
-    Li { rt: Reg, value: u32 },
+    Li {
+        rt: Reg,
+        value: u32,
+    },
 }
 
 impl TextItem {
@@ -234,7 +246,8 @@ impl Asm {
 
     /// Defines a data label at the current end of the data segment.
     pub fn data_label(&mut self, name: &str) -> &mut Self {
-        self.data_labels.push((name.to_owned(), self.data.len() as u32));
+        self.data_labels
+            .push((name.to_owned(), self.data.len() as u32));
         self
     }
 
@@ -550,6 +563,63 @@ mod tests {
             asm.assemble(0, 0).err(),
             Some(AsmError::BranchOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn branch_offset_boundary_forward() {
+        // A branch at address 0 to a label 32768 instructions later encodes
+        // offset 32767 (delta is relative to the delay slot) — the largest
+        // representable forward offset. One more instruction overflows.
+        for pad in [32_767usize, 32_768] {
+            let mut asm = Asm::new();
+            asm.beq(Reg::ZERO, Reg::ZERO, "far");
+            for _ in 0..pad {
+                asm.nop();
+            }
+            asm.label("far");
+            asm.insn(Instruction::Break { code: 0 });
+            let result = asm.assemble(0, 0);
+            if pad == 32_767 {
+                let p = result.expect("offset 32767 fits");
+                match Instruction::decode(p.text[0]).unwrap() {
+                    Instruction::Beq { offset, .. } => assert_eq!(offset, 32_767),
+                    other => panic!("unexpected {other}"),
+                }
+            } else {
+                assert!(matches!(
+                    result.err(),
+                    Some(AsmError::BranchOutOfRange { .. })
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn branch_offset_boundary_backward() {
+        // A branch 32767 instructions after its target encodes offset
+        // -32768; one further back overflows.
+        for pad in [32_767usize, 32_768] {
+            let mut asm = Asm::new();
+            asm.label("back");
+            for _ in 0..pad {
+                asm.nop();
+            }
+            asm.bne(Reg::T0, Reg::ZERO, "back");
+            asm.nop();
+            let result = asm.assemble(0, 0);
+            if pad == 32_767 {
+                let p = result.expect("offset -32768 fits");
+                match Instruction::decode(p.text[pad]).unwrap() {
+                    Instruction::Bne { offset, .. } => assert_eq!(offset, -32_768),
+                    other => panic!("unexpected {other}"),
+                }
+            } else {
+                assert!(matches!(
+                    result.err(),
+                    Some(AsmError::BranchOutOfRange { .. })
+                ));
+            }
+        }
     }
 
     #[test]

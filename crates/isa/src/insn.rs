@@ -410,14 +410,37 @@ impl Instruction {
     pub fn written_reg(self) -> Option<Reg> {
         use Instruction::*;
         match self {
-            Add { rd, .. } | Addu { rd, .. } | Sub { rd, .. } | Subu { rd, .. }
-            | And { rd, .. } | Or { rd, .. } | Xor { rd, .. } | Nor { rd, .. }
-            | Slt { rd, .. } | Sltu { rd, .. } | Sll { rd, .. } | Srl { rd, .. }
-            | Sra { rd, .. } | Sllv { rd, .. } | Srlv { rd, .. } | Srav { rd, .. }
-            | Mfhi { rd } | Mflo { rd } | Jalr { rd, .. } => Some(rd),
-            Addi { rt, .. } | Addiu { rt, .. } | Slti { rt, .. } | Sltiu { rt, .. }
-            | Andi { rt, .. } | Ori { rt, .. } | Xori { rt, .. } | Lui { rt, .. }
-            | Lb { rt, .. } | Lbu { rt, .. } | Lh { rt, .. } | Lhu { rt, .. }
+            Add { rd, .. }
+            | Addu { rd, .. }
+            | Sub { rd, .. }
+            | Subu { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Nor { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. }
+            | Sll { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Sllv { rd, .. }
+            | Srlv { rd, .. }
+            | Srav { rd, .. }
+            | Mfhi { rd }
+            | Mflo { rd }
+            | Jalr { rd, .. } => Some(rd),
+            Addi { rt, .. }
+            | Addiu { rt, .. }
+            | Slti { rt, .. }
+            | Sltiu { rt, .. }
+            | Andi { rt, .. }
+            | Ori { rt, .. }
+            | Xori { rt, .. }
+            | Lui { rt, .. }
+            | Lb { rt, .. }
+            | Lbu { rt, .. }
+            | Lh { rt, .. }
+            | Lhu { rt, .. }
             | Lw { rt, .. } => Some(rt),
             Jal { .. } => Some(Reg::RA),
             _ => None,
@@ -428,27 +451,50 @@ impl Instruction {
     pub fn read_regs(self) -> (Option<Reg>, Option<Reg>) {
         use Instruction::*;
         match self {
-            Add { rs, rt, .. } | Addu { rs, rt, .. } | Sub { rs, rt, .. }
-            | Subu { rs, rt, .. } | And { rs, rt, .. } | Or { rs, rt, .. }
-            | Xor { rs, rt, .. } | Nor { rs, rt, .. } | Slt { rs, rt, .. }
-            | Sltu { rs, rt, .. } | Mult { rs, rt } | Multu { rs, rt }
-            | Div { rs, rt } | Divu { rs, rt } | Beq { rs, rt, .. }
+            Add { rs, rt, .. }
+            | Addu { rs, rt, .. }
+            | Sub { rs, rt, .. }
+            | Subu { rs, rt, .. }
+            | And { rs, rt, .. }
+            | Or { rs, rt, .. }
+            | Xor { rs, rt, .. }
+            | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. }
+            | Mult { rs, rt }
+            | Multu { rs, rt }
+            | Div { rs, rt }
+            | Divu { rs, rt }
+            | Beq { rs, rt, .. }
             | Bne { rs, rt, .. } => (Some(rs), Some(rt)),
-            Sllv { rs, rt, .. } | Srlv { rs, rt, .. } | Srav { rs, rt, .. } => {
-                (Some(rs), Some(rt))
-            }
+            Sllv { rs, rt, .. } | Srlv { rs, rt, .. } | Srav { rs, rt, .. } => (Some(rs), Some(rt)),
             Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => (Some(rt), None),
-            Addi { rs, .. } | Addiu { rs, .. } | Slti { rs, .. } | Sltiu { rs, .. }
-            | Andi { rs, .. } | Ori { rs, .. } | Xori { rs, .. } | Blez { rs, .. }
-            | Bgtz { rs, .. } | Bltz { rs, .. } | Bgez { rs, .. } | Jr { rs }
-            | Jalr { rs, .. } | Mthi { rs } | Mtlo { rs } => (Some(rs), None),
-            Lb { base, .. } | Lbu { base, .. } | Lh { base, .. } | Lhu { base, .. }
+            Addi { rs, .. }
+            | Addiu { rs, .. }
+            | Slti { rs, .. }
+            | Sltiu { rs, .. }
+            | Andi { rs, .. }
+            | Ori { rs, .. }
+            | Xori { rs, .. }
+            | Blez { rs, .. }
+            | Bgtz { rs, .. }
+            | Bltz { rs, .. }
+            | Bgez { rs, .. }
+            | Jr { rs }
+            | Jalr { rs, .. }
+            | Mthi { rs }
+            | Mtlo { rs } => (Some(rs), None),
+            Lb { base, .. }
+            | Lbu { base, .. }
+            | Lh { base, .. }
+            | Lhu { base, .. }
             | Lw { base, .. } => (Some(base), None),
             Sb { rt, base, .. } | Sh { rt, base, .. } | Sw { rt, base, .. } => {
                 (Some(base), Some(rt))
             }
-            Lui { .. } | J { .. } | Jal { .. } | Mfhi { .. } | Mflo { .. }
-            | Break { .. } => (None, None),
+            Lui { .. } | J { .. } | Jal { .. } | Mfhi { .. } | Mflo { .. } | Break { .. } => {
+                (None, None)
+            }
         }
     }
 }
@@ -458,9 +504,15 @@ impl fmt::Display for Instruction {
         use Instruction::*;
         let m = self.mnemonic();
         match *self {
-            Add { rd, rs, rt } | Addu { rd, rs, rt } | Sub { rd, rs, rt }
-            | Subu { rd, rs, rt } | And { rd, rs, rt } | Or { rd, rs, rt }
-            | Xor { rd, rs, rt } | Nor { rd, rs, rt } | Slt { rd, rs, rt }
+            Add { rd, rs, rt }
+            | Addu { rd, rs, rt }
+            | Sub { rd, rs, rt }
+            | Subu { rd, rs, rt }
+            | And { rd, rs, rt }
+            | Or { rd, rs, rt }
+            | Xor { rd, rs, rt }
+            | Nor { rd, rs, rt }
+            | Slt { rd, rs, rt }
             | Sltu { rd, rs, rt } => write!(f, "{m} {rd}, {rs}, {rt}"),
             Sll { rd, rt, shamt } | Srl { rd, rt, shamt } | Sra { rd, rt, shamt } => {
                 write!(f, "{m} {rd}, {rt}, {shamt}")
@@ -474,7 +526,9 @@ impl fmt::Display for Instruction {
             Mfhi { rd } | Mflo { rd } => write!(f, "{m} {rd}"),
             Mthi { rs } | Mtlo { rs } | Jr { rs } => write!(f, "{m} {rs}"),
             Jalr { rd, rs } => write!(f, "{m} {rd}, {rs}"),
-            Addi { rt, rs, imm } | Addiu { rt, rs, imm } | Slti { rt, rs, imm }
+            Addi { rt, rs, imm }
+            | Addiu { rt, rs, imm }
+            | Slti { rt, rs, imm }
             | Sltiu { rt, rs, imm } => write!(f, "{m} {rt}, {rs}, {imm}"),
             Andi { rt, rs, imm } | Ori { rt, rs, imm } | Xori { rt, rs, imm } => {
                 write!(f, "{m} {rt}, {rs}, {imm:#x}")
@@ -483,12 +537,19 @@ impl fmt::Display for Instruction {
             Beq { rs, rt, offset } | Bne { rs, rt, offset } => {
                 write!(f, "{m} {rs}, {rt}, {offset}")
             }
-            Blez { rs, offset } | Bgtz { rs, offset } | Bltz { rs, offset }
+            Blez { rs, offset }
+            | Bgtz { rs, offset }
+            | Bltz { rs, offset }
             | Bgez { rs, offset } => write!(f, "{m} {rs}, {offset}"),
             J { target } | Jal { target } => write!(f, "{m} {:#x}", target << 2),
-            Lb { rt, base, offset } | Lbu { rt, base, offset } | Lh { rt, base, offset }
-            | Lhu { rt, base, offset } | Lw { rt, base, offset } | Sb { rt, base, offset }
-            | Sh { rt, base, offset } | Sw { rt, base, offset } => {
+            Lb { rt, base, offset }
+            | Lbu { rt, base, offset }
+            | Lh { rt, base, offset }
+            | Lhu { rt, base, offset }
+            | Lw { rt, base, offset }
+            | Sb { rt, base, offset }
+            | Sh { rt, base, offset }
+            | Sw { rt, base, offset } => {
                 write!(f, "{m} {rt}, {offset}({base})")
             }
             Break { code } => write!(f, "{m} {code}"),
@@ -504,22 +565,86 @@ mod tests {
         use Instruction::*;
         let (a, b, c) = (Reg::T0, Reg::S1, Reg::A2);
         vec![
-            Add { rd: a, rs: b, rt: c },
-            Addu { rd: a, rs: b, rt: c },
-            Sub { rd: a, rs: b, rt: c },
-            Subu { rd: a, rs: b, rt: c },
-            And { rd: a, rs: b, rt: c },
-            Or { rd: a, rs: b, rt: c },
-            Xor { rd: a, rs: b, rt: c },
-            Nor { rd: a, rs: b, rt: c },
-            Slt { rd: a, rs: b, rt: c },
-            Sltu { rd: a, rs: b, rt: c },
-            Sll { rd: a, rt: c, shamt: 7 },
-            Srl { rd: a, rt: c, shamt: 31 },
-            Sra { rd: a, rt: c, shamt: 1 },
-            Sllv { rd: a, rt: c, rs: b },
-            Srlv { rd: a, rt: c, rs: b },
-            Srav { rd: a, rt: c, rs: b },
+            Add {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Addu {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Sub {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Subu {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            And {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Or {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Xor {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Nor {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Slt {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Sltu {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Sll {
+                rd: a,
+                rt: c,
+                shamt: 7,
+            },
+            Srl {
+                rd: a,
+                rt: c,
+                shamt: 31,
+            },
+            Sra {
+                rd: a,
+                rt: c,
+                shamt: 1,
+            },
+            Sllv {
+                rd: a,
+                rt: c,
+                rs: b,
+            },
+            Srlv {
+                rd: a,
+                rt: c,
+                rs: b,
+            },
+            Srav {
+                rd: a,
+                rt: c,
+                rs: b,
+            },
             Mult { rs: b, rt: c },
             Multu { rs: b, rt: c },
             Div { rs: b, rt: c },
@@ -528,16 +653,52 @@ mod tests {
             Mflo { rd: a },
             Mthi { rs: b },
             Mtlo { rs: b },
-            Addi { rt: a, rs: b, imm: -5 },
-            Addiu { rt: a, rs: b, imm: 5 },
-            Slti { rt: a, rs: b, imm: -1 },
-            Sltiu { rt: a, rs: b, imm: 1 },
-            Andi { rt: a, rs: b, imm: 0xFFFF },
-            Ori { rt: a, rs: b, imm: 0xABCD },
-            Xori { rt: a, rs: b, imm: 0x5555 },
+            Addi {
+                rt: a,
+                rs: b,
+                imm: -5,
+            },
+            Addiu {
+                rt: a,
+                rs: b,
+                imm: 5,
+            },
+            Slti {
+                rt: a,
+                rs: b,
+                imm: -1,
+            },
+            Sltiu {
+                rt: a,
+                rs: b,
+                imm: 1,
+            },
+            Andi {
+                rt: a,
+                rs: b,
+                imm: 0xFFFF,
+            },
+            Ori {
+                rt: a,
+                rs: b,
+                imm: 0xABCD,
+            },
+            Xori {
+                rt: a,
+                rs: b,
+                imm: 0x5555,
+            },
             Lui { rt: a, imm: 0x8000 },
-            Beq { rs: b, rt: c, offset: -3 },
-            Bne { rs: b, rt: c, offset: 3 },
+            Beq {
+                rs: b,
+                rt: c,
+                offset: -3,
+            },
+            Bne {
+                rs: b,
+                rt: c,
+                offset: 3,
+            },
             Blez { rs: b, offset: 2 },
             Bgtz { rs: b, offset: -2 },
             Bltz { rs: b, offset: 1 },
@@ -546,14 +707,46 @@ mod tests {
             Jal { target: 0x3FFFFFF },
             Jr { rs: Reg::RA },
             Jalr { rd: Reg::RA, rs: b },
-            Lb { rt: a, base: b, offset: -4 },
-            Lbu { rt: a, base: b, offset: 4 },
-            Lh { rt: a, base: b, offset: -8 },
-            Lhu { rt: a, base: b, offset: 8 },
-            Lw { rt: a, base: b, offset: 12 },
-            Sb { rt: a, base: b, offset: -12 },
-            Sh { rt: a, base: b, offset: 16 },
-            Sw { rt: a, base: b, offset: -16 },
+            Lb {
+                rt: a,
+                base: b,
+                offset: -4,
+            },
+            Lbu {
+                rt: a,
+                base: b,
+                offset: 4,
+            },
+            Lh {
+                rt: a,
+                base: b,
+                offset: -8,
+            },
+            Lhu {
+                rt: a,
+                base: b,
+                offset: 8,
+            },
+            Lw {
+                rt: a,
+                base: b,
+                offset: 12,
+            },
+            Sb {
+                rt: a,
+                base: b,
+                offset: -12,
+            },
+            Sh {
+                rt: a,
+                base: b,
+                offset: 16,
+            },
+            Sw {
+                rt: a,
+                base: b,
+                offset: -16,
+            },
             Break { code: 42 },
         ]
     }

@@ -101,7 +101,9 @@ pub fn parse_asm(source: &str) -> Result<Asm, ParseAsmError> {
                 for piece in rest.split(',') {
                     let v = parse_number(piece.trim())
                         .ok_or_else(|| err(format!("bad .word operand `{piece}`")))?;
-                    asm.word(v as u32);
+                    let word = word_value(v)
+                        .ok_or_else(|| err(format!(".word operand {v} out of 32-bit range")))?;
+                    asm.word(word);
                 }
                 continue;
             }
@@ -121,6 +123,16 @@ fn is_ident(s: &str) -> bool {
     let mut chars = s.chars();
     matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
         && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A parsed number as a 32-bit word, accepting both the signed and the
+/// unsigned reading (`-0x8000_0000..=0xFFFF_FFFF`); `None` outside.
+fn word_value(v: i64) -> Option<u32> {
+    if (-(1i64 << 31)..=u32::MAX as i64).contains(&v) {
+        Some(v as u32)
+    } else {
+        None
+    }
 }
 
 fn parse_number(s: &str) -> Option<i64> {
@@ -183,13 +195,18 @@ impl<'a> Operands<'a> {
     /// `offset(base)` memory operand; the offset may be omitted (`($reg)`).
     fn mem(&mut self) -> Result<(i16, Reg), String> {
         let p = self.next()?;
-        let open = p.find('(').ok_or_else(|| format!("bad memory operand `{p}`"))?;
-        let close = p.rfind(')').ok_or_else(|| format!("bad memory operand `{p}`"))?;
+        let open = p
+            .find('(')
+            .ok_or_else(|| format!("bad memory operand `{p}`"))?;
+        let close = p
+            .rfind(')')
+            .ok_or_else(|| format!("bad memory operand `{p}`"))?;
         let off_text = p[..open].trim();
         let offset = if off_text.is_empty() {
             0
         } else {
-            parse_number(off_text).ok_or_else(|| format!("bad offset `{off_text}`"))? as i16
+            let v = parse_number(off_text).ok_or_else(|| format!("bad offset `{off_text}`"))?;
+            i16::try_from(v).map_err(|_| format!("memory offset {v} out of signed 16-bit range"))?
         };
         let base = p[open + 1..close]
             .trim()
@@ -412,6 +429,10 @@ fn parse_instruction(asm: &mut Asm, mnemonic: &str, rest: &str) -> Result<(), St
         "sw" => load_store!(Sw),
         "break" => {
             let code = if ops.parts.is_empty() { 0 } else { ops.imm()? };
+            // The break code field is 20 bits wide in the encoding.
+            if !(0..=0xFFFFF).contains(&code) {
+                return Err(format!("break code {code} out of 20-bit range"));
+            }
             asm.insn(Break { code: code as u32 });
         }
         "nop" => {
@@ -420,7 +441,9 @@ fn parse_instruction(asm: &mut Asm, mnemonic: &str, rest: &str) -> Result<(), St
         "li" => {
             let rt = ops.reg()?;
             let value = ops.imm()?;
-            asm.li(rt, value as u32);
+            let word =
+                word_value(value).ok_or_else(|| format!("li value {value} out of 32-bit range"))?;
+            asm.li(rt, word);
         }
         "la" => {
             let rt = ops.reg()?;
@@ -551,5 +574,80 @@ mod tests {
             Instruction::decode(p.text[0]).unwrap(),
             Instruction::Break { code: 0 }
         );
+    }
+
+    #[test]
+    fn rejects_out_of_range_memory_offset() {
+        // Regression: 40000 > i16::MAX used to silently wrap to -25536.
+        let err = parse_asm("lw $t0, 40000($s0)").unwrap_err();
+        assert!(
+            err.message.contains("out of signed 16-bit range"),
+            "{}",
+            err.message
+        );
+        assert!(parse_asm("sw $t0, -32769($s0)").is_err());
+    }
+
+    #[test]
+    fn memory_offset_boundaries() {
+        let asm = parse_asm("lw $t0, 32767($s0)\nlw $t1, -32768($s0)").unwrap();
+        let p = asm.assemble(0, 0).unwrap();
+        match Instruction::decode(p.text[0]).unwrap() {
+            Instruction::Lw { offset, .. } => assert_eq!(offset, 32767),
+            other => panic!("unexpected {other}"),
+        }
+        match Instruction::decode(p.text[1]).unwrap() {
+            Instruction::Lw { offset, .. } => assert_eq!(offset, -32768),
+            other => panic!("unexpected {other}"),
+        }
+        assert!(parse_asm("lw $t0, 32768($s0)").is_err());
+    }
+
+    #[test]
+    fn signed_immediate_boundaries() {
+        assert!(parse_asm("addiu $t0, $t1, 32767").is_ok());
+        assert!(parse_asm("addiu $t0, $t1, -32768").is_ok());
+        assert!(parse_asm("addiu $t0, $t1, 32768").is_err());
+        assert!(parse_asm("addiu $t0, $t1, -32769").is_err());
+    }
+
+    #[test]
+    fn li_value_boundaries() {
+        // Both the unsigned and the signed 32-bit readings are accepted.
+        assert!(parse_asm("li $t0, 0xFFFFFFFF").is_ok());
+        assert!(parse_asm("li $t0, -2147483648").is_ok());
+        let err = parse_asm("li $t0, 0x100000000").unwrap_err();
+        assert!(
+            err.message.contains("out of 32-bit range"),
+            "{}",
+            err.message
+        );
+        assert!(parse_asm("li $t0, -2147483649").is_err());
+    }
+
+    #[test]
+    fn word_value_boundaries() {
+        let asm = parse_asm(".data\nv: .word 0xFFFFFFFF, -2147483648").unwrap();
+        let p = asm.assemble(0, 0).unwrap();
+        assert_eq!(p.data, vec![0xFFFF_FFFF, 0x8000_0000]);
+        assert!(parse_asm(".data\nv: .word 0x100000000").is_err());
+        assert!(parse_asm(".data\nv: .word -2147483649").is_err());
+    }
+
+    #[test]
+    fn break_code_boundaries() {
+        let asm = parse_asm("break 0xFFFFF").unwrap();
+        let p = asm.assemble(0, 0).unwrap();
+        assert_eq!(
+            Instruction::decode(p.text[0]).unwrap(),
+            Instruction::Break { code: 0xFFFFF }
+        );
+        let err = parse_asm("break 0x100000").unwrap_err();
+        assert!(
+            err.message.contains("out of 20-bit range"),
+            "{}",
+            err.message
+        );
+        assert!(parse_asm("break -1").is_err());
     }
 }

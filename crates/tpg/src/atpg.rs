@@ -77,6 +77,28 @@ impl AtpgOutcome {
     }
 }
 
+/// Instrumentation from one [`Atpg::run`]: pattern economy of the random
+/// phase and search effort of the PODEM phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AtpgStats {
+    /// Random patterns generated and graded.
+    pub random_patterns_tried: u64,
+    /// Random patterns kept after first-detector compaction.
+    pub random_patterns_kept: u64,
+    /// Faults detected by the random phase.
+    pub detected_by_random: u64,
+    /// Faults the PODEM search was invoked on.
+    pub podem_targets: u64,
+    /// PODEM searches that produced a test pattern.
+    pub podem_tests: u64,
+    /// Total backtracks (decision retries) across all PODEM searches.
+    pub podem_backtracks: u64,
+    /// Faults proved redundant under the constraints.
+    pub redundant: u64,
+    /// Searches abandoned (backtrack limit or heuristic dead end).
+    pub aborted: u64,
+}
+
 /// Result of an ATPG run: the compacted pattern set and per-fault outcomes.
 #[derive(Debug, Clone)]
 pub struct AtpgResult {
@@ -86,6 +108,8 @@ pub struct AtpgResult {
     /// Outcome per fault (parallel to the fault list given to
     /// [`Atpg::run`]).
     pub outcomes: Vec<AtpgOutcome>,
+    /// Search-effort instrumentation for this run.
+    pub stats: AtpgStats,
 }
 
 impl AtpgResult {
@@ -250,6 +274,7 @@ impl<'a> Atpg<'a> {
         let n_inputs = self.netlist.inputs().len();
         let mut outcomes = vec![AtpgOutcome::Aborted; faults.len()];
         let mut patterns: Vec<Vec<bool>> = Vec::new();
+        let mut stats = AtpgStats::default();
 
         // --- Random phase with fault dropping and pattern compaction ---
         if self.config.random_patterns > 0 {
@@ -271,12 +296,7 @@ impl<'a> Atpg<'a> {
             let sim = FaultSimulator::with_config(self.netlist, self.sim_config());
             let res = sim.simulate(faults, &stim);
             // Keep only patterns that were the first detector of some fault.
-            let mut keep: Vec<u32> = res
-                .detecting_cycle
-                .iter()
-                .flatten()
-                .copied()
-                .collect();
+            let mut keep: Vec<u32> = res.detecting_cycle.iter().flatten().copied().collect();
             keep.sort_unstable();
             keep.dedup();
             for &cycle in &keep {
@@ -287,6 +307,9 @@ impl<'a> Atpg<'a> {
                     outcomes[i] = AtpgOutcome::DetectedByRandom;
                 }
             }
+            stats.random_patterns_tried = self.config.random_patterns as u64;
+            stats.random_patterns_kept = keep.len() as u64;
+            stats.detected_by_random = res.detected.iter().filter(|d| **d).count() as u64;
         }
 
         // --- PODEM phase ---
@@ -294,7 +317,10 @@ impl<'a> Atpg<'a> {
             if outcomes[target].is_detected() {
                 continue;
             }
-            match self.podem(&faults[target], &mut rng) {
+            stats.podem_targets += 1;
+            let (outcome, backtracks) = self.podem(&faults[target], &mut rng);
+            stats.podem_backtracks += backtracks as u64;
+            match outcome {
                 PodemOutcome::Test(pattern) => {
                     // Drop other remaining faults detected by this pattern.
                     let remaining: Vec<usize> = (0..faults.len())
@@ -313,13 +339,24 @@ impl<'a> Atpg<'a> {
                     }
                     debug_assert!(outcomes[target].is_detected(), "podem pattern must work");
                     patterns.push(pattern);
+                    stats.podem_tests += 1;
                 }
-                PodemOutcome::Redundant => outcomes[target] = AtpgOutcome::Redundant,
-                PodemOutcome::Aborted => outcomes[target] = AtpgOutcome::Aborted,
+                PodemOutcome::Redundant => {
+                    outcomes[target] = AtpgOutcome::Redundant;
+                    stats.redundant += 1;
+                }
+                PodemOutcome::Aborted => {
+                    outcomes[target] = AtpgOutcome::Aborted;
+                    stats.aborted += 1;
+                }
             }
         }
 
-        AtpgResult { patterns, outcomes }
+        AtpgResult {
+            patterns,
+            outcomes,
+            stats,
+        }
     }
 
     /// Dual-rail three-valued simulation under a partial PI assignment.
@@ -373,7 +410,12 @@ impl<'a> Atpg<'a> {
     }
 
     /// Backtraces an objective to an unassigned primary input.
-    fn backtrace(&self, values: &[DualRail], mut net: NetId, mut value: bool) -> Option<(NetId, bool)> {
+    fn backtrace(
+        &self,
+        values: &[DualRail],
+        mut net: NetId,
+        mut value: bool,
+    ) -> Option<(NetId, bool)> {
         loop {
             match self.netlist.driver(net) {
                 None => {
@@ -398,7 +440,9 @@ impl<'a> Atpg<'a> {
         }
     }
 
-    fn podem(&self, fault: &Fault, rng: &mut StdRng) -> PodemOutcome {
+    /// Runs one PODEM search; returns the outcome and the number of
+    /// backtracks (constraint-solver retries) the search consumed.
+    fn podem(&self, fault: &Fault, rng: &mut StdRng) -> (PodemOutcome, usize) {
         let nl = self.netlist;
         let n_inputs = nl.inputs().len();
         let mut pi: Vec<T3> = (0..n_inputs)
@@ -414,16 +458,12 @@ impl<'a> Atpg<'a> {
             let values = self.simulate(&pi, fault);
 
             // Success: fault effect at a primary output.
-            if nl
-                .outputs()
-                .iter()
-                .any(|o| values[o.index()].has_effect())
-            {
+            if nl.outputs().iter().any(|o| values[o.index()].has_effect()) {
                 let pattern: Vec<bool> = pi
                     .iter()
                     .map(|v| v.unwrap_or_else(|| rng.random()))
                     .collect();
-                return PodemOutcome::Test(pattern);
+                return (PodemOutcome::Test(pattern), backtracks);
             }
 
             // Derive an objective, or fail this branch.
@@ -464,7 +504,7 @@ impl<'a> Atpg<'a> {
                     // Backtrack.
                     backtracks += 1;
                     if backtracks > self.config.backtrack_limit {
-                        return PodemOutcome::Aborted;
+                        return (PodemOutcome::Aborted, backtracks);
                     }
                     loop {
                         match stack.pop() {
@@ -477,11 +517,12 @@ impl<'a> Atpg<'a> {
                                 pi[pos] = None;
                             }
                             None => {
-                                return if heuristic_cutoff {
+                                let outcome = if heuristic_cutoff {
                                     PodemOutcome::Aborted
                                 } else {
                                     PodemOutcome::Redundant
                                 };
+                                return (outcome, backtracks);
                             }
                         }
                     }
@@ -505,9 +546,7 @@ impl<'a> Atpg<'a> {
             // effect — or if it *is* the faulted gate of an (activated) pin
             // fault, whose effect exists only at the pin itself.
             let is_fault_gate = matches!(fault.site, FaultSite::Pin { gate: fg, .. } if fg == gid);
-            if !is_fault_gate
-                && !gate.inputs.iter().any(|i| values[i.index()].has_effect())
-            {
+            if !is_fault_gate && !gate.inputs.iter().any(|i| values[i.index()].has_effect()) {
                 continue;
             }
             saw_frontier = true;
@@ -676,5 +715,45 @@ mod tests {
         let faults = n.collapsed_faults();
         let res = Atpg::new(&n).run(&faults);
         assert!(res.patterns.len() <= 8, "kept {}", res.patterns.len());
+    }
+
+    #[test]
+    fn stats_reconcile_with_outcomes() {
+        let n = full_adder_netlist();
+        let faults = n.collapsed_faults();
+        let res = Atpg::new(&n).run(&faults);
+        let s = res.stats;
+        assert_eq!(s.random_patterns_tried, 256);
+        assert!(s.random_patterns_kept <= s.random_patterns_tried);
+        assert_eq!(
+            s.detected_by_random,
+            res.outcomes
+                .iter()
+                .filter(|o| **o == AtpgOutcome::DetectedByRandom)
+                .count() as u64
+        );
+        assert_eq!(s.podem_targets, faults.len() as u64 - s.detected_by_random);
+        assert_eq!(s.podem_targets, s.podem_tests + s.redundant + s.aborted);
+    }
+
+    #[test]
+    fn stats_count_backtracks_on_redundant_fault() {
+        // The redundant-fault search must exhaust its decision space, which
+        // takes at least one backtrack.
+        let mut b = NetlistBuilder::new("red");
+        let a = b.input("a");
+        let na = b.not(a);
+        let y = b.and2(a, na);
+        b.mark_output(y, "y");
+        let n = b.finish().unwrap();
+        let fault = Fault::stem_sa0(n.outputs()[0]);
+        let res = Atpg::new(&n)
+            .with_config(AtpgConfig {
+                random_patterns: 0,
+                ..AtpgConfig::default()
+            })
+            .run(&[fault]);
+        assert_eq!(res.stats.redundant, 1);
+        assert!(res.stats.podem_backtracks >= 1);
     }
 }

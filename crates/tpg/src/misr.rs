@@ -135,7 +135,9 @@ mod tests {
         let mut aliases = 0;
         let mut rng_state = 0x1357_9BDFu32;
         let mut next = |m: u32| {
-            rng_state = rng_state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            rng_state = rng_state
+                .wrapping_mul(1_664_525)
+                .wrapping_add(1_013_904_223);
             rng_state % m
         };
         for _ in 0..2_000 {

@@ -40,11 +40,7 @@ impl SignatureGradeResult {
 
     /// Aliasing rate over divergence-detected faults.
     pub fn aliasing_rate(&self) -> f64 {
-        let detected = self
-            .detected_by_divergence
-            .iter()
-            .filter(|d| **d)
-            .count();
+        let detected = self.detected_by_divergence.iter().filter(|d| **d).count();
         if detected == 0 {
             0.0
         } else {
@@ -128,10 +124,7 @@ pub fn signature_grade(
         }
     }
 
-    let detected_by_signature = signatures
-        .iter()
-        .map(|&s| s != good_signature)
-        .collect();
+    let detected_by_signature = signatures.iter().map(|&s| s != good_signature).collect();
     SignatureGradeResult {
         good_signature,
         signatures,

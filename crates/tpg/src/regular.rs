@@ -51,12 +51,12 @@ pub fn adder_operand_pairs(width: usize) -> Vec<(u32, u32)> {
         (0, 0),
         (m, 0),
         (0, m),
-        (m, m),       // full propagate chain with carries everywhere
-        (m, 1),       // carry ripples through every position
+        (m, m), // full propagate chain with carries everywhere
+        (m, 1), // carry ripples through every position
         (1, m),
-        (cb, cb),     // generate at even positions
-        (cbi, cbi),   // generate at odd positions
-        (cb, cbi),    // propagate everywhere, no generate
+        (cb, cb),   // generate at even positions
+        (cbi, cbi), // generate at odd positions
+        (cb, cbi),  // propagate everywhere, no generate
         (cbi, cb),
         (cb.wrapping_add(1) & m, cb), // mixed chains
         (m ^ 1, 1),
@@ -155,11 +155,11 @@ pub fn multiplier_ops(width: usize) -> Vec<MulOp> {
         let bit = 1u32 << i;
         ops.push(MulOp { a: bit, b: m });
         ops.push(MulOp { a: m, b: bit });
+        ops.push(MulOp { a: m ^ bit, b: m });
         ops.push(MulOp {
-            a: m ^ bit,
-            b: m,
+            a: cb ^ bit,
+            b: cbi,
         });
-        ops.push(MulOp { a: cb ^ bit, b: cbi });
     }
     ops
 }
@@ -313,8 +313,8 @@ pub fn control_ops() -> Vec<ControlOp> {
     let mut ops = Vec::new();
     // R-type functs.
     for funct in [
-        0x00u8, 0x02, 0x03, 0x04, 0x06, 0x07, 0x08, 0x09, 0x0D, 0x10, 0x11, 0x12, 0x13, 0x18,
-        0x19, 0x1A, 0x1B, 0x20, 0x21, 0x22, 0x23, 0x24, 0x25, 0x26, 0x27, 0x2A, 0x2B,
+        0x00u8, 0x02, 0x03, 0x04, 0x06, 0x07, 0x08, 0x09, 0x0D, 0x10, 0x11, 0x12, 0x13, 0x18, 0x19,
+        0x1A, 0x1B, 0x20, 0x21, 0x22, 0x23, 0x24, 0x25, 0x26, 0x27, 0x2A, 0x2B,
     ] {
         ops.push(ControlOp {
             opcode: 0,
@@ -328,8 +328,8 @@ pub fn control_ops() -> Vec<ControlOp> {
         });
     }
     for opcode in [
-        0x02u8, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x0F,
-        0x20, 0x21, 0x23, 0x24, 0x25, 0x28, 0x29, 0x2B,
+        0x02u8, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x0F, 0x20,
+        0x21, 0x23, 0x24, 0x25, 0x28, 0x29, 0x2B,
     ] {
         ops.push(ControlOp {
             opcode,
@@ -463,7 +463,9 @@ mod tests {
         let ops = regfile_ops(8, 8);
         for r in 0..8u8 {
             assert!(ops.iter().any(|o| o.we && o.waddr == r));
-            assert!(ops.iter().any(|o| !o.we && (o.raddr_a == r || o.raddr_b == r)));
+            assert!(ops
+                .iter()
+                .any(|o| !o.we && (o.raddr_a == r || o.raddr_b == r)));
         }
     }
 

@@ -108,10 +108,7 @@ mod tests {
     #[test]
     fn regular_for_alu() {
         let c = alu::alu(8);
-        assert_eq!(
-            recommend(&c).strategy,
-            TpgStrategy::RegularDeterministic
-        );
+        assert_eq!(recommend(&c).strategy, TpgStrategy::RegularDeterministic);
     }
 
     #[test]

@@ -26,9 +26,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         "style", "code", "data", "cycles", "loads", "stores", "FC (%)"
     );
     for style in [
-        CodeStyle::AtpgImmediate,      // Figure 1
-        CodeStyle::AtpgDataFetch,      // Figure 2
-        CodeStyle::PseudorandomLoop,   // Figure 3
+        CodeStyle::AtpgImmediate,        // Figure 1
+        CodeStyle::AtpgDataFetch,        // Figure 2
+        CodeStyle::PseudorandomLoop,     // Figure 3
         CodeStyle::RegularLoopImmediate, // Figure 4 (+ immediates)
     ] {
         let mut spec = RoutineSpec::new(style);

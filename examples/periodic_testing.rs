@@ -43,11 +43,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     let config = QuantumConfig::default();
-    let est = ExecTimeEstimate::from_stats(
-        &run.stats,
-        config,
-        Some(AnalyticStallModel::default()),
-    );
+    let est = ExecTimeEstimate::from_stats(&run.stats, config, Some(AnalyticStallModel::default()));
     println!(
         "\nexecution time @ {} MHz: {:?} — {:.4}% of one {:?} quantum (fits: {})",
         config.clock_hz / 1e6,

@@ -73,8 +73,7 @@ fn iss_misr_matches_rust_model() {
     // Rust model applied to the same response stream. Use a tiny immediate
     // routine whose responses are predictable.
     use sbst::core::codestyle::{
-        emit_atpg_immediate, emit_misr_subroutine, emit_prologue, emit_signature_unload,
-        ApplyOp,
+        emit_atpg_immediate, emit_misr_subroutine, emit_prologue, emit_signature_unload, ApplyOp,
     };
     use sbst::cpu::{Cpu, CpuConfig};
     use sbst::isa::{Asm, Instruction};

@@ -3,9 +3,7 @@
 //! hazards, locality under simulated caches.
 
 use sbst::core::{Cut, SelfTestProgramBuilder};
-use sbst::cpu::{
-    AnalyticStallModel, CacheConfig, Cpu, CpuConfig, ExecTimeEstimate, QuantumConfig,
-};
+use sbst::cpu::{AnalyticStallModel, CacheConfig, Cpu, CpuConfig, ExecTimeEstimate, QuantumConfig};
 
 fn build_program() -> sbst::core::SelfTestProgram {
     let mut builder = SelfTestProgramBuilder::new();
