@@ -25,14 +25,21 @@ cargo test --workspace -q
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== table1 smoke run (down-scaled 8-bit inventory, JSON report) =="
-rm -f BENCH_table1.json
-SBST_THREADS="${SBST_THREADS:-2}" cargo run --release -p sbst-bench --bin table1 -- --smoke --json BENCH_table1.json
+echo "== table1 smoke run, event-driven engine (default; JSON report) =="
+rm -f BENCH_table1.json BENCH_table1_full.json
+SBST_THREADS="${SBST_THREADS:-2}" SBST_ENGINE=event \
+  cargo run --release -p sbst-bench --bin table1 -- --smoke --json BENCH_table1.json
 
-echo "== validate BENCH_table1.json =="
-# jsonlint exits nonzero when the report is missing, unparseable, or
+echo "== table1 smoke run, full-eval engine (JSON report) =="
+SBST_THREADS="${SBST_THREADS:-2}" SBST_ENGINE=full \
+  cargo run --release -p sbst-bench --bin table1 -- --smoke --json BENCH_table1_full.json
+
+echo "== validate both reports =="
+# jsonlint exits nonzero when a report is missing, unparseable, or
 # lacks the expected top-level fields.
-cargo run --release -p sbst-bench --bin jsonlint -- BENCH_table1.json \
-  --require tool --require schema_version --require table1 --require execution_time
+for report in BENCH_table1.json BENCH_table1_full.json; do
+  cargo run --release -p sbst-bench --bin jsonlint -- "$report" \
+    --require tool --require schema_version --require table1 --require execution_time
+done
 
 echo "== ci.sh: all green =="

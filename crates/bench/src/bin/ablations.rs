@@ -16,12 +16,14 @@
 //!    quantifying the "negligible aliasing" claim on a real routine.
 //! 5. **Fault-list collapsing**: grading cost with and without equivalence
 //!    collapsing (quality is unchanged by construction; the win is volume).
+//! 6. **Simulation engine**: full-eval vs event-driven selective trace on
+//!    the same stimulus — identical coverage, far fewer gate evaluations.
 
 use sbst_bench::{json_output_path, sim_config_from_env, write_report_if_requested};
 use sbst_core::grade::execute_routine;
 use sbst_core::{CodeStyle, Cut, JsonValue, RoutineSpec, RunReport};
 use sbst_cpu::{CacheConfig, Cpu, CpuConfig, EnergyModel};
-use sbst_gates::FaultSimulator;
+use sbst_gates::{FaultSimConfig, FaultSimulator, SimEngine};
 use std::time::Instant;
 
 fn run_with(routine: &sbst_core::SelfTestRoutine, config: CpuConfig) -> sbst_cpu::ExecStats {
@@ -208,6 +210,43 @@ fn main() {
         coll.coverage().percent()
     );
 
+    println!("\n== Ablation 6: simulation engine (full-eval vs event-driven) ==");
+    let mut engine_rows = Vec::new();
+    for engine in [SimEngine::FullEval, SimEngine::EventDriven] {
+        let cfg = FaultSimConfig {
+            engine,
+            ..sim_config_from_env()
+        };
+        let t0 = Instant::now();
+        let res = FaultSimulator::with_config(&cut.component.netlist, cfg)
+            .simulate(&collapsed, &stimulus);
+        let t = t0.elapsed();
+        println!(
+            "{:<13} {:.2?}, coverage {:.2}%, {} events ({:.1}% of full-eval baseline)",
+            engine.name(),
+            t,
+            res.coverage().percent(),
+            res.stats.events_simulated,
+            res.stats.event_ratio().unwrap_or(1.0) * 100.0
+        );
+        engine_rows.push(JsonValue::object([
+            ("engine", JsonValue::from(engine.name())),
+            ("wall_seconds", JsonValue::Float(t.as_secs_f64())),
+            (
+                "coverage_percent",
+                JsonValue::Float(res.coverage().percent()),
+            ),
+            (
+                "events_simulated",
+                JsonValue::from(res.stats.events_simulated),
+            ),
+            (
+                "events_full_eval",
+                JsonValue::from(res.stats.events_full_eval),
+            ),
+        ]));
+    }
+
     let report = RunReport::new("ablations")
         .field("branch_architecture", JsonValue::Array(branch_rows))
         .field("forwarding", JsonValue::Array(forwarding_rows))
@@ -236,6 +275,7 @@ fn main() {
                     JsonValue::Float(coll.coverage().percent()),
                 ),
             ]),
-        );
+        )
+        .field("engines", JsonValue::Array(engine_rows));
     write_report_if_requested(&report, json_path.as_deref());
 }

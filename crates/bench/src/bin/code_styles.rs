@@ -11,9 +11,9 @@
 //! qualitative claims: Figure 1 trades code size for zero loads, Figure 2
 //! the reverse, Figures 3–4 keep both constant.
 
-use sbst_bench::{json_output_path, write_report_if_requested};
+use sbst_bench::{json_output_path, sim_config_from_env, write_report_if_requested};
 use sbst_core::codestyle::style_costs;
-use sbst_core::{grade_routine, CodeStyle, Cut, JsonValue, RoutineSpec, RunReport};
+use sbst_core::{grade_routine_with, CodeStyle, Cut, JsonValue, RoutineSpec, RunReport};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,7 +41,8 @@ fn main() {
         let mut spec = RoutineSpec::new(style);
         spec.pseudorandom_count = 512;
         let routine = spec.build(&cut).expect("routine builds");
-        let graded = grade_routine(&cut, &routine).expect("routine grades");
+        let graded =
+            grade_routine_with(&cut, &routine, sim_config_from_env()).expect("routine grades");
         let costs = style_costs(style, 64, 3);
         println!(
             "{:<14} {:>6} {:>6} {:>8} {:>6} {:>7} {:>8.2}   code {}, data {}",

@@ -53,6 +53,10 @@ fn main() {
                     "sim_wall_seconds",
                     JsonValue::Float(graded.sim_wall_time.as_secs_f64()),
                 ),
+                (
+                    "events_simulated",
+                    JsonValue::from(graded.sim_stats.events_simulated),
+                ),
             ]));
         }
         // Reference: the recommended deterministic routine.
@@ -87,6 +91,8 @@ fn main() {
             ),
         ]));
     }
-    let report = RunReport::new("strategy_sweep").field("sweeps", JsonValue::Array(sweeps));
+    let report = RunReport::new("strategy_sweep")
+        .field("engine", JsonValue::from(sim.engine.name()))
+        .field("sweeps", JsonValue::Array(sweeps));
     write_report_if_requested(&report, json_path.as_deref());
 }

@@ -14,8 +14,9 @@
 //! `--smoke` swaps in a down-scaled 8-bit inventory so CI can exercise the
 //! whole pipeline in seconds. `--json <path>` additionally writes the
 //! machine-readable report (rows, totals, fault-sim timing). `SBST_THREADS`
-//! pins the fault-simulator worker count (default: available parallelism);
-//! coverage is identical for every setting.
+//! pins the fault-simulator worker count (default: available parallelism)
+//! and `SBST_ENGINE` pins the engine (`full`/`event`, default
+//! event-driven); coverage is identical for every setting.
 
 use std::time::Instant;
 
@@ -78,9 +79,16 @@ fn main() {
         est.fits_in_quantum()
     );
     eprintln!(
-        "fault grading: {} thread(s), {:.3} s inside the fault simulator",
+        "fault grading: {} engine, {} thread(s), {:.3} s inside the fault simulator",
+        table.engine.name(),
         table.sim_threads,
         table.grading_wall_time.as_secs_f64()
+    );
+    eprintln!(
+        "gate-evaluation events: {} of {} full-eval baseline ({:.1}%)",
+        table.events_simulated,
+        table.events_full_eval,
+        table.event_ratio().unwrap_or(1.0) * 100.0
     );
     let wall = start.elapsed();
     eprintln!("total wall time: {wall:?}");

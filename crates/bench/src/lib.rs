@@ -9,21 +9,28 @@
 use std::path::PathBuf;
 
 use sbst_core::RunReport;
-use sbst_gates::FaultSimConfig;
+use sbst_gates::{FaultSimConfig, SimEngine};
 
 /// Fault-simulator configuration shared by the bench binaries.
 ///
 /// Reads `SBST_THREADS` (a positive integer) to pin the worker-thread
 /// count — pinning is how runs on shared machines stay reproducible in
-/// wall time. Unset or invalid values fall back to the machine's
-/// available parallelism. Coverage numbers are identical either way.
+/// wall time — and `SBST_ENGINE` (`full`/`full-eval` or
+/// `event`/`event-driven`) to pin the simulation engine. Unset or invalid
+/// values fall back to the machine's available parallelism and the default
+/// engine. Coverage numbers are identical for every combination.
 pub fn sim_config_from_env() -> FaultSimConfig {
     let threads = std::env::var("SBST_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0);
+    let engine = std::env::var("SBST_ENGINE")
+        .ok()
+        .and_then(|v| SimEngine::from_name(&v))
+        .unwrap_or_default();
     FaultSimConfig {
         threads,
+        engine,
         ..FaultSimConfig::default()
     }
 }

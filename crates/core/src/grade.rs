@@ -20,7 +20,7 @@ use sbst_components::{
     ComponentKind,
 };
 use sbst_cpu::{ArchFault, Cpu, CpuConfig, CpuError, ExecStats, OperandTrace};
-use sbst_gates::{Fault, FaultCoverage, FaultSimConfig, FaultSimulator, Stimulus};
+use sbst_gates::{Fault, FaultCoverage, FaultSimConfig, FaultSimulator, SimStats, Stimulus};
 
 use crate::cut::Cut;
 use crate::routine::SelfTestRoutine;
@@ -83,14 +83,29 @@ pub fn grade_trace(cut: &Cut, trace: &OperandTrace) -> FaultCoverage {
 /// count, drop-on-detect, …). Coverage is bit-identical for every
 /// configuration; only wall time differs.
 pub fn grade_trace_with(cut: &Cut, trace: &OperandTrace, sim: FaultSimConfig) -> FaultCoverage {
+    grade_trace_detailed(cut, trace, sim).0
+}
+
+/// [`grade_trace_with`], additionally returning the simulation-volume
+/// instrumentation ([`SimStats`]) of the grading run — cycles clocked,
+/// gate-evaluation events, and the full-eval baseline the event-driven
+/// engine is measured against.
+pub fn grade_trace_detailed(
+    cut: &Cut,
+    trace: &OperandTrace,
+    sim: FaultSimConfig,
+) -> (FaultCoverage, SimStats) {
     let stimulus = stimulus_for(cut, trace);
     if stimulus.is_empty() {
-        return FaultCoverage::new(0, cut.fault_count());
+        return (
+            FaultCoverage::new(0, cut.fault_count()),
+            SimStats::default(),
+        );
     }
     let faults = cut.component.netlist.collapsed_faults();
-    FaultSimulator::with_config(&cut.component.netlist, sim)
-        .simulate(&faults, &stimulus)
-        .coverage()
+    let result =
+        FaultSimulator::with_config(&cut.component.netlist, sim).simulate(&faults, &stimulus);
+    (result.coverage(), result.stats)
 }
 
 /// A graded routine: coverage plus the Table-1 statistics.
@@ -108,6 +123,9 @@ pub struct GradedRoutine {
     pub sim_threads: usize,
     /// Wall-clock time spent in fault simulation.
     pub sim_wall_time: std::time::Duration,
+    /// Simulation-volume instrumentation of the grading run (cycles,
+    /// gate-evaluation events, full-eval baseline).
+    pub sim_stats: SimStats,
 }
 
 /// Executes a routine on the ISS and grades its CUT.
@@ -150,6 +168,7 @@ pub fn grade_routine_with(
         size_words: routine.size_words(),
         sim_threads: result.threads_used,
         sim_wall_time: result.wall_time,
+        sim_stats: result.stats,
     })
 }
 

@@ -32,7 +32,11 @@ use std::time::{Duration, Instant};
 
 /// Version stamped into every emitted report so downstream tooling can
 /// detect schema changes. Bump when renaming or removing fields.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: 2 — `events_simulated` became a true gate-evaluation event
+/// count (previously `cycles × gates`), and `fault_sim` objects gained
+/// `engine`, `events_simulated`, `events_full_eval` and `event_ratio`.
+pub const SCHEMA_VERSION: u32 = 2;
 
 #[derive(Debug, Default)]
 struct Inner {

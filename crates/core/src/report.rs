@@ -9,10 +9,10 @@ use std::fmt;
 use std::time::Duration;
 
 use sbst_components::ComponentClass;
-use sbst_gates::{FaultCoverage, FaultSimConfig};
+use sbst_gates::{FaultCoverage, FaultSimConfig, SimEngine};
 
 use crate::cut::Cut;
-use crate::grade::{grade_routine_with, grade_trace_with, GradeError};
+use crate::grade::{grade_routine_with, grade_trace_detailed, GradeError};
 use crate::json::JsonValue;
 use crate::program::SelfTestProgramBuilder;
 use crate::routine::{BuildRoutineError, RoutineSpec};
@@ -106,6 +106,15 @@ pub struct Table1 {
     pub sim_threads: usize,
     /// Total wall-clock time spent in fault simulation across all rows.
     pub grading_wall_time: Duration,
+    /// Simulation engine that graded every row.
+    pub engine: SimEngine,
+    /// Gate-evaluation events actually performed across all rows (true
+    /// event count — under the event-driven engine only gates whose inputs
+    /// changed are counted).
+    pub events_simulated: u64,
+    /// Events a full evaluation of every clocked cycle would have cost
+    /// across all rows; the baseline for the event-driven saving.
+    pub events_full_eval: u64,
 }
 
 impl Table1 {
@@ -136,6 +145,8 @@ impl Table1 {
         let mut rows = Vec::with_capacity(cuts.len());
         let mut sim_threads = 1usize;
         let mut grading_wall_time = Duration::ZERO;
+        let mut events_simulated = 0u64;
+        let mut events_full_eval = 0u64;
         let mut builder = SelfTestProgramBuilder::new();
         let mut routine_cuts = Vec::new();
         for cut in cuts {
@@ -158,6 +169,8 @@ impl Table1 {
                 let graded = grade_routine_with(cut, &routine, sim)?;
                 sim_threads = sim_threads.max(graded.sim_threads);
                 grading_wall_time += graded.sim_wall_time;
+                events_simulated += graded.sim_stats.events_simulated;
+                events_full_eval += graded.sim_stats.events_full_eval;
                 Table1Row {
                     name: cut.name().to_owned(),
                     gates: cut.gate_equivalents(),
@@ -172,9 +185,11 @@ impl Table1 {
                 }
             } else {
                 let started = std::time::Instant::now();
-                let coverage = grade_trace_with(cut, &combined_run.trace, sim);
+                let (coverage, sim_stats) = grade_trace_detailed(cut, &combined_run.trace, sim);
                 let elapsed = started.elapsed();
                 grading_wall_time += elapsed;
+                events_simulated += sim_stats.events_simulated;
+                events_full_eval += sim_stats.events_full_eval;
                 Table1Row {
                     name: cut.name().to_owned(),
                     gates: cut.gate_equivalents(),
@@ -213,7 +228,20 @@ impl Table1 {
             },
             sim_threads,
             grading_wall_time,
+            engine: sim.engine,
+            events_simulated,
+            events_full_eval,
         })
+    }
+
+    /// Events performed as a fraction of the full-eval baseline across all
+    /// rows, in `0.0..=1.0` (`None` when nothing was simulated).
+    pub fn event_ratio(&self) -> Option<f64> {
+        if self.events_full_eval == 0 {
+            None
+        } else {
+            Some(self.events_simulated as f64 / self.events_full_eval as f64)
+        }
     }
 }
 
@@ -277,6 +305,16 @@ impl Table1 {
                         "wall_seconds",
                         JsonValue::Float(self.grading_wall_time.as_secs_f64()),
                     ),
+                    ("engine", JsonValue::from(self.engine.name())),
+                    ("events_simulated", JsonValue::from(self.events_simulated)),
+                    ("events_full_eval", JsonValue::from(self.events_full_eval)),
+                    (
+                        "event_ratio",
+                        match self.event_ratio() {
+                            Some(r) => JsonValue::Float(r),
+                            None => JsonValue::Null,
+                        },
+                    ),
                 ]),
             ),
         ])
@@ -320,10 +358,13 @@ impl Table1 {
         );
         let _ = writeln!(
             out,
-            "\nFault grading: {} thread{} · {:.3} s wall",
+            "\nFault grading: {} thread{} · {:.3} s wall · {} engine ({} events, {:.1}% of full-eval)",
             self.sim_threads,
             if self.sim_threads == 1 { "" } else { "s" },
             self.grading_wall_time.as_secs_f64(),
+            self.engine.name(),
+            self.events_simulated,
+            self.event_ratio().unwrap_or(1.0) * 100.0,
         );
         out
     }
@@ -395,10 +436,13 @@ impl fmt::Display for Table1 {
         )?;
         writeln!(
             f,
-            "Fault grading: {} thread{} · {:.3} s wall",
+            "Fault grading: {} thread{} · {:.3} s wall · {} engine ({} events, {:.1}% of full-eval)",
             self.sim_threads,
             if self.sim_threads == 1 { "" } else { "s" },
             self.grading_wall_time.as_secs_f64(),
+            self.engine.name(),
+            self.events_simulated,
+            self.event_ratio().unwrap_or(1.0) * 100.0,
         )
     }
 }
@@ -447,6 +491,29 @@ mod tests {
     }
 
     #[test]
+    fn engines_reproduce_identical_coverage_with_fewer_events() {
+        let cuts = vec![Cut::alu(8), Cut::pipeline(8)];
+        let full =
+            Table1::generate_with(&cuts, FaultSimConfig::with_engine(SimEngine::FullEval)).unwrap();
+        let event =
+            Table1::generate_with(&cuts, FaultSimConfig::with_engine(SimEngine::EventDriven))
+                .unwrap();
+        for (a, b) in full.rows.iter().zip(&event.rows) {
+            assert_eq!(a.coverage, b.coverage, "{}", a.name);
+        }
+        assert_eq!(full.overall_coverage, event.overall_coverage);
+        assert_eq!(full.event_ratio(), Some(1.0));
+        assert!(
+            event.events_simulated < event.events_full_eval,
+            "event engine should skip work: {} vs {}",
+            event.events_simulated,
+            event.events_full_eval
+        );
+        assert!(event.to_string().contains("event-driven engine"));
+        assert!(full.to_string().contains("full-eval engine"));
+    }
+
+    #[test]
     fn json_serialization_carries_table1_fields() {
         let cuts = vec![Cut::alu(8), Cut::pipeline(8)];
         let table = Table1::generate(&cuts).unwrap();
@@ -471,6 +538,20 @@ mod tests {
             sim.get("threads").unwrap().as_u64(),
             Some(table.sim_threads as u64)
         );
+        assert_eq!(
+            sim.get("engine").unwrap().as_str(),
+            Some(table.engine.name())
+        );
+        assert_eq!(
+            sim.get("events_simulated").unwrap().as_u64(),
+            Some(table.events_simulated)
+        );
+        assert_eq!(
+            sim.get("events_full_eval").unwrap().as_u64(),
+            Some(table.events_full_eval)
+        );
+        let ratio = sim.get("event_ratio").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&ratio), "event ratio {ratio}");
         // The document round-trips through the parser.
         let text = v.to_json_pretty();
         assert_eq!(crate::json::parse(&text).unwrap(), v);

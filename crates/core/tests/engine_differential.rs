@@ -1,0 +1,70 @@
+//! Engine differential over the component smoke suite: the event-driven
+//! engine must reproduce the full-eval engine's coverage bit-for-bit on
+//! every real CUT (ISSUE 4 acceptance criterion), while performing
+//! measurably fewer gate-evaluation events in aggregate.
+
+use sbst_core::{grade_trace_detailed, Cut, RoutineSpec, Table1};
+use sbst_gates::{FaultSimConfig, SimEngine};
+
+fn smoke_inventory() -> Vec<Cut> {
+    vec![
+        Cut::alu(8),
+        Cut::shifter(8),
+        Cut::control(),
+        Cut::pipeline(8),
+        Cut::pc_unit(8, 4),
+    ]
+}
+
+#[test]
+fn component_suite_coverage_is_bit_identical_across_engines() {
+    let cuts = smoke_inventory();
+    let full =
+        Table1::generate_with(&cuts, FaultSimConfig::with_engine(SimEngine::FullEval)).unwrap();
+    let event =
+        Table1::generate_with(&cuts, FaultSimConfig::with_engine(SimEngine::EventDriven)).unwrap();
+    for (a, b) in full.rows.iter().zip(&event.rows) {
+        assert_eq!(a.coverage, b.coverage, "{} coverage diverged", a.name);
+        assert_eq!(a.size_words, b.size_words, "{}", a.name);
+        assert_eq!(a.cpu_cycles, b.cpu_cycles, "{}", a.name);
+    }
+    assert_eq!(full.overall_coverage, event.overall_coverage);
+    // The event-driven engine skips a measurable share of the full-eval
+    // gate evaluations on real component traces.
+    assert_eq!(full.events_simulated, full.events_full_eval);
+    assert!(
+        event.events_simulated < event.events_full_eval,
+        "event engine saved nothing: {} vs {}",
+        event.events_simulated,
+        event.events_full_eval
+    );
+    let ratio = event.event_ratio().unwrap();
+    assert!(
+        ratio < 0.95,
+        "expected a measurable event saving, got ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn trace_grading_agrees_per_component() {
+    // Grade a single routine's trace under both engines and compare the
+    // detailed stats component by component.
+    let cut = Cut::alu(8);
+    let routine = RoutineSpec::recommended(&cut).build(&cut).unwrap();
+    let (_, trace, _) = sbst_core::grade::execute_routine(&routine).unwrap();
+    let (cov_full, stats_full) = grade_trace_detailed(
+        &cut,
+        &trace,
+        FaultSimConfig::with_engine(SimEngine::FullEval),
+    );
+    let (cov_event, stats_event) = grade_trace_detailed(
+        &cut,
+        &trace,
+        FaultSimConfig::with_engine(SimEngine::EventDriven),
+    );
+    assert_eq!(cov_full, cov_event);
+    assert_eq!(stats_full.batches, stats_event.batches);
+    assert_eq!(stats_full.cycles_simulated, stats_event.cycles_simulated);
+    assert!(stats_event.events_simulated <= stats_full.events_simulated);
+    assert!(stats_event.events_simulated > 0);
+}

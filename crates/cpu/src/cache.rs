@@ -19,6 +19,71 @@ pub struct CacheConfig {
     pub miss_penalty: u32,
 }
 
+/// A rejected [`CacheConfig`] geometry.
+///
+/// [`Cache::access`] indexes with `line_addr & (lines - 1)` and derives the
+/// tag with `trailing_zeros()`; both are only correct for power-of-two
+/// geometries. A non-power-of-two config would silently alias distinct
+/// lines onto the same slot and corrupt hit/miss counts, so it is rejected
+/// up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// `lines` is zero or not a power of two.
+    Lines(usize),
+    /// `line_bytes` is zero or not a power of two.
+    LineBytes(u32),
+}
+
+impl core::fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CacheConfigError::Lines(n) => {
+                write!(f, "cache lines must be a power of two, got {n}")
+            }
+            CacheConfigError::LineBytes(n) => {
+                write!(f, "cache line size must be a power of two, got {n} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
+impl CacheConfig {
+    /// Creates a validated geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] unless `lines` and `line_bytes` are
+    /// both (non-zero) powers of two — the direct-mapped index/tag
+    /// arithmetic is only correct for such geometries.
+    pub fn new(lines: usize, line_bytes: u32, miss_penalty: u32) -> Result<Self, CacheConfigError> {
+        let config = CacheConfig {
+            lines,
+            line_bytes,
+            miss_penalty,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks the power-of-two invariants the simulator's index/tag
+    /// arithmetic relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] for the first violated field.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        if !self.lines.is_power_of_two() {
+            return Err(CacheConfigError::Lines(self.lines));
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(CacheConfigError::LineBytes(self.line_bytes));
+        }
+        Ok(())
+    }
+}
+
 impl Default for CacheConfig {
     fn default() -> Self {
         // A small embedded cache: 1 KiB, 16-byte lines, 20-cycle penalty
@@ -46,13 +111,12 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics unless lines and line size are powers of two.
+    /// Panics unless lines and line size are powers of two (see
+    /// [`CacheConfig::validate`]).
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.lines.is_power_of_two(), "lines must be a power of 2");
-        assert!(
-            config.line_bytes.is_power_of_two(),
-            "line size must be a power of 2"
-        );
+        if let Err(e) = config.validate() {
+            panic!("invalid cache geometry: {e}");
+        }
         Cache {
             config,
             tags: vec![None; config.lines],
@@ -196,6 +260,37 @@ mod tests {
         c.reset();
         assert_eq!(c.hits() + c.misses(), 0);
         assert!(!c.access(0));
+    }
+
+    #[test]
+    fn non_power_of_two_geometries_are_rejected() {
+        // Regression: `access` masks with `lines - 1` and shifts by
+        // `trailing_zeros()`, so e.g. 3 lines would alias indices 0..3
+        // onto {0, 1, 2, 3} & 0b10 and corrupt hit/miss counts. The
+        // constructor must reject such geometries instead.
+        assert_eq!(CacheConfig::new(3, 16, 20), Err(CacheConfigError::Lines(3)));
+        assert_eq!(CacheConfig::new(0, 16, 20), Err(CacheConfigError::Lines(0)));
+        assert_eq!(
+            CacheConfig::new(64, 12, 20),
+            Err(CacheConfigError::LineBytes(12))
+        );
+        assert_eq!(
+            CacheConfig::new(64, 0, 20),
+            Err(CacheConfigError::LineBytes(0))
+        );
+        let ok = CacheConfig::new(64, 16, 20).unwrap();
+        assert_eq!(ok, CacheConfig::default());
+        assert!(CacheConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache geometry")]
+    fn cache_new_panics_on_invalid_geometry() {
+        let bad = CacheConfig {
+            lines: 48,
+            ..CacheConfig::default()
+        };
+        let _ = Cache::new(bad);
     }
 
     #[test]

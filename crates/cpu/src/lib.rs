@@ -57,7 +57,7 @@ pub mod power;
 pub mod system;
 pub mod trace;
 
-pub use cache::{AnalyticStallModel, Cache, CacheConfig};
+pub use cache::{AnalyticStallModel, Cache, CacheConfig, CacheConfigError};
 pub use cpu::{Cpu, CpuConfig, CpuError, ExecStats, RunOutcome, DIV_LATENCY};
 pub use faulty::{ArchFault, ArchFaultTarget, FaultActivity};
 pub use memory::Memory;

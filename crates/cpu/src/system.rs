@@ -125,12 +125,20 @@ impl ActivationPolicy {
     /// Probability that a single test run overlaps an *intermittent* fault
     /// that is active for `active` out of every `period` (random phase,
     /// test duration `exec_time`).
+    ///
+    /// A zero `period` means the fault is always active (its activity
+    /// repeats instantly), so the probability saturates to 1 rather than
+    /// dividing by zero; the result is always a finite value in
+    /// `0.0..=1.0`.
     pub fn intermittent_detection_probability(
         &self,
         active: Duration,
         period: Duration,
         exec_time: Duration,
     ) -> f64 {
+        if period.is_zero() {
+            return 1.0;
+        }
         let window = active.as_secs_f64() + exec_time.as_secs_f64();
         (window / period.as_secs_f64()).min(1.0)
     }
@@ -154,6 +162,11 @@ impl ActivationPolicy {
     /// Expected detection latency for an intermittent fault under a
     /// periodic timer: `expected runs × interval`. For the other policies
     /// the activation cadence substitutes for the interval.
+    ///
+    /// Saturates to [`Duration::MAX`] when the expected latency is
+    /// unbounded or unrepresentable (a fault that is never active yields
+    /// infinite expected runs; `Duration::from_secs_f64` would panic on
+    /// such non-finite input).
     pub fn intermittent_fault_latency(
         &self,
         active: Duration,
@@ -166,7 +179,9 @@ impl ActivationPolicy {
             ActivationPolicy::PeriodicTimer { interval } => *interval,
         };
         let runs = self.expected_runs_to_detect(active, period, exec_time);
-        Duration::from_secs_f64(cadence.as_secs_f64() * runs)
+        // `0 × INFINITY` is NaN and `try_from_secs_f64` rejects both NaN
+        // and infinity, so every degenerate combination lands on MAX.
+        Duration::try_from_secs_f64(cadence.as_secs_f64() * runs).unwrap_or(Duration::MAX)
     }
 }
 
@@ -470,6 +485,53 @@ mod tests {
         assert!(
             timer.expected_runs_to_detect(Duration::from_millis(500), Duration::from_secs(1), exec)
                 <= 2.0
+        );
+    }
+
+    #[test]
+    fn degenerate_intermittent_inputs_saturate_instead_of_panicking() {
+        let timer = ActivationPolicy::PeriodicTimer {
+            interval: Duration::from_secs(1),
+        };
+        let exec = Duration::from_micros(200);
+        // Zero period: the fault repeats instantly, so detection is
+        // certain — no division by zero.
+        let p = timer.intermittent_detection_probability(
+            Duration::from_millis(5),
+            Duration::ZERO,
+            exec,
+        );
+        assert_eq!(p, 1.0);
+        assert!(p.is_finite());
+        assert_eq!(
+            timer.intermittent_fault_latency(Duration::from_millis(5), Duration::ZERO, exec),
+            Duration::from_secs(1)
+        );
+        // A fault that is never active and a zero-length test: p == 0,
+        // expected runs is infinite — the latency saturates rather than
+        // feeding INFINITY into Duration::from_secs_f64 (which panics).
+        let runs =
+            timer.expected_runs_to_detect(Duration::ZERO, Duration::from_secs(1), Duration::ZERO);
+        assert!(runs.is_infinite());
+        assert_eq!(
+            timer.intermittent_fault_latency(
+                Duration::ZERO,
+                Duration::from_secs(1),
+                Duration::ZERO
+            ),
+            Duration::MAX
+        );
+        // Zero cadence × infinite runs is NaN; it must also saturate.
+        let zero_timer = ActivationPolicy::PeriodicTimer {
+            interval: Duration::ZERO,
+        };
+        assert_eq!(
+            zero_timer.intermittent_fault_latency(
+                Duration::ZERO,
+                Duration::from_secs(1),
+                Duration::ZERO
+            ),
+            Duration::MAX
         );
     }
 

@@ -1,0 +1,432 @@
+//! Event-driven (selective-trace) 64-lane logic simulation.
+//!
+//! [`EventSimulator`] produces exactly the same net values as the full-eval
+//! [`Simulator`](crate::Simulator) but only re-evaluates gates whose inputs
+//! actually changed. The netlist is levelized once at build time
+//! ([`Netlist::gate_level`] / [`Netlist::comb_users`]); each cycle seeds an
+//! event front from the primary inputs and flip-flop outputs that differ
+//! from the previous cycle, then drains per-level queues in ascending
+//! order. Because every combinational user sits at a strictly greater
+//! level than its driver, each gate is evaluated at most once per cycle and
+//! the result is the unique combinational fixpoint — bit-identical to a
+//! full evaluation pass.
+//!
+//! All 64 bit-parallel lanes share one propagation front: a gate is
+//! re-evaluated if *any* lane of *any* input changed, and the good-machine
+//! (lane 0) values ride along in the same cached `u64` words. Since the
+//! faulty lanes of a batch differ from the reference lane only inside
+//! their fault's fanout cone, the front a cycle actually visits stays
+//! confined to the cones the stimulus perturbs — the selective-trace
+//! saving the fault simulator's cone-aware batching compounds.
+
+use std::collections::HashMap;
+
+use crate::fault::{Fault, FaultSite};
+use crate::gate::GateId;
+use crate::net::NetId;
+use crate::netlist::Netlist;
+use crate::sim::InjectMask;
+
+/// Event-driven drop-in for [`Simulator`](crate::Simulator): same lane
+/// semantics, same fault injection, same `set_input` / `eval` / `step`
+/// cycle protocol, but `eval` cost scales with the number of gates whose
+/// inputs changed instead of the netlist size.
+#[derive(Debug)]
+pub struct EventSimulator<'a> {
+    netlist: &'a Netlist,
+    /// Raw primary-input words, parallel to `netlist.inputs()`.
+    input_words: Vec<u64>,
+    /// Current value of every net (the cached good+faulty lane words).
+    values: Vec<u64>,
+    /// DFF state, parallel to `netlist.dff_gates()`.
+    state: Vec<u64>,
+    stem_inject: HashMap<NetId, InjectMask>,
+    pin_inject: HashMap<(GateId, u8), InjectMask>,
+    /// One pending-gate queue per topological level.
+    queues: Vec<Vec<GateId>>,
+    /// Whether a gate is already queued for this cycle (dedupe).
+    queued: Vec<bool>,
+    /// The next `eval` must evaluate everything: set at construction and
+    /// whenever injections or flip-flop state change behind the values
+    /// cache (reset, inject, clear).
+    needs_full_pass: bool,
+    /// Gate evaluations performed so far (one event = one gate evaluated
+    /// over all 64 lanes).
+    events: u64,
+}
+
+impl<'a> EventSimulator<'a> {
+    /// Creates an event-driven simulator with all inputs low and flip-flops
+    /// reset to 0.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        EventSimulator {
+            netlist,
+            input_words: vec![0; netlist.inputs().len()],
+            values: vec![0; netlist.net_count()],
+            state: vec![0; netlist.dff_gates().len()],
+            stem_inject: HashMap::new(),
+            pin_inject: HashMap::new(),
+            queues: vec![Vec::new(); netlist.level_count()],
+            queued: vec![false; netlist.gate_count()],
+            needs_full_pass: true,
+            events: 0,
+        }
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// Gate evaluations performed since construction.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Resets all flip-flops to 0 (inputs and injections are kept).
+    pub fn reset(&mut self) {
+        self.state.fill(0);
+        self.needs_full_pass = true;
+    }
+
+    /// Removes all injected faults.
+    pub fn clear_faults(&mut self) {
+        self.stem_inject.clear();
+        self.pin_inject.clear();
+        self.needs_full_pass = true;
+    }
+
+    /// Injects `fault` into the lanes selected by `lane_mask`.
+    pub fn inject_fault(&mut self, fault: &Fault, lane_mask: u64) {
+        match fault.site {
+            FaultSite::Stem(net) => self
+                .stem_inject
+                .entry(net)
+                .or_default()
+                .add(lane_mask, fault.stuck_value),
+            FaultSite::Pin { gate, pin } => self
+                .pin_inject
+                .entry((gate, pin))
+                .or_default()
+                .add(lane_mask, fault.stuck_value),
+        }
+        // Injections change effective values without any input changing;
+        // re-establish the fixpoint from scratch on the next eval.
+        self.needs_full_pass = true;
+    }
+
+    /// Drives a primary input with the same logic value in every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input of the netlist.
+    pub fn set_input(&mut self, net: NetId, value: bool) {
+        let pos = self
+            .netlist
+            .input_position(net)
+            .expect("set_input target must be a primary input");
+        self.input_words[pos] = if value { !0 } else { 0 };
+    }
+
+    /// Drives a primary input with a per-lane word (bit *L* = lane *L*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input of the netlist.
+    pub fn set_input_lanes(&mut self, net: NetId, word: u64) {
+        let pos = self
+            .netlist
+            .input_position(net)
+            .expect("set_input_lanes target must be a primary input");
+        self.input_words[pos] = word;
+    }
+
+    /// Propagates changed values through the combinational logic.
+    ///
+    /// The first call after construction, [`EventSimulator::reset`],
+    /// [`EventSimulator::inject_fault`] or [`EventSimulator::clear_faults`]
+    /// evaluates every gate to establish the fixpoint; subsequent calls
+    /// only touch the fanout cones of nets that changed.
+    pub fn eval(&mut self) {
+        if self.needs_full_pass {
+            self.full_pass();
+            self.needs_full_pass = false;
+            return;
+        }
+        let nl = self.netlist;
+        // Seed the front: primary inputs whose injected value changed.
+        for (pos, &net) in nl.inputs().iter().enumerate() {
+            let mut v = self.input_words[pos];
+            if let Some(m) = self.stem_inject.get(&net) {
+                v = m.apply(v);
+            }
+            if v != self.values[net.index()] {
+                self.values[net.index()] = v;
+                self.schedule_users(net);
+            }
+        }
+        // ... and flip-flop outputs presenting changed state.
+        for (k, &gid) in nl.dff_gates().iter().enumerate() {
+            let q = nl.gate(gid).output;
+            let mut v = self.state[k];
+            if let Some(m) = self.stem_inject.get(&q) {
+                v = m.apply(v);
+            }
+            if v != self.values[q.index()] {
+                self.values[q.index()] = v;
+                self.schedule_users(q);
+            }
+        }
+        // Drain levels in ascending order; users always sit at strictly
+        // greater levels, so no gate is visited twice.
+        for level in 0..self.queues.len() {
+            let mut queue = std::mem::take(&mut self.queues[level]);
+            for &gid in &queue {
+                self.queued[gid.index()] = false;
+                let out = self.eval_gate(gid);
+                let out_net = self.netlist.gate(gid).output;
+                if out != self.values[out_net.index()] {
+                    self.values[out_net.index()] = out;
+                    self.schedule_users(out_net);
+                }
+            }
+            queue.clear();
+            self.queues[level] = queue; // keep the allocation
+        }
+    }
+
+    /// Latches flip-flop next-state (the value on each DFF's `d` pin).
+    ///
+    /// Must be called after [`EventSimulator::eval`] for the cycle.
+    pub fn step(&mut self) {
+        let nl = self.netlist;
+        for (k, &gid) in nl.dff_gates().iter().enumerate() {
+            let gate = nl.gate(gid);
+            let mut d = self.values[gate.inputs[0].index()];
+            if let Some(m) = self.pin_inject.get(&(gid, 0)) {
+                d = m.apply(d);
+            }
+            self.state[k] = d;
+        }
+    }
+
+    /// Current per-lane word on `net` (valid after [`EventSimulator::eval`]).
+    pub fn value(&self, net: NetId) -> u64 {
+        self.values[net.index()]
+    }
+
+    fn schedule_users(&mut self, net: NetId) {
+        let nl = self.netlist;
+        for &user in nl.comb_users(net) {
+            if !self.queued[user.index()] {
+                self.queued[user.index()] = true;
+                self.queues[nl.gate_level(user) as usize].push(user);
+            }
+        }
+    }
+
+    /// Evaluates one gate over all lanes (pin and stem injections applied)
+    /// and counts the event.
+    fn eval_gate(&mut self, gid: GateId) -> u64 {
+        let nl = self.netlist;
+        let gate = nl.gate(gid);
+        self.events += 1;
+        let mut in_buf = [0u64; 8];
+        let wide;
+        let inputs: &[u64] = if gate.inputs.len() <= in_buf.len() {
+            for (pin, &inp) in gate.inputs.iter().enumerate() {
+                let mut v = self.values[inp.index()];
+                if !self.pin_inject.is_empty() {
+                    if let Some(m) = self.pin_inject.get(&(gid, pin as u8)) {
+                        v = m.apply(v);
+                    }
+                }
+                in_buf[pin] = v;
+            }
+            &in_buf[..gate.inputs.len()]
+        } else {
+            wide = gate
+                .inputs
+                .iter()
+                .enumerate()
+                .map(|(pin, &inp)| {
+                    let mut v = self.values[inp.index()];
+                    if let Some(m) = self.pin_inject.get(&(gid, pin as u8)) {
+                        v = m.apply(v);
+                    }
+                    v
+                })
+                .collect::<Vec<u64>>();
+            &wide
+        };
+        let mut out = gate.kind.eval(inputs);
+        if let Some(m) = self.stem_inject.get(&gate.output) {
+            out = m.apply(out);
+        }
+        out
+    }
+
+    /// Full evaluation pass: identical to
+    /// [`Simulator::eval`](crate::Simulator::eval), re-establishing the
+    /// cached fixpoint after injections or state resets.
+    fn full_pass(&mut self) {
+        let nl = self.netlist;
+        for (pos, &net) in nl.inputs().iter().enumerate() {
+            let mut v = self.input_words[pos];
+            if let Some(m) = self.stem_inject.get(&net) {
+                v = m.apply(v);
+            }
+            self.values[net.index()] = v;
+        }
+        for (k, &gid) in nl.dff_gates().iter().enumerate() {
+            let q = nl.gate(gid).output;
+            let mut v = self.state[k];
+            if let Some(m) = self.stem_inject.get(&q) {
+                v = m.apply(v);
+            }
+            self.values[q.index()] = v;
+        }
+        for queue in &mut self.queues {
+            queue.clear();
+        }
+        self.queued.fill(false);
+        let order: &[GateId] = nl.comb_order();
+        for &gid in order {
+            let out = self.eval_gate(gid);
+            let out_net = nl.gate(gid).output;
+            self.values[out_net.index()] = out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::netlist::NetlistBuilder;
+    use crate::sim::Simulator;
+
+    fn adder_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("fa");
+        let a = b.input("a");
+        let c = b.input("b");
+        let ci = b.input("ci");
+        let axb = b.xor2(a, c);
+        let sum = b.xor2(axb, ci);
+        let g1 = b.and2(a, c);
+        let g2 = b.and2(axb, ci);
+        let co = b.or2(g1, g2);
+        b.mark_output(sum, "sum");
+        b.mark_output(co, "co");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn matches_full_eval_on_walking_inputs() {
+        let n = adder_netlist();
+        let mut ev = EventSimulator::new(&n);
+        let mut full = Simulator::new(&n);
+        for v in 0..8u32 {
+            let bits = [v & 1 != 0, v & 2 != 0, v & 4 != 0];
+            for (pos, &net) in n.inputs().iter().enumerate() {
+                ev.set_input(net, bits[pos]);
+                full.set_input(net, bits[pos]);
+            }
+            ev.eval();
+            full.eval();
+            for &o in n.outputs() {
+                assert_eq!(ev.value(o), full.value(o), "input {v:03b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_inputs_cost_no_events() {
+        let n = adder_netlist();
+        let mut ev = EventSimulator::new(&n);
+        ev.eval(); // full pass
+        let after_full = ev.events();
+        assert_eq!(after_full, n.comb_order().len() as u64);
+        ev.eval(); // nothing changed
+        assert_eq!(ev.events(), after_full);
+    }
+
+    #[test]
+    fn single_bit_change_stays_in_cone() {
+        // Two disjoint AND cones; toggling one input must not evaluate the
+        // other cone.
+        let mut b = NetlistBuilder::new("two_cones");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let e = b.input("d");
+        let x = b.and2(a, c);
+        let y = b.and2(d, e);
+        b.mark_output(x, "x");
+        b.mark_output(y, "y");
+        let n = b.finish().unwrap();
+        let mut ev = EventSimulator::new(&n);
+        ev.eval();
+        let base = ev.events();
+        ev.set_input(n.inputs()[0], true);
+        ev.eval();
+        assert_eq!(ev.events(), base + 1, "only the left AND re-evaluates");
+    }
+
+    #[test]
+    fn sequential_state_propagates_like_full_eval() {
+        let mut b = NetlistBuilder::new("pipe");
+        let d = b.input("d");
+        let q1 = b.dff(d);
+        let q2 = b.dff(q1);
+        let o = b.gate(GateKind::Not, &[q2]);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let mut ev = EventSimulator::new(&n);
+        let mut full = Simulator::new(&n);
+        let pattern = [true, false, true, true, false];
+        for &bit in &pattern {
+            ev.set_input(n.inputs()[0], bit);
+            full.set_input(n.inputs()[0], bit);
+            ev.eval();
+            full.eval();
+            assert_eq!(ev.value(n.outputs()[0]), full.value(n.outputs()[0]));
+            ev.step();
+            full.step();
+        }
+    }
+
+    #[test]
+    fn injection_after_eval_forces_full_pass() {
+        let n = adder_netlist();
+        let mut ev = EventSimulator::new(&n);
+        ev.eval();
+        let f = Fault::stem_sa1(n.inputs()[0]);
+        ev.inject_fault(&f, 1 << 7);
+        ev.eval();
+        let mut full = Simulator::new(&n);
+        full.inject_fault(&f, 1 << 7);
+        full.eval();
+        for &o in n.outputs() {
+            assert_eq!(ev.value(o), full.value(o));
+        }
+    }
+
+    #[test]
+    fn reset_restores_zero_state() {
+        let mut b = NetlistBuilder::new("reg");
+        let d = b.input("d");
+        let q = b.dff(d);
+        b.mark_output(q, "q");
+        let n = b.finish().unwrap();
+        let mut ev = EventSimulator::new(&n);
+        ev.set_input(n.inputs()[0], true);
+        ev.eval();
+        ev.step();
+        ev.eval();
+        assert_eq!(ev.value(n.outputs()[0]), !0);
+        ev.reset();
+        ev.eval();
+        assert_eq!(ev.value(n.outputs()[0]), 0);
+    }
+}

@@ -1,21 +1,32 @@
 //! Parallel single-stuck-at fault simulation.
 //!
-//! Two levels of parallelism compose here:
+//! Three levels of parallelism/selectivity compose here:
 //!
 //! 1. **Bit-level**: each simulation pass packs up to [`LANES`]` - 1`
 //!    faulty machines plus one fault-free reference machine into the 64
-//!    lanes of a [`Simulator`] word.
-//! 2. **Thread-level**: the fault list is partitioned into those
-//!    [`LANES`]` - 1`-sized batches (see [`fault_batches`]), and the
-//!    batches fan out over scoped worker threads. Batches are mutually
-//!    independent — every worker owns a private [`Simulator`] — so the
-//!    reduction is a deterministic, fault-index-ordered merge and the
+//!    lanes of a simulator word.
+//! 2. **Thread-level**: the fault list is partitioned into
+//!    [`FAULTS_PER_BATCH`]-sized batches (see [`fault_batches_by_cone`]),
+//!    and the batches fan out over scoped worker threads. Batches are
+//!    mutually independent — every worker owns a private simulator — so
+//!    the reduction is a deterministic, fault-index-ordered merge and the
 //!    results are **bit-identical** to the single-threaded path.
+//! 3. **Event-level** (the default [`SimEngine::EventDriven`]): each batch
+//!    runs on an [`EventSimulator`], which only re-evaluates gates whose
+//!    inputs changed. Faults are packed into batches by fanout-cone
+//!    locality, so a batch's activity stays confined to a small region of
+//!    the netlist and the event-driven saving compounds.
 //!
 //! Workers publish detections into a shared atomic bitmap as they find
 //! them (each fault's bit is owned by exactly one batch, hence one
 //! thread), and `drop_on_detect` keeps working unchanged: a worker stops
 //! clocking a batch as soon as all of its own faults are detected.
+//!
+//! Coverage, per-fault detecting cycles and fault-free responses are
+//! bit-identical across every engine, thread count and batching choice:
+//! lanes are independent, a batch never stops before all of its own
+//! faults are detected, and the reference batch always spans the whole
+//! stimulus.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -23,9 +34,27 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use crate::coverage::FaultCoverage;
-use crate::fault::Fault;
+use crate::event_sim::EventSimulator;
+use crate::fault::{Fault, FaultSite};
+use crate::gate::{GateId, GateKind};
+use crate::net::NetId;
 use crate::netlist::Netlist;
 use crate::sim::{Simulator, LANES};
+
+/// Faults graded per simulation pass: one lane per fault, with lane 0
+/// reserved for the fault-free reference machine.
+///
+/// Derived from [`LANES`] so a lane-width change can never desync batching
+/// from injection.
+pub const FAULTS_PER_BATCH: usize = LANES - 1;
+
+// Lane masks, the detection bitmap and the per-batch live mask are all
+// `u64` words; the lane count must match exactly or injection masks would
+// silently truncate.
+const _: () = assert!(
+    LANES == u64::BITS as usize,
+    "LANES must equal the bit width of the u64 lane masks"
+);
 
 /// A sequence of input patterns applied to a netlist, one per clock cycle,
 /// with per-cycle observability.
@@ -85,14 +114,18 @@ impl Stimulus {
 }
 
 /// Partitions `fault_count` faults into the contiguous index ranges graded
-/// together in one simulation pass ([`LANES`]` - 1` faults per batch; lane 0
-/// carries the fault-free reference machine).
+/// together in one simulation pass ([`FAULTS_PER_BATCH`] faults per batch;
+/// lane 0 carries the fault-free reference machine).
 ///
 /// Every fault index appears in exactly one range, in order. An empty fault
 /// list yields a single empty batch: the simulator still runs one
 /// reference-only pass to record fault-free responses.
+///
+/// [`FaultSimulator::simulate`] itself groups faults by fanout-cone
+/// locality instead (see [`fault_batches_by_cone`]); this index-order
+/// partition remains available for callers that need contiguous ranges.
 pub fn fault_batches(fault_count: usize) -> Vec<Range<usize>> {
-    let per_batch = LANES - 1;
+    let per_batch = FAULTS_PER_BATCH;
     let n_batches = fault_count.div_ceil(per_batch).max(1);
     (0..n_batches)
         .map(|b| {
@@ -100,6 +133,93 @@ pub fn fault_batches(fault_count: usize) -> Vec<Range<usize>> {
             start..(start + per_batch).min(fault_count)
         })
         .collect()
+}
+
+/// Sort key that clusters faults whose fanout cones overlap: the earliest
+/// (level, gate) position at which the fault first perturbs combinational
+/// logic. Faults acting through flip-flops only (DFF pins, registered
+/// outputs) sort last — their cones start on the *next* cycle anywhere in
+/// the netlist.
+fn cone_key(netlist: &Netlist, fault: &Fault) -> (u32, u32) {
+    fn gate_key(netlist: &Netlist, gid: GateId) -> (u32, u32) {
+        if netlist.gate(gid).kind == GateKind::Dff {
+            (u32::MAX, gid.index() as u32)
+        } else {
+            (netlist.gate_level(gid), gid.index() as u32)
+        }
+    }
+    match fault.site {
+        FaultSite::Pin { gate, .. } => gate_key(netlist, gate),
+        FaultSite::Stem(net) => netlist
+            .comb_users(net)
+            .iter()
+            .map(|&g| gate_key(netlist, g))
+            .min()
+            .unwrap_or_else(|| match netlist.driver(net) {
+                Some(d) => gate_key(netlist, d),
+                None => (u32::MAX, net.index() as u32),
+            }),
+    }
+}
+
+/// Packs fault indices into [`FAULTS_PER_BATCH`]-sized batches by
+/// fanout-cone locality: faults are ordered by the topological position
+/// where they first perturb the logic, then chunked. Each batch's activity
+/// stays confined to a small region of the netlist, which compounds the
+/// event-driven engine's selective-trace savings.
+///
+/// Every fault index appears in exactly one batch. An empty fault list
+/// yields a single empty batch (the reference-only pass). Coverage is
+/// independent of batch composition — lanes are independent and a batch
+/// never stops early before all of its own faults are detected — so this
+/// ordering is purely a performance choice.
+pub fn fault_batches_by_cone(netlist: &Netlist, faults: &[Fault]) -> Vec<Vec<u32>> {
+    let mut order: Vec<u32> = (0..faults.len() as u32).collect();
+    order.sort_by_key(|&i| cone_key(netlist, &faults[i as usize]));
+    let batches: Vec<Vec<u32>> = order
+        .chunks(FAULTS_PER_BATCH)
+        .map(|chunk| chunk.to_vec())
+        .collect();
+    if batches.is_empty() {
+        vec![Vec::new()]
+    } else {
+        batches
+    }
+}
+
+/// Which simulation engine grades each fault batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SimEngine {
+    /// Evaluate every combinational gate on every cycle (the legacy
+    /// engine; simple, branch-free inner loop).
+    FullEval,
+    /// Selective trace: levelize once, then per cycle propagate only
+    /// through gates whose inputs changed (the default).
+    #[default]
+    EventDriven,
+}
+
+impl SimEngine {
+    /// Human-readable engine name (used in bench output and JSON reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimEngine::FullEval => "full-eval",
+            SimEngine::EventDriven => "event-driven",
+        }
+    }
+
+    /// Parses an engine name as accepted by the `SBST_ENGINE` environment
+    /// variable: `full` / `full-eval` / `fulleval` and `event` /
+    /// `event-driven` / `eventdriven` (case-insensitive).
+    pub fn from_name(name: &str) -> Option<SimEngine> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "full" | "full-eval" | "full_eval" | "fulleval" => Some(SimEngine::FullEval),
+            "event" | "event-driven" | "event_driven" | "eventdriven" => {
+                Some(SimEngine::EventDriven)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Configuration for [`FaultSimulator`].
@@ -117,6 +237,10 @@ pub struct FaultSimConfig {
     /// The effective count never exceeds the number of batches. Coverage
     /// results are bit-identical for every setting.
     pub threads: Option<usize>,
+    /// Simulation engine (default [`SimEngine::EventDriven`]). Coverage
+    /// results are bit-identical for both engines; only
+    /// [`SimStats::events_simulated`] and wall time differ.
+    pub engine: SimEngine,
 }
 
 impl Default for FaultSimConfig {
@@ -125,6 +249,7 @@ impl Default for FaultSimConfig {
             drop_on_detect: true,
             reset_between_batches: true,
             threads: None,
+            engine: SimEngine::default(),
         }
     }
 }
@@ -134,6 +259,14 @@ impl FaultSimConfig {
     pub fn with_threads(threads: usize) -> Self {
         FaultSimConfig {
             threads: Some(threads.max(1)),
+            ..FaultSimConfig::default()
+        }
+    }
+
+    /// Default configuration with a pinned engine.
+    pub fn with_engine(engine: SimEngine) -> Self {
+        FaultSimConfig {
+            engine,
             ..FaultSimConfig::default()
         }
     }
@@ -155,25 +288,35 @@ pub struct ThreadStats {
     pub batches: u64,
     /// Netlist cycles this worker clocked.
     pub cycles: u64,
+    /// Gate-evaluation events this worker performed.
+    pub events: u64,
     /// Wall-clock time this worker spent grading batches.
     pub busy: Duration,
 }
 
 /// Instrumentation from one [`FaultSimulator::simulate`] run: how much
-/// simulation happened, how much `drop_on_detect` saved, and how evenly
-/// the work spread over the pool.
+/// simulation happened, how much `drop_on_detect` and the event-driven
+/// engine saved, and how evenly the work spread over the pool.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
-    /// Fault batches graded ([`LANES`]` - 1` faults each, plus reference).
+    /// Fault batches graded ([`FAULTS_PER_BATCH`] faults each, plus
+    /// reference).
     pub batches: u64,
     /// Netlist cycles actually clocked, summed over batches.
     pub cycles_simulated: u64,
     /// Cycles that a full run would clock (`batches * stimulus.len()`);
     /// the gap to `cycles_simulated` is the drop-on-detect saving.
     pub cycles_scheduled: u64,
-    /// Gate-evaluation events (`cycles_simulated * gate_count`, each event
-    /// evaluating all [`LANES`] machines bit-parallel).
+    /// Gate-evaluation events actually performed (each event evaluating
+    /// all [`LANES`] machines bit-parallel). Under [`SimEngine::FullEval`]
+    /// this equals [`SimStats::events_full_eval`]; under
+    /// [`SimEngine::EventDriven`] it counts only the gates whose inputs
+    /// changed — a *true* event count, not `cycles × gates`.
     pub events_simulated: u64,
+    /// Events a full evaluation of every clocked cycle would have cost
+    /// (`cycles_simulated × combinational gate count`) — the baseline the
+    /// event-driven saving is measured against.
+    pub events_full_eval: u64,
     /// One entry per worker thread, in worker order.
     pub per_thread: Vec<ThreadStats>,
 }
@@ -191,6 +334,26 @@ impl SimStats {
             0.0
         } else {
             self.cycles_dropped() as f64 / self.cycles_scheduled as f64 * 100.0
+        }
+    }
+
+    /// Events performed as a fraction of the full-eval baseline, in
+    /// `0.0..=1.0` (1.0 for the full-eval engine; `None` when nothing was
+    /// simulated).
+    pub fn event_ratio(&self) -> Option<f64> {
+        if self.events_full_eval == 0 {
+            None
+        } else {
+            Some(self.events_simulated as f64 / self.events_full_eval as f64)
+        }
+    }
+
+    /// Fraction of full-eval gate evaluations the event-driven engine
+    /// skipped, as a percentage in `0.0..=100.0`.
+    pub fn event_savings_percent(&self) -> f64 {
+        match self.event_ratio() {
+            Some(r) => (1.0 - r).max(0.0) * 100.0,
+            None => 0.0,
         }
     }
 
@@ -223,6 +386,8 @@ pub struct FaultSimResult {
     pub fault_free_responses: Vec<Vec<u64>>,
     /// Worker threads actually used for this run.
     pub threads_used: usize,
+    /// Engine that graded the batches.
+    pub engine: SimEngine,
     /// Wall-clock time of the run.
     pub wall_time: Duration,
     /// Simulation-volume and thread-utilization instrumentation.
@@ -281,9 +446,88 @@ impl DetectedBitmap {
     }
 }
 
+/// Engine-dispatched simulator backend for one batch.
+enum Backend<'a> {
+    Full {
+        sim: Simulator<'a>,
+        comb_gates: u64,
+        events: u64,
+    },
+    Event(EventSimulator<'a>),
+}
+
+impl<'a> Backend<'a> {
+    fn new(netlist: &'a Netlist, engine: SimEngine) -> Self {
+        match engine {
+            SimEngine::FullEval => Backend::Full {
+                sim: Simulator::new(netlist),
+                comb_gates: netlist.comb_order().len() as u64,
+                events: 0,
+            },
+            SimEngine::EventDriven => Backend::Event(EventSimulator::new(netlist)),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Backend::Full { sim, .. } => sim.reset(),
+            Backend::Event(sim) => sim.reset(),
+        }
+    }
+
+    fn inject_fault(&mut self, fault: &Fault, lane_mask: u64) {
+        match self {
+            Backend::Full { sim, .. } => sim.inject_fault(fault, lane_mask),
+            Backend::Event(sim) => sim.inject_fault(fault, lane_mask),
+        }
+    }
+
+    fn set_input(&mut self, net: NetId, value: bool) {
+        match self {
+            Backend::Full { sim, .. } => sim.set_input(net, value),
+            Backend::Event(sim) => sim.set_input(net, value),
+        }
+    }
+
+    fn eval(&mut self) {
+        match self {
+            Backend::Full {
+                sim,
+                comb_gates,
+                events,
+            } => {
+                sim.eval();
+                *events += *comb_gates;
+            }
+            Backend::Event(sim) => sim.eval(),
+        }
+    }
+
+    fn step(&mut self) {
+        match self {
+            Backend::Full { sim, .. } => sim.step(),
+            Backend::Event(sim) => sim.step(),
+        }
+    }
+
+    fn value(&self, net: NetId) -> u64 {
+        match self {
+            Backend::Full { sim, .. } => sim.value(net),
+            Backend::Event(sim) => sim.value(net),
+        }
+    }
+
+    fn events(&self) -> u64 {
+        match self {
+            Backend::Full { events, .. } => *events,
+            Backend::Event(sim) => sim.events(),
+        }
+    }
+}
+
 /// Parallel single-stuck-at fault simulator.
 ///
-/// Packs up to [`LANES`]` - 1` faulty machines plus one fault-free
+/// Packs up to [`FAULTS_PER_BATCH`] faulty machines plus one fault-free
 /// reference machine (lane 0) into each simulation pass, and fans the
 /// passes out over worker threads (see [`FaultSimConfig::threads`]). A
 /// fault is *detected* when any primary output differs from the reference
@@ -313,10 +557,10 @@ impl<'a> FaultSimulator<'a> {
     /// Grades `faults` against `stimulus`.
     ///
     /// Returns per-fault detection data; see [`FaultSimResult`]. The result
-    /// is bit-identical for every thread count.
+    /// is bit-identical for every thread count and engine.
     pub fn simulate(&self, faults: &[Fault], stimulus: &Stimulus) -> FaultSimResult {
         let start = Instant::now();
-        let batches = fault_batches(faults.len());
+        let batches = fault_batches_by_cone(self.netlist, faults);
         let threads = self.config.resolved_threads(batches.len());
         let mut result = if threads <= 1 {
             self.simulate_serial(&batches, faults, stimulus)
@@ -324,12 +568,14 @@ impl<'a> FaultSimulator<'a> {
             self.simulate_threaded(&batches, faults, stimulus, threads)
         };
         result.threads_used = threads;
+        result.engine = self.config.engine;
         result.wall_time = start.elapsed();
         result.stats.batches = batches.len() as u64;
         result.stats.cycles_scheduled = batches.len() as u64 * stimulus.len() as u64;
         result.stats.cycles_simulated = result.stats.per_thread.iter().map(|t| t.cycles).sum();
-        result.stats.events_simulated =
-            result.stats.cycles_simulated * self.netlist.gate_count() as u64;
+        result.stats.events_simulated = result.stats.per_thread.iter().map(|t| t.events).sum();
+        result.stats.events_full_eval =
+            result.stats.cycles_simulated * self.netlist.comb_order().len() as u64;
         result
     }
 
@@ -337,7 +583,7 @@ impl<'a> FaultSimulator<'a> {
     /// calling thread.
     fn simulate_serial(
         &self,
-        batches: &[Range<usize>],
+        batches: &[Vec<u32>],
         faults: &[Fault],
         stimulus: &Stimulus,
     ) -> FaultSimResult {
@@ -346,10 +592,10 @@ impl<'a> FaultSimulator<'a> {
         let mut fault_free_responses = Vec::new();
         let mut thread_stats = ThreadStats::default();
         let busy_start = Instant::now();
-        for (index, range) in batches.iter().enumerate() {
-            let (cycles_run, reference) = self.run_batch(
-                &faults[range.clone()],
-                range.start,
+        for (index, batch) in batches.iter().enumerate() {
+            let (cycles_run, events_run, reference) = self.run_batch(
+                faults,
+                batch,
                 stimulus,
                 index == 0,
                 &mut |fault_index, cycle| {
@@ -359,6 +605,7 @@ impl<'a> FaultSimulator<'a> {
             );
             thread_stats.batches += 1;
             thread_stats.cycles += cycles_run;
+            thread_stats.events += events_run;
             if let Some(responses) = reference {
                 fault_free_responses = responses;
             }
@@ -369,6 +616,7 @@ impl<'a> FaultSimulator<'a> {
             detecting_cycle,
             fault_free_responses,
             threads_used: 1,
+            engine: self.config.engine,
             wall_time: Duration::ZERO,
             stats: SimStats {
                 per_thread: vec![thread_stats],
@@ -381,7 +629,7 @@ impl<'a> FaultSimulator<'a> {
     /// per-batch results in fault-index order.
     fn simulate_threaded(
         &self,
-        batches: &[Range<usize>],
+        batches: &[Vec<u32>],
         faults: &[Fault],
         stimulus: &Stimulus,
         threads: usize,
@@ -408,23 +656,27 @@ impl<'a> FaultSimulator<'a> {
                     let busy_start = Instant::now();
                     loop {
                         let index = next_batch.fetch_add(1, Ordering::Relaxed);
-                        let Some(range) = batches.get(index) else {
+                        let Some(batch) = batches.get(index) else {
                             break;
                         };
-                        let mut cycles = vec![None; range.len()];
-                        let base = range.start;
-                        let (cycles_run, reference) = self.run_batch(
-                            &faults[range.clone()],
-                            base,
+                        let mut cycles = vec![None; batch.len()];
+                        let (cycles_run, events_run, reference) = self.run_batch(
+                            faults,
+                            batch,
                             stimulus,
                             index == 0,
                             &mut |fault_index, cycle| {
                                 bitmap.set(fault_index);
-                                cycles[fault_index - base] = Some(cycle);
+                                let offset = batch
+                                    .iter()
+                                    .position(|&fi| fi as usize == fault_index)
+                                    .expect("detected fault belongs to this batch");
+                                cycles[offset] = Some(cycle);
                             },
                         );
                         local.batches += 1;
                         local.cycles += cycles_run;
+                        local.events += events_run;
                         cycle_slots[index]
                             .set(cycles)
                             .expect("each batch is graded exactly once");
@@ -442,15 +694,16 @@ impl<'a> FaultSimulator<'a> {
             }
         });
 
-        // Deterministic reduction: visit batches (hence faults) in index
-        // order, independent of which worker graded what when.
+        // Deterministic reduction: visit batches (hence faults) in batch
+        // order, independent of which worker graded what when. Each fault
+        // index lives in exactly one batch.
         let mut detected = vec![false; faults.len()];
         let mut detecting_cycle = vec![None; faults.len()];
-        for (index, range) in batches.iter().enumerate() {
+        for (index, batch) in batches.iter().enumerate() {
             let cycles = cycle_slots[index].get().expect("every batch ran");
-            for (offset, fault_index) in range.clone().enumerate() {
-                detecting_cycle[fault_index] = cycles[offset];
-                detected[fault_index] = bitmap.get(fault_index);
+            for (offset, &fault_index) in batch.iter().enumerate() {
+                detecting_cycle[fault_index as usize] = cycles[offset];
+                detected[fault_index as usize] = bitmap.get(fault_index as usize);
             }
         }
         FaultSimResult {
@@ -458,6 +711,7 @@ impl<'a> FaultSimulator<'a> {
             detecting_cycle,
             fault_free_responses: reference_slot.into_inner().unwrap_or_default(),
             threads_used: threads,
+            engine: self.config.engine,
             wall_time: Duration::ZERO,
             stats: SimStats {
                 per_thread: thread_slots
@@ -469,7 +723,8 @@ impl<'a> FaultSimulator<'a> {
         }
     }
 
-    /// Grades one batch of faults on a private [`Simulator`].
+    /// Grades one batch of faults (given as global fault indices) on a
+    /// private simulator backend.
     ///
     /// Reports each detection through `on_detect(global_fault_index,
     /// cycle)`. When `record_reference` is set (the first batch), the
@@ -478,27 +733,27 @@ impl<'a> FaultSimulator<'a> {
     /// stimulus. Other batches may stop early under
     /// [`FaultSimConfig::drop_on_detect`].
     ///
-    /// Returns the number of cycles actually clocked (for drop-on-detect
-    /// accounting) alongside the optional reference responses.
+    /// Returns the number of cycles clocked and gate-evaluation events
+    /// performed, alongside the optional reference responses.
     fn run_batch(
         &self,
-        batch_faults: &[Fault],
-        base_index: usize,
+        faults: &[Fault],
+        batch: &[u32],
         stimulus: &Stimulus,
         record_reference: bool,
         on_detect: &mut dyn FnMut(usize, u32),
-    ) -> (u64, Option<Vec<Vec<u64>>>) {
-        debug_assert!(batch_faults.len() < LANES);
-        let mut sim = Simulator::new(self.netlist);
+    ) -> (u64, u64, Option<Vec<Vec<u64>>>) {
+        debug_assert!(batch.len() <= FAULTS_PER_BATCH);
+        let mut sim = Backend::new(self.netlist, self.config.engine);
         if self.config.reset_between_batches {
             sim.reset();
         }
-        for (lane_off, fault) in batch_faults.iter().enumerate() {
-            sim.inject_fault(fault, 1u64 << (lane_off + 1));
+        for (lane_off, &fault_index) in batch.iter().enumerate() {
+            sim.inject_fault(&faults[fault_index as usize], 1u64 << (lane_off + 1));
         }
         // Mask of lanes carrying live (not yet detected) faults:
-        // lanes 1..=batch_faults.len().
-        let live_mask: u64 = (((1u128 << batch_faults.len()) - 1) as u64) << 1;
+        // lanes 1..=batch.len().
+        let live_mask: u64 = (((1u128 << batch.len()) - 1) as u64) << 1;
         let mut undetected_mask = live_mask;
         let mut fault_free_responses: Vec<Vec<u64>> = Vec::new();
         let mut cycles_run: u64 = 0;
@@ -536,7 +791,7 @@ impl<'a> FaultSimulator<'a> {
                     while bits != 0 {
                         let lane = bits.trailing_zeros() as usize;
                         bits &= bits - 1;
-                        on_detect(base_index + lane - 1, cycle_index);
+                        on_detect(batch[lane - 1] as usize, cycle_index);
                     }
                     undetected_mask &= !newly;
                     if self.config.drop_on_detect && undetected_mask == 0 && !record_reference {
@@ -546,7 +801,11 @@ impl<'a> FaultSimulator<'a> {
             }
             sim.step();
         }
-        (cycles_run, record_reference.then_some(fault_free_responses))
+        (
+            cycles_run,
+            sim.events(),
+            record_reference.then_some(fault_free_responses),
+        )
     }
 }
 
@@ -624,14 +883,15 @@ mod tests {
 
     #[test]
     fn more_faults_than_one_batch() {
-        // A wide OR tree has > 63 collapsed faults; exercise multi-batch.
+        // A wide OR tree has > FAULTS_PER_BATCH collapsed faults; exercise
+        // multi-batch.
         let mut b = NetlistBuilder::new("wide");
         let bus = b.input_bus("a", 40);
         let o = b.reduce_or(&bus);
         b.mark_output(o, "o");
         let n = b.finish().unwrap();
         let faults = n.collapsed_faults();
-        assert!(faults.len() > 63);
+        assert!(faults.len() > FAULTS_PER_BATCH);
         // Walking-one plus all-zero detects everything in an OR tree.
         let mut s = Stimulus::new();
         s.push_pattern(&[false; 40]);
@@ -666,7 +926,7 @@ mod tests {
             let batches = fault_batches(count);
             let mut seen = vec![0usize; count];
             for range in &batches {
-                assert!(range.len() < LANES);
+                assert!(range.len() <= FAULTS_PER_BATCH);
                 for i in range.clone() {
                     seen[i] += 1;
                 }
@@ -674,6 +934,85 @@ mod tests {
             assert!(seen.iter().all(|&c| c == 1), "count {count}");
             assert!(!batches.is_empty());
         }
+    }
+
+    #[test]
+    fn cone_batches_partition_every_fault_exactly_once() {
+        let mut b = NetlistBuilder::new("mix");
+        let bus = b.input_bus("a", 48);
+        let mut acc = bus.net(0);
+        for (i, &net) in bus.nets().iter().enumerate().skip(1) {
+            acc = if i % 2 == 0 {
+                b.xor2(acc, net)
+            } else {
+                b.or2(acc, net)
+            };
+        }
+        b.mark_output(acc, "o");
+        let n = b.finish().unwrap();
+        let faults = n.collapsed_faults();
+        let batches = fault_batches_by_cone(&n, &faults);
+        let mut seen = vec![0usize; faults.len()];
+        for batch in &batches {
+            assert!(batch.len() <= FAULTS_PER_BATCH);
+            for &i in batch {
+                seen[i as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        // Empty fault list: one reference-only batch.
+        assert_eq!(fault_batches_by_cone(&n, &[]), vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn engines_agree_bitwise() {
+        let mut b = NetlistBuilder::new("mix");
+        let bus = b.input_bus("a", 48);
+        let mut acc = bus.net(0);
+        for (i, &net) in bus.nets().iter().enumerate().skip(1) {
+            acc = if i % 3 == 0 {
+                b.xor2(acc, net)
+            } else if i % 3 == 1 {
+                b.and2(acc, net)
+            } else {
+                b.or2(acc, net)
+            };
+        }
+        b.mark_output(acc, "o");
+        let n = b.finish().unwrap();
+        let faults = n.collapsed_faults();
+        let mut s = Stimulus::new();
+        let mut word = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..32 {
+            word = word.rotate_left(17).wrapping_mul(0xD134_2543_DE82_EF95);
+            let bits: Vec<bool> = (0..48).map(|i| word >> i & 1 == 1).collect();
+            s.push_pattern(&bits);
+        }
+        let full = FaultSimulator::with_config(
+            &n,
+            FaultSimConfig {
+                engine: SimEngine::FullEval,
+                threads: Some(1),
+                ..FaultSimConfig::default()
+            },
+        )
+        .simulate(&faults, &s);
+        let event = FaultSimulator::with_config(
+            &n,
+            FaultSimConfig {
+                engine: SimEngine::EventDriven,
+                threads: Some(1),
+                ..FaultSimConfig::default()
+            },
+        )
+        .simulate(&faults, &s);
+        assert_eq!(full.detected, event.detected);
+        assert_eq!(full.detecting_cycle, event.detecting_cycle);
+        assert_eq!(full.fault_free_responses, event.fault_free_responses);
+        // The event engine never does more work than the full-eval
+        // baseline for the cycles it clocked.
+        assert!(event.stats.events_simulated <= event.stats.events_full_eval);
+        assert!(event.stats.events_simulated > 0);
     }
 
     #[test]
@@ -694,7 +1033,7 @@ mod tests {
         b.mark_output(acc, "o");
         let n = b.finish().unwrap();
         let faults = n.collapsed_faults();
-        assert!(faults.len() > 2 * (LANES - 1), "need several batches");
+        assert!(faults.len() > 2 * FAULTS_PER_BATCH, "need several batches");
         let mut s = Stimulus::new();
         let mut word = 0x9E37_79B9_7F4A_7C15u64;
         for _ in 0..32 {
@@ -736,24 +1075,63 @@ mod tests {
         let stim = exhaustive2();
         let cfg = FaultSimConfig {
             drop_on_detect: false,
+            engine: SimEngine::FullEval,
             ..FaultSimConfig::default()
         };
         let res = FaultSimulator::with_config(&n, cfg).simulate(&faults, &stim);
-        let batches = fault_batches(faults.len()).len() as u64;
+        let batches = fault_batches_by_cone(&n, &faults).len() as u64;
         assert_eq!(res.stats.batches, batches);
         assert_eq!(res.stats.cycles_scheduled, batches * stim.len() as u64);
         // drop_on_detect off: every scheduled cycle is clocked.
         assert_eq!(res.stats.cycles_simulated, res.stats.cycles_scheduled);
         assert_eq!(res.stats.cycles_dropped(), 0);
         assert_eq!(res.stats.drop_savings_percent(), 0.0);
+        // Full-eval engine: one event per combinational gate per cycle.
         assert_eq!(
             res.stats.events_simulated,
-            res.stats.cycles_simulated * n.gate_count() as u64
+            res.stats.cycles_simulated * n.comb_order().len() as u64
         );
+        assert_eq!(res.stats.events_simulated, res.stats.events_full_eval);
+        assert_eq!(res.stats.event_ratio(), Some(1.0));
+        assert_eq!(res.stats.event_savings_percent(), 0.0);
         assert_eq!(res.stats.per_thread.len(), res.threads_used);
         let per_thread_total: u64 = res.stats.per_thread.iter().map(|t| t.batches).sum();
         assert_eq!(per_thread_total, batches);
         assert_eq!(res.thread_utilization().len(), res.threads_used);
+    }
+
+    #[test]
+    fn event_engine_reports_savings_in_stats() {
+        // Wide OR tree: each pattern toggles one input, so the event
+        // engine touches only one root-to-output path per cycle.
+        let mut b = NetlistBuilder::new("wide");
+        let bus = b.input_bus("a", 40);
+        let o = b.reduce_or(&bus);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let faults = n.collapsed_faults();
+        let mut s = Stimulus::new();
+        s.push_pattern(&[false; 40]);
+        for i in 0..40 {
+            let mut v = vec![false; 40];
+            v[i] = true;
+            s.push_pattern(&v);
+        }
+        let cfg = FaultSimConfig {
+            drop_on_detect: false,
+            threads: Some(1),
+            engine: SimEngine::EventDriven,
+            ..FaultSimConfig::default()
+        };
+        let res = FaultSimulator::with_config(&n, cfg).simulate(&faults, &s);
+        assert_eq!(res.coverage().percent(), 100.0);
+        assert!(
+            res.stats.events_simulated < res.stats.events_full_eval,
+            "event engine should skip quiet gates: {:?}",
+            res.stats
+        );
+        assert!(res.stats.event_savings_percent() > 0.0);
+        assert!(res.stats.event_ratio().unwrap() < 1.0);
     }
 
     #[test]
@@ -796,5 +1174,25 @@ mod tests {
             .simulate(&[], &exhaustive2());
         assert_eq!(res.fault_free_responses.len(), 4);
         assert!(res.detected.is_empty());
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        assert_eq!(SimEngine::from_name("full"), Some(SimEngine::FullEval));
+        assert_eq!(
+            SimEngine::from_name("Event-Driven"),
+            Some(SimEngine::EventDriven)
+        );
+        assert_eq!(SimEngine::from_name("FULLEVAL"), Some(SimEngine::FullEval));
+        assert_eq!(SimEngine::from_name("bogus"), None);
+        assert_eq!(
+            SimEngine::from_name(SimEngine::EventDriven.name()),
+            Some(SimEngine::EventDriven)
+        );
+        assert_eq!(
+            SimEngine::from_name(SimEngine::FullEval.name()),
+            Some(SimEngine::FullEval)
+        );
+        assert_eq!(SimEngine::default(), SimEngine::EventDriven);
     }
 }

@@ -41,6 +41,7 @@
 //! ```
 
 mod error;
+mod event_sim;
 mod fault;
 mod fault_sim;
 mod gate;
@@ -53,9 +54,11 @@ pub mod scoap;
 pub mod verilog;
 
 pub use error::BuildNetlistError;
+pub use event_sim::EventSimulator;
 pub use fault::{collapse_faults, enumerate_faults, Fault, FaultSite};
 pub use fault_sim::{
-    fault_batches, FaultSimConfig, FaultSimResult, FaultSimulator, SimStats, Stimulus, ThreadStats,
+    fault_batches, fault_batches_by_cone, FaultSimConfig, FaultSimResult, FaultSimulator,
+    SimEngine, SimStats, Stimulus, ThreadStats, FAULTS_PER_BATCH,
 };
 pub use gate::{Gate, GateId, GateKind};
 pub use net::{Bus, NetId};

@@ -30,6 +30,16 @@ pub struct Netlist {
     driver: Vec<Option<GateId>>,
     fanout: Vec<u32>,
     input_index: HashMap<NetId, usize>,
+    /// Combinational gates reading each net (the fanout list that seeds
+    /// event-driven propagation).
+    comb_users: Vec<Vec<GateId>>,
+    /// Topological level per gate: `level(g) = 1 + max(level of
+    /// combinational drivers of g's inputs)`, `0` when all inputs come from
+    /// primary inputs, flip-flops or constants. DFF gates are not levelized
+    /// (their entry is 0 and unused).
+    gate_level: Vec<u32>,
+    /// Number of distinct combinational levels (`max gate_level + 1`).
+    level_count: u32,
 }
 
 impl Netlist {
@@ -106,6 +116,33 @@ impl Netlist {
     /// Position of `net` within [`Netlist::inputs`], if it is a primary input.
     pub fn input_position(&self, net: NetId) -> Option<usize> {
         self.input_index.get(&net).copied()
+    }
+
+    /// Combinational gates reading `net`, deduplicated per gate.
+    ///
+    /// This is the per-net fanout list used by the event-driven simulator:
+    /// when `net` changes, exactly these gates need re-evaluation. DFF
+    /// gates are excluded — their `d` pins are sampled by
+    /// [`Simulator::step`](crate::Simulator::step), not propagated
+    /// combinationally.
+    pub fn comb_users(&self, net: NetId) -> &[GateId] {
+        &self.comb_users[net.index()]
+    }
+
+    /// Topological level of `gate`: `0` when every input comes from a
+    /// primary input, flip-flop or constant, otherwise one more than the
+    /// deepest combinational driver. Every combinational user of a gate's
+    /// output sits at a strictly greater level, which is what lets the
+    /// event-driven simulator process levels in ascending order without
+    /// re-visiting a gate twice in one cycle.
+    pub fn gate_level(&self, gate: GateId) -> u32 {
+        self.gate_level[gate.index()]
+    }
+
+    /// Number of distinct combinational levels (`max gate level + 1`;
+    /// `0` for a netlist with no combinational gates).
+    pub fn level_count(&self) -> usize {
+        self.level_count as usize
     }
 
     /// Logic depth: the longest combinational path, in gate levels — the
@@ -499,6 +536,40 @@ impl NetlistBuilder {
             .map(|(i, &n)| (n, i))
             .collect();
 
+        // Per-net combinational fanout lists (event-propagation targets)
+        // and topological levels. Levels are computed over `comb_order`, so
+        // every driver is levelized before its users.
+        let mut comb_users: Vec<Vec<GateId>> = vec![Vec::new(); net_count];
+        for (idx, gate) in self.gates.iter().enumerate() {
+            if gate.kind == GateKind::Dff {
+                continue;
+            }
+            let gid = GateId::from_index(idx);
+            for &inp in &gate.inputs {
+                let list = &mut comb_users[inp.index()];
+                // A gate reading the same net on several pins is scheduled
+                // once; its pins appear consecutively here.
+                if list.last() != Some(&gid) {
+                    list.push(gid);
+                }
+            }
+        }
+        let mut gate_level = vec![0u32; self.gates.len()];
+        let mut level_count = 0u32;
+        for &gid in &comb_order {
+            let gate = &self.gates[gid.index()];
+            let level = gate
+                .inputs
+                .iter()
+                .filter_map(|inp| driver[inp.index()])
+                .filter(|d| self.gates[d.index()].kind != GateKind::Dff)
+                .map(|d| gate_level[d.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            gate_level[gid.index()] = level;
+            level_count = level_count.max(level + 1);
+        }
+
         Ok(Netlist {
             name: self.name,
             nets: self.nets,
@@ -510,6 +581,9 @@ impl NetlistBuilder {
             driver,
             fanout,
             input_index,
+            comb_users,
+            gate_level,
+            level_count,
         })
     }
 }
@@ -658,6 +732,49 @@ mod tests {
         let (max, mean) = n.fanout_stats();
         assert_eq!(max, 3); // `a` feeds three gates
         assert!(mean >= 1.0);
+    }
+
+    #[test]
+    fn levelization_orders_users_after_drivers() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and2(a, c); // level 0
+        let y = b.or2(x, c); // level 1
+        let z = b.xor2(y, x); // level 2
+        b.mark_output(z, "z");
+        let n = b.finish().unwrap();
+        assert_eq!(n.level_count(), 3);
+        for &gid in n.comb_order() {
+            let out = n.gate(gid).output;
+            for &user in n.comb_users(out) {
+                assert!(
+                    n.gate_level(user) > n.gate_level(gid),
+                    "user {user} at level {} not after driver {gid} at level {}",
+                    n.gate_level(user),
+                    n.gate_level(gid)
+                );
+            }
+        }
+        assert_eq!(n.gate_level(n.driver(x).unwrap()), 0);
+        assert_eq!(n.gate_level(n.driver(z).unwrap()), 2);
+    }
+
+    #[test]
+    fn comb_users_cover_fanout_and_dedupe_multi_pin_reads() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let x = b.and2(a, a); // reads `a` twice: one user entry
+        let q = b.dff(x); // DFF is not a combinational user of x
+        let y = b.or2(x, q);
+        b.mark_output(y, "y");
+        let n = b.finish().unwrap();
+        assert_eq!(n.comb_users(a).len(), 1);
+        let x_users = n.comb_users(x);
+        assert_eq!(x_users.len(), 1, "dff excluded from comb users");
+        assert_eq!(n.gate(x_users[0]).output, y);
+        // The DFF output fans out into the OR gate.
+        assert_eq!(n.comb_users(q).len(), 1);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::netlist::Netlist;
 pub const LANES: usize = 64;
 
 #[derive(Debug, Clone, Copy, Default)]
-struct InjectMask {
+pub(crate) struct InjectMask {
     /// Lanes forced to 0 (`value &= !and0`).
     and0: u64,
     /// Lanes forced to 1 (`value |= or1`).
@@ -24,11 +24,11 @@ struct InjectMask {
 
 impl InjectMask {
     #[inline]
-    fn apply(self, v: u64) -> u64 {
+    pub(crate) fn apply(self, v: u64) -> u64 {
         (v & !self.and0) | self.or1
     }
 
-    fn add(&mut self, mask: u64, stuck: bool) {
+    pub(crate) fn add(&mut self, mask: u64, stuck: bool) {
         if stuck {
             self.or1 |= mask;
         } else {

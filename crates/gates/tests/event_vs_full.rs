@@ -1,0 +1,209 @@
+//! Differential tests: the event-driven selective-trace engine must be a
+//! bit-identical drop-in for full evaluation — on sequential circuits, for
+//! every thread count, and for every batching — while doing strictly less
+//! gate-evaluation work on locality-friendly stimuli.
+
+use sbst_gates::{
+    fault_batches_by_cone, EventSimulator, Fault, FaultSimConfig, FaultSimulator, Netlist,
+    NetlistBuilder, SimEngine, Simulator, Stimulus, FAULTS_PER_BATCH,
+};
+
+/// A small sequential circuit: a 4-stage shift register with an XOR tap
+/// and an AND-gated output cone — registers, reconvergence and
+/// combinational depth in one netlist.
+fn shift4() -> Netlist {
+    let mut b = NetlistBuilder::new("shift4");
+    let en = b.input("en");
+    let d = b.input("d");
+    let q0 = b.dff(d);
+    let q1 = b.dff(q0);
+    let q2 = b.dff(q1);
+    let q3 = b.dff(q2);
+    let fb = b.xor2(q2, q3);
+    // Output cone: observable bits gated by en.
+    let o0 = b.and2(q0, en);
+    let o1 = b.and2(q1, en);
+    let o2 = b.xor2(q2, fb);
+    b.mark_output(o0, "o0");
+    b.mark_output(o1, "o1");
+    b.mark_output(o2, "o2");
+    b.finish().unwrap()
+}
+
+/// A purely combinational reduction tree wide enough for several fault
+/// batches.
+fn wide_tree(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("wide");
+    let bus = b.input_bus("a", width);
+    let mut acc = bus.net(0);
+    for (i, &net) in bus.nets().iter().enumerate().skip(1) {
+        acc = match i % 3 {
+            0 => b.xor2(acc, net),
+            1 => b.and2(acc, net),
+            _ => b.or2(acc, net),
+        };
+    }
+    b.mark_output(acc, "o");
+    b.finish().unwrap()
+}
+
+fn random_stimulus(n_inputs: usize, cycles: usize, mut seed: u64) -> Stimulus {
+    let mut s = Stimulus::new();
+    seed |= 1;
+    for cycle in 0..cycles {
+        let bits: Vec<bool> = (0..n_inputs)
+            .map(|_| {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                seed >> 63 == 1
+            })
+            .collect();
+        s.push_cycle(&bits, cycle % 4 != 3); // mix observed and hidden
+    }
+    s
+}
+
+fn simulate(netlist: &Netlist, engine: SimEngine, threads: usize) -> sbst_gates::FaultSimResult {
+    let faults = netlist.collapsed_faults();
+    let stim = random_stimulus(netlist.inputs().len(), 48, 0xDEAD_BEEF);
+    FaultSimulator::with_config(
+        netlist,
+        FaultSimConfig {
+            engine,
+            threads: Some(threads),
+            ..FaultSimConfig::default()
+        },
+    )
+    .simulate(&faults, &stim)
+}
+
+#[test]
+fn sequential_circuit_engines_agree_bitwise() {
+    let n = shift4();
+    let full = simulate(&n, SimEngine::FullEval, 1);
+    let event = simulate(&n, SimEngine::EventDriven, 1);
+    assert_eq!(full.detected, event.detected);
+    assert_eq!(full.detecting_cycle, event.detecting_cycle);
+    assert_eq!(full.fault_free_responses, event.fault_free_responses);
+}
+
+#[test]
+fn engine_thread_matrix_is_bit_identical() {
+    let n = wide_tree(56);
+    let reference = simulate(&n, SimEngine::FullEval, 1);
+    assert!(reference.detected.iter().any(|&d| d), "stimulus detects");
+    for engine in [SimEngine::FullEval, SimEngine::EventDriven] {
+        for threads in [1usize, 2, 4, 8] {
+            let res = simulate(&n, engine, threads);
+            assert_eq!(
+                res.detected,
+                reference.detected,
+                "{} × {threads} threads",
+                engine.name()
+            );
+            assert_eq!(
+                res.detecting_cycle,
+                reference.detecting_cycle,
+                "{} × {threads} threads",
+                engine.name()
+            );
+            assert_eq!(
+                res.fault_free_responses,
+                reference.fault_free_responses,
+                "{} × {threads} threads",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn cone_batches_are_a_partition_ordered_by_level() {
+    let n = wide_tree(70);
+    let faults = n.collapsed_faults();
+    assert!(faults.len() > 2 * FAULTS_PER_BATCH);
+    let batches = fault_batches_by_cone(&n, &faults);
+    // Partition: every index exactly once, batches within size.
+    let mut seen = vec![false; faults.len()];
+    for batch in &batches {
+        assert!(batch.len() <= FAULTS_PER_BATCH);
+        assert!(!batch.is_empty());
+        for &i in batch {
+            assert!(!seen[i as usize], "fault {i} appears twice");
+            seen[i as usize] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s));
+    // Expected batch count for a non-empty fault list.
+    assert_eq!(batches.len(), faults.len().div_ceil(FAULTS_PER_BATCH));
+}
+
+#[test]
+fn event_engine_does_less_work_on_local_stimuli() {
+    // Walking-one patterns perturb a single root-to-output path per cycle;
+    // selective trace should skip the untouched majority of the tree.
+    let mut b = NetlistBuilder::new("wide_or");
+    let bus = b.input_bus("a", 64);
+    let o = b.reduce_or(&bus);
+    b.mark_output(o, "o");
+    let n = b.finish().unwrap();
+    let faults = n.collapsed_faults();
+    let mut stim = Stimulus::new();
+    stim.push_pattern(&[false; 64]);
+    for i in 0..64 {
+        let mut v = vec![false; 64];
+        v[i] = true;
+        stim.push_pattern(&v);
+    }
+    let cfg = |engine| FaultSimConfig {
+        engine,
+        threads: Some(1),
+        drop_on_detect: false,
+        ..FaultSimConfig::default()
+    };
+    let full = FaultSimulator::with_config(&n, cfg(SimEngine::FullEval)).simulate(&faults, &stim);
+    let event =
+        FaultSimulator::with_config(&n, cfg(SimEngine::EventDriven)).simulate(&faults, &stim);
+    assert_eq!(full.detected, event.detected);
+    assert_eq!(full.stats.events_simulated, full.stats.events_full_eval);
+    assert!(
+        event.stats.events_simulated * 2 < event.stats.events_full_eval,
+        "expected >2× event saving on walking-one stimulus: {} vs {}",
+        event.stats.events_simulated,
+        event.stats.events_full_eval
+    );
+}
+
+#[test]
+fn event_simulator_matches_plain_simulator_with_injection() {
+    // Direct EventSimulator vs Simulator differential including a stem
+    // fault injection mid-run.
+    let n = shift4();
+    let faults = n.collapsed_faults();
+    let fault: &Fault = &faults[faults.len() / 2];
+    let lane_mask = 0xAAAA_0000_FFFF_0000u64;
+
+    let mut plain = Simulator::new(&n);
+    let mut event = EventSimulator::new(&n);
+    plain.inject_fault(fault, lane_mask);
+    event.inject_fault(fault, lane_mask);
+
+    let mut seed = 0x0123_4567_89AB_CDEFu64 | 1;
+    for _ in 0..32 {
+        for &inp in n.inputs() {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            plain.set_input_lanes(inp, seed);
+            event.set_input_lanes(inp, seed);
+        }
+        plain.eval();
+        event.eval();
+        for &out in n.outputs() {
+            assert_eq!(plain.value(out), event.value(out), "net {out:?}");
+        }
+        plain.step();
+        event.step();
+    }
+}

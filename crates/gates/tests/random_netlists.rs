@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use sbst_gates::{
     collapse_faults, enumerate_faults, FaultSimConfig, FaultSimulator, GateKind, NetId, Netlist,
-    NetlistBuilder, Simulator, Stimulus,
+    NetlistBuilder, SimEngine, Simulator, Stimulus,
 };
 
 /// A recipe for a random combinational DAG.
@@ -151,6 +151,85 @@ proptest! {
                 let expect = sim.value(o) & 1;
                 let got = (result.fault_free_responses[cycle][k / 64] >> (k % 64)) & 1;
                 prop_assert_eq!(got, expect, "cycle {} output {}", cycle, k);
+            }
+        }
+    }
+
+    /// The event-driven engine is bit-identical to full evaluation on the
+    /// random-netlist corpus: same detections, same detecting cycles, same
+    /// fault-free responses.
+    #[test]
+    fn engines_are_bit_identical_on_random_netlists(
+        recipe in recipe_strategy(),
+        pattern_seed: u64,
+    ) {
+        let netlist = build(&recipe);
+        let n_in = netlist.inputs().len();
+        let mut stim = Stimulus::new();
+        let mut s = pattern_seed | 1;
+        for cycle in 0..6 {
+            let bits: Vec<bool> = (0..n_in)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s >> 63 == 1
+                })
+                .collect();
+            // Mix observed and hidden cycles to exercise both paths.
+            stim.push_cycle(&bits, cycle % 3 != 2);
+        }
+        let faults = netlist.collapsed_faults();
+        let full = FaultSimulator::with_config(
+            &netlist,
+            FaultSimConfig { engine: SimEngine::FullEval, threads: Some(1), ..FaultSimConfig::default() },
+        )
+        .simulate(&faults, &stim);
+        let event = FaultSimulator::with_config(
+            &netlist,
+            FaultSimConfig { engine: SimEngine::EventDriven, threads: Some(1), ..FaultSimConfig::default() },
+        )
+        .simulate(&faults, &stim);
+        prop_assert_eq!(&full.detected, &event.detected);
+        prop_assert_eq!(&full.detecting_cycle, &event.detecting_cycle);
+        prop_assert_eq!(&full.fault_free_responses, &event.fault_free_responses);
+    }
+
+    /// The event count is a *true* event count: it never exceeds the
+    /// full-eval baseline of `cycles × combinational gates`, for either
+    /// engine, and the full-eval engine meets the baseline exactly.
+    #[test]
+    fn event_counts_never_exceed_cycles_times_gates(
+        recipe in recipe_strategy(),
+        pattern_seed: u64,
+    ) {
+        let netlist = build(&recipe);
+        let n_in = netlist.inputs().len();
+        let mut stim = Stimulus::new();
+        let mut s = pattern_seed | 1;
+        for _ in 0..5 {
+            let bits: Vec<bool> = (0..n_in)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s >> 63 == 1
+                })
+                .collect();
+            stim.push_pattern(&bits);
+        }
+        let faults = netlist.collapsed_faults();
+        for engine in [SimEngine::FullEval, SimEngine::EventDriven] {
+            let res = FaultSimulator::with_config(
+                &netlist,
+                FaultSimConfig { engine, ..FaultSimConfig::default() },
+            )
+            .simulate(&faults, &stim);
+            let baseline = res.stats.cycles_simulated * netlist.comb_order().len() as u64;
+            prop_assert_eq!(res.stats.events_full_eval, baseline);
+            prop_assert!(
+                res.stats.events_simulated <= baseline,
+                "{} events {} exceed baseline {}",
+                engine.name(), res.stats.events_simulated, baseline
+            );
+            if engine == SimEngine::FullEval {
+                prop_assert_eq!(res.stats.events_simulated, baseline);
             }
         }
     }
