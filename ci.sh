@@ -42,4 +42,12 @@ for report in BENCH_table1.json BENCH_table1_full.json; do
     --require tool --require schema_version --require table1 --require execution_time
 done
 
+echo "== online_manager fault-injection smoke (exit code gates the campaign) =="
+rm -f BENCH_online_manager.json
+cargo run --release -p sbst-bench --bin online_manager -- --smoke --json BENCH_online_manager.json
+
+echo "== validate online_manager report =="
+cargo run --release -p sbst-bench --bin jsonlint -- BENCH_online_manager.json \
+  --require tool --require schema_version --require scenarios --require replan
+
 echo "== ci.sh: all green =="

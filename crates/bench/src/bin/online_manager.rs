@@ -1,0 +1,370 @@
+//! Fault-injection campaign against the on-line test manager.
+//!
+//! ```text
+//! cargo run --release -p sbst-bench --bin online_manager [-- --smoke] [--json out.json]
+//! ```
+//!
+//! Characterizes the routine-capable 32-bit CUTs into a managed schedule
+//! (golden signatures sealed in a checksummed store, watchdog budgets from
+//! the measured cycle counts), then drives the manager through every
+//! failure mode the subsystem defends against:
+//!
+//! - **healthy** — repeated clean sessions, no spurious verdicts;
+//! - **permanent** — a gate-level stuck-at mounted on the ALU every
+//!   attempt: retries exhaust, the ALU is classified permanent and
+//!   quarantined, and the schedule is regenerated over the survivors;
+//! - **transient** — the same fault mounted on the first attempt only:
+//!   the backed-off retry passes and the streak classifies transient;
+//! - **hung** — a routine that never terminates: the cycle-budget
+//!   watchdog aborts it and the streak escalates to quarantine;
+//! - **store-halt / store-recapture** — a bit-flip in the golden store
+//!   caught by the checksum, under both recovery policies;
+//! - **preemption** — a tiny quantum checkpoints the session mid-pass and
+//!   the next call resumes without re-testing finished components.
+//!
+//! Every scenario must terminate in the expected status — the binary exits
+//! nonzero otherwise, which is what ci.sh gates on. `--json <path>` writes
+//! the machine-readable report (per-scenario manager state, counters and
+//! the ordered event log).
+
+use std::time::Instant;
+
+use sbst_bench::{json_output_path, write_report_if_requested};
+use sbst_components::ComponentKind;
+use sbst_core::plan::{build_managed_schedule, plan_excluding};
+use sbst_core::report::manager_to_json;
+use sbst_core::{Cut, JsonValue, RunReport};
+use sbst_cpu::cpu::{Cpu, CpuConfig};
+use sbst_cpu::manager::{
+    FaultFreeBench, ManagedComponent, ManagerConfig, OnlineTestManager, SessionStatus, SigLocation,
+    StorePolicy,
+};
+use sbst_cpu::ArchFault;
+use sbst_gates::Fault;
+use sbst_isa::parse_asm;
+
+/// One campaign scenario's outcome.
+struct ScenarioResult {
+    name: &'static str,
+    pass: bool,
+    detail: String,
+    manager: JsonValue,
+}
+
+fn fresh_cpu() -> Cpu {
+    Cpu::new(CpuConfig {
+        undecoded_as_nop: true,
+        ..CpuConfig::default()
+    })
+}
+
+/// A bench mounting a stuck-at-0 on the ALU result bus whenever
+/// `active(attempt)` says so.
+fn alu_fault_bench(cut: &Cut, active: impl Fn(u32) -> bool) -> impl FnMut(&str, u32, u64) -> Cpu {
+    let component = cut.component.clone();
+    let fault = Fault::stem_sa0(cut.component.ports.output("result").net(7));
+    move |name: &str, attempt: u32, _now: u64| {
+        let mut cpu = fresh_cpu();
+        if name == "ALU" && active(attempt) {
+            cpu.mount_fault(ArchFault::new(component.clone(), fault));
+        }
+        cpu
+    }
+}
+
+fn snapshot(
+    name: &'static str,
+    pass: bool,
+    detail: String,
+    mgr: &OnlineTestManager,
+) -> ScenarioResult {
+    ScenarioResult {
+        name,
+        pass,
+        detail,
+        manager: manager_to_json(mgr),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = json_output_path(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let start = Instant::now();
+
+    // The managed inventory: 32-bit so gate-level faults can be mounted in
+    // the datapath. Characterization is execution-only (no fault sim), so
+    // even the full inventory is fast; smoke just trims it further.
+    let cuts = if smoke {
+        vec![Cut::alu(32), Cut::shifter(32)]
+    } else {
+        vec![Cut::alu(32), Cut::shifter(32), Cut::multiplier(32)]
+    };
+    let healthy_sessions: u32 = if smoke { 2 } else { 5 };
+    eprintln!(
+        "characterizing {} routine-capable CUT(s) into a managed schedule...",
+        cuts.len()
+    );
+    let schedule = build_managed_schedule(&cuts).expect("characterization succeeds");
+    for comp in &schedule.components {
+        eprintln!(
+            "  {:<12} {:>6} expected cycles, golden {:#010x}",
+            comp.name,
+            comp.expected_cycles,
+            schedule.store.get(&comp.name).unwrap()
+        );
+    }
+    let alu_cut = &cuts[0];
+    let mut results: Vec<ScenarioResult> = Vec::new();
+
+    // -- healthy --------------------------------------------------------
+    {
+        let sched = build_managed_schedule(&cuts).unwrap();
+        let mut mgr =
+            OnlineTestManager::new(ManagerConfig::default(), sched.components, sched.store);
+        let mut ok = true;
+        for _ in 0..healthy_sessions {
+            ok &=
+                mgr.run_session(&mut FaultFreeBench) == SessionStatus::Completed { healthy: true };
+        }
+        let pass = ok
+            && mgr.counters().passes == u64::from(healthy_sessions) * cuts.len() as u64
+            && mgr.quarantined().is_empty();
+        results.push(snapshot(
+            "healthy",
+            pass,
+            format!(
+                "{} sessions, {} passes, 0 quarantines",
+                healthy_sessions,
+                mgr.counters().passes
+            ),
+            &mgr,
+        ));
+    }
+
+    // -- permanent fault → quarantine → reduced schedule ----------------
+    {
+        let sched = build_managed_schedule(&cuts).unwrap();
+        let mut mgr =
+            OnlineTestManager::new(ManagerConfig::default(), sched.components, sched.store);
+        let mut bench = alu_fault_bench(alu_cut, |_| true);
+        let status = mgr.run_session(&mut bench);
+        let quarantined = mgr.quarantined().to_vec();
+        let alu_attempts = mgr.status("ALU").map(|s| s.attempts).unwrap_or(0);
+        let mut pass = status == SessionStatus::Completed { healthy: false }
+            && quarantined == ["ALU"]
+            && mgr.counters().quarantines == 1;
+        // Regenerate the schedule over the survivors and keep testing.
+        let remaining: Vec<Cut> = cuts.iter().filter(|c| c.name() != "ALU").cloned().collect();
+        let reduced = build_managed_schedule(&remaining).unwrap();
+        let survivors = reduced.components.len();
+        mgr.adopt_schedule(reduced.components, reduced.store);
+        pass &= mgr.run_session(&mut bench) == SessionStatus::Completed { healthy: true };
+        results.push(snapshot(
+            "permanent",
+            pass,
+            format!(
+                "ALU quarantined after {alu_attempts} attempts; \
+                 {survivors} survivor(s) still tested clean"
+            ),
+            &mgr,
+        ));
+    }
+
+    // -- transient fault → retry recovers → classified transient --------
+    {
+        let sched = build_managed_schedule(&cuts).unwrap();
+        let mut mgr =
+            OnlineTestManager::new(ManagerConfig::default(), sched.components, sched.store);
+        let mut bench = alu_fault_bench(alu_cut, |attempt| attempt == 0);
+        let status = mgr.run_session(&mut bench);
+        let s = mgr.status("ALU").unwrap();
+        let pass = status == SessionStatus::Completed { healthy: false }
+            && s.class == Some(sbst_cpu::manager::FaultClass::Transient)
+            && s.health == sbst_cpu::manager::Health::Suspect
+            && mgr.quarantined().is_empty();
+        results.push(snapshot(
+            "transient",
+            pass,
+            format!(
+                "mismatch on attempt 0, retry passed: class={:?} health={:?}",
+                s.class, s.health
+            ),
+            &mgr,
+        ));
+    }
+
+    // -- hung routine → watchdog abort → quarantine ---------------------
+    {
+        let spin = parse_asm("spin: j spin\nnop")
+            .unwrap()
+            .assemble(0, 0x1_0000)
+            .unwrap();
+        let comps = vec![ManagedComponent {
+            name: "spinner".to_owned(),
+            program: spin,
+            signature: SigLocation::Address(0x1_0000),
+            expected_cycles: 50,
+        }];
+        let store = sbst_cpu::manager::SignatureStore::new(vec![("spinner".to_owned(), 0)]);
+        let mut mgr = OnlineTestManager::new(ManagerConfig::default(), comps, store);
+        let status = mgr.run_session(&mut FaultFreeBench);
+        let pass = status == SessionStatus::Completed { healthy: false }
+            && mgr.quarantined() == ["spinner"]
+            && mgr.counters().watchdog_fires >= 1;
+        results.push(snapshot(
+            "hung",
+            pass,
+            format!(
+                "watchdog fired {} time(s), spinner quarantined",
+                mgr.counters().watchdog_fires
+            ),
+            &mgr,
+        ));
+    }
+
+    // -- corrupted store: halt policy -----------------------------------
+    {
+        let sched = build_managed_schedule(&cuts).unwrap();
+        let mut mgr =
+            OnlineTestManager::new(ManagerConfig::default(), sched.components, sched.store);
+        mgr.store_mut().corrupt("ALU", 0x0001_0000);
+        let pass = mgr.run_session(&mut FaultFreeBench) == SessionStatus::Halted
+            && mgr.is_halted()
+            && mgr.counters().attempts == 0;
+        results.push(snapshot(
+            "store-halt",
+            pass,
+            "checksum caught the bit-flip; testing halted before any attempt".to_owned(),
+            &mgr,
+        ));
+    }
+
+    // -- corrupted store: recapture policy ------------------------------
+    {
+        let sched = build_managed_schedule(&cuts).unwrap();
+        let golden_alu = sched.store.get("ALU").unwrap();
+        let config = ManagerConfig {
+            store_policy: StorePolicy::Recapture,
+            ..ManagerConfig::default()
+        };
+        let mut mgr = OnlineTestManager::new(config, sched.components, sched.store);
+        mgr.store_mut().corrupt("ALU", 0x0001_0000);
+        let status = mgr.run_session(&mut FaultFreeBench);
+        let pass = status == SessionStatus::Completed { healthy: true }
+            && mgr.store().verify()
+            && mgr.store().get("ALU") == Some(golden_alu)
+            && mgr.counters().store_recaptures == 1;
+        results.push(snapshot(
+            "store-recapture",
+            pass,
+            format!("store re-captured and re-sealed; ALU golden restored to {golden_alu:#010x}"),
+            &mgr,
+        ));
+    }
+
+    // -- quantum preemption → checkpoint → resume -----------------------
+    {
+        let sched = build_managed_schedule(&cuts).unwrap();
+        let config = ManagerConfig {
+            quantum_cycles: Some(1),
+            ..ManagerConfig::default()
+        };
+        let n = sched.components.len();
+        let mut mgr = OnlineTestManager::new(config, sched.components, sched.store);
+        let mut preemptions = 0u32;
+        let mut status = mgr.run_session(&mut FaultFreeBench);
+        while status == SessionStatus::Preempted {
+            preemptions += 1;
+            status = mgr.run_session(&mut FaultFreeBench);
+        }
+        let pass = status == SessionStatus::Completed { healthy: true }
+            && preemptions as usize == n - 1
+            && mgr.counters().attempts == n as u64
+            && mgr.sessions_started() == 1;
+        results.push(snapshot(
+            "preemption",
+            pass,
+            format!("{preemptions} preemption(s), every component tested exactly once"),
+            &mgr,
+        ));
+    }
+
+    // -- coverage re-evaluation over the survivors ----------------------
+    // plan_excluding grades routines gate-level, so run it on the 8-bit
+    // inventory (same flow, seconds instead of minutes).
+    eprintln!("re-planning coverage over the post-quarantine inventory (8-bit)...");
+    let plan_cuts = vec![Cut::alu(8), Cut::shifter(8), Cut::pc_unit(8, 4)];
+    let full_plan = plan_excluding(&plan_cuts, &[], 50.0).expect("full plan");
+    let reduced_plan =
+        plan_excluding(&plan_cuts, &[ComponentKind::Alu], 50.0).expect("reduced plan");
+    eprintln!(
+        "  full plan: {} rows, {:.1}% coverage; without ALU: {} rows, {:.1}% coverage",
+        full_plan.table.rows.len(),
+        full_plan.table.overall_coverage.percent(),
+        reduced_plan.table.rows.len(),
+        reduced_plan.table.overall_coverage.percent()
+    );
+    let replan_ok = reduced_plan.table.rows.len() == full_plan.table.rows.len() - 1
+        && reduced_plan.table.rows.iter().all(|r| r.name != "ALU");
+
+    // -- report ---------------------------------------------------------
+    println!("{:<16} {:<6} detail", "scenario", "pass");
+    for r in &results {
+        println!("{:<16} {:<6} {}", r.name, r.pass, r.detail);
+    }
+    println!(
+        "{:<16} {:<6} reduced plan drops ALU row, keeps {} survivors at {:.1}% coverage",
+        "replan",
+        replan_ok,
+        reduced_plan.table.rows.len(),
+        reduced_plan.table.overall_coverage.percent()
+    );
+    let all_pass = replan_ok && results.iter().all(|r| r.pass);
+    let wall = start.elapsed();
+    eprintln!("total wall time: {wall:?}");
+
+    let report = RunReport::new("online_manager")
+        .field("smoke", JsonValue::from(smoke))
+        .field("all_pass", JsonValue::from(all_pass))
+        .field(
+            "scenarios",
+            JsonValue::array(results.into_iter().map(|r| {
+                JsonValue::object([
+                    ("name", JsonValue::from(r.name)),
+                    ("pass", JsonValue::from(r.pass)),
+                    ("detail", JsonValue::from(r.detail)),
+                    ("manager", r.manager),
+                ])
+            })),
+        )
+        .field(
+            "replan",
+            JsonValue::object([
+                ("pass", JsonValue::from(replan_ok)),
+                ("rows_full", JsonValue::from(full_plan.table.rows.len())),
+                (
+                    "rows_reduced",
+                    JsonValue::from(reduced_plan.table.rows.len()),
+                ),
+                (
+                    "coverage_full_percent",
+                    JsonValue::Float(full_plan.table.overall_coverage.percent()),
+                ),
+                (
+                    "coverage_reduced_percent",
+                    JsonValue::Float(reduced_plan.table.overall_coverage.percent()),
+                ),
+            ]),
+        )
+        .field("wall_seconds", JsonValue::Float(wall.as_secs_f64()));
+    write_report_if_requested(&report, json_path.as_deref());
+
+    if !all_pass {
+        eprintln!("error: at least one campaign scenario failed its expectation");
+        std::process::exit(1);
+    }
+}

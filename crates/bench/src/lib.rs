@@ -11,22 +11,64 @@ use std::path::PathBuf;
 use sbst_core::RunReport;
 use sbst_gates::{FaultSimConfig, SimEngine};
 
+/// Parses an `SBST_THREADS` value: a positive integer worker count.
+///
+/// # Errors
+///
+/// Returns a one-line message naming the rejected value.
+pub fn parse_threads(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "SBST_THREADS must be a positive integer, got `{value}`; using available parallelism"
+        )),
+    }
+}
+
+/// Parses an `SBST_ENGINE` value: `full`/`full-eval` or
+/// `event`/`event-driven`.
+///
+/// # Errors
+///
+/// Returns a one-line message naming the rejected value.
+pub fn parse_engine(value: &str) -> Result<SimEngine, String> {
+    SimEngine::from_name(value).ok_or_else(|| {
+        format!(
+            "SBST_ENGINE must be `full`/`full-eval` or `event`/`event-driven`, \
+             got `{value}`; using the default engine"
+        )
+    })
+}
+
 /// Fault-simulator configuration shared by the bench binaries.
 ///
 /// Reads `SBST_THREADS` (a positive integer) to pin the worker-thread
 /// count — pinning is how runs on shared machines stay reproducible in
 /// wall time — and `SBST_ENGINE` (`full`/`full-eval` or
-/// `event`/`event-driven`) to pin the simulation engine. Unset or invalid
-/// values fall back to the machine's available parallelism and the default
-/// engine. Coverage numbers are identical for every combination.
+/// `event`/`event-driven`) to pin the simulation engine. Unset values fall
+/// back to the machine's available parallelism and the default engine;
+/// invalid values do the same but print a one-line warning to stderr
+/// naming the rejected value, so a typo never silently changes the run.
+/// Coverage numbers are identical for every combination.
 pub fn sim_config_from_env() -> FaultSimConfig {
     let threads = std::env::var("SBST_THREADS")
         .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0);
+        .and_then(|v| match parse_threads(&v) {
+            Ok(n) => Some(n),
+            Err(msg) => {
+                eprintln!("warning: {msg}");
+                None
+            }
+        });
     let engine = std::env::var("SBST_ENGINE")
         .ok()
-        .and_then(|v| SimEngine::from_name(&v))
+        .and_then(|v| match parse_engine(&v) {
+            Ok(e) => Some(e),
+            Err(msg) => {
+                eprintln!("warning: {msg}");
+                None
+            }
+        })
         .unwrap_or_default();
     FaultSimConfig {
         threads,
@@ -95,6 +137,28 @@ mod tests {
         );
         assert!(json_output_path(["--json"] as [&str; 1]).is_err());
         assert!(json_output_path(["--json="] as [&str; 1]).is_err());
+    }
+
+    #[test]
+    fn thread_parsing_names_bad_values() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        for bad in ["0", "-2", "many", "3.5", ""] {
+            let err = parse_threads(bad).unwrap_err();
+            assert!(err.contains(&format!("`{bad}`")), "message: {err}");
+            assert!(err.contains("SBST_THREADS"), "message: {err}");
+        }
+    }
+
+    #[test]
+    fn engine_parsing_names_bad_values() {
+        assert_eq!(parse_engine("full"), Ok(SimEngine::FullEval));
+        assert_eq!(parse_engine("event-driven"), Ok(SimEngine::EventDriven));
+        for bad in ["turbo", "evnt", ""] {
+            let err = parse_engine(bad).unwrap_err();
+            assert!(err.contains(&format!("`{bad}`")), "message: {err}");
+            assert!(err.contains("SBST_ENGINE"), "message: {err}");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! are compared against them.
 
 use sbst_components::ComponentKind;
+use sbst_cpu::manager::SignatureStore;
 
 use crate::program::{ProgramRun, SelfTestProgram};
 
@@ -55,6 +56,11 @@ impl Diagnosis {
             .filter(|e| e.mismatch())
             .map(|e| e.kind)
             .collect()
+    }
+
+    /// Number of mismatching signatures.
+    pub fn mismatch_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.mismatch()).count()
     }
 }
 
@@ -114,6 +120,18 @@ impl GoldenSignatures {
             })
             .collect();
         Diagnosis { entries }
+    }
+
+    /// Bridges the golden set into the on-line test manager's checksummed
+    /// [`SignatureStore`], keyed by signature label. The store adds the
+    /// integrity seal the manager's re-capture-or-halt policy depends on.
+    pub fn to_signature_store(&self) -> SignatureStore {
+        SignatureStore::new(
+            self.entries
+                .iter()
+                .map(|(_, label, sig)| (label.clone(), *sig))
+                .collect(),
+        )
     }
 
     /// Compares raw signature words read from data memory (the in-field
@@ -184,5 +202,83 @@ mod tests {
                 .unwrap()
         });
         assert!(d.healthy());
+    }
+
+    fn three_cut_program() -> SelfTestProgram {
+        let mut b = SelfTestProgramBuilder::new();
+        b.add(Cut::alu(8));
+        b.add(Cut::shifter(8));
+        b.add(Cut::multiplier(8));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn multiple_simultaneous_mismatches_all_identified() {
+        // Two components fail at once (e.g. a common-mode supply
+        // disturbance): each mismatching signature identifies its own CUT,
+        // in signature-unload order, with the healthy one excluded.
+        let p = three_cut_program();
+        let golden = GoldenSignatures::capture(&p).unwrap();
+        let mut run = p.run().unwrap();
+        run.signatures[0].1 ^= 0x0000_0001; // ALU
+        run.signatures[2].1 ^= 0x8000_0000; // multiplier
+        let d = golden.diagnose(&run);
+        assert!(!d.healthy());
+        assert_eq!(d.mismatch_count(), 2);
+        assert_eq!(
+            d.faulty_components(),
+            vec![
+                sbst_components::ComponentKind::Alu,
+                sbst_components::ComponentKind::Multiplier
+            ]
+        );
+    }
+
+    #[test]
+    fn memory_path_identifies_multiple_faulty_components() {
+        // The in-field path (reading raw words from data memory) must
+        // identify every simultaneously-faulty CUT too — including the
+        // degenerate all-faulty case.
+        let p = three_cut_program();
+        let golden = GoldenSignatures::capture(&p).unwrap();
+        let run = p.run().unwrap();
+        let d = golden.diagnose_memory(|label| {
+            let sig = run
+                .signatures
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, s)| *s)
+                .unwrap();
+            // Every signature reads back corrupted, each differently.
+            sig ^ (0x10 + label.len() as u32)
+        });
+        assert!(!d.healthy());
+        assert_eq!(d.mismatch_count(), 3);
+        assert_eq!(
+            d.faulty_components(),
+            vec![
+                sbst_components::ComponentKind::Alu,
+                sbst_components::ComponentKind::Shifter,
+                sbst_components::ComponentKind::Multiplier
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_set_bridges_to_checksummed_store() {
+        let p = program();
+        let golden = GoldenSignatures::capture(&p).unwrap();
+        let mut store = golden.to_signature_store();
+        assert_eq!(store.len(), 2);
+        assert!(store.verify());
+        // The store holds the same values the diagnosis compares against.
+        let run = p.run().unwrap();
+        for (label, sig) in &run.signatures {
+            assert_eq!(store.get(label), Some(*sig), "label {label}");
+        }
+        // A bit-flip in the stored references is caught by the seal.
+        let first = run.signatures[0].0.clone();
+        store.corrupt(&first, 0x0200);
+        assert!(!store.verify());
     }
 }

@@ -64,6 +64,14 @@ impl JsonValue {
         }
     }
 
+    /// The value as a `bool`; `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an `f64` (integers widen); `None` for non-numbers.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

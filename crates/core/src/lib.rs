@@ -54,7 +54,9 @@ pub use grade::{
 };
 pub use json::JsonValue;
 pub use metrics::{Metrics, RunReport};
-pub use plan::{plan_with_target, TestPlan};
+pub use plan::{
+    build_managed_schedule, plan_excluding, plan_with_target, ManagedSchedule, TestPlan,
+};
 pub use program::{SelfTestProgram, SelfTestProgramBuilder};
 pub use report::{Table1, Table1Row};
 pub use routine::{BuildRoutineError, RoutineSpec, SelfTestRoutine};

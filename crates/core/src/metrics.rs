@@ -36,7 +36,12 @@ use std::time::{Duration, Instant};
 /// History: 2 — `events_simulated` became a true gate-evaluation event
 /// count (previously `cycles × gates`), and `fault_sim` objects gained
 /// `engine`, `events_simulated`, `events_full_eval` and `event_ratio`.
-pub const SCHEMA_VERSION: u32 = 2;
+/// 3 — on-line test-manager reports: `manager` objects carry `counters`,
+/// `components` (health/classification/verdict snapshots), the ordered
+/// `events` log (attempts, watchdog fires, backoffs, classifications,
+/// quarantines, store corruption/recapture, preemption/resume) and
+/// `clock_cycles`, serialized by `sbst_core::report::manager_to_json`.
+pub const SCHEMA_VERSION: u32 = 3;
 
 #[derive(Debug, Default)]
 struct Inner {

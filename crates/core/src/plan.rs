@@ -9,11 +9,12 @@
 //! (the PC-unit branch ladder) and folds its coverage in.
 
 use sbst_components::{ComponentClass, ComponentKind};
+use sbst_cpu::manager::{ManagedComponent, SigLocation, SignatureStore};
 use sbst_gates::FaultCoverage;
 
 use crate::codestyle::CodeStyle;
 use crate::cut::Cut;
-use crate::grade::grade_routine;
+use crate::grade::{execute_routine, grade_routine};
 use crate::report::{Table1, Table1Error};
 use crate::routine::RoutineSpec;
 
@@ -87,6 +88,79 @@ pub fn plan_with_target(cuts: &[Cut], target_percent: f64) -> Result<TestPlan, T
     })
 }
 
+/// [`plan_with_target`] over the inventory minus quarantined components —
+/// the reduced-plan step after the on-line test manager classifies a
+/// component permanently faulty: the healthy components keep getting
+/// tested, and the coverage target is re-evaluated over what remains.
+///
+/// # Errors
+///
+/// Returns [`Table1Error`] if routine generation or grading fails.
+pub fn plan_excluding(
+    cuts: &[Cut],
+    quarantined: &[ComponentKind],
+    target_percent: f64,
+) -> Result<TestPlan, Table1Error> {
+    let remaining: Vec<Cut> = cuts
+        .iter()
+        .filter(|c| !quarantined.contains(&c.kind()))
+        .cloned()
+        .collect();
+    plan_with_target(&remaining, target_percent)
+}
+
+/// A periodic-test schedule ready for the on-line test manager: one
+/// standalone routine per routine-capable CUT, fault-free golden
+/// signatures sealed into a checksummed store (keyed by component name),
+/// and watchdog-budget inputs measured from the characterization runs.
+#[derive(Debug)]
+pub struct ManagedSchedule {
+    /// One managed component per routine-capable CUT, in inventory order.
+    pub components: Vec<ManagedComponent>,
+    /// Golden signatures keyed by component name, checksummed.
+    pub store: SignatureStore,
+    /// The CUTs that received a schedule entry (D-VC and PVC classes; the
+    /// side-effect-graded classes have no standalone routine to schedule).
+    pub cuts: Vec<Cut>,
+}
+
+/// Characterizes `cuts` into a [`ManagedSchedule`]: builds the recommended
+/// routine for every routine-capable CUT, runs it fault-free to capture
+/// the golden signature and the expected cycle count, and seals the
+/// signatures into a checksummed store.
+///
+/// # Errors
+///
+/// Returns [`Table1Error`] if a routine fails to build or run.
+pub fn build_managed_schedule(cuts: &[Cut]) -> Result<ManagedSchedule, Table1Error> {
+    let mut components = Vec::new();
+    let mut entries = Vec::new();
+    let mut scheduled = Vec::new();
+    for cut in cuts {
+        if !matches!(
+            cut.class(),
+            ComponentClass::DataVisible | ComponentClass::PartiallyVisible
+        ) {
+            continue;
+        }
+        let routine = RoutineSpec::recommended(cut).build(cut)?;
+        let (stats, _trace, signature) = execute_routine(&routine)?;
+        entries.push((cut.name().to_owned(), signature));
+        components.push(ManagedComponent {
+            name: cut.name().to_owned(),
+            program: routine.program,
+            signature: SigLocation::Label(routine.sig_label),
+            expected_cycles: stats.total_cycles(),
+        });
+        scheduled.push(cut.clone());
+    }
+    Ok(ManagedSchedule {
+        components,
+        store: SignatureStore::new(entries),
+        cuts: scheduled,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +213,41 @@ mod tests {
         assert!(md.contains("| Component |"));
         assert!(md.contains("| ALU |"));
         assert!(md.contains("**Total**"));
+    }
+
+    #[test]
+    fn quarantine_shrinks_the_plan_but_keeps_testing_the_rest() {
+        let full = plan_with_target(&cuts(), 50.0).unwrap();
+        let reduced = plan_excluding(&cuts(), &[ComponentKind::Alu], 50.0).unwrap();
+        assert_eq!(reduced.table.rows.len(), full.table.rows.len() - 1);
+        assert!(reduced.table.rows.iter().all(|r| r.name != "ALU"));
+        // The survivors are still planned and graded.
+        assert!(reduced.table.rows.iter().any(|r| r.name == "Shifter"));
+        assert!(reduced.table.overall_coverage.total > 0);
+    }
+
+    #[test]
+    fn excluding_nothing_is_the_full_plan() {
+        let full = plan_with_target(&cuts(), 50.0).unwrap();
+        let same = plan_excluding(&cuts(), &[], 50.0).unwrap();
+        assert_eq!(same.table.rows.len(), full.table.rows.len());
+        assert_eq!(
+            same.table.overall_coverage.total,
+            full.table.overall_coverage.total
+        );
+    }
+
+    #[test]
+    fn managed_schedule_characterizes_routine_cuts() {
+        // pc_unit is M-VC/A-VC — no standalone routine, so no entry.
+        let schedule = build_managed_schedule(&cuts()).unwrap();
+        assert_eq!(schedule.components.len(), 2);
+        assert_eq!(schedule.store.len(), 2);
+        assert!(schedule.store.verify());
+        for comp in &schedule.components {
+            assert!(comp.expected_cycles > 0, "{}", comp.name);
+            assert!(comp.sig_addr().is_some(), "{}", comp.name);
+            assert!(schedule.store.get(&comp.name).is_some(), "{}", comp.name);
+        }
     }
 }

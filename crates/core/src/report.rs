@@ -370,6 +370,151 @@ impl Table1 {
     }
 }
 
+/// Serializes an on-line test manager's full state — counters,
+/// per-component health/classification snapshots, the ordered event log
+/// and the virtual clock — into the `manager` object of a schema-version-3
+/// [`crate::metrics::RunReport`].
+pub fn manager_to_json(manager: &sbst_cpu::manager::OnlineTestManager) -> JsonValue {
+    use sbst_cpu::manager::{ManagerEvent, Verdict};
+
+    let verdict_json = |v: &Verdict| -> JsonValue {
+        let mut fields = vec![("verdict", JsonValue::from(v.name()))];
+        match v {
+            Verdict::Mismatch { golden, observed } => {
+                fields.push(("golden", JsonValue::from(*golden)));
+                fields.push(("observed", JsonValue::from(*observed)));
+            }
+            Verdict::Hung { budget_cycles } => {
+                fields.push(("budget_cycles", JsonValue::from(*budget_cycles)));
+            }
+            Verdict::Pass | Verdict::Crashed => {}
+        }
+        JsonValue::object(fields)
+    };
+
+    let events = manager.events().iter().map(|event| match event {
+        ManagerEvent::SessionStarted { session } => JsonValue::object([
+            ("type", JsonValue::from("session_started")),
+            ("session", JsonValue::from(*session)),
+        ]),
+        ManagerEvent::StoreCorrupted => {
+            JsonValue::object([("type", JsonValue::from("store_corrupted"))])
+        }
+        ManagerEvent::StoreRecaptured => {
+            JsonValue::object([("type", JsonValue::from("store_recaptured"))])
+        }
+        ManagerEvent::Halted => JsonValue::object([("type", JsonValue::from("halted"))]),
+        ManagerEvent::Attempt {
+            component,
+            attempt,
+            verdict,
+        } => JsonValue::object([
+            ("type", JsonValue::from("attempt")),
+            ("component", JsonValue::from(component.as_str())),
+            ("attempt", JsonValue::from(*attempt)),
+            ("outcome", verdict_json(verdict)),
+        ]),
+        ManagerEvent::WatchdogFired {
+            component,
+            budget_cycles,
+        } => JsonValue::object([
+            ("type", JsonValue::from("watchdog_fired")),
+            ("component", JsonValue::from(component.as_str())),
+            ("budget_cycles", JsonValue::from(*budget_cycles)),
+        ]),
+        ManagerEvent::BackoffScheduled {
+            component,
+            retry,
+            wait_cycles,
+        } => JsonValue::object([
+            ("type", JsonValue::from("backoff_scheduled")),
+            ("component", JsonValue::from(component.as_str())),
+            ("retry", JsonValue::from(*retry)),
+            ("wait_cycles", JsonValue::from(*wait_cycles)),
+        ]),
+        ManagerEvent::Classified {
+            component,
+            class,
+            failures,
+            attempts,
+        } => JsonValue::object([
+            ("type", JsonValue::from("classified")),
+            ("component", JsonValue::from(component.as_str())),
+            ("class", JsonValue::from(class.name())),
+            ("failures", JsonValue::from(*failures)),
+            ("attempts", JsonValue::from(*attempts)),
+        ]),
+        ManagerEvent::Quarantined { component } => JsonValue::object([
+            ("type", JsonValue::from("quarantined")),
+            ("component", JsonValue::from(component.as_str())),
+        ]),
+        ManagerEvent::Preempted { resume_at } => JsonValue::object([
+            ("type", JsonValue::from("preempted")),
+            ("resume_at", JsonValue::from(*resume_at as u64)),
+        ]),
+        ManagerEvent::Resumed { from } => JsonValue::object([
+            ("type", JsonValue::from("resumed")),
+            ("from", JsonValue::from(*from as u64)),
+        ]),
+        ManagerEvent::SessionCompleted { session, healthy } => JsonValue::object([
+            ("type", JsonValue::from("session_completed")),
+            ("session", JsonValue::from(*session)),
+            ("healthy", JsonValue::from(*healthy)),
+        ]),
+    });
+
+    let components = manager.component_statuses().into_iter().map(|s| {
+        JsonValue::object([
+            ("name", JsonValue::from(s.name.as_str())),
+            ("health", JsonValue::from(s.health.name())),
+            ("class", JsonValue::from(s.class.map(|c| c.name()))),
+            (
+                "last_verdict",
+                match &s.last_verdict {
+                    Some(v) => verdict_json(v),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("attempts", JsonValue::from(s.attempts)),
+            ("passes", JsonValue::from(s.passes)),
+        ])
+    });
+
+    let c = manager.counters();
+    JsonValue::object([
+        (
+            "counters",
+            JsonValue::object([
+                ("attempts", JsonValue::from(c.attempts)),
+                ("passes", JsonValue::from(c.passes)),
+                ("mismatches", JsonValue::from(c.mismatches)),
+                ("watchdog_fires", JsonValue::from(c.watchdog_fires)),
+                ("crashes", JsonValue::from(c.crashes)),
+                ("backoffs", JsonValue::from(c.backoffs)),
+                ("quarantines", JsonValue::from(c.quarantines)),
+                ("transients", JsonValue::from(c.transients)),
+                ("store_corruptions", JsonValue::from(c.store_corruptions)),
+                ("store_recaptures", JsonValue::from(c.store_recaptures)),
+                ("preemptions", JsonValue::from(c.preemptions)),
+                ("sessions_completed", JsonValue::from(c.sessions_completed)),
+            ]),
+        ),
+        ("components", JsonValue::array(components)),
+        (
+            "quarantined",
+            JsonValue::array(
+                manager
+                    .quarantined()
+                    .iter()
+                    .map(|n| JsonValue::from(n.as_str())),
+            ),
+        ),
+        ("events", JsonValue::array(events)),
+        ("clock_cycles", JsonValue::from(manager.clock_cycles())),
+        ("halted", JsonValue::from(manager.is_halted())),
+    ])
+}
+
 fn classification_string(cut: &Cut) -> String {
     if cut.component.area_split.len() <= 1 {
         cut.class().code().to_owned()
@@ -552,6 +697,46 @@ mod tests {
         );
         let ratio = sim.get("event_ratio").unwrap().as_f64().unwrap();
         assert!((0.0..=1.0).contains(&ratio), "event ratio {ratio}");
+        // The document round-trips through the parser.
+        let text = v.to_json_pretty();
+        assert_eq!(crate::json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn manager_json_round_trips_with_events() {
+        use sbst_cpu::manager::{FaultFreeBench, ManagerConfig, OnlineTestManager, SessionStatus};
+
+        let schedule = crate::plan::build_managed_schedule(&[Cut::alu(8)]).unwrap();
+        let mut mgr = OnlineTestManager::new(
+            ManagerConfig::default(),
+            schedule.components,
+            schedule.store,
+        );
+        // One healthy session, then a corrupted store halting the next.
+        assert_eq!(
+            mgr.run_session(&mut FaultFreeBench),
+            SessionStatus::Completed { healthy: true }
+        );
+        mgr.store_mut().corrupt("ALU", 0x0000_1000);
+        assert_eq!(mgr.run_session(&mut FaultFreeBench), SessionStatus::Halted);
+
+        let v = manager_to_json(&mgr);
+        let counters = v.get("counters").unwrap();
+        assert_eq!(counters.get("attempts").unwrap().as_u64(), Some(1));
+        assert_eq!(counters.get("store_corruptions").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("halted").unwrap().as_bool(), Some(true));
+        let comps = v.get("components").unwrap().as_array().unwrap();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].get("health").unwrap().as_str(), Some("healthy"));
+        let events = v.get("events").unwrap().as_array().unwrap();
+        let types: Vec<_> = events
+            .iter()
+            .map(|e| e.get("type").unwrap().as_str().unwrap())
+            .collect();
+        assert!(types.contains(&"session_started"));
+        assert!(types.contains(&"attempt"));
+        assert!(types.contains(&"store_corrupted"));
+        assert!(types.contains(&"halted"));
         // The document round-trips through the parser.
         let text = v.to_json_pretty();
         assert_eq!(crate::json::parse(&text).unwrap(), v);

@@ -42,6 +42,16 @@ pub enum FaultActivity {
         /// Offset of the active span within the period.
         phase_cycles: u64,
     },
+    /// Active exactly once, during `from_cycle..until_cycle` — a transient
+    /// disturbance (particle strike, supply glitch) that never recurs. The
+    /// on-line test manager's retry loop classifies such faults transient:
+    /// the mismatch is not reproduced once the window has passed.
+    Window {
+        /// First active cycle.
+        from_cycle: u64,
+        /// First cycle after the active span.
+        until_cycle: u64,
+    },
 }
 
 impl FaultActivity {
@@ -57,6 +67,10 @@ impl FaultActivity {
                 let t = (cycle + period_cycles - phase_cycles % period_cycles) % period_cycles;
                 t < active_cycles
             }
+            FaultActivity::Window {
+                from_cycle,
+                until_cycle,
+            } => (from_cycle..until_cycle).contains(&cycle),
         }
     }
 }
@@ -252,6 +266,19 @@ mod tests {
         let af = ArchFault::new(c, fault);
         let op = MulOp { a: 2, b: 2 };
         assert_ne!(af.eval_mul(&op).unwrap(), ArchFault::good_mul(&op));
+    }
+
+    #[test]
+    fn window_activity_fires_once() {
+        let w = FaultActivity::Window {
+            from_cycle: 100,
+            until_cycle: 150,
+        };
+        assert!(!w.is_active(99));
+        assert!(w.is_active(100));
+        assert!(w.is_active(149));
+        assert!(!w.is_active(150));
+        assert!(!w.is_active(1_000_000));
     }
 
     #[test]

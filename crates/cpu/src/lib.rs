@@ -24,7 +24,12 @@
 //!   effects corrupt architectural state end-to-end;
 //! - [`system`] — the Section 2 execution-time equation, quantum-time
 //!   budget checks and fault-detection-latency models for the three test
-//!   activation policies.
+//!   activation policies;
+//! - [`manager`] — the on-line test manager: a cycle-budget watchdog per
+//!   routine, bounded retry with exponential backoff,
+//!   transient-vs-permanent fault classification, component quarantine, a
+//!   checksummed golden-signature store, and checkpoint/resume across
+//!   quantum preemption.
 //!
 //! # Example
 //!
@@ -52,6 +57,7 @@
 pub mod cache;
 pub mod cpu;
 pub mod faulty;
+pub mod manager;
 pub mod memory;
 pub mod power;
 pub mod system;
@@ -60,6 +66,11 @@ pub mod trace;
 pub use cache::{AnalyticStallModel, Cache, CacheConfig, CacheConfigError};
 pub use cpu::{Cpu, CpuConfig, CpuError, ExecStats, RunOutcome, DIV_LATENCY};
 pub use faulty::{ArchFault, ArchFaultTarget, FaultActivity};
+pub use manager::{
+    FaultClass, FaultFreeBench, Health, ManagedComponent, ManagerConfig, ManagerEvent,
+    OnlineTestManager, RetryPolicy, SessionStatus, SigLocation, SignatureStore, StorePolicy,
+    TestBench, Verdict, WatchdogConfig,
+};
 pub use memory::Memory;
 pub use power::{EnergyEstimate, EnergyModel};
 pub use system::{ActivationPolicy, ExecTimeEstimate, QuantumConfig};

@@ -1,0 +1,1218 @@
+//! On-line test manager: the supervisory loop around periodic self-test.
+//!
+//! Detection mechanics alone ([`crate::system::run_time_shared`],
+//! [`crate::system::ActivationPolicy`], signature comparison) stop at
+//! *noticing* a fault. Production on-line testing needs a layer that
+//! *responds* — and keeps responding even when the faults it hunts corrupt
+//! the test program, hang a routine, or flip bits in the golden signatures
+//! themselves. This module provides that layer:
+//!
+//! - a **cycle-budget watchdog** per routine ([`run_with_watchdog`],
+//!   budgets derived from measured execution time via [`WatchdogConfig`]) —
+//!   a control or pipeline fault that hangs a routine is aborted, recorded
+//!   as [`Verdict::Hung`], and testing continues with the next CUT;
+//! - **bounded retry with exponential backoff** of the test period
+//!   ([`RetryPolicy`]) and **transient-vs-permanent classification**: a
+//!   mismatch that is not reproduced within the retry budget is classified
+//!   [`FaultClass::Transient`] (covering the paper's intermittent faults),
+//!   while `permanent_threshold` consecutive failures classify the fault
+//!   [`FaultClass::Permanent`];
+//! - **component quarantine**: a permanently-faulty CUT is removed from
+//!   the periodic schedule so the healthy components keep getting tested
+//!   (the caller regenerates a reduced plan — see
+//!   `sbst_core::plan::plan_excluding` — and installs it with
+//!   [`OnlineTestManager::adopt_schedule`]);
+//! - a **checksummed signature store** ([`SignatureStore`]): bit-flips in
+//!   the stored golden signatures are detected before they can produce
+//!   false verdicts, and handled by a re-capture-or-halt policy
+//!   ([`StorePolicy`]);
+//! - **checkpoint/resume across quantum preemption**: a session that
+//!   exhausts its cycle quantum mid-pass parks at a component boundary and
+//!   resumes there on the next activation, so partial passes are never
+//!   discarded.
+//!
+//! Execution environments are abstracted by [`TestBench`], which builds a
+//! fresh [`Cpu`] per attempt — fault-injection campaigns mount
+//! [`crate::faulty::ArchFault`]s there.
+
+use std::fmt;
+
+use sbst_isa::Program;
+
+use crate::cpu::{Cpu, CpuConfig, CpuError};
+use crate::system::ExecTimeEstimate;
+
+/// Derives a per-routine cycle budget from expected execution time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Budget = `slack × expected_cycles`. The slack absorbs cache and
+    /// scheduling noise; anything beyond it is a hang, not jitter.
+    pub slack: f64,
+    /// Floor so that very short routines still get a usable budget.
+    pub min_budget_cycles: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            slack: 4.0,
+            min_budget_cycles: 1_000,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Cycle budget for a routine expected to run `expected_cycles`.
+    pub fn budget_cycles(&self, expected_cycles: u64) -> u64 {
+        let scaled = (expected_cycles as f64 * self.slack).ceil() as u64;
+        scaled.max(self.min_budget_cycles)
+    }
+
+    /// Cycle budget from a Section 2 execution-time estimate.
+    pub fn budget_for(&self, est: &ExecTimeEstimate) -> u64 {
+        self.budget_cycles(est.total_cycles())
+    }
+}
+
+/// Result of running one routine under the cycle watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogOutcome {
+    /// The routine reached its `break` within budget.
+    Completed {
+        /// Cycles the routine consumed.
+        cycles: u64,
+    },
+    /// The budget expired first: the routine is hung.
+    Hung {
+        /// The budget that expired.
+        budget_cycles: u64,
+    },
+}
+
+/// Steps `cpu` until its program `break`s or `budget_cycles` total cycles
+/// (base + stall) have elapsed, whichever comes first. The CPU's own
+/// instruction-count watchdog ([`CpuConfig::max_instructions`]) still
+/// applies underneath as a second line of defence.
+///
+/// # Errors
+///
+/// Propagates [`CpuError`] from execution (decode faults, misalignment);
+/// [`CpuError::InstructionLimit`] is translated to
+/// [`WatchdogOutcome::Hung`] rather than surfaced, since it is the same
+/// condition caught by a different counter.
+pub fn run_with_watchdog(cpu: &mut Cpu, budget_cycles: u64) -> Result<WatchdogOutcome, CpuError> {
+    let start = cpu.stats().total_cycles();
+    loop {
+        if cpu.stats().total_cycles().saturating_sub(start) >= budget_cycles {
+            return Ok(WatchdogOutcome::Hung { budget_cycles });
+        }
+        match cpu.step() {
+            Ok(Some(_code)) => {
+                return Ok(WatchdogOutcome::Completed {
+                    cycles: cpu.stats().total_cycles() - start,
+                })
+            }
+            Ok(None) => {}
+            Err(CpuError::InstructionLimit { .. }) => {
+                return Ok(WatchdogOutcome::Hung { budget_cycles })
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The golden-signature store, protected by a checksum so that faults in
+/// the store itself (a bit-flip in data memory holding the references) are
+/// detected instead of silently producing wrong verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureStore {
+    entries: Vec<(String, u32)>,
+    checksum: u64,
+}
+
+impl SignatureStore {
+    /// Builds a store from `(key, golden signature)` pairs and seals it
+    /// with a checksum.
+    pub fn new(entries: Vec<(String, u32)>) -> Self {
+        let checksum = Self::compute_checksum(&entries);
+        SignatureStore { entries, checksum }
+    }
+
+    fn compute_checksum(entries: &[(String, u32)]) -> u64 {
+        // FNV-1a over keys and values; self-contained, no dependencies.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut absorb = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (key, value) in entries {
+            for b in key.bytes() {
+                absorb(b);
+            }
+            absorb(0xFF); // key/value separator
+            for b in value.to_be_bytes() {
+                absorb(b);
+            }
+        }
+        h
+    }
+
+    /// Whether the stored signatures still match the seal.
+    pub fn verify(&self) -> bool {
+        Self::compute_checksum(&self.entries) == self.checksum
+    }
+
+    /// Reads the golden signature stored under `key`.
+    pub fn get(&self, key: &str) -> Option<u32> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// Overwrites (or inserts) the signature under `key` and re-seals the
+    /// store — the legitimate re-capture path.
+    pub fn set(&mut self, key: &str, value: u32) {
+        match self.entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((key.to_owned(), value)),
+        }
+        self.checksum = Self::compute_checksum(&self.entries);
+    }
+
+    /// The stored `(key, signature)` pairs.
+    pub fn entries(&self) -> &[(String, u32)] {
+        &self.entries
+    }
+
+    /// Number of stored signatures.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Flips bits in the signature stored under `key` *without* updating
+    /// the seal — models a fault hitting the data memory that holds the
+    /// golden references. Fault-injection campaigns use this; [`verify`]
+    /// must subsequently fail.
+    ///
+    /// [`verify`]: SignatureStore::verify
+    pub fn corrupt(&mut self, key: &str, xor: u32) {
+        if let Some((_, v)) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            *v ^= xor;
+        }
+    }
+}
+
+/// The outcome of one routine attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Signature matched the golden reference.
+    Pass,
+    /// The routine completed but its signature mismatched.
+    Mismatch {
+        /// Expected (golden) signature.
+        golden: u32,
+        /// Observed signature.
+        observed: u32,
+    },
+    /// The watchdog aborted a routine that exceeded its cycle budget.
+    Hung {
+        /// The expired budget.
+        budget_cycles: u64,
+    },
+    /// Execution derailed entirely (undecodable instruction, misaligned
+    /// access) — itself a detection: a healthy core running a healthy
+    /// routine does neither.
+    Crashed,
+}
+
+impl Verdict {
+    /// Whether the attempt is evidence of a fault.
+    pub fn failed(&self) -> bool {
+        !matches!(self, Verdict::Pass)
+    }
+
+    /// Stable lower-case name for logs and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Mismatch { .. } => "mismatch",
+            Verdict::Hung { .. } => "hung",
+            Verdict::Crashed => "crashed",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Mismatch { golden, observed } => {
+                write!(
+                    f,
+                    "mismatch (golden {golden:#010x}, observed {observed:#010x})"
+                )
+            }
+            Verdict::Hung { budget_cycles } => {
+                write!(f, "hung (budget {budget_cycles} cycles)")
+            }
+            _ => f.write_str(self.name()),
+        }
+    }
+}
+
+/// Operational classification of an observed fault, following the paper's
+/// taxonomy: permanent faults "exist indefinitely"; transient covers the
+/// intermittent faults that "appear at regular time intervals" and were
+/// not reproduced within the retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Failure observed but not reproduced within the retry budget.
+    Transient,
+    /// `permanent_threshold` consecutive failures.
+    Permanent,
+}
+
+impl FaultClass {
+    /// Stable lower-case name for logs and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultClass::Transient => "transient",
+            FaultClass::Permanent => "permanent",
+        }
+    }
+}
+
+/// A component's standing in the periodic schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// No failure ever observed.
+    Healthy,
+    /// A transient failure was observed; the component remains in service
+    /// under continued observation.
+    Suspect,
+    /// Classified permanently faulty and removed from the schedule.
+    Quarantined,
+}
+
+impl Health {
+    /// Stable lower-case name for logs and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Suspect => "suspect",
+            Health::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Bounded-retry and exponential-backoff policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts granted after a first failure.
+    pub max_retries: u32,
+    /// Consecutive failures that classify the fault permanent. Clamped at
+    /// runtime to `max_retries + 1` so every failure streak is decidable
+    /// within one component visit.
+    pub permanent_threshold: u32,
+    /// The test period is multiplied by this factor before each retry
+    /// (exponential backoff: retry *k* waits `period × factor^(k+1)`).
+    pub backoff_factor: u64,
+    /// Cap on the cumulative backoff scale.
+    pub max_backoff_scale: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            permanent_threshold: 3,
+            backoff_factor: 2,
+            max_backoff_scale: 16,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff wait (in cycles) before retry number `retry` (0-based),
+    /// for a base test period of `base_period_cycles`.
+    pub fn backoff_cycles(&self, base_period_cycles: u64, retry: u32) -> u64 {
+        let scale = self
+            .backoff_factor
+            .saturating_pow(retry.saturating_add(1))
+            .min(self.max_backoff_scale.max(1));
+        base_period_cycles.saturating_mul(scale)
+    }
+
+    fn effective_permanent_threshold(&self) -> u32 {
+        self.permanent_threshold.clamp(1, self.max_retries + 1)
+    }
+}
+
+/// What to do when the signature store fails its integrity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorePolicy {
+    /// Stop periodic testing entirely: without trustworthy references no
+    /// verdict is meaningful, and a wrong quarantine is worse than none.
+    Halt,
+    /// Re-capture golden signatures by re-running every active routine
+    /// once and re-sealing the store. Risk (documented, accepted by the
+    /// policy's chooser): if the hardware is already faulty the fault is
+    /// baked into the new references.
+    Recapture,
+}
+
+/// Configuration of the on-line test manager.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManagerConfig {
+    /// Watchdog budget derivation.
+    pub watchdog: WatchdogConfig,
+    /// Retry/backoff/classification policy.
+    pub retry: RetryPolicy,
+    /// Base test period in cycles — the backoff unit.
+    pub period_cycles: u64,
+    /// Per-session cycle quantum; a session that executes more test cycles
+    /// than this parks at the next component boundary and resumes on the
+    /// following activation. `None` disables preemption.
+    pub quantum_cycles: Option<u64>,
+    /// Response to signature-store corruption.
+    pub store_policy: StorePolicy,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            watchdog: WatchdogConfig::default(),
+            retry: RetryPolicy::default(),
+            period_cycles: 1_000_000,
+            quantum_cycles: None,
+            store_policy: StorePolicy::Halt,
+        }
+    }
+}
+
+/// One schedulable self-test routine.
+#[derive(Debug, Clone)]
+pub struct ManagedComponent {
+    /// Component name — also the key into the [`SignatureStore`].
+    pub name: String,
+    /// Standalone routine program ending in `break`, unloading its
+    /// signature to data memory.
+    pub program: Program,
+    /// Where the routine leaves its signature.
+    pub signature: SigLocation,
+    /// Fault-free execution cycles, measured at characterization time; the
+    /// watchdog budget is derived from this.
+    pub expected_cycles: u64,
+}
+
+/// Where a routine's signature lives in data memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SigLocation {
+    /// A data label resolved through the program's symbol table.
+    Label(String),
+    /// A fixed byte address (hand-written test programs).
+    Address(u32),
+}
+
+impl ManagedComponent {
+    /// Resolves the signature's byte address, if the label exists.
+    pub fn sig_addr(&self) -> Option<u32> {
+        match &self.signature {
+            SigLocation::Label(label) => self.program.symbol(label),
+            SigLocation::Address(addr) => Some(*addr),
+        }
+    }
+}
+
+/// Everything that happened inside the manager, in order. Flows into the
+/// `RunReport` JSON of the `online_manager` bench binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManagerEvent {
+    /// A new session (full pass over the schedule) began.
+    SessionStarted {
+        /// 1-based session number.
+        session: u32,
+    },
+    /// The signature store failed its integrity check.
+    StoreCorrupted,
+    /// The store was re-captured from fresh routine runs and re-sealed.
+    StoreRecaptured,
+    /// Testing stopped permanently (store corruption under
+    /// [`StorePolicy::Halt`]).
+    Halted,
+    /// One routine attempt finished.
+    Attempt {
+        /// Component name.
+        component: String,
+        /// 0-based attempt number within this visit.
+        attempt: u32,
+        /// The attempt's outcome.
+        verdict: Verdict,
+    },
+    /// The watchdog aborted a hung routine.
+    WatchdogFired {
+        /// Component name.
+        component: String,
+        /// The expired budget.
+        budget_cycles: u64,
+    },
+    /// A retry was scheduled after an exponentially backed-off wait.
+    BackoffScheduled {
+        /// Component name.
+        component: String,
+        /// 0-based retry number.
+        retry: u32,
+        /// The wait before the retry, in cycles.
+        wait_cycles: u64,
+    },
+    /// A failure streak was classified.
+    Classified {
+        /// Component name.
+        component: String,
+        /// Transient or permanent.
+        class: FaultClass,
+        /// Failed attempts in this visit.
+        failures: u32,
+        /// Total attempts in this visit.
+        attempts: u32,
+    },
+    /// A permanently-faulty component left the schedule.
+    Quarantined {
+        /// Component name.
+        component: String,
+    },
+    /// The session exhausted its quantum and parked.
+    Preempted {
+        /// Index of the first untested component.
+        resume_at: usize,
+    },
+    /// A parked session continued.
+    Resumed {
+        /// Index the session resumed from.
+        from: usize,
+    },
+    /// A full pass over the schedule finished.
+    SessionCompleted {
+        /// 1-based session number.
+        session: u32,
+        /// Whether every active component passed without any failure.
+        healthy: bool,
+    },
+}
+
+/// Aggregate counters over the manager's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerCounters {
+    /// Routine attempts executed.
+    pub attempts: u64,
+    /// Attempts that passed.
+    pub passes: u64,
+    /// Signature mismatches observed.
+    pub mismatches: u64,
+    /// Watchdog aborts.
+    pub watchdog_fires: u64,
+    /// Execution crashes.
+    pub crashes: u64,
+    /// Backed-off retries scheduled.
+    pub backoffs: u64,
+    /// Components quarantined.
+    pub quarantines: u64,
+    /// Transient classifications.
+    pub transients: u64,
+    /// Store integrity failures detected.
+    pub store_corruptions: u64,
+    /// Store re-captures performed.
+    pub store_recaptures: u64,
+    /// Sessions preempted at the quantum boundary.
+    pub preemptions: u64,
+    /// Sessions completed.
+    pub sessions_completed: u64,
+}
+
+/// How a call to [`OnlineTestManager::run_session`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The pass over the schedule finished.
+    Completed {
+        /// Whether every active component passed with no failed attempt.
+        healthy: bool,
+    },
+    /// The quantum expired mid-pass; call `run_session` again to resume.
+    Preempted,
+    /// Testing is permanently stopped (store corruption under
+    /// [`StorePolicy::Halt`]).
+    Halted,
+}
+
+/// Builds the execution environment for each routine attempt.
+///
+/// Fault-injection campaigns mount [`crate::faulty::ArchFault`]s on the
+/// returned CPU; `now_cycles` (the manager's virtual clock) lets
+/// intermittent faults phase their activity windows against global time.
+/// The returned CPU should execute undecoded words as no-ops
+/// ([`CpuConfig::undecoded_as_nop`]) because some routine styles sweep the
+/// opcode space.
+pub trait TestBench {
+    /// Returns a fresh CPU for one attempt at `component`.
+    fn prepare(&mut self, component: &str, attempt: u32, now_cycles: u64) -> Cpu;
+}
+
+impl<F: FnMut(&str, u32, u64) -> Cpu> TestBench for F {
+    fn prepare(&mut self, component: &str, attempt: u32, now_cycles: u64) -> Cpu {
+        self(component, attempt, now_cycles)
+    }
+}
+
+/// A fault-free [`TestBench`]: the default CPU with opcode-sweep support.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FaultFreeBench;
+
+impl TestBench for FaultFreeBench {
+    fn prepare(&mut self, _component: &str, _attempt: u32, _now_cycles: u64) -> Cpu {
+        Cpu::new(CpuConfig {
+            undecoded_as_nop: true,
+            ..CpuConfig::default()
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ComponentState {
+    health: Health,
+    class: Option<FaultClass>,
+    consecutive_failures: u32,
+    last_verdict: Option<Verdict>,
+    attempts: u64,
+    passes: u64,
+}
+
+impl ComponentState {
+    fn fresh() -> Self {
+        ComponentState {
+            health: Health::Healthy,
+            class: None,
+            consecutive_failures: 0,
+            last_verdict: None,
+            attempts: 0,
+            passes: 0,
+        }
+    }
+}
+
+/// A component's externally-visible status snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentStatus {
+    /// Component name.
+    pub name: String,
+    /// Current standing.
+    pub health: Health,
+    /// Last classification, if any failure streak was classified.
+    pub class: Option<FaultClass>,
+    /// Most recent attempt verdict.
+    pub last_verdict: Option<Verdict>,
+    /// Attempts executed for this component.
+    pub attempts: u64,
+    /// Attempts that passed.
+    pub passes: u64,
+}
+
+/// The on-line test manager: owns the schedule, the signature store, the
+/// component state machines and the event log. See the module docs for the
+/// state machine (watchdog → retry/backoff → classify → quarantine).
+#[derive(Debug)]
+pub struct OnlineTestManager {
+    config: ManagerConfig,
+    components: Vec<ManagedComponent>,
+    states: Vec<ComponentState>,
+    store: SignatureStore,
+    events: Vec<ManagerEvent>,
+    counters: ManagerCounters,
+    clock_cycles: u64,
+    session_count: u32,
+    resume_at: Option<usize>,
+    session_had_failure: bool,
+    halted: bool,
+    quarantine_log: Vec<String>,
+}
+
+impl OnlineTestManager {
+    /// Creates a manager over `components`, with golden references in
+    /// `store` (keyed by component name).
+    pub fn new(
+        config: ManagerConfig,
+        components: Vec<ManagedComponent>,
+        store: SignatureStore,
+    ) -> Self {
+        let states = components.iter().map(|_| ComponentState::fresh()).collect();
+        OnlineTestManager {
+            config,
+            components,
+            states,
+            store,
+            events: Vec::new(),
+            counters: ManagerCounters::default(),
+            clock_cycles: 0,
+            session_count: 0,
+            resume_at: None,
+            session_had_failure: false,
+            halted: false,
+            quarantine_log: Vec::new(),
+        }
+    }
+
+    /// Runs (or resumes) one periodic test session: a pass over every
+    /// non-quarantined component, each under the watchdog, with bounded
+    /// backed-off retries and classification on failure. Never panics on
+    /// faulty behaviour — every injected scenario terminates in a status.
+    pub fn run_session(&mut self, bench: &mut dyn TestBench) -> SessionStatus {
+        if self.halted {
+            return SessionStatus::Halted;
+        }
+        let resumed_from = self.resume_at.take();
+        let start_index = match resumed_from {
+            Some(i) => {
+                self.events.push(ManagerEvent::Resumed { from: i });
+                i
+            }
+            None => {
+                self.session_count += 1;
+                self.session_had_failure = false;
+                self.events.push(ManagerEvent::SessionStarted {
+                    session: self.session_count,
+                });
+                0
+            }
+        };
+
+        // Integrity-check the reference store before trusting any verdict
+        // (fresh sessions only; a resumed session checked already).
+        if resumed_from.is_none() && !self.store.verify() {
+            self.events.push(ManagerEvent::StoreCorrupted);
+            self.counters.store_corruptions += 1;
+            match self.config.store_policy {
+                StorePolicy::Halt => {
+                    self.halted = true;
+                    self.events.push(ManagerEvent::Halted);
+                    return SessionStatus::Halted;
+                }
+                StorePolicy::Recapture => {
+                    self.recapture_store(bench);
+                    self.events.push(ManagerEvent::StoreRecaptured);
+                    self.counters.store_recaptures += 1;
+                }
+            }
+        }
+
+        let mut spent_cycles = 0u64;
+        for index in start_index..self.components.len() {
+            if self.states[index].health == Health::Quarantined {
+                continue;
+            }
+            if let Some(quantum) = self.config.quantum_cycles {
+                if spent_cycles >= quantum {
+                    self.resume_at = Some(index);
+                    self.events
+                        .push(ManagerEvent::Preempted { resume_at: index });
+                    self.counters.preemptions += 1;
+                    return SessionStatus::Preempted;
+                }
+            }
+            spent_cycles += self.visit_component(index, bench);
+        }
+
+        let healthy = !self.session_had_failure;
+        self.events.push(ManagerEvent::SessionCompleted {
+            session: self.session_count,
+            healthy,
+        });
+        self.counters.sessions_completed += 1;
+        SessionStatus::Completed { healthy }
+    }
+
+    /// Visits one component: attempt → retry/backoff → classify →
+    /// quarantine. Returns the test cycles executed.
+    fn visit_component(&mut self, index: usize, bench: &mut dyn TestBench) -> u64 {
+        let retry = self.config.retry;
+        let threshold = retry.effective_permanent_threshold();
+        let name = self.components[index].name.clone();
+        let budget = self
+            .config
+            .watchdog
+            .budget_cycles(self.components[index].expected_cycles);
+
+        let mut spent = 0u64;
+        let mut failures = 0u32;
+        let mut attempts = 0u32;
+        for attempt in 0..=retry.max_retries {
+            let (verdict, cycles) = self.run_attempt(index, attempt, budget, bench);
+            spent += cycles;
+            self.clock_cycles += cycles;
+            attempts += 1;
+            self.record_attempt(index, &name, attempt, verdict);
+
+            if !verdict.failed() {
+                if failures > 0 {
+                    // Mismatch not reproduced within the retry budget.
+                    self.classify(index, &name, FaultClass::Transient, failures, attempts);
+                }
+                self.states[index].consecutive_failures = 0;
+                return spent;
+            }
+
+            failures += 1;
+            self.session_had_failure = true;
+            self.states[index].consecutive_failures += 1;
+            if self.states[index].consecutive_failures >= threshold {
+                self.classify(index, &name, FaultClass::Permanent, failures, attempts);
+                self.quarantine(index, &name);
+                return spent;
+            }
+            if attempt < retry.max_retries {
+                let wait = retry.backoff_cycles(self.config.period_cycles, attempt);
+                self.clock_cycles += wait;
+                self.events.push(ManagerEvent::BackoffScheduled {
+                    component: name.clone(),
+                    retry: attempt,
+                    wait_cycles: wait,
+                });
+                self.counters.backoffs += 1;
+            }
+        }
+        // Retries exhausted below the (clamped) permanent threshold —
+        // reachable only when the streak started in an earlier visit and
+        // passed in none of this visit's attempts; treat as still-suspect
+        // transient evidence rather than quarantining on thin evidence.
+        self.classify(index, &name, FaultClass::Transient, failures, attempts);
+        spent
+    }
+
+    /// Runs one attempt; returns the verdict and cycles consumed. All
+    /// fault behaviours (hang, crash, corruption) become verdicts — this
+    /// function cannot fail.
+    fn run_attempt(
+        &mut self,
+        index: usize,
+        attempt: u32,
+        budget: u64,
+        bench: &mut dyn TestBench,
+    ) -> (Verdict, u64) {
+        let component = &self.components[index];
+        let mut cpu = bench.prepare(&component.name, attempt, self.clock_cycles);
+        cpu.load_program(&component.program);
+        match run_with_watchdog(&mut cpu, budget) {
+            Ok(WatchdogOutcome::Completed { cycles }) => {
+                let verdict = match (component.sig_addr(), self.store.get(&component.name)) {
+                    (Some(addr), Some(golden)) => {
+                        let observed = cpu.memory().read_word(addr);
+                        if observed == golden {
+                            Verdict::Pass
+                        } else {
+                            Verdict::Mismatch { golden, observed }
+                        }
+                    }
+                    // No resolvable signature or no reference: the routine
+                    // cannot produce a trustworthy pass.
+                    _ => Verdict::Crashed,
+                };
+                (verdict, cycles)
+            }
+            Ok(WatchdogOutcome::Hung { budget_cycles }) => {
+                self.events.push(ManagerEvent::WatchdogFired {
+                    component: component.name.clone(),
+                    budget_cycles,
+                });
+                (Verdict::Hung { budget_cycles }, budget_cycles)
+            }
+            Err(_) => (Verdict::Crashed, cpu.stats().total_cycles()),
+        }
+    }
+
+    fn record_attempt(&mut self, index: usize, name: &str, attempt: u32, verdict: Verdict) {
+        self.counters.attempts += 1;
+        match verdict {
+            Verdict::Pass => self.counters.passes += 1,
+            Verdict::Mismatch { .. } => self.counters.mismatches += 1,
+            Verdict::Hung { .. } => self.counters.watchdog_fires += 1,
+            Verdict::Crashed => self.counters.crashes += 1,
+        }
+        let state = &mut self.states[index];
+        state.attempts += 1;
+        if !verdict.failed() {
+            state.passes += 1;
+        }
+        state.last_verdict = Some(verdict);
+        self.events.push(ManagerEvent::Attempt {
+            component: name.to_owned(),
+            attempt,
+            verdict,
+        });
+    }
+
+    fn classify(
+        &mut self,
+        index: usize,
+        name: &str,
+        class: FaultClass,
+        failures: u32,
+        attempts: u32,
+    ) {
+        let state = &mut self.states[index];
+        state.class = Some(class);
+        if class == FaultClass::Transient {
+            state.health = Health::Suspect;
+            self.counters.transients += 1;
+        }
+        self.events.push(ManagerEvent::Classified {
+            component: name.to_owned(),
+            class,
+            failures,
+            attempts,
+        });
+    }
+
+    fn quarantine(&mut self, index: usize, name: &str) {
+        self.states[index].health = Health::Quarantined;
+        self.quarantine_log.push(name.to_owned());
+        self.events.push(ManagerEvent::Quarantined {
+            component: name.to_owned(),
+        });
+        self.counters.quarantines += 1;
+    }
+
+    /// Re-captures golden signatures: every active routine runs once and
+    /// its observed signature becomes the new reference; the store is
+    /// re-sealed. A routine that hangs or crashes during re-capture keeps
+    /// its old reference (and will fail its next visit normally).
+    fn recapture_store(&mut self, bench: &mut dyn TestBench) {
+        for index in 0..self.components.len() {
+            if self.states[index].health == Health::Quarantined {
+                continue;
+            }
+            let component = &self.components[index];
+            let budget = self
+                .config
+                .watchdog
+                .budget_cycles(component.expected_cycles);
+            let mut cpu = bench.prepare(&component.name, 0, self.clock_cycles);
+            cpu.load_program(&component.program);
+            if let Ok(WatchdogOutcome::Completed { cycles }) = run_with_watchdog(&mut cpu, budget) {
+                self.clock_cycles += cycles;
+                if let Some(addr) = component.sig_addr() {
+                    let observed = cpu.memory().read_word(addr);
+                    let name = component.name.clone();
+                    self.store.set(&name, observed);
+                }
+            }
+        }
+        // Re-seal even if nothing changed, clearing a checksum-only flip.
+        let entries = self.store.entries().to_vec();
+        self.store = SignatureStore::new(entries);
+    }
+
+    /// Replaces the schedule and store after a re-plan (e.g. a reduced
+    /// plan over the remaining CUTs once a component is quarantined).
+    /// Events, counters, the virtual clock and the quarantine log persist;
+    /// per-component state is reset for the new schedule.
+    pub fn adopt_schedule(&mut self, components: Vec<ManagedComponent>, store: SignatureStore) {
+        self.states = components.iter().map(|_| ComponentState::fresh()).collect();
+        self.components = components;
+        self.store = store;
+        self.resume_at = None;
+    }
+
+    /// Advances the virtual clock (e.g. the idle period between two
+    /// periodic activations).
+    pub fn advance_clock(&mut self, cycles: u64) {
+        self.clock_cycles = self.clock_cycles.saturating_add(cycles);
+    }
+
+    /// The ordered event log.
+    pub fn events(&self) -> &[ManagerEvent] {
+        &self.events
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> &ManagerCounters {
+        &self.counters
+    }
+
+    /// The manager's virtual clock in cycles (test execution + backoff
+    /// waits + explicit advances).
+    pub fn clock_cycles(&self) -> u64 {
+        self.clock_cycles
+    }
+
+    /// The signature store.
+    pub fn store(&self) -> &SignatureStore {
+        &self.store
+    }
+
+    /// Mutable store access (fault-injection campaigns corrupt it here).
+    pub fn store_mut(&mut self) -> &mut SignatureStore {
+        &mut self.store
+    }
+
+    /// Whether testing has permanently stopped.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Whether a preempted session is waiting to resume.
+    pub fn is_preempted(&self) -> bool {
+        self.resume_at.is_some()
+    }
+
+    /// Sessions started so far.
+    pub fn sessions_started(&self) -> u32 {
+        self.session_count
+    }
+
+    /// Names of every component ever quarantined, in quarantine order
+    /// (persists across [`OnlineTestManager::adopt_schedule`]).
+    pub fn quarantined(&self) -> &[String] {
+        &self.quarantine_log
+    }
+
+    /// Names of components still in the schedule (not quarantined).
+    pub fn active_components(&self) -> Vec<&str> {
+        self.components
+            .iter()
+            .zip(&self.states)
+            .filter(|(_, s)| s.health != Health::Quarantined)
+            .map(|(c, _)| c.name.as_str())
+            .collect()
+    }
+
+    /// Status snapshot for every scheduled component.
+    pub fn component_statuses(&self) -> Vec<ComponentStatus> {
+        self.components
+            .iter()
+            .zip(&self.states)
+            .map(|(c, s)| ComponentStatus {
+                name: c.name.clone(),
+                health: s.health,
+                class: s.class,
+                last_verdict: s.last_verdict,
+                attempts: s.attempts,
+                passes: s.passes,
+            })
+            .collect()
+    }
+
+    /// Status snapshot for one component, by name.
+    pub fn status(&self, name: &str) -> Option<ComponentStatus> {
+        self.component_statuses()
+            .into_iter()
+            .find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbst_isa::parse_asm;
+
+    /// A two-instruction "routine": computes 5+7 through the ALU and
+    /// stores the result as its signature.
+    fn adder_program() -> Program {
+        parse_asm(
+            "li $t0, 5
+             li $t1, 7
+             addu $t2, $t0, $t1
+             la $t3, sig
+             sw $t2, 0($t3)
+             break 0
+             .data
+             sig: .word 0",
+        )
+        .unwrap()
+        .assemble(0, 0x1_0000)
+        .unwrap()
+    }
+
+    fn adder_component(name: &str) -> ManagedComponent {
+        ManagedComponent {
+            name: name.to_owned(),
+            program: adder_program(),
+            signature: SigLocation::Label("sig".to_owned()),
+            expected_cycles: 16,
+        }
+    }
+
+    fn golden_store(names: &[&str]) -> SignatureStore {
+        SignatureStore::new(names.iter().map(|n| ((*n).to_owned(), 12)).collect())
+    }
+
+    #[test]
+    fn watchdog_budget_scales_and_floors() {
+        let w = WatchdogConfig::default();
+        assert_eq!(w.budget_cycles(10), 1_000); // floor
+        assert_eq!(w.budget_cycles(10_000), 40_000); // 4× slack
+    }
+
+    #[test]
+    fn watchdog_completes_short_program() {
+        let mut cpu = Cpu::new(CpuConfig::default());
+        cpu.load_program(&adder_program());
+        match run_with_watchdog(&mut cpu, 1_000).unwrap() {
+            WatchdogOutcome::Completed { cycles } => assert!(cycles > 0 && cycles < 100),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_aborts_spin_loop() {
+        let spin = parse_asm("spin: j spin\nnop")
+            .unwrap()
+            .assemble(0, 0x1000)
+            .unwrap();
+        let mut cpu = Cpu::new(CpuConfig::default());
+        cpu.load_program(&spin);
+        assert_eq!(
+            run_with_watchdog(&mut cpu, 500).unwrap(),
+            WatchdogOutcome::Hung { budget_cycles: 500 }
+        );
+    }
+
+    #[test]
+    fn store_checksum_catches_corruption() {
+        let mut store = golden_store(&["alu"]);
+        assert!(store.verify());
+        store.corrupt("alu", 0x4000);
+        assert!(!store.verify());
+        // The legitimate update path re-seals.
+        store.set("alu", 12);
+        assert!(store.verify());
+    }
+
+    #[test]
+    fn healthy_component_passes_first_attempt() {
+        let mut mgr = OnlineTestManager::new(
+            ManagerConfig::default(),
+            vec![adder_component("alu")],
+            golden_store(&["alu"]),
+        );
+        let status = mgr.run_session(&mut FaultFreeBench);
+        assert_eq!(status, SessionStatus::Completed { healthy: true });
+        assert_eq!(mgr.counters().attempts, 1);
+        assert_eq!(mgr.counters().passes, 1);
+        assert_eq!(mgr.status("alu").unwrap().health, Health::Healthy);
+    }
+
+    #[test]
+    fn wrong_golden_escalates_to_quarantine() {
+        // A reference that can never match models a permanent fault: three
+        // consecutive mismatches classify permanent and quarantine.
+        let store = SignatureStore::new(vec![("alu".to_owned(), 0xDEAD_BEEF)]);
+        let mut mgr = OnlineTestManager::new(
+            ManagerConfig::default(),
+            vec![adder_component("alu")],
+            store,
+        );
+        let status = mgr.run_session(&mut FaultFreeBench);
+        assert_eq!(status, SessionStatus::Completed { healthy: false });
+        let s = mgr.status("alu").unwrap();
+        assert_eq!(s.health, Health::Quarantined);
+        assert_eq!(s.class, Some(FaultClass::Permanent));
+        assert_eq!(mgr.quarantined(), ["alu"]);
+        // Exactly threshold attempts, threshold-1 backoffs.
+        assert_eq!(mgr.counters().attempts, 3);
+        assert_eq!(mgr.counters().backoffs, 2);
+        // The next session skips it entirely.
+        let before = mgr.counters().attempts;
+        mgr.run_session(&mut FaultFreeBench);
+        assert_eq!(mgr.counters().attempts, before);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_cycles(100, 0), 200);
+        assert_eq!(p.backoff_cycles(100, 1), 400);
+        assert_eq!(p.backoff_cycles(100, 2), 800);
+        assert_eq!(p.backoff_cycles(100, 10), 1_600); // capped at 16×
+    }
+
+    #[test]
+    fn quantum_preemption_checkpoints_and_resumes() {
+        let config = ManagerConfig {
+            quantum_cycles: Some(1), // preempt after the first component
+            ..ManagerConfig::default()
+        };
+        let mut mgr = OnlineTestManager::new(
+            config,
+            vec![adder_component("alu"), adder_component("shifter")],
+            golden_store(&["alu", "shifter"]),
+        );
+        assert_eq!(
+            mgr.run_session(&mut FaultFreeBench),
+            SessionStatus::Preempted
+        );
+        assert!(mgr.is_preempted());
+        // The first component's pass survived the preemption.
+        assert_eq!(mgr.status("alu").unwrap().passes, 1);
+        assert_eq!(mgr.status("shifter").unwrap().attempts, 0);
+        assert_eq!(
+            mgr.run_session(&mut FaultFreeBench),
+            SessionStatus::Completed { healthy: true }
+        );
+        // Resume did not re-test the first component.
+        assert_eq!(mgr.status("alu").unwrap().attempts, 1);
+        assert_eq!(mgr.status("shifter").unwrap().attempts, 1);
+        assert_eq!(mgr.sessions_started(), 1);
+        assert_eq!(mgr.counters().preemptions, 1);
+    }
+
+    #[test]
+    fn corrupted_store_halts_under_halt_policy() {
+        let mut mgr = OnlineTestManager::new(
+            ManagerConfig::default(),
+            vec![adder_component("alu")],
+            golden_store(&["alu"]),
+        );
+        mgr.store_mut().corrupt("alu", 1);
+        assert_eq!(mgr.run_session(&mut FaultFreeBench), SessionStatus::Halted);
+        assert!(mgr.is_halted());
+        // Halt is terminal.
+        assert_eq!(mgr.run_session(&mut FaultFreeBench), SessionStatus::Halted);
+        assert_eq!(mgr.counters().attempts, 0);
+    }
+
+    #[test]
+    fn corrupted_store_recaptures_under_recapture_policy() {
+        let config = ManagerConfig {
+            store_policy: StorePolicy::Recapture,
+            ..ManagerConfig::default()
+        };
+        let mut mgr =
+            OnlineTestManager::new(config, vec![adder_component("alu")], golden_store(&["alu"]));
+        mgr.store_mut().corrupt("alu", 0xFFFF_0000);
+        let status = mgr.run_session(&mut FaultFreeBench);
+        assert_eq!(status, SessionStatus::Completed { healthy: true });
+        assert!(mgr.store().verify());
+        assert_eq!(mgr.store().get("alu"), Some(12));
+        assert_eq!(mgr.counters().store_corruptions, 1);
+        assert_eq!(mgr.counters().store_recaptures, 1);
+    }
+
+    #[test]
+    fn adopt_schedule_resets_components_keeps_history() {
+        let store = SignatureStore::new(vec![("alu".to_owned(), 0)]);
+        let mut mgr = OnlineTestManager::new(
+            ManagerConfig::default(),
+            vec![adder_component("alu")],
+            store,
+        );
+        mgr.run_session(&mut FaultFreeBench); // quarantines (golden 0 ≠ 12)
+        assert_eq!(mgr.quarantined(), ["alu"]);
+        mgr.adopt_schedule(vec![adder_component("shifter")], golden_store(&["shifter"]));
+        assert_eq!(
+            mgr.run_session(&mut FaultFreeBench),
+            SessionStatus::Completed { healthy: true }
+        );
+        assert_eq!(mgr.quarantined(), ["alu"]); // history persists
+        assert_eq!(mgr.active_components(), ["shifter"]);
+    }
+}

@@ -227,8 +227,12 @@ pub struct TimeShareReport {
 
 impl TimeShareReport {
     /// Fraction of CPU time stolen from the user by periodic testing
-    /// (test execution plus its context switches).
+    /// (test execution plus its context switches). An empty simulation
+    /// (`total_cycles == 0`) has zero overhead, not NaN.
     pub fn test_overhead_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
         (self.test_cycles + self.switch_cycles) as f64 / self.total_cycles as f64
     }
 }
@@ -579,6 +583,22 @@ mod tests {
         let overhead = report.test_overhead_fraction();
         assert!(overhead < 0.02, "overhead {overhead}");
         assert!(overhead > 0.0);
+    }
+
+    #[test]
+    fn zero_cycle_report_has_zero_overhead() {
+        // A zero-length horizon produces an all-zero report; its overhead
+        // must be 0.0, not NaN (0/0).
+        let report = TimeShareReport {
+            user_instructions: 0,
+            test_runs_completed: 0,
+            test_cycles: 0,
+            switch_cycles: 0,
+            total_cycles: 0,
+        };
+        let overhead = report.test_overhead_fraction();
+        assert_eq!(overhead, 0.0);
+        assert!(!overhead.is_nan());
     }
 
     #[test]

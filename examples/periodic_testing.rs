@@ -14,9 +14,15 @@
 use std::error::Error;
 use std::time::Duration;
 
+use sbst::core::plan::build_managed_schedule;
 use sbst::core::{Cut, GoldenSignatures, SelfTestProgramBuilder};
+use sbst::cpu::manager::{ManagerConfig, OnlineTestManager};
 use sbst::cpu::system::{run_time_shared, scheduler_overhead, TimeShareConfig};
-use sbst::cpu::{ActivationPolicy, AnalyticStallModel, ExecTimeEstimate, QuantumConfig};
+use sbst::cpu::{
+    ActivationPolicy, AnalyticStallModel, ArchFault, Cpu, CpuConfig, ExecTimeEstimate,
+    QuantumConfig,
+};
+use sbst::gates::Fault;
 use sbst::isa::parse_asm;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -151,6 +157,69 @@ fn main() -> Result<(), Box<dyn Error>> {
         "\ndiagnosis of a healthy in-field run: healthy = {}, faulty CUTs = {:?}",
         diagnosis.healthy(),
         diagnosis.faulty_components()
+    );
+
+    // The on-line test manager closing the loop in-field: watchdogged
+    // per-CUT routines, bounded retries with backed-off periods, and
+    // transient-vs-permanent classification. 32-bit CUTs here so real
+    // gate-level faults can be mounted in the datapath.
+    println!("\non-line test manager (intermittent + permanent fault campaign):");
+    let cuts = vec![Cut::alu(32), Cut::shifter(32)];
+    let schedule = build_managed_schedule(&cuts)?;
+    let alu = cuts[0].clone();
+    let shifter = cuts[1].clone();
+    let alu_fault = Fault::stem_sa0(alu.component.ports.output("result").net(7));
+    let shifter_fault = Fault::stem_sa1(shifter.component.ports.output("result").net(0));
+    // The shifter suffers a one-off disturbance (its very first attempt,
+    // never again); the ALU carries a hard defect present on every attempt.
+    let mut shifter_disturbed = false;
+    let mut bench = move |name: &str, _attempt: u32, _now: u64| {
+        let mut cpu = Cpu::new(CpuConfig {
+            undecoded_as_nop: true,
+            ..CpuConfig::default()
+        });
+        match name {
+            "ALU" => cpu.mount_fault(ArchFault::new(alu.component.clone(), alu_fault)),
+            "Shifter" if !shifter_disturbed => {
+                shifter_disturbed = true;
+                cpu.mount_fault(ArchFault::new(shifter.component.clone(), shifter_fault));
+            }
+            _ => {}
+        }
+        cpu
+    };
+    let mut mgr = OnlineTestManager::new(
+        ManagerConfig::default(),
+        schedule.components,
+        schedule.store,
+    );
+    let status = mgr.run_session(&mut bench);
+    println!("  session 1: {status:?}");
+    for s in mgr.component_statuses() {
+        println!(
+            "    {:<8} health={:<11} class={:<9} {}/{} attempts passed",
+            s.name,
+            s.health.name(),
+            s.class.map(|c| c.name()).unwrap_or("-"),
+            s.passes,
+            s.attempts
+        );
+    }
+    println!("  quarantined: {:?}", mgr.quarantined());
+
+    // Quarantine triggers a re-plan over the survivors; the healthy
+    // shifter keeps getting tested every period.
+    let survivors: Vec<Cut> = cuts
+        .iter()
+        .filter(|c| !mgr.quarantined().contains(&c.name().to_owned()))
+        .cloned()
+        .collect();
+    let reduced = build_managed_schedule(&survivors)?;
+    mgr.adopt_schedule(reduced.components, reduced.store);
+    let status = mgr.run_session(&mut bench);
+    println!(
+        "  session 2 (reduced schedule over {:?}): {status:?}",
+        mgr.active_components()
     );
     Ok(())
 }
