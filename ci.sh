@@ -26,7 +26,7 @@ echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== table1 smoke run, event-driven engine (default; JSON report) =="
-rm -f BENCH_table1.json BENCH_table1_full.json
+rm -f BENCH_table1.json BENCH_table1_full.json BENCH_table1_compiled.json
 SBST_THREADS="${SBST_THREADS:-2}" SBST_ENGINE=event \
   cargo run --release -p sbst-bench --bin table1 -- --smoke --json BENCH_table1.json
 
@@ -34,12 +34,32 @@ echo "== table1 smoke run, full-eval engine (JSON report) =="
 SBST_THREADS="${SBST_THREADS:-2}" SBST_ENGINE=full \
   cargo run --release -p sbst-bench --bin table1 -- --smoke --json BENCH_table1_full.json
 
-echo "== validate both reports =="
+echo "== table1 smoke run, compiled tape engine (JSON report) =="
+SBST_THREADS="${SBST_THREADS:-2}" SBST_ENGINE=compiled \
+  cargo run --release -p sbst-bench --bin table1 -- --smoke --json BENCH_table1_compiled.json
+
+echo "== validate all three reports =="
 # jsonlint exits nonzero when a report is missing, unparseable, or
 # lacks the expected top-level fields.
-for report in BENCH_table1.json BENCH_table1_full.json; do
+for report in BENCH_table1.json BENCH_table1_full.json BENCH_table1_compiled.json; do
   cargo run --release -p sbst-bench --bin jsonlint -- "$report" \
     --require tool --require schema_version --require table1 --require execution_time
+done
+
+echo "== engine differential: coverage fields must be bit-identical =="
+# Project every coverage-bearing field out of each report and diff against
+# the event-driven reference; any engine divergence fails the gate.
+coverage_fields() {
+  jq -S '.table1 | {
+    rows: [.rows[] | {name, fault_count, faults_detected, fault_coverage_percent}],
+    overall: .totals.fault_coverage_percent
+  }' "$1"
+}
+for report in BENCH_table1_full.json BENCH_table1_compiled.json; do
+  if ! diff <(coverage_fields BENCH_table1.json) <(coverage_fields "$report"); then
+    echo "error: coverage diverges between BENCH_table1.json and $report" >&2
+    exit 1
+  fi
 done
 
 echo "== online_manager fault-injection smoke (exit code gates the campaign) =="

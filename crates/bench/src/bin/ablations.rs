@@ -16,8 +16,10 @@
 //!    quantifying the "negligible aliasing" claim on a real routine.
 //! 5. **Fault-list collapsing**: grading cost with and without equivalence
 //!    collapsing (quality is unchanged by construction; the win is volume).
-//! 6. **Simulation engine**: full-eval vs event-driven selective trace on
-//!    the same stimulus — identical coverage, far fewer gate evaluations.
+//! 6. **Simulation engine**: full-eval vs event-driven selective trace vs
+//!    the compiled tape on the same stimulus — identical coverage; the
+//!    event engine saves gate evaluations, the compiled engine saves wall
+//!    time by folding fanout-free chains and packing 255 faults per pass.
 
 use sbst_bench::{json_output_path, sim_config_from_env, write_report_if_requested};
 use sbst_core::grade::execute_routine;
@@ -210,9 +212,13 @@ fn main() {
         coll.coverage().percent()
     );
 
-    println!("\n== Ablation 6: simulation engine (full-eval vs event-driven) ==");
+    println!("\n== Ablation 6: simulation engine (full-eval vs event-driven vs compiled) ==");
     let mut engine_rows = Vec::new();
-    for engine in [SimEngine::FullEval, SimEngine::EventDriven] {
+    for engine in [
+        SimEngine::FullEval,
+        SimEngine::EventDriven,
+        SimEngine::Compiled,
+    ] {
         let cfg = FaultSimConfig {
             engine,
             ..sim_config_from_env()
@@ -243,6 +249,11 @@ fn main() {
             (
                 "events_full_eval",
                 JsonValue::from(res.stats.events_full_eval),
+            ),
+            ("tape_len", JsonValue::from(res.stats.tape_len)),
+            (
+                "chains_collapsed",
+                JsonValue::from(res.stats.chains_collapsed),
             ),
         ]));
     }

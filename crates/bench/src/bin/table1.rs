@@ -15,7 +15,7 @@
 //! whole pipeline in seconds. `--json <path>` additionally writes the
 //! machine-readable report (rows, totals, fault-sim timing). `SBST_THREADS`
 //! pins the fault-simulator worker count (default: available parallelism)
-//! and `SBST_ENGINE` pins the engine (`full`/`event`, default
+//! and `SBST_ENGINE` pins the engine (`full`/`event`/`compiled`, default
 //! event-driven); coverage is identical for every setting.
 
 use std::time::Instant;

@@ -25,8 +25,8 @@ pub fn parse_threads(value: &str) -> Result<usize, String> {
     }
 }
 
-/// Parses an `SBST_ENGINE` value: `full`/`full-eval` or
-/// `event`/`event-driven`.
+/// Parses an `SBST_ENGINE` value: `full`/`full-eval`,
+/// `event`/`event-driven` or `compiled`/`tape`.
 ///
 /// # Errors
 ///
@@ -34,8 +34,8 @@ pub fn parse_threads(value: &str) -> Result<usize, String> {
 pub fn parse_engine(value: &str) -> Result<SimEngine, String> {
     SimEngine::from_name(value).ok_or_else(|| {
         format!(
-            "SBST_ENGINE must be `full`/`full-eval` or `event`/`event-driven`, \
-             got `{value}`; using the default engine"
+            "SBST_ENGINE must be `full`/`full-eval`, `event`/`event-driven` \
+             or `compiled`/`tape`, got `{value}`; using the default engine"
         )
     })
 }
@@ -44,8 +44,9 @@ pub fn parse_engine(value: &str) -> Result<SimEngine, String> {
 ///
 /// Reads `SBST_THREADS` (a positive integer) to pin the worker-thread
 /// count — pinning is how runs on shared machines stay reproducible in
-/// wall time — and `SBST_ENGINE` (`full`/`full-eval` or
-/// `event`/`event-driven`) to pin the simulation engine. Unset values fall
+/// wall time — and `SBST_ENGINE` (`full`/`full-eval`,
+/// `event`/`event-driven` or `compiled`/`tape`) to pin the simulation
+/// engine. Unset values fall
 /// back to the machine's available parallelism and the default engine;
 /// invalid values do the same but print a one-line warning to stderr
 /// naming the rejected value, so a typo never silently changes the run.
@@ -154,11 +155,26 @@ mod tests {
     fn engine_parsing_names_bad_values() {
         assert_eq!(parse_engine("full"), Ok(SimEngine::FullEval));
         assert_eq!(parse_engine("event-driven"), Ok(SimEngine::EventDriven));
-        for bad in ["turbo", "evnt", ""] {
+        assert_eq!(parse_engine("compiled"), Ok(SimEngine::Compiled));
+        assert_eq!(parse_engine("tape"), Ok(SimEngine::Compiled));
+        assert_eq!(parse_engine("Compiled-Tape"), Ok(SimEngine::Compiled));
+        for bad in ["turbo", "evnt", "compilled", ""] {
             let err = parse_engine(bad).unwrap_err();
             assert!(err.contains(&format!("`{bad}`")), "message: {err}");
             assert!(err.contains("SBST_ENGINE"), "message: {err}");
         }
+    }
+
+    /// Pins the exact warning emitted for an unknown `SBST_ENGINE` value:
+    /// the message must name every accepted spelling, echo the rejected
+    /// value verbatim, and state the fallback.
+    #[test]
+    fn unknown_engine_warning_is_pinned() {
+        assert_eq!(
+            parse_engine("bogus").unwrap_err(),
+            "SBST_ENGINE must be `full`/`full-eval`, `event`/`event-driven` \
+             or `compiled`/`tape`, got `bogus`; using the default engine"
+        );
     }
 
     #[test]

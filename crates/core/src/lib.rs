@@ -55,7 +55,8 @@ pub use grade::{
 pub use json::JsonValue;
 pub use metrics::{Metrics, RunReport};
 pub use plan::{
-    build_managed_schedule, plan_excluding, plan_with_target, ManagedSchedule, TestPlan,
+    build_managed_schedule, build_managed_schedule_graded, plan_excluding, plan_with_target,
+    ManagedSchedule, TestPlan,
 };
 pub use program::{SelfTestProgram, SelfTestProgramBuilder};
 pub use report::{Table1, Table1Row};

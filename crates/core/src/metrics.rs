@@ -41,7 +41,12 @@ use std::time::{Duration, Instant};
 /// `events` log (attempts, watchdog fires, backoffs, classifications,
 /// quarantines, store corruption/recapture, preemption/resume) and
 /// `clock_cycles`, serialized by `sbst_core::report::manager_to_json`.
-pub const SCHEMA_VERSION: u32 = 3;
+/// 4 — the compiled tape engine: `fault_sim` objects gained `tape_len`,
+/// `chains_collapsed`, `lane_slots_filled`, `lane_slots_total` and
+/// `lane_occupancy` (all zero/absent savings under the narrow engines),
+/// and `engine` may now be `compiled` alongside `full-eval` and
+/// `event-driven`.
+pub const SCHEMA_VERSION: u32 = 4;
 
 #[derive(Debug, Default)]
 struct Inner {

@@ -10,11 +10,11 @@
 
 use sbst_components::{ComponentClass, ComponentKind};
 use sbst_cpu::manager::{ManagedComponent, SigLocation, SignatureStore};
-use sbst_gates::FaultCoverage;
+use sbst_gates::{FaultCoverage, FaultSimConfig};
 
 use crate::codestyle::CodeStyle;
 use crate::cut::Cut;
-use crate::grade::{execute_routine, grade_routine};
+use crate::grade::{execute_routine, grade_routine, grade_trace_detailed};
 use crate::report::{Table1, Table1Error};
 use crate::routine::RoutineSpec;
 
@@ -122,6 +122,10 @@ pub struct ManagedSchedule {
     /// The CUTs that received a schedule entry (D-VC and PVC classes; the
     /// side-effect-graded classes have no standalone routine to schedule).
     pub cuts: Vec<Cut>,
+    /// Per-component fault coverage measured at characterization time, in
+    /// schedule order. Empty unless built by
+    /// [`build_managed_schedule_graded`].
+    pub coverage: Vec<(String, FaultCoverage)>,
 }
 
 /// Characterizes `cuts` into a [`ManagedSchedule`]: builds the recommended
@@ -133,9 +137,34 @@ pub struct ManagedSchedule {
 ///
 /// Returns [`Table1Error`] if a routine fails to build or run.
 pub fn build_managed_schedule(cuts: &[Cut]) -> Result<ManagedSchedule, Table1Error> {
+    build_schedule_inner(cuts, None)
+}
+
+/// [`build_managed_schedule`] with an explicit fault-simulator
+/// configuration: the characterization run additionally fault-grades each
+/// routine's operand trace under `sim` and records the per-component
+/// coverage in [`ManagedSchedule::coverage`]. Golden signatures, cycle
+/// budgets and coverage are bit-identical for every engine and thread
+/// count; only the grading wall time differs.
+///
+/// # Errors
+///
+/// Returns [`Table1Error`] if a routine fails to build or run.
+pub fn build_managed_schedule_graded(
+    cuts: &[Cut],
+    sim: FaultSimConfig,
+) -> Result<ManagedSchedule, Table1Error> {
+    build_schedule_inner(cuts, Some(sim))
+}
+
+fn build_schedule_inner(
+    cuts: &[Cut],
+    sim: Option<FaultSimConfig>,
+) -> Result<ManagedSchedule, Table1Error> {
     let mut components = Vec::new();
     let mut entries = Vec::new();
     let mut scheduled = Vec::new();
+    let mut coverage = Vec::new();
     for cut in cuts {
         if !matches!(
             cut.class(),
@@ -144,7 +173,11 @@ pub fn build_managed_schedule(cuts: &[Cut]) -> Result<ManagedSchedule, Table1Err
             continue;
         }
         let routine = RoutineSpec::recommended(cut).build(cut)?;
-        let (stats, _trace, signature) = execute_routine(&routine)?;
+        let (stats, trace, signature) = execute_routine(&routine)?;
+        if let Some(sim) = sim {
+            let (cov, _) = grade_trace_detailed(cut, &trace, sim);
+            coverage.push((cut.name().to_owned(), cov));
+        }
         entries.push((cut.name().to_owned(), signature));
         components.push(ManagedComponent {
             name: cut.name().to_owned(),
@@ -158,6 +191,7 @@ pub fn build_managed_schedule(cuts: &[Cut]) -> Result<ManagedSchedule, Table1Err
         components,
         store: SignatureStore::new(entries),
         cuts: scheduled,
+        coverage,
     })
 }
 

@@ -115,6 +115,16 @@ pub struct Table1 {
     /// Events a full evaluation of every clocked cycle would have cost
     /// across all rows; the baseline for the event-driven saving.
     pub events_full_eval: u64,
+    /// Compiled-tape entries summed across rows (0 under the narrow
+    /// engines).
+    pub tape_len: u64,
+    /// Gates folded into predecessors' tape entries, summed across rows
+    /// (0 under the narrow engines).
+    pub chains_collapsed: u64,
+    /// Fault lanes occupied across all rows' simulation passes.
+    pub lane_slots_filled: u64,
+    /// Fault-lane capacity across all rows' simulation passes.
+    pub lane_slots_total: u64,
 }
 
 impl Table1 {
@@ -147,6 +157,10 @@ impl Table1 {
         let mut grading_wall_time = Duration::ZERO;
         let mut events_simulated = 0u64;
         let mut events_full_eval = 0u64;
+        let mut tape_len = 0u64;
+        let mut chains_collapsed = 0u64;
+        let mut lane_slots_filled = 0u64;
+        let mut lane_slots_total = 0u64;
         let mut builder = SelfTestProgramBuilder::new();
         let mut routine_cuts = Vec::new();
         for cut in cuts {
@@ -171,6 +185,10 @@ impl Table1 {
                 grading_wall_time += graded.sim_wall_time;
                 events_simulated += graded.sim_stats.events_simulated;
                 events_full_eval += graded.sim_stats.events_full_eval;
+                tape_len += graded.sim_stats.tape_len;
+                chains_collapsed += graded.sim_stats.chains_collapsed;
+                lane_slots_filled += graded.sim_stats.lane_slots_filled;
+                lane_slots_total += graded.sim_stats.lane_slots_total;
                 Table1Row {
                     name: cut.name().to_owned(),
                     gates: cut.gate_equivalents(),
@@ -190,6 +208,10 @@ impl Table1 {
                 grading_wall_time += elapsed;
                 events_simulated += sim_stats.events_simulated;
                 events_full_eval += sim_stats.events_full_eval;
+                tape_len += sim_stats.tape_len;
+                chains_collapsed += sim_stats.chains_collapsed;
+                lane_slots_filled += sim_stats.lane_slots_filled;
+                lane_slots_total += sim_stats.lane_slots_total;
                 Table1Row {
                     name: cut.name().to_owned(),
                     gates: cut.gate_equivalents(),
@@ -231,6 +253,10 @@ impl Table1 {
             engine: sim.engine,
             events_simulated,
             events_full_eval,
+            tape_len,
+            chains_collapsed,
+            lane_slots_filled,
+            lane_slots_total,
         })
     }
 
@@ -241,6 +267,16 @@ impl Table1 {
             None
         } else {
             Some(self.events_simulated as f64 / self.events_full_eval as f64)
+        }
+    }
+
+    /// Fraction of available fault lanes occupied across all rows, in
+    /// `0.0..=1.0` (0.0 when nothing was graded).
+    pub fn lane_occupancy(&self) -> f64 {
+        if self.lane_slots_total == 0 {
+            0.0
+        } else {
+            self.lane_slots_filled as f64 / self.lane_slots_total as f64
         }
     }
 }
@@ -315,6 +351,11 @@ impl Table1 {
                             None => JsonValue::Null,
                         },
                     ),
+                    ("tape_len", JsonValue::from(self.tape_len)),
+                    ("chains_collapsed", JsonValue::from(self.chains_collapsed)),
+                    ("lane_slots_filled", JsonValue::from(self.lane_slots_filled)),
+                    ("lane_slots_total", JsonValue::from(self.lane_slots_total)),
+                    ("lane_occupancy", JsonValue::Float(self.lane_occupancy())),
                 ]),
             ),
         ])
@@ -366,6 +407,15 @@ impl Table1 {
             self.events_simulated,
             self.event_ratio().unwrap_or(1.0) * 100.0,
         );
+        if self.tape_len > 0 {
+            let _ = writeln!(
+                out,
+                "Compiled tape: {} entries ({} chained gates folded) · {:.1}% lane occupancy",
+                self.tape_len,
+                self.chains_collapsed,
+                self.lane_occupancy() * 100.0,
+            );
+        }
         out
     }
 }
@@ -588,7 +638,17 @@ impl fmt::Display for Table1 {
             self.engine.name(),
             self.events_simulated,
             self.event_ratio().unwrap_or(1.0) * 100.0,
-        )
+        )?;
+        if self.tape_len > 0 {
+            writeln!(
+                f,
+                "Compiled tape: {} entries ({} chained gates folded) · {:.1}% lane occupancy",
+                self.tape_len,
+                self.chains_collapsed,
+                self.lane_occupancy() * 100.0,
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! Engine differential over the component smoke suite: the event-driven
-//! engine must reproduce the full-eval engine's coverage bit-for-bit on
-//! every real CUT (ISSUE 4 acceptance criterion), while performing
+//! and compiled engines must reproduce the full-eval engine's coverage
+//! bit-for-bit on every real CUT (ISSUE 4 and ISSUE 6 acceptance
+//! criteria), crossed with thread counts, while the event engine performs
 //! measurably fewer gate-evaluation events in aggregate.
 
 use sbst_core::{grade_trace_detailed, Cut, RoutineSpec, Table1};
@@ -23,12 +24,16 @@ fn component_suite_coverage_is_bit_identical_across_engines() {
         Table1::generate_with(&cuts, FaultSimConfig::with_engine(SimEngine::FullEval)).unwrap();
     let event =
         Table1::generate_with(&cuts, FaultSimConfig::with_engine(SimEngine::EventDriven)).unwrap();
-    for (a, b) in full.rows.iter().zip(&event.rows) {
-        assert_eq!(a.coverage, b.coverage, "{} coverage diverged", a.name);
-        assert_eq!(a.size_words, b.size_words, "{}", a.name);
-        assert_eq!(a.cpu_cycles, b.cpu_cycles, "{}", a.name);
+    let compiled =
+        Table1::generate_with(&cuts, FaultSimConfig::with_engine(SimEngine::Compiled)).unwrap();
+    for other in [&event, &compiled] {
+        for (a, b) in full.rows.iter().zip(&other.rows) {
+            assert_eq!(a.coverage, b.coverage, "{} coverage diverged", a.name);
+            assert_eq!(a.size_words, b.size_words, "{}", a.name);
+            assert_eq!(a.cpu_cycles, b.cpu_cycles, "{}", a.name);
+        }
+        assert_eq!(full.overall_coverage, other.overall_coverage);
     }
-    assert_eq!(full.overall_coverage, event.overall_coverage);
     // The event-driven engine skips a measurable share of the full-eval
     // gate evaluations on real component traces.
     assert_eq!(full.events_simulated, full.events_full_eval);
@@ -43,11 +48,67 @@ fn component_suite_coverage_is_bit_identical_across_engines() {
         ratio < 0.95,
         "expected a measurable event saving, got ratio {ratio:.3}"
     );
+    // The compiled tape folds a measurable share of gates into chains and
+    // reports its instrumentation; the narrow engines report none.
+    assert!(compiled.tape_len > 0);
+    assert!(compiled.chains_collapsed > 0, "no chains collapsed");
+    assert!(compiled.lane_occupancy() > 0.0 && compiled.lane_occupancy() <= 1.0);
+    assert_eq!(event.tape_len, 0);
+    assert_eq!(full.tape_len, 0);
+}
+
+/// The full 3-way engine × thread-count matrix over the smoke suite:
+/// every combination must reproduce the single-threaded full-eval
+/// coverage exactly, per component and overall.
+#[test]
+fn engine_thread_matrix_is_bit_identical_on_components() {
+    let cuts = smoke_inventory();
+    let reference = Table1::generate_with(
+        &cuts,
+        FaultSimConfig {
+            engine: SimEngine::FullEval,
+            threads: Some(1),
+            ..FaultSimConfig::default()
+        },
+    )
+    .unwrap();
+    for engine in [
+        SimEngine::FullEval,
+        SimEngine::EventDriven,
+        SimEngine::Compiled,
+    ] {
+        for threads in [1usize, 4] {
+            let table = Table1::generate_with(
+                &cuts,
+                FaultSimConfig {
+                    engine,
+                    threads: Some(threads),
+                    ..FaultSimConfig::default()
+                },
+            )
+            .unwrap();
+            for (a, b) in reference.rows.iter().zip(&table.rows) {
+                assert_eq!(
+                    a.coverage,
+                    b.coverage,
+                    "{} diverged under {} × {threads} threads",
+                    a.name,
+                    engine.name()
+                );
+            }
+            assert_eq!(
+                reference.overall_coverage,
+                table.overall_coverage,
+                "{} × {threads} threads",
+                engine.name()
+            );
+        }
+    }
 }
 
 #[test]
 fn trace_grading_agrees_per_component() {
-    // Grade a single routine's trace under both engines and compare the
+    // Grade a single routine's trace under all engines and compare the
     // detailed stats component by component.
     let cut = Cut::alu(8);
     let routine = RoutineSpec::recommended(&cut).build(&cut).unwrap();
@@ -63,8 +124,27 @@ fn trace_grading_agrees_per_component() {
         FaultSimConfig::with_engine(SimEngine::EventDriven),
     );
     assert_eq!(cov_full, cov_event);
+    // The two narrow engines share batch packing, so their simulation
+    // volume is directly comparable.
     assert_eq!(stats_full.batches, stats_event.batches);
     assert_eq!(stats_full.cycles_simulated, stats_event.cycles_simulated);
     assert!(stats_event.events_simulated <= stats_full.events_simulated);
     assert!(stats_event.events_simulated > 0);
+    // The compiled engine repacks faults 4× wider: same coverage, about a
+    // quarter of the batches.
+    let (cov_compiled, stats_compiled) = grade_trace_detailed(
+        &cut,
+        &trace,
+        FaultSimConfig::with_engine(SimEngine::Compiled),
+    );
+    assert_eq!(cov_full, cov_compiled);
+    assert!(stats_compiled.batches < stats_full.batches);
+    assert_eq!(
+        stats_compiled.batches,
+        stats_compiled
+            .lane_slots_filled
+            .div_ceil(SimEngine::Compiled.faults_per_pass() as u64)
+            .max(1)
+    );
+    assert!(stats_compiled.tape_len > 0);
 }

@@ -17,6 +17,13 @@
 //!    locality, so a batch's activity stays confined to a small region of
 //!    the netlist and the event-driven saving compounds.
 //!
+//! [`SimEngine::Compiled`] trades selectivity for raw throughput: the
+//! netlist is compiled once into a flat evaluation tape
+//! ([`crate::CompiledTape`]) with fanout-free chains collapsed, and each
+//! pass runs [`crate::MAX_LANE_WORDS`]` × 64 = 256` lanes wide — one
+//! reference plus up to 255 faults per pass, four times the narrow
+//! engines' packing density.
+//!
 //! Workers publish detections into a shared atomic bitmap as they find
 //! them (each fault's bit is owned by exactly one batch, hence one
 //! thread), and `drop_on_detect` keeps working unchanged: a worker stops
@@ -40,6 +47,7 @@ use crate::gate::{GateId, GateKind};
 use crate::net::NetId;
 use crate::netlist::Netlist;
 use crate::sim::{Simulator, LANES};
+use crate::tape::{CompiledTape, TapeSimulator, MAX_LANE_WORDS};
 
 /// Faults graded per simulation pass: one lane per fault, with lane 0
 /// reserved for the fault-free reference machine.
@@ -174,10 +182,23 @@ fn cone_key(netlist: &Netlist, fault: &Fault) -> (u32, u32) {
 /// never stops early before all of its own faults are detected — so this
 /// ordering is purely a performance choice.
 pub fn fault_batches_by_cone(netlist: &Netlist, faults: &[Fault]) -> Vec<Vec<u32>> {
+    fault_batches_by_cone_sized(netlist, faults, FAULTS_PER_BATCH)
+}
+
+/// [`fault_batches_by_cone`] with an explicit batch capacity, for engines
+/// whose lane width differs from the narrow [`LANES`]-lane simulators —
+/// [`SimEngine::Compiled`] packs [`SimEngine::faults_per_pass`] (255)
+/// faults per pass.
+pub fn fault_batches_by_cone_sized(
+    netlist: &Netlist,
+    faults: &[Fault],
+    per_batch: usize,
+) -> Vec<Vec<u32>> {
+    assert!(per_batch > 0, "batches must hold at least one fault");
     let mut order: Vec<u32> = (0..faults.len() as u32).collect();
     order.sort_by_key(|&i| cone_key(netlist, &faults[i as usize]));
     let batches: Vec<Vec<u32>> = order
-        .chunks(FAULTS_PER_BATCH)
+        .chunks(per_batch)
         .map(|chunk| chunk.to_vec())
         .collect();
     if batches.is_empty() {
@@ -197,6 +218,11 @@ pub enum SimEngine {
     /// through gates whose inputs changed (the default).
     #[default]
     EventDriven,
+    /// Compiled evaluation tape (see [`crate::CompiledTape`]): flat
+    /// instruction stream with precomputed operand indices, fanout-free
+    /// chains collapsed, and 4×`u64` lane blocks grading up to 255 faults
+    /// per pass.
+    Compiled,
 }
 
 impl SimEngine {
@@ -205,19 +231,34 @@ impl SimEngine {
         match self {
             SimEngine::FullEval => "full-eval",
             SimEngine::EventDriven => "event-driven",
+            SimEngine::Compiled => "compiled",
         }
     }
 
     /// Parses an engine name as accepted by the `SBST_ENGINE` environment
-    /// variable: `full` / `full-eval` / `fulleval` and `event` /
-    /// `event-driven` / `eventdriven` (case-insensitive).
+    /// variable: `full` / `full-eval` / `fulleval`, `event` /
+    /// `event-driven` / `eventdriven`, and `compiled` / `tape` /
+    /// `compiled-tape` (case-insensitive).
     pub fn from_name(name: &str) -> Option<SimEngine> {
         match name.trim().to_ascii_lowercase().as_str() {
             "full" | "full-eval" | "full_eval" | "fulleval" => Some(SimEngine::FullEval),
             "event" | "event-driven" | "event_driven" | "eventdriven" => {
                 Some(SimEngine::EventDriven)
             }
+            "compiled" | "tape" | "compiled-tape" | "compiled_tape" | "compiledtape" => {
+                Some(SimEngine::Compiled)
+            }
             _ => None,
+        }
+    }
+
+    /// Faults graded per simulation pass under this engine (excluding the
+    /// fault-free reference lane): [`FAULTS_PER_BATCH`] for the narrow
+    /// 64-lane engines, `4 × 64 - 1 = 255` for the wide compiled tape.
+    pub fn faults_per_pass(self) -> usize {
+        match self {
+            SimEngine::FullEval | SimEngine::EventDriven => FAULTS_PER_BATCH,
+            SimEngine::Compiled => MAX_LANE_WORDS * LANES - 1,
         }
     }
 }
@@ -238,8 +279,8 @@ pub struct FaultSimConfig {
     /// results are bit-identical for every setting.
     pub threads: Option<usize>,
     /// Simulation engine (default [`SimEngine::EventDriven`]). Coverage
-    /// results are bit-identical for both engines; only
-    /// [`SimStats::events_simulated`] and wall time differ.
+    /// results are bit-identical for every engine; only
+    /// [`SimStats::events_simulated`], batch packing and wall time differ.
     pub engine: SimEngine,
 }
 
@@ -317,6 +358,18 @@ pub struct SimStats {
     /// (`cycles_simulated × combinational gate count`) — the baseline the
     /// event-driven saving is measured against.
     pub events_full_eval: u64,
+    /// Length of the compiled evaluation tape (entries per cycle); 0 for
+    /// the non-compiled engines.
+    pub tape_len: u64,
+    /// Gates folded into a predecessor's tape entry by chain collapsing;
+    /// 0 for the non-compiled engines.
+    pub chains_collapsed: u64,
+    /// Fault lanes actually occupied across all passes (the fault count).
+    pub lane_slots_filled: u64,
+    /// Fault-lane capacity across all passes
+    /// (`batches × `[`SimEngine::faults_per_pass`]); the gap to
+    /// `lane_slots_filled` is the final partial batch's padding.
+    pub lane_slots_total: u64,
     /// One entry per worker thread, in worker order.
     pub per_thread: Vec<ThreadStats>,
 }
@@ -354,6 +407,17 @@ impl SimStats {
         match self.event_ratio() {
             Some(r) => (1.0 - r).max(0.0) * 100.0,
             None => 0.0,
+        }
+    }
+
+    /// Fraction of available fault lanes occupied, in `0.0..=1.0` (0.0
+    /// when nothing was graded). Only the final batch can be partial, so
+    /// occupancy approaches 1.0 as the fault list grows.
+    pub fn lane_occupancy(&self) -> f64 {
+        if self.lane_slots_total == 0 {
+            0.0
+        } else {
+            self.lane_slots_filled as f64 / self.lane_slots_total as f64
         }
     }
 
@@ -465,6 +529,9 @@ impl<'a> Backend<'a> {
                 events: 0,
             },
             SimEngine::EventDriven => Backend::Event(EventSimulator::new(netlist)),
+            // Compiled batches never reach the narrow backend: run_batch
+            // dispatches them to run_batch_compiled first.
+            SimEngine::Compiled => unreachable!("compiled engine uses TapeSimulator"),
         }
     }
 
@@ -560,12 +627,17 @@ impl<'a> FaultSimulator<'a> {
     /// is bit-identical for every thread count and engine.
     pub fn simulate(&self, faults: &[Fault], stimulus: &Stimulus) -> FaultSimResult {
         let start = Instant::now();
-        let batches = fault_batches_by_cone(self.netlist, faults);
+        let batches =
+            fault_batches_by_cone_sized(self.netlist, faults, self.config.engine.faults_per_pass());
+        // The compiled engine's tape is built once and shared (immutably)
+        // by every worker; each worker still owns a private simulator.
+        let tape = matches!(self.config.engine, SimEngine::Compiled)
+            .then(|| CompiledTape::compile(self.netlist));
         let threads = self.config.resolved_threads(batches.len());
         let mut result = if threads <= 1 {
-            self.simulate_serial(&batches, faults, stimulus)
+            self.simulate_serial(tape.as_ref(), &batches, faults, stimulus)
         } else {
-            self.simulate_threaded(&batches, faults, stimulus, threads)
+            self.simulate_threaded(tape.as_ref(), &batches, faults, stimulus, threads)
         };
         result.threads_used = threads;
         result.engine = self.config.engine;
@@ -576,6 +648,13 @@ impl<'a> FaultSimulator<'a> {
         result.stats.events_simulated = result.stats.per_thread.iter().map(|t| t.events).sum();
         result.stats.events_full_eval =
             result.stats.cycles_simulated * self.netlist.comb_order().len() as u64;
+        if let Some(tape) = &tape {
+            result.stats.tape_len = tape.tape_len() as u64;
+            result.stats.chains_collapsed = tape.chains_collapsed() as u64;
+        }
+        result.stats.lane_slots_filled = faults.len() as u64;
+        result.stats.lane_slots_total =
+            batches.len() as u64 * self.config.engine.faults_per_pass() as u64;
         result
     }
 
@@ -583,6 +662,7 @@ impl<'a> FaultSimulator<'a> {
     /// calling thread.
     fn simulate_serial(
         &self,
+        tape: Option<&CompiledTape<'_>>,
         batches: &[Vec<u32>],
         faults: &[Fault],
         stimulus: &Stimulus,
@@ -594,6 +674,7 @@ impl<'a> FaultSimulator<'a> {
         let busy_start = Instant::now();
         for (index, batch) in batches.iter().enumerate() {
             let (cycles_run, events_run, reference) = self.run_batch(
+                tape,
                 faults,
                 batch,
                 stimulus,
@@ -629,6 +710,7 @@ impl<'a> FaultSimulator<'a> {
     /// per-batch results in fault-index order.
     fn simulate_threaded(
         &self,
+        tape: Option<&CompiledTape<'_>>,
         batches: &[Vec<u32>],
         faults: &[Fault],
         stimulus: &Stimulus,
@@ -661,6 +743,7 @@ impl<'a> FaultSimulator<'a> {
                         };
                         let mut cycles = vec![None; batch.len()];
                         let (cycles_run, events_run, reference) = self.run_batch(
+                            tape,
                             faults,
                             batch,
                             stimulus,
@@ -737,12 +820,23 @@ impl<'a> FaultSimulator<'a> {
     /// performed, alongside the optional reference responses.
     fn run_batch(
         &self,
+        tape: Option<&CompiledTape<'_>>,
         faults: &[Fault],
         batch: &[u32],
         stimulus: &Stimulus,
         record_reference: bool,
         on_detect: &mut dyn FnMut(usize, u32),
     ) -> (u64, u64, Option<Vec<Vec<u64>>>) {
+        if let Some(tape) = tape {
+            return self.run_batch_compiled(
+                tape,
+                faults,
+                batch,
+                stimulus,
+                record_reference,
+                on_detect,
+            );
+        }
         debug_assert!(batch.len() <= FAULTS_PER_BATCH);
         let mut sim = Backend::new(self.netlist, self.config.engine);
         if self.config.reset_between_batches {
@@ -797,6 +891,99 @@ impl<'a> FaultSimulator<'a> {
                     if self.config.drop_on_detect && undetected_mask == 0 && !record_reference {
                         break;
                     }
+                }
+            }
+            sim.step();
+        }
+        (
+            cycles_run,
+            sim.events(),
+            record_reference.then_some(fault_free_responses),
+        )
+    }
+
+    /// [`FaultSimulator::run_batch`] for the compiled tape engine: the
+    /// same grading semantics at [`MAX_LANE_WORDS`]` × 64 = 256` lanes —
+    /// the detection masks, live mask and responses become `[u64; 4]`
+    /// blocks, with lane 0 of word 0 still the fault-free reference.
+    fn run_batch_compiled(
+        &self,
+        tape: &CompiledTape<'_>,
+        faults: &[Fault],
+        batch: &[u32],
+        stimulus: &Stimulus,
+        record_reference: bool,
+        on_detect: &mut dyn FnMut(usize, u32),
+    ) -> (u64, u64, Option<Vec<Vec<u64>>>) {
+        const W: usize = MAX_LANE_WORDS;
+        debug_assert!(batch.len() <= SimEngine::Compiled.faults_per_pass());
+        let mut sim: TapeSimulator<'_, '_, W> = TapeSimulator::new(tape);
+        if self.config.reset_between_batches {
+            sim.reset();
+        }
+        for (lane_off, &fault_index) in batch.iter().enumerate() {
+            sim.inject_fault(&faults[fault_index as usize], lane_off + 1);
+        }
+        // Mask of lanes carrying live (not yet detected) faults:
+        // lanes 1..=batch.len() across the four words.
+        let mut live = [0u64; W];
+        for lane in 1..=batch.len() {
+            live[lane / 64] |= 1u64 << (lane % 64);
+        }
+        let mut undetected = live;
+        let mut fault_free_responses: Vec<Vec<u64>> = Vec::new();
+        let mut cycles_run: u64 = 0;
+
+        for (cycle, (inputs, observe)) in stimulus.iter().enumerate() {
+            cycles_run += 1;
+            let cycle_index = cycle as u32;
+            debug_assert_eq!(inputs.len(), self.netlist.inputs().len());
+            for (pos, &value) in inputs.iter().enumerate() {
+                sim.set_input_at(pos, value);
+            }
+            sim.eval();
+            if observe {
+                let mut diff = [0u64; W];
+                let outputs = self.netlist.outputs();
+                let mut response_words: Vec<u64> = if record_reference {
+                    vec![0; outputs.len().div_ceil(64)]
+                } else {
+                    Vec::new()
+                };
+                for (k, &out) in outputs.iter().enumerate() {
+                    let v = sim.value(out);
+                    let reference = 0u64.wrapping_sub(v[0] & 1); // broadcast lane 0
+                    for w in 0..W {
+                        diff[w] |= v[w] ^ reference;
+                    }
+                    if record_reference && (v[0] & 1) == 1 {
+                        response_words[k / 64] |= 1u64 << (k % 64);
+                    }
+                }
+                if record_reference {
+                    fault_free_responses.push(response_words);
+                }
+                let mut any_new = false;
+                for w in 0..W {
+                    let newly = diff[w] & undetected[w];
+                    if newly == 0 {
+                        continue;
+                    }
+                    any_new = true;
+                    let mut bits = newly;
+                    while bits != 0 {
+                        let lane = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        on_detect(batch[lane - 1] as usize, cycle_index);
+                    }
+                    undetected[w] &= !newly;
+                }
+                if any_new
+                    && self.config.drop_on_detect
+                    && undetected == [0u64; W]
+                    && !record_reference
+                {
+                    break;
                 }
             }
             sim.step();
@@ -1013,6 +1200,132 @@ mod tests {
         // baseline for the cycles it clocked.
         assert!(event.stats.events_simulated <= event.stats.events_full_eval);
         assert!(event.stats.events_simulated > 0);
+        let compiled = FaultSimulator::with_config(
+            &n,
+            FaultSimConfig {
+                engine: SimEngine::Compiled,
+                threads: Some(1),
+                ..FaultSimConfig::default()
+            },
+        )
+        .simulate(&faults, &s);
+        assert_eq!(full.detected, compiled.detected);
+        assert_eq!(full.detecting_cycle, compiled.detecting_cycle);
+        assert_eq!(full.fault_free_responses, compiled.fault_free_responses);
+        // Every folded gate counts as one event per cycle: the compiled
+        // engine's event count is exactly the full-eval baseline.
+        assert_eq!(
+            compiled.stats.events_simulated,
+            compiled.stats.events_full_eval
+        );
+    }
+
+    #[test]
+    fn compiled_engine_packs_wide_batches() {
+        // Enough faults for several 255-fault compiled batches.
+        let mut b = NetlistBuilder::new("wide");
+        let bus = b.input_bus("a", 130);
+        let mut acc = bus.net(0);
+        for (i, &net) in bus.nets().iter().enumerate().skip(1) {
+            acc = if i % 3 == 0 {
+                b.xor2(acc, net)
+            } else if i % 3 == 1 {
+                b.and2(acc, net)
+            } else {
+                b.or2(acc, net)
+            };
+        }
+        b.mark_output(acc, "o");
+        let n = b.finish().unwrap();
+        let faults = n.collapsed_faults();
+        assert!(faults.len() > SimEngine::Compiled.faults_per_pass());
+        let mut s = Stimulus::new();
+        let mut word = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..48 {
+            word = word.rotate_left(17).wrapping_mul(0xD134_2543_DE82_EF95);
+            let bits: Vec<bool> = (0..130)
+                .map(|i| word.rotate_left(i as u32) & 1 == 1)
+                .collect();
+            s.push_pattern(&bits);
+        }
+        let event = FaultSimulator::with_config(
+            &n,
+            FaultSimConfig {
+                engine: SimEngine::EventDriven,
+                threads: Some(1),
+                ..FaultSimConfig::default()
+            },
+        )
+        .simulate(&faults, &s);
+        for threads in [1usize, 4] {
+            let compiled = FaultSimulator::with_config(
+                &n,
+                FaultSimConfig {
+                    engine: SimEngine::Compiled,
+                    threads: Some(threads),
+                    ..FaultSimConfig::default()
+                },
+            )
+            .simulate(&faults, &s);
+            assert_eq!(event.detected, compiled.detected, "{threads} threads");
+            assert_eq!(
+                event.detecting_cycle, compiled.detecting_cycle,
+                "{threads} threads"
+            );
+            assert_eq!(
+                event.fault_free_responses, compiled.fault_free_responses,
+                "{threads} threads"
+            );
+            // 4× wider lanes → about a quarter of the narrow batch count.
+            let per_pass = SimEngine::Compiled.faults_per_pass() as u64;
+            assert_eq!(
+                compiled.stats.batches,
+                (faults.len() as u64).div_ceil(per_pass)
+            );
+            assert!(compiled.stats.batches < event.stats.batches);
+            // Tape instrumentation is populated and consistent.
+            assert!(compiled.stats.tape_len > 0);
+            assert_eq!(
+                compiled.stats.tape_len + compiled.stats.chains_collapsed,
+                n.comb_order().len() as u64
+            );
+            assert_eq!(compiled.stats.lane_slots_filled, faults.len() as u64);
+            assert_eq!(
+                compiled.stats.lane_slots_total,
+                compiled.stats.batches * per_pass
+            );
+            let occ = compiled.stats.lane_occupancy();
+            assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ}");
+        }
+        // Narrow engines leave tape instrumentation at zero.
+        assert_eq!(event.stats.tape_len, 0);
+        assert_eq!(event.stats.chains_collapsed, 0);
+        assert_eq!(event.stats.lane_slots_filled, faults.len() as u64);
+    }
+
+    #[test]
+    fn sized_cone_batches_partition_every_fault_exactly_once() {
+        let mut b = NetlistBuilder::new("mix");
+        let bus = b.input_bus("a", 64);
+        let mut acc = bus.net(0);
+        for &net in bus.nets().iter().skip(1) {
+            acc = b.xor2(acc, net);
+        }
+        b.mark_output(acc, "o");
+        let n = b.finish().unwrap();
+        let faults = n.collapsed_faults();
+        for per_batch in [1usize, 63, 255, 10_000] {
+            let batches = fault_batches_by_cone_sized(&n, &faults, per_batch);
+            let mut seen = vec![0usize; faults.len()];
+            for batch in &batches {
+                assert!(batch.len() <= per_batch);
+                for &i in batch {
+                    seen[i as usize] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "per_batch {per_batch}");
+            assert_eq!(batches.len(), faults.len().div_ceil(per_batch).max(1));
+        }
     }
 
     #[test]
@@ -1184,7 +1497,19 @@ mod tests {
             Some(SimEngine::EventDriven)
         );
         assert_eq!(SimEngine::from_name("FULLEVAL"), Some(SimEngine::FullEval));
+        assert_eq!(SimEngine::from_name("compiled"), Some(SimEngine::Compiled));
+        assert_eq!(SimEngine::from_name("tape"), Some(SimEngine::Compiled));
+        assert_eq!(
+            SimEngine::from_name("Compiled-Tape"),
+            Some(SimEngine::Compiled)
+        );
+        assert_eq!(
+            SimEngine::from_name(SimEngine::Compiled.name()),
+            Some(SimEngine::Compiled)
+        );
         assert_eq!(SimEngine::from_name("bogus"), None);
+        assert_eq!(SimEngine::Compiled.faults_per_pass(), 255);
+        assert_eq!(SimEngine::EventDriven.faults_per_pass(), 63);
         assert_eq!(
             SimEngine::from_name(SimEngine::EventDriven.name()),
             Some(SimEngine::EventDriven)

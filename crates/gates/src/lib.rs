@@ -48,6 +48,7 @@ mod gate;
 mod net;
 mod netlist;
 mod sim;
+mod tape;
 
 pub mod coverage;
 pub mod scoap;
@@ -57,13 +58,14 @@ pub use error::BuildNetlistError;
 pub use event_sim::EventSimulator;
 pub use fault::{collapse_faults, enumerate_faults, Fault, FaultSite};
 pub use fault_sim::{
-    fault_batches, fault_batches_by_cone, FaultSimConfig, FaultSimResult, FaultSimulator,
-    SimEngine, SimStats, Stimulus, ThreadStats, FAULTS_PER_BATCH,
+    fault_batches, fault_batches_by_cone, fault_batches_by_cone_sized, FaultSimConfig,
+    FaultSimResult, FaultSimulator, SimEngine, SimStats, Stimulus, ThreadStats, FAULTS_PER_BATCH,
 };
 pub use gate::{Gate, GateId, GateKind};
 pub use net::{Bus, NetId};
 pub use netlist::{Netlist, NetlistBuilder};
 pub use scoap::Testability;
 pub use sim::{Simulator, LANES};
+pub use tape::{CompiledTape, TapeSimulator, MAX_LANE_WORDS};
 
 pub use coverage::FaultCoverage;

@@ -1,0 +1,257 @@
+//! Property tests for the compiled tape engine: the tape compiler and the
+//! wide [`TapeSimulator`] must reproduce plain bit-parallel simulation —
+//! and the full fault-grading pipeline — exactly, for *any* structurally
+//! valid circuit, including sequential ones.
+
+use proptest::prelude::*;
+use sbst_gates::{
+    CompiledTape, FaultSimConfig, FaultSimulator, GateKind, NetId, Netlist, NetlistBuilder,
+    SimEngine, Simulator, Stimulus, TapeSimulator,
+};
+
+/// A recipe for a random netlist: combinational gates with optional
+/// flip-flops sprinkled in so chains can end at state boundaries too.
+#[derive(Debug, Clone)]
+struct Recipe {
+    n_inputs: usize,
+    gates: Vec<(u8, Vec<usize>)>,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    (2usize..6, 1usize..40).prop_flat_map(|(n_inputs, n_gates)| {
+        let gate = (0u8..10, prop::collection::vec(0usize..1000, 3));
+        prop::collection::vec(gate, n_gates).prop_map(move |gates| Recipe { n_inputs, gates })
+    })
+}
+
+fn build(recipe: &Recipe) -> Netlist {
+    let mut b = NetlistBuilder::new("random");
+    let mut nets: Vec<NetId> = (0..recipe.n_inputs)
+        .map(|i| b.input(&format!("i{i}")))
+        .collect();
+    for (kind_sel, choices) in &recipe.gates {
+        let pick = |k: usize| nets[choices[k] % nets.len()];
+        let out = match kind_sel % 10 {
+            0 => b.gate(GateKind::And, &[pick(0), pick(1)]),
+            1 => b.gate(GateKind::Or, &[pick(0), pick(1)]),
+            2 => b.gate(GateKind::Nand, &[pick(0), pick(1)]),
+            3 => b.gate(GateKind::Nor, &[pick(0), pick(1)]),
+            4 => b.gate(GateKind::Xor, &[pick(0), pick(1)]),
+            5 => b.gate(GateKind::Xnor, &[pick(0), pick(1)]),
+            6 => b.gate(GateKind::Not, &[pick(0)]),
+            7 => b.gate(GateKind::Mux2, &[pick(0), pick(1), pick(2)]),
+            8 => b.gate(GateKind::And, &[pick(0), pick(1), pick(2)]),
+            _ => b.dff(pick(0)),
+        };
+        nets.push(out);
+    }
+    let n = nets.len();
+    for (k, &net) in nets[n.saturating_sub(3)..].iter().enumerate() {
+        b.mark_output(net, &format!("o{k}"));
+    }
+    b.finish().expect("random DAGs are structurally valid")
+}
+
+fn random_stimulus(n_inputs: usize, cycles: usize, seed: u64) -> Stimulus {
+    let mut stim = Stimulus::new();
+    let mut s = seed | 1;
+    for cycle in 0..cycles {
+        let bits: Vec<bool> = (0..n_inputs)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                s >> 63 == 1
+            })
+            .collect();
+        stim.push_cycle(&bits, cycle % 3 != 2);
+    }
+    stim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tape replay equals full per-gate evaluation: driving the same
+    /// multi-cycle stimulus through [`Simulator`] and a fault-free
+    /// [`TapeSimulator`] yields identical values on every *materialized*
+    /// net — primary outputs and flip-flop state — every cycle.
+    #[test]
+    fn tape_replay_matches_full_eval(recipe in recipe_strategy(), seed: u64) {
+        let netlist = build(&recipe);
+        let tape = CompiledTape::compile(&netlist);
+        let stim = random_stimulus(netlist.inputs().len(), 8, seed);
+        let mut plain = Simulator::new(&netlist);
+        let mut fast: TapeSimulator<'_, '_, 1> = TapeSimulator::new(&tape);
+        for (inputs, _) in stim.iter() {
+            for (pos, &net) in netlist.inputs().iter().enumerate() {
+                plain.set_input(net, inputs[pos]);
+                fast.set_input(net, inputs[pos]);
+            }
+            plain.eval();
+            fast.eval();
+            for &o in netlist.outputs() {
+                prop_assert_eq!(plain.value(o), fast.value(o)[0], "output {}", o);
+            }
+            // Flip-flop D nets are materialized too (never chain-interior).
+            for &gid in netlist.dff_gates() {
+                let d = netlist.gate(gid).inputs[0];
+                prop_assert_eq!(plain.value(d), fast.value(d)[0], "dff d {}", d);
+            }
+            plain.step();
+            fast.step();
+        }
+    }
+
+    /// Chain collapsing preserves per-net observability: no primary
+    /// output and no flip-flop `d` net is ever folded into a chain
+    /// interior, every interior net drives exactly one pin, and the
+    /// entry/fold counts add back up to the combinational gate count.
+    #[test]
+    fn collapsed_chains_preserve_observability(recipe in recipe_strategy()) {
+        let netlist = build(&recipe);
+        let tape = CompiledTape::compile(&netlist);
+        prop_assert_eq!(
+            tape.tape_len() + tape.chains_collapsed(),
+            netlist.comb_order().len()
+        );
+        // Reconstruct the set of materialized nets by simulating a fault
+        // on each collapsed-fault stem and checking grading still works —
+        // cheaper: check structural invariants directly. A net is interior
+        // iff its driver was folded, which requires fanout == 1, a single
+        // combinational user, and not being a primary output.
+        let interior_count = tape.chains_collapsed();
+        let mut eligible = 0usize;
+        for &gid in netlist.comb_order() {
+            let out = netlist.gate(gid).output;
+            let is_po = netlist.outputs().contains(&out);
+            if netlist.fanout(out) == 1 && netlist.comb_users(out).len() == 1 && !is_po {
+                eligible += 1;
+            }
+        }
+        // Every folded gate satisfied the eligibility rule (the converse
+        // can fail: a consumer absorbs at most one producer).
+        prop_assert!(interior_count <= eligible);
+        for &o in netlist.outputs() {
+            if let Some(gid) = netlist.driver(o) {
+                if netlist.gate(gid).kind != GateKind::Dff {
+                    // The driver of an output is the final gate of its
+                    // entry, so grading observes it: a stuck-at fault on
+                    // it must be visible. Check via fault simulation on a
+                    // distinguishing pattern set.
+                    let faults = [
+                        sbst_gates::Fault::stem_sa0(o),
+                        sbst_gates::Fault::stem_sa1(o),
+                    ];
+                    let stim = random_stimulus(netlist.inputs().len(), 4, 0x5eed);
+                    let compiled = FaultSimulator::with_config(
+                        &netlist,
+                        FaultSimConfig {
+                            engine: SimEngine::Compiled,
+                            threads: Some(1),
+                            ..FaultSimConfig::default()
+                        },
+                    )
+                    .simulate(&faults, &stim);
+                    let event = FaultSimulator::with_config(
+                        &netlist,
+                        FaultSimConfig {
+                            engine: SimEngine::EventDriven,
+                            threads: Some(1),
+                            ..FaultSimConfig::default()
+                        },
+                    )
+                    .simulate(&faults, &stim);
+                    prop_assert_eq!(compiled.detected, event.detected);
+                }
+            }
+        }
+    }
+
+    /// Lane widening is bit-identical: the same stimulus and faults drive
+    /// 1-, 2- and 4-word simulators, and every lane agrees with lane 0 of
+    /// the others (fault-free) or with the matching narrow lane (faulty).
+    #[test]
+    fn lane_widening_is_bit_identical(recipe in recipe_strategy(), seed: u64) {
+        let netlist = build(&recipe);
+        let tape = CompiledTape::compile(&netlist);
+        let stim = random_stimulus(netlist.inputs().len(), 6, seed);
+        let faults = netlist.collapsed_faults();
+        let take = faults.len().min(3);
+        let mut w1: TapeSimulator<'_, '_, 1> = TapeSimulator::new(&tape);
+        let mut w2: TapeSimulator<'_, '_, 2> = TapeSimulator::new(&tape);
+        let mut w4: TapeSimulator<'_, '_, 4> = TapeSimulator::new(&tape);
+        // The same faults injected at a narrow lane, a word-1 lane and a
+        // word-3 lane respectively.
+        for (k, fault) in faults[..take].iter().enumerate() {
+            w1.inject_fault(fault, 1 + k);
+            w2.inject_fault(fault, 65 + k);
+            w4.inject_fault(fault, 193 + k);
+        }
+        for (inputs, _) in stim.iter() {
+            for (pos, &net) in netlist.inputs().iter().enumerate() {
+                w1.set_input(net, inputs[pos]);
+                w2.set_input(net, inputs[pos]);
+                w4.set_input(net, inputs[pos]);
+            }
+            w1.eval();
+            w2.eval();
+            w4.eval();
+            for &o in netlist.outputs() {
+                let v1 = w1.value(o);
+                let v2 = w2.value(o);
+                let v4 = w4.value(o);
+                // Fault-free reference: lane 0 everywhere.
+                prop_assert_eq!(v1[0] & 1, v2[0] & 1);
+                prop_assert_eq!(v1[0] & 1, v4[0] & 1);
+                for k in 0..take {
+                    let b1 = v1[0] >> (1 + k) & 1;
+                    let b2 = v2[1] >> (1 + k) & 1;
+                    let b4 = v4[3] >> (1 + k) & 1;
+                    prop_assert_eq!(b1, b2, "fault {} word1", k);
+                    prop_assert_eq!(b1, b4, "fault {} word3", k);
+                }
+            }
+            w1.step();
+            w2.step();
+            w4.step();
+        }
+    }
+
+    /// End-to-end: grading the full collapsed fault list with the compiled
+    /// engine is bit-identical to both narrow engines on random netlists.
+    #[test]
+    fn compiled_grading_is_bit_identical(recipe in recipe_strategy(), seed: u64) {
+        let netlist = build(&recipe);
+        let stim = random_stimulus(netlist.inputs().len(), 6, seed);
+        let faults = netlist.collapsed_faults();
+        let mut results = Vec::new();
+        for engine in [SimEngine::FullEval, SimEngine::EventDriven, SimEngine::Compiled] {
+            results.push(
+                FaultSimulator::with_config(
+                    &netlist,
+                    FaultSimConfig {
+                        engine,
+                        threads: Some(1),
+                        ..FaultSimConfig::default()
+                    },
+                )
+                .simulate(&faults, &stim),
+            );
+        }
+        let reference = &results[0];
+        for res in &results[1..] {
+            prop_assert_eq!(&reference.detected, &res.detected, "{}", res.engine.name());
+            prop_assert_eq!(
+                &reference.detecting_cycle,
+                &res.detecting_cycle,
+                "{}", res.engine.name()
+            );
+            prop_assert_eq!(
+                &reference.fault_free_responses,
+                &res.fault_free_responses,
+                "{}", res.engine.name()
+            );
+        }
+    }
+}

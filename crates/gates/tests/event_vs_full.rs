@@ -1,6 +1,7 @@
-//! Differential tests: the event-driven selective-trace engine must be a
-//! bit-identical drop-in for full evaluation — on sequential circuits, for
-//! every thread count, and for every batching — while doing strictly less
+//! Differential tests: the event-driven selective-trace engine and the
+//! compiled tape engine must be bit-identical drop-ins for full
+//! evaluation — on sequential circuits, for every thread count, and for
+//! every batching — while the event engine does strictly less
 //! gate-evaluation work on locality-friendly stimuli.
 
 use sbst_gates::{
@@ -82,10 +83,22 @@ fn simulate(netlist: &Netlist, engine: SimEngine, threads: usize) -> sbst_gates:
 fn sequential_circuit_engines_agree_bitwise() {
     let n = shift4();
     let full = simulate(&n, SimEngine::FullEval, 1);
-    let event = simulate(&n, SimEngine::EventDriven, 1);
-    assert_eq!(full.detected, event.detected);
-    assert_eq!(full.detecting_cycle, event.detecting_cycle);
-    assert_eq!(full.fault_free_responses, event.fault_free_responses);
+    for engine in [SimEngine::EventDriven, SimEngine::Compiled] {
+        let other = simulate(&n, engine, 1);
+        assert_eq!(full.detected, other.detected, "{}", engine.name());
+        assert_eq!(
+            full.detecting_cycle,
+            other.detecting_cycle,
+            "{}",
+            engine.name()
+        );
+        assert_eq!(
+            full.fault_free_responses,
+            other.fault_free_responses,
+            "{}",
+            engine.name()
+        );
+    }
 }
 
 #[test]
@@ -93,7 +106,11 @@ fn engine_thread_matrix_is_bit_identical() {
     let n = wide_tree(56);
     let reference = simulate(&n, SimEngine::FullEval, 1);
     assert!(reference.detected.iter().any(|&d| d), "stimulus detects");
-    for engine in [SimEngine::FullEval, SimEngine::EventDriven] {
+    for engine in [
+        SimEngine::FullEval,
+        SimEngine::EventDriven,
+        SimEngine::Compiled,
+    ] {
         for threads in [1usize, 2, 4, 8] {
             let res = simulate(&n, engine, threads);
             assert_eq!(
