@@ -25,10 +25,16 @@ cargo test --workspace -q
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== table1 smoke run, event-driven engine (default; JSON report) =="
-rm -f BENCH_table1.json BENCH_table1_full.json BENCH_table1_compiled.json
-SBST_THREADS="${SBST_THREADS:-2}" SBST_ENGINE=event \
-  cargo run --release -p sbst-bench --bin table1 -- --smoke --json BENCH_table1.json
+echo "== table1 smoke run, event-driven engine, 2 threads (default; JSON report) =="
+rm -f BENCH_table1.json BENCH_table1_serial.json BENCH_table1_full.json BENCH_table1_compiled.json
+SBST_ENGINE=event \
+  cargo run --release -p sbst-bench --bin table1 -- --smoke \
+  --threads "${SBST_THREADS:-2}" --json BENCH_table1.json
+
+echo "== table1 smoke run, event-driven engine, single-threaded (JSON report) =="
+SBST_ENGINE=event \
+  cargo run --release -p sbst-bench --bin table1 -- --smoke \
+  --threads 1 --json BENCH_table1_serial.json
 
 echo "== table1 smoke run, full-eval engine (JSON report) =="
 SBST_THREADS="${SBST_THREADS:-2}" SBST_ENGINE=full \
@@ -38,12 +44,17 @@ echo "== table1 smoke run, compiled tape engine (JSON report) =="
 SBST_THREADS="${SBST_THREADS:-2}" SBST_ENGINE=compiled \
   cargo run --release -p sbst-bench --bin table1 -- --smoke --json BENCH_table1_compiled.json
 
-echo "== validate all three reports =="
+echo "== validate all four reports =="
 # jsonlint exits nonzero when a report is missing, unparseable, or
 # lacks the expected top-level fields.
-for report in BENCH_table1.json BENCH_table1_full.json BENCH_table1_compiled.json; do
+for report in BENCH_table1.json BENCH_table1_serial.json BENCH_table1_full.json BENCH_table1_compiled.json; do
   cargo run --release -p sbst-bench --bin jsonlint -- "$report" \
     --require tool --require schema_version --require table1 --require execution_time
+  # Reports must carry the current schema (5: the table1.atpg object).
+  if [ "$(jq '.schema_version' "$report")" != "5" ]; then
+    echo "error: $report schema_version is not 5" >&2
+    exit 1
+  fi
 done
 
 echo "== engine differential: coverage fields must be bit-identical =="
@@ -61,6 +72,27 @@ for report in BENCH_table1_full.json BENCH_table1_compiled.json; do
     exit 1
   fi
 done
+
+echo "== thread differential: coverage and ATPG outcomes must be bit-identical =="
+# The deterministic PODEM merge guarantees the threaded run reproduces the
+# single-threaded coverage AND every deterministic ATPG outcome field
+# (wall times, thread counts and per-worker accounting are observational
+# and excluded).
+atpg_outcome_fields() {
+  jq -S '.table1.atpg | {
+    runs, random_patterns_tried, random_patterns_kept, detected_by_random,
+    podem_targets, podem_tests, podem_backtracks, redundant, aborted,
+    podem_discarded, drop_sim_tape_compilations
+  }' "$1"
+}
+if ! diff <(coverage_fields BENCH_table1_serial.json) <(coverage_fields BENCH_table1.json); then
+  echo "error: coverage diverges between the serial and threaded table1 runs" >&2
+  exit 1
+fi
+if ! diff <(atpg_outcome_fields BENCH_table1_serial.json) <(atpg_outcome_fields BENCH_table1.json); then
+  echo "error: ATPG outcome fields diverge between the serial and threaded table1 runs" >&2
+  exit 1
+fi
 
 echo "== online_manager fault-injection smoke (exit code gates the campaign) =="
 rm -f BENCH_online_manager.json

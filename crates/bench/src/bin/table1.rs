@@ -13,14 +13,19 @@
 //!
 //! `--smoke` swaps in a down-scaled 8-bit inventory so CI can exercise the
 //! whole pipeline in seconds. `--json <path>` additionally writes the
-//! machine-readable report (rows, totals, fault-sim timing). `SBST_THREADS`
-//! pins the fault-simulator worker count (default: available parallelism)
-//! and `SBST_ENGINE` pins the engine (`full`/`event`/`compiled`, default
-//! event-driven); coverage is identical for every setting.
+//! machine-readable report (rows, totals, fault-sim timing, ATPG search
+//! telemetry). `--threads <n>` pins both the fault-simulator worker count
+//! and the PODEM search pool in one flag; the finer-grained `SBST_THREADS`,
+//! `SBST_PODEM_THREADS` and `SBST_ENGINE` environment knobs are also
+//! honoured. Coverage, patterns and ATPG stats are bit-identical for every
+//! setting.
 
 use std::time::Instant;
 
-use sbst_bench::{json_output_path, sim_config_from_env, write_report_if_requested};
+use sbst_bench::{
+    atpg_config_from_env, json_output_path, sim_config_from_env, threads_flag,
+    write_report_if_requested,
+};
 use sbst_core::{Cut, JsonValue, RunReport, Table1};
 use sbst_cpu::cpu::ExecStats;
 use sbst_cpu::{AnalyticStallModel, ExecTimeEstimate, QuantumConfig};
@@ -32,7 +37,20 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
-    let sim = sim_config_from_env();
+    let mut sim = sim_config_from_env();
+    let mut atpg = atpg_config_from_env();
+    match threads_flag(&args) {
+        Ok(Some(n)) => {
+            sim.threads = Some(n);
+            atpg.sim_threads = Some(n);
+            atpg.podem_threads = Some(n);
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     let start = Instant::now();
     let cuts = if smoke {
         eprintln!("building down-scaled 8-bit smoke inventory...");
@@ -56,7 +74,7 @@ fn main() {
         );
     }
     eprintln!("generating Table 1 (builds, runs and grades every routine)...");
-    let table = Table1::generate_with(&cuts, sim).expect("table generation succeeds");
+    let table = Table1::generate_with_atpg(&cuts, sim, atpg).expect("table generation succeeds");
     println!("{table}");
 
     // The Section 4 execution-time analysis on the combined program.
@@ -89,6 +107,12 @@ fn main() {
         table.events_simulated,
         table.events_full_eval,
         table.event_ratio().unwrap_or(1.0) * 100.0
+    );
+    eprintln!(
+        "constrained ATPG: {} run(s), {} PODEM thread(s), {:.3} s inside the PODEM phase",
+        table.atpg.runs,
+        table.atpg.podem_threads,
+        table.atpg.podem_wall_time.as_secs_f64()
     );
     let wall = start.elapsed();
     eprintln!("total wall time: {wall:?}");

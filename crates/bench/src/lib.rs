@@ -10,6 +10,22 @@ use std::path::PathBuf;
 
 use sbst_core::RunReport;
 use sbst_gates::{FaultSimConfig, SimEngine};
+use sbst_tpg::AtpgConfig;
+
+/// Parses a worker-thread count from the named environment variable's
+/// value: a positive integer.
+///
+/// # Errors
+///
+/// Returns a one-line message naming the variable and the rejected value.
+pub fn parse_threads_var(var: &str, value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "{var} must be a positive integer, got `{value}`; using available parallelism"
+        )),
+    }
+}
 
 /// Parses an `SBST_THREADS` value: a positive integer worker count.
 ///
@@ -17,12 +33,7 @@ use sbst_gates::{FaultSimConfig, SimEngine};
 ///
 /// Returns a one-line message naming the rejected value.
 pub fn parse_threads(value: &str) -> Result<usize, String> {
-    match value.trim().parse::<usize>() {
-        Ok(n) if n > 0 => Ok(n),
-        _ => Err(format!(
-            "SBST_THREADS must be a positive integer, got `{value}`; using available parallelism"
-        )),
-    }
+    parse_threads_var("SBST_THREADS", value)
 }
 
 /// Parses an `SBST_ENGINE` value: `full`/`full-eval`,
@@ -76,6 +87,84 @@ pub fn sim_config_from_env() -> FaultSimConfig {
         engine,
         ..FaultSimConfig::default()
     }
+}
+
+/// Reads one thread-count environment variable through the shared
+/// warning path: unset → `None`, invalid → `None` plus a one-line stderr
+/// warning echoing the rejected value.
+fn threads_from_env(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| match parse_threads_var(var, &v) {
+            Ok(n) => Some(n),
+            Err(msg) => {
+                eprintln!("warning: {msg}");
+                None
+            }
+        })
+}
+
+/// ATPG configuration shared by the bench binaries.
+///
+/// The PODEM search pool is pinned by `SBST_PODEM_THREADS` (a positive
+/// integer; invalid values warn and fall back to available parallelism,
+/// same contract as `SBST_THREADS`), the grading passes by `SBST_THREADS`
+/// and `SBST_ENGINE` (unset keeps ATPG's compiled-tape default). Pattern
+/// sets, outcomes and stats are bit-identical for every combination.
+pub fn atpg_config_from_env() -> AtpgConfig {
+    let defaults = AtpgConfig::default();
+    let engine = std::env::var("SBST_ENGINE")
+        .ok()
+        .and_then(|v| match parse_engine(&v) {
+            Ok(e) => Some(e),
+            Err(msg) => {
+                eprintln!("warning: {msg}");
+                None
+            }
+        })
+        .unwrap_or(defaults.sim_engine);
+    AtpgConfig {
+        sim_threads: threads_from_env("SBST_THREADS"),
+        sim_engine: engine,
+        podem_threads: threads_from_env("SBST_PODEM_THREADS"),
+        ..defaults
+    }
+}
+
+/// Extracts the `--threads <n>` flag from an argument list: a positive
+/// worker count applied to both the fault simulator and the PODEM search
+/// pool. Accepts `--threads 2` and `--threads=2`.
+///
+/// # Errors
+///
+/// Returns a one-line message when the flag is missing its value or the
+/// value is not a positive integer.
+pub fn threads_flag<I, S>(args: I) -> Result<Option<usize>, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let arg = arg.as_ref();
+        let value = if arg == "--threads" {
+            match iter.next() {
+                Some(v) => v.as_ref().to_owned(),
+                None => return Err("--threads requires a positive integer".to_owned()),
+            }
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            v.to_owned()
+        } else {
+            continue;
+        };
+        return match value.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(format!(
+                "--threads must be a positive integer, got `{value}`"
+            )),
+        };
+    }
+    Ok(None)
 }
 
 /// Extracts the `--json <path>` flag from an argument list (as produced by
@@ -148,6 +237,50 @@ mod tests {
             let err = parse_threads(bad).unwrap_err();
             assert!(err.contains(&format!("`{bad}`")), "message: {err}");
             assert!(err.contains("SBST_THREADS"), "message: {err}");
+        }
+    }
+
+    #[test]
+    fn threads_flag_forms() {
+        assert_eq!(threads_flag(["--smoke"] as [&str; 1]).unwrap(), None);
+        assert_eq!(threads_flag(["--threads", "2"]).unwrap(), Some(2));
+        assert_eq!(threads_flag(["--threads=7"] as [&str; 1]).unwrap(), Some(7));
+        assert!(threads_flag(["--threads"] as [&str; 1]).is_err());
+        assert!(threads_flag(["--threads", "zero"]).is_err());
+        assert!(threads_flag(["--threads=0"] as [&str; 1]).is_err());
+    }
+
+    #[test]
+    fn podem_thread_parsing_names_bad_values() {
+        assert_eq!(parse_threads_var("SBST_PODEM_THREADS", "4"), Ok(4));
+        assert_eq!(parse_threads_var("SBST_PODEM_THREADS", " 2 "), Ok(2));
+        for bad in ["0", "-1", "two", "1.5", ""] {
+            let err = parse_threads_var("SBST_PODEM_THREADS", bad).unwrap_err();
+            assert!(err.contains(&format!("`{bad}`")), "message: {err}");
+            assert!(err.contains("SBST_PODEM_THREADS"), "message: {err}");
+        }
+    }
+
+    /// Pins the exact warning for an invalid `SBST_PODEM_THREADS` value —
+    /// same convention as `SBST_THREADS`: name the variable, echo the
+    /// rejected value in backticks, state the fallback.
+    #[test]
+    fn bad_podem_threads_warning_is_pinned() {
+        assert_eq!(
+            parse_threads_var("SBST_PODEM_THREADS", "bogus").unwrap_err(),
+            "SBST_PODEM_THREADS must be a positive integer, got `bogus`; \
+             using available parallelism"
+        );
+    }
+
+    #[test]
+    fn atpg_env_config_defaults_are_sane() {
+        // Parsing path only; the env vars are process-global so the test
+        // doesn't mutate them.
+        let cfg = atpg_config_from_env();
+        assert!(cfg.random_patterns > 0);
+        if let Some(n) = cfg.podem_threads {
+            assert!(n > 0);
         }
     }
 

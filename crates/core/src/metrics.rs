@@ -46,7 +46,11 @@ use std::time::{Duration, Instant};
 /// `lane_occupancy` (all zero/absent savings under the narrow engines),
 /// and `engine` may now be `compiled` alongside `full-eval` and
 /// `event-driven`.
-pub const SCHEMA_VERSION: u32 = 4;
+/// 5 — the parallel deterministic ATPG kernel: Table 1 reports gain an
+/// `atpg` object (`podem_threads`, `podem_wall_seconds`, the summed run
+/// stats including `podem_discarded` and `drop_sim_tape_compilations`, the
+/// random-phase pattern economy, and `per_thread` worker accounting).
+pub const SCHEMA_VERSION: u32 = 5;
 
 #[derive(Debug, Default)]
 struct Inner {

@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use sbst_components::ComponentClass;
 use sbst_gates::{FaultCoverage, FaultSimConfig, SimEngine};
+use sbst_tpg::{AtpgConfig, AtpgTelemetry};
 
 use crate::cut::Cut;
 use crate::grade::{grade_routine_with, grade_trace_detailed, GradeError};
@@ -125,6 +126,9 @@ pub struct Table1 {
     pub lane_slots_filled: u64,
     /// Fault-lane capacity across all rows' simulation passes.
     pub lane_slots_total: u64,
+    /// Aggregated constrained-ATPG instrumentation from every routine
+    /// build (runs, search stats, PODEM wall time, per-worker accounting).
+    pub atpg: AtpgTelemetry,
 }
 
 impl Table1 {
@@ -152,7 +156,24 @@ impl Table1 {
     ///
     /// Returns [`Table1Error`] if any routine fails to build, run or grade.
     pub fn generate_with(cuts: &[Cut], sim: FaultSimConfig) -> Result<Table1, Table1Error> {
+        Table1::generate_with_atpg(cuts, sim, AtpgConfig::default())
+    }
+
+    /// [`Table1::generate_with`] with an explicit ATPG configuration for
+    /// the deterministic-style routine builds (PODEM thread count, random
+    /// phase size, grading engine). Patterns, outcomes and coverage are
+    /// bit-identical for every `atpg.podem_threads` setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Table1Error`] if any routine fails to build, run or grade.
+    pub fn generate_with_atpg(
+        cuts: &[Cut],
+        sim: FaultSimConfig,
+        atpg: AtpgConfig,
+    ) -> Result<Table1, Table1Error> {
         let mut rows = Vec::with_capacity(cuts.len());
+        let mut atpg_telemetry = AtpgTelemetry::default();
         let mut sim_threads = 1usize;
         let mut grading_wall_time = Duration::ZERO;
         let mut events_simulated = 0u64;
@@ -178,8 +199,10 @@ impl Table1 {
         for cut in cuts {
             let classification = classification_string(cut);
             let row = if routine_cuts.iter().any(|c| c.kind() == cut.kind()) {
-                let spec = RoutineSpec::recommended(cut);
-                let routine = spec.build(cut)?;
+                let mut spec = RoutineSpec::recommended(cut);
+                spec.atpg = atpg;
+                let (routine, build_telemetry) = spec.build_traced(cut)?;
+                atpg_telemetry.merge(&build_telemetry);
                 let graded = grade_routine_with(cut, &routine, sim)?;
                 sim_threads = sim_threads.max(graded.sim_threads);
                 grading_wall_time += graded.sim_wall_time;
@@ -257,6 +280,7 @@ impl Table1 {
             chains_collapsed,
             lane_slots_filled,
             lane_slots_total,
+            atpg: atpg_telemetry,
         })
     }
 
@@ -358,6 +382,58 @@ impl Table1 {
                     ("lane_occupancy", JsonValue::Float(self.lane_occupancy())),
                 ]),
             ),
+            (
+                "atpg",
+                JsonValue::object([
+                    ("runs", JsonValue::from(self.atpg.runs)),
+                    ("podem_threads", JsonValue::from(self.atpg.podem_threads)),
+                    (
+                        "podem_wall_seconds",
+                        JsonValue::Float(self.atpg.podem_wall_time.as_secs_f64()),
+                    ),
+                    (
+                        "random_patterns_tried",
+                        JsonValue::from(self.atpg.stats.random_patterns_tried),
+                    ),
+                    (
+                        "random_patterns_kept",
+                        JsonValue::from(self.atpg.stats.random_patterns_kept),
+                    ),
+                    (
+                        "detected_by_random",
+                        JsonValue::from(self.atpg.stats.detected_by_random),
+                    ),
+                    (
+                        "podem_targets",
+                        JsonValue::from(self.atpg.stats.podem_targets),
+                    ),
+                    ("podem_tests", JsonValue::from(self.atpg.stats.podem_tests)),
+                    (
+                        "podem_backtracks",
+                        JsonValue::from(self.atpg.stats.podem_backtracks),
+                    ),
+                    ("redundant", JsonValue::from(self.atpg.stats.redundant)),
+                    ("aborted", JsonValue::from(self.atpg.stats.aborted)),
+                    (
+                        "podem_discarded",
+                        JsonValue::from(self.atpg.stats.podem_discarded),
+                    ),
+                    (
+                        "drop_sim_tape_compilations",
+                        JsonValue::from(self.atpg.drop_sim_tape_compilations),
+                    ),
+                    (
+                        "per_thread",
+                        JsonValue::array(self.atpg.thread_stats.iter().map(|t| {
+                            JsonValue::object([
+                                ("searches", JsonValue::from(t.searches)),
+                                ("backtracks", JsonValue::from(t.backtracks)),
+                                ("busy_seconds", JsonValue::Float(t.busy.as_secs_f64())),
+                            ])
+                        })),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -414,6 +490,19 @@ impl Table1 {
                 self.tape_len,
                 self.chains_collapsed,
                 self.lane_occupancy() * 100.0,
+            );
+        }
+        if self.atpg.runs > 0 {
+            let _ = writeln!(
+                out,
+                "Constrained ATPG: {} run{} · {} PODEM thread{} · {:.3} s PODEM wall · {} targets ({} discarded speculative)",
+                self.atpg.runs,
+                if self.atpg.runs == 1 { "" } else { "s" },
+                self.atpg.podem_threads,
+                if self.atpg.podem_threads == 1 { "" } else { "s" },
+                self.atpg.podem_wall_time.as_secs_f64(),
+                self.atpg.stats.podem_targets,
+                self.atpg.stats.podem_discarded,
             );
         }
         out
@@ -648,6 +737,19 @@ impl fmt::Display for Table1 {
                 self.lane_occupancy() * 100.0,
             )?;
         }
+        if self.atpg.runs > 0 {
+            writeln!(
+                f,
+                "Constrained ATPG: {} run{} · {} PODEM thread{} · {:.3} s PODEM wall · {} targets ({} discarded speculative)",
+                self.atpg.runs,
+                if self.atpg.runs == 1 { "" } else { "s" },
+                self.atpg.podem_threads,
+                if self.atpg.podem_threads == 1 { "" } else { "s" },
+                self.atpg.podem_wall_time.as_secs_f64(),
+                self.atpg.stats.podem_targets,
+                self.atpg.stats.podem_discarded,
+            )?;
+        }
         Ok(())
     }
 }
@@ -760,6 +862,46 @@ mod tests {
         // The document round-trips through the parser.
         let text = v.to_json_pretty();
         assert_eq!(crate::json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn atpg_telemetry_lands_in_json_and_is_thread_invariant() {
+        let cuts = vec![Cut::shifter(8)];
+        let config = |threads: usize| AtpgConfig {
+            podem_threads: Some(threads),
+            ..AtpgConfig::default()
+        };
+        let serial =
+            Table1::generate_with_atpg(&cuts, FaultSimConfig::with_threads(1), config(1)).unwrap();
+        let threaded =
+            Table1::generate_with_atpg(&cuts, FaultSimConfig::with_threads(1), config(3)).unwrap();
+        // The shifter's constrained-ATPG routine really ran PODEM, and the
+        // deterministic merge makes everything except wall time identical.
+        assert!(serial.atpg.runs > 0);
+        assert_eq!(serial.atpg.stats, threaded.atpg.stats);
+        assert_eq!(serial.rows[0].coverage, threaded.rows[0].coverage);
+        assert_eq!(serial.atpg.podem_threads, 1);
+        assert_eq!(threaded.atpg.podem_threads, 3);
+        // The random phase warms each run's shared simulator, so drop
+        // simulation never compiles another tape.
+        assert_eq!(serial.atpg.drop_sim_tape_compilations, 0);
+
+        let v = serial.to_json();
+        let atpg = v.get("atpg").unwrap();
+        assert_eq!(atpg.get("runs").unwrap().as_u64(), Some(serial.atpg.runs));
+        assert_eq!(atpg.get("podem_threads").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            atpg.get("podem_targets").unwrap().as_u64(),
+            Some(serial.atpg.stats.podem_targets)
+        );
+        assert_eq!(
+            atpg.get("drop_sim_tape_compilations").unwrap().as_u64(),
+            Some(0)
+        );
+        let per_thread = atpg.get("per_thread").unwrap().as_array().unwrap();
+        assert_eq!(per_thread.len(), 1);
+        assert!(atpg.get("podem_wall_seconds").unwrap().as_f64().is_some());
+        assert!(serial.to_string().contains("Constrained ATPG"));
     }
 
     #[test]

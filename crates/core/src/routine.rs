@@ -17,7 +17,7 @@ use sbst_components::{pattern_port_value, ComponentKind};
 use sbst_isa::{Asm, AsmError, Instruction, Program, Reg};
 use sbst_tpg::lfsr::LfsrConfig;
 use sbst_tpg::misr;
-use sbst_tpg::{Atpg, AtpgConfig, InputConstraint};
+use sbst_tpg::{Atpg, AtpgConfig, AtpgTelemetry, InputConstraint};
 
 use crate::codestyle::{
     emit_apply, emit_atpg_data_fetch, emit_atpg_immediate, emit_misr_inline, emit_misr_subroutine,
@@ -146,25 +146,42 @@ impl RoutineSpec {
     /// Returns [`BuildRoutineError`] for inapplicable style/CUT pairs and
     /// for side-effect-only component classes.
     pub fn build(&self, cut: &Cut) -> Result<SelfTestRoutine, BuildRoutineError> {
+        self.build_traced(cut).map(|(routine, _)| routine)
+    }
+
+    /// [`RoutineSpec::build`] that also returns the ATPG instrumentation of
+    /// the deterministic styles (empty telemetry for the non-ATPG styles).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoutineSpec::build`].
+    pub fn build_traced(
+        &self,
+        cut: &Cut,
+    ) -> Result<(SelfTestRoutine, AtpgTelemetry), BuildRoutineError> {
         let kind = cut.kind();
         let name = routine_name(kind);
         let sig_label = format!("sig_{name}");
         let mut asm = Asm::new();
+        let mut telemetry = AtpgTelemetry::default();
         emit_prologue(&mut asm);
         asm.data_label(&sig_label);
         asm.word(0);
-        self.emit_body(cut, &mut asm)?;
+        self.emit_body_traced(cut, &mut asm, &mut telemetry)?;
         emit_signature_unload(&mut asm, &sig_label);
         asm.insn(Instruction::Break { code: 0 });
         emit_misr_subroutine(&mut asm, MISR_LABEL);
 
         let program = asm.assemble(0, DATA_BASE)?;
-        Ok(SelfTestRoutine {
-            name: name.to_owned(),
-            style: self.style,
-            program,
-            sig_label,
-        })
+        Ok((
+            SelfTestRoutine {
+                name: name.to_owned(),
+                style: self.style,
+                program,
+                sig_label,
+            },
+            telemetry,
+        ))
     }
 
     /// Emits the routine body (pattern application and compaction) into an
@@ -175,6 +192,21 @@ impl RoutineSpec {
     ///
     /// Same conditions as [`RoutineSpec::build`].
     pub fn emit_body(&self, cut: &Cut, asm: &mut Asm) -> Result<(), BuildRoutineError> {
+        self.emit_body_traced(cut, asm, &mut AtpgTelemetry::default())
+    }
+
+    /// [`RoutineSpec::emit_body`] that folds each constrained ATPG run's
+    /// instrumentation into `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoutineSpec::build`].
+    pub fn emit_body_traced(
+        &self,
+        cut: &Cut,
+        asm: &mut Asm,
+        telemetry: &mut AtpgTelemetry,
+    ) -> Result<(), BuildRoutineError> {
         let kind = cut.kind();
         match (kind, self.style) {
             (ComponentKind::Alu, CodeStyle::RegularLoopImmediate) => {
@@ -193,17 +225,17 @@ impl RoutineSpec {
                 self.body_memctrl(asm);
             }
             (ComponentKind::Shifter, CodeStyle::AtpgImmediate) => {
-                self.body_shifter_atpg(cut, asm);
+                self.body_shifter_atpg(cut, asm, telemetry);
             }
             (ComponentKind::ControlLogic, CodeStyle::FunctionalTest) => {
                 self.body_control_functional(asm);
             }
             // Style-comparison builds (Figures 1-4 on two-operand CUTs).
             (ComponentKind::Alu, CodeStyle::AtpgImmediate) => {
-                self.body_alu_atpg(cut, asm, false);
+                self.body_alu_atpg(cut, asm, false, telemetry);
             }
             (ComponentKind::Alu, CodeStyle::AtpgDataFetch) => {
-                self.body_alu_atpg(cut, asm, true);
+                self.body_alu_atpg(cut, asm, true, telemetry);
             }
             (
                 ComponentKind::Alu | ComponentKind::Multiplier | ComponentKind::Divider,
@@ -458,7 +490,7 @@ impl RoutineSpec {
     /// with the operation-select inputs pinned (the instruction-imposed
     /// constraint), and each generated pattern becomes `li` + one shift
     /// instruction with an immediate shift amount (Figure 1 style).
-    fn body_shifter_atpg(&self, cut: &Cut, asm: &mut Asm) {
+    fn body_shifter_atpg(&self, cut: &Cut, asm: &mut Asm, telemetry: &mut AtpgTelemetry) {
         let component = &cut.component;
         let op_bus = component.ports.input("op");
         let mut remaining = component.netlist.collapsed_faults();
@@ -474,6 +506,7 @@ impl RoutineSpec {
                 .with_constraints(&constraints)
                 .with_config(self.atpg);
             let result = atpg.run(&remaining);
+            telemetry.absorb(&result);
             for pattern in &result.patterns {
                 let data = pattern_port_value(component, pattern, "data") as u32;
                 let amount = pattern_port_value(component, pattern, "amount") as u8;
@@ -510,7 +543,13 @@ impl RoutineSpec {
 
     /// ATPG routine for the ALU (used for the Figures 1/2 style
     /// comparison): one constrained PODEM run per ALU function.
-    fn body_alu_atpg(&self, cut: &Cut, asm: &mut Asm, data_fetch: bool) {
+    fn body_alu_atpg(
+        &self,
+        cut: &Cut,
+        asm: &mut Asm,
+        data_fetch: bool,
+        telemetry: &mut AtpgTelemetry,
+    ) {
         let component = &cut.component;
         let op_bus = component.ports.input("op");
         let mut remaining = component.netlist.collapsed_faults();
@@ -526,6 +565,7 @@ impl RoutineSpec {
                 .with_constraints(&constraints)
                 .with_config(self.atpg);
             let result = atpg.run(&remaining);
+            telemetry.absorb(&result);
             let pairs: Vec<(u32, u32)> = result
                 .patterns
                 .iter()

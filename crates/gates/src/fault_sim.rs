@@ -364,6 +364,10 @@ pub struct SimStats {
     /// Gates folded into a predecessor's tape entry by chain collapsing;
     /// 0 for the non-compiled engines.
     pub chains_collapsed: u64,
+    /// Evaluation tapes compiled *during this call*: 1 on a compiled-engine
+    /// simulator's first run, 0 afterwards (the tape is cached per
+    /// [`FaultSimulator`]) and 0 for the non-compiled engines.
+    pub tape_compilations: u64,
     /// Fault lanes actually occupied across all passes (the fault count).
     pub lane_slots_filled: u64,
     /// Fault-lane capacity across all passes
@@ -605,6 +609,11 @@ impl<'a> Backend<'a> {
 pub struct FaultSimulator<'a> {
     netlist: &'a Netlist,
     config: FaultSimConfig,
+    /// Compiled evaluation tape, built lazily on the first compiled-engine
+    /// run and reused by every later [`FaultSimulator::simulate`] call on
+    /// this simulator — callers that grade many small stimuli (ATPG fault
+    /// dropping) pay compilation once per simulator, not once per call.
+    tape: OnceLock<CompiledTape<'a>>,
 }
 
 impl<'a> FaultSimulator<'a> {
@@ -613,12 +622,17 @@ impl<'a> FaultSimulator<'a> {
         FaultSimulator {
             netlist,
             config: FaultSimConfig::default(),
+            tape: OnceLock::new(),
         }
     }
 
     /// Creates a fault simulator with an explicit configuration.
     pub fn with_config(netlist: &'a Netlist, config: FaultSimConfig) -> Self {
-        FaultSimulator { netlist, config }
+        FaultSimulator {
+            netlist,
+            config,
+            tape: OnceLock::new(),
+        }
     }
 
     /// Grades `faults` against `stimulus`.
@@ -629,15 +643,21 @@ impl<'a> FaultSimulator<'a> {
         let start = Instant::now();
         let batches =
             fault_batches_by_cone_sized(self.netlist, faults, self.config.engine.faults_per_pass());
-        // The compiled engine's tape is built once and shared (immutably)
-        // by every worker; each worker still owns a private simulator.
-        let tape = matches!(self.config.engine, SimEngine::Compiled)
-            .then(|| CompiledTape::compile(self.netlist));
+        // The compiled engine's tape is built once per *simulator* and
+        // shared (immutably) by every worker and every later call; each
+        // worker still owns a private simulator state.
+        let mut tape_compilations = 0u64;
+        let tape = matches!(self.config.engine, SimEngine::Compiled).then(|| {
+            self.tape.get_or_init(|| {
+                tape_compilations += 1;
+                CompiledTape::compile(self.netlist)
+            })
+        });
         let threads = self.config.resolved_threads(batches.len());
         let mut result = if threads <= 1 {
-            self.simulate_serial(tape.as_ref(), &batches, faults, stimulus)
+            self.simulate_serial(tape, &batches, faults, stimulus)
         } else {
-            self.simulate_threaded(tape.as_ref(), &batches, faults, stimulus, threads)
+            self.simulate_threaded(tape, &batches, faults, stimulus, threads)
         };
         result.threads_used = threads;
         result.engine = self.config.engine;
@@ -648,10 +668,11 @@ impl<'a> FaultSimulator<'a> {
         result.stats.events_simulated = result.stats.per_thread.iter().map(|t| t.events).sum();
         result.stats.events_full_eval =
             result.stats.cycles_simulated * self.netlist.comb_order().len() as u64;
-        if let Some(tape) = &tape {
+        if let Some(tape) = tape {
             result.stats.tape_len = tape.tape_len() as u64;
             result.stats.chains_collapsed = tape.chains_collapsed() as u64;
         }
+        result.stats.tape_compilations = tape_compilations;
         result.stats.lane_slots_filled = faults.len() as u64;
         result.stats.lane_slots_total =
             batches.len() as u64 * self.config.engine.faults_per_pass() as u64;

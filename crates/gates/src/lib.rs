@@ -49,6 +49,7 @@ mod net;
 mod netlist;
 mod sim;
 mod tape;
+mod tape3;
 
 pub mod coverage;
 pub mod scoap;
@@ -67,5 +68,6 @@ pub use netlist::{Netlist, NetlistBuilder};
 pub use scoap::Testability;
 pub use sim::{Simulator, LANES};
 pub use tape::{CompiledTape, TapeSimulator, MAX_LANE_WORDS};
+pub use tape3::{eval3, Dual3, Tape3, T3};
 
 pub use coverage::FaultCoverage;

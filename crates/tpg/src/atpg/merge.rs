@@ -1,0 +1,71 @@
+//! Sequential canonical-order reduction of one round of search results.
+//!
+//! The reducer walks a round's results in the canonical fault order they
+//! were scheduled in. A result whose target has been covered by a pattern
+//! accepted earlier (this round or a previous one) is *discarded* — the
+//! speculative search is charged to [`AtpgStats::podem_discarded`] and
+//! contributes nothing else. Applied results update outcomes exactly as a
+//! sequential PODEM loop would: accepted tests re-run drop simulation over
+//! the still-undetected faults on the run's shared simulator.
+
+use sbst_gates::{Fault, FaultSimulator, Stimulus};
+
+use super::search::{SearchOutcome, SearchResult};
+use super::{AtpgOutcome, AtpgStats};
+
+/// Applies one round; returns the number of evaluation tapes the drop
+/// simulations compiled (0 once the run's shared simulator has its cached
+/// tape — the regression signal for the hoisted-simulator fix).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_round(
+    sim: &FaultSimulator<'_>,
+    faults: &[Fault],
+    round: &[usize],
+    results: Vec<SearchResult>,
+    outcomes: &mut [AtpgOutcome],
+    patterns: &mut Vec<Vec<bool>>,
+    stats: &mut AtpgStats,
+) -> u64 {
+    debug_assert_eq!(round.len(), results.len());
+    let mut tape_compilations = 0u64;
+    for (&target, result) in round.iter().zip(results) {
+        if outcomes[target].is_detected() {
+            // An earlier accepted pattern covered this target while its
+            // search was (speculatively) running.
+            stats.podem_discarded += 1;
+            continue;
+        }
+        stats.podem_targets += 1;
+        stats.podem_backtracks += result.backtracks;
+        match result.outcome {
+            SearchOutcome::Test(pattern) => {
+                // Drop other remaining faults detected by this pattern.
+                let remaining: Vec<usize> = (0..faults.len())
+                    .filter(|&i| !outcomes[i].is_detected())
+                    .collect();
+                let remaining_faults: Vec<Fault> = remaining.iter().map(|&i| faults[i]).collect();
+                let mut stim = Stimulus::new();
+                stim.push_pattern(&pattern);
+                let res = sim.simulate(&remaining_faults, &stim);
+                tape_compilations += res.stats.tape_compilations;
+                for (k, &i) in remaining.iter().enumerate() {
+                    if res.detected[k] {
+                        outcomes[i] = AtpgOutcome::DetectedByPodem;
+                    }
+                }
+                debug_assert!(outcomes[target].is_detected(), "podem pattern must work");
+                patterns.push(pattern);
+                stats.podem_tests += 1;
+            }
+            SearchOutcome::Redundant => {
+                outcomes[target] = AtpgOutcome::Redundant;
+                stats.redundant += 1;
+            }
+            SearchOutcome::Aborted => {
+                outcomes[target] = AtpgOutcome::Aborted;
+                stats.aborted += 1;
+            }
+        }
+    }
+    tape_compilations
+}

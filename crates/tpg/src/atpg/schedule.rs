@@ -1,0 +1,83 @@
+//! Fan-out of one round of speculative PODEM searches over scoped workers.
+//!
+//! The same discipline the fault simulator uses for batch grading: workers
+//! claim targets from an atomic cursor and publish each result into a
+//! per-target `OnceLock` slot, so the round's result vector is ordered by
+//! target — independent of which worker ran what, and therefore of the
+//! thread count. Worker accounting is observational only.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use sbst_gates::Fault;
+
+use super::search::{Scratch, SearchResult, Searcher};
+use super::AtpgThreadStats;
+
+/// Searches every target in `round` (indices into `faults`), returning the
+/// results in round order. Per-worker effort is accumulated into
+/// `thread_stats` (one entry per configured worker).
+pub(crate) fn search_round(
+    searcher: &Searcher<'_>,
+    faults: &[Fault],
+    round: &[usize],
+    threads: usize,
+    thread_stats: &mut [AtpgThreadStats],
+) -> Vec<SearchResult> {
+    let workers = threads.min(round.len()).max(1);
+    if workers == 1 {
+        let busy_start = Instant::now();
+        let mut scratch = Scratch::default();
+        let mut results = Vec::with_capacity(round.len());
+        for &target in round {
+            let res = searcher.search(&faults[target], &mut scratch);
+            thread_stats[0].searches += 1;
+            thread_stats[0].backtracks += res.backtracks;
+            results.push(res);
+        }
+        thread_stats[0].busy += busy_start.elapsed();
+        return results;
+    }
+
+    let slots: Vec<OnceLock<SearchResult>> = (0..round.len()).map(|_| OnceLock::new()).collect();
+    let worker_slots: Vec<OnceLock<AtpgThreadStats>> =
+        (0..workers).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for worker_slot in &worker_slots {
+            scope.spawn(|| {
+                let busy_start = Instant::now();
+                let mut local = AtpgThreadStats::default();
+                let mut scratch = Scratch::default();
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= round.len() {
+                        break;
+                    }
+                    let res = searcher.search(&faults[round[k]], &mut scratch);
+                    local.searches += 1;
+                    local.backtracks += res.backtracks;
+                    let stored = slots[k].set(res);
+                    debug_assert!(stored.is_ok(), "each slot is claimed exactly once");
+                }
+                local.busy = busy_start.elapsed();
+                let stored = worker_slot.set(local);
+                debug_assert!(stored.is_ok());
+            });
+        }
+    });
+    for (acc, slot) in thread_stats.iter_mut().zip(worker_slots) {
+        let local = slot.into_inner().unwrap_or_default();
+        acc.searches += local.searches;
+        acc.backtracks += local.backtracks;
+        acc.busy += local.busy;
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every round slot is filled before the scope ends")
+        })
+        .collect()
+}

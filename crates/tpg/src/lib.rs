@@ -25,7 +25,10 @@ pub mod misr_grade;
 pub mod regular;
 pub mod strategy;
 
-pub use atpg::{Atpg, AtpgConfig, AtpgOutcome, AtpgResult, AtpgStats, InputConstraint};
+pub use atpg::{
+    Atpg, AtpgConfig, AtpgOutcome, AtpgResult, AtpgStats, AtpgTelemetry, AtpgThreadStats,
+    InputConstraint,
+};
 pub use lfsr::{Lfsr32, LfsrConfig};
 pub use misr::Misr32;
 pub use misr_grade::{signature_grade, SignatureGradeResult};
