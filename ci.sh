@@ -50,9 +50,9 @@ echo "== validate all four reports =="
 for report in BENCH_table1.json BENCH_table1_serial.json BENCH_table1_full.json BENCH_table1_compiled.json; do
   cargo run --release -p sbst-bench --bin jsonlint -- "$report" \
     --require tool --require schema_version --require table1 --require execution_time
-  # Reports must carry the current schema (5: the table1.atpg object).
-  if [ "$(jq '.schema_version' "$report")" != "5" ]; then
-    echo "error: $report schema_version is not 5" >&2
+  # Reports must carry the current schema (6: the fleet orchestrator).
+  if [ "$(jq '.schema_version' "$report")" != "6" ]; then
+    echo "error: $report schema_version is not 6" >&2
     exit 1
   fi
 done
@@ -101,5 +101,42 @@ cargo run --release -p sbst-bench --bin online_manager -- --smoke --json BENCH_o
 echo "== validate online_manager report =="
 cargo run --release -p sbst-bench --bin jsonlint -- BENCH_online_manager.json \
   --require tool --require schema_version --require scenarios --require replan
+
+echo "== fleet orchestration smoke: 1000 nodes, workers 1 vs 2 (exit code gates invariants) =="
+# The binary itself exits nonzero unless exactly one characterization ran
+# and session/node conservation holds; the runs here additionally pin the
+# worker-count differential: the deterministic aggregate tree must be
+# bit-identical for any worker count under a fixed seed.
+rm -f BENCH_fleet.json BENCH_fleet_serial.json
+mkdir -p target
+cargo run --release -p sbst-bench --bin fleet -- --smoke --nodes 1000 \
+  --workers 1 --json BENCH_fleet_serial.json
+cargo run --release -p sbst-bench --bin fleet -- --smoke --nodes 1000 \
+  --workers 2 --json BENCH_fleet.json --ndjson target/fleet_telemetry.ndjson
+
+echo "== validate fleet reports and telemetry stream =="
+for report in BENCH_fleet.json BENCH_fleet_serial.json; do
+  cargo run --release -p sbst-bench --bin jsonlint -- "$report" \
+    --require tool --require schema_version --require characterizations \
+    --require throughput --require aggregate --require workers_detail
+  if [ "$(jq '.schema_version' "$report")" != "6" ]; then
+    echo "error: $report schema_version is not 6" >&2
+    exit 1
+  fi
+  if [ "$(jq '.characterizations' "$report")" != "1" ]; then
+    echo "error: $report did not characterize exactly once" >&2
+    exit 1
+  fi
+done
+# Every telemetry line must be a complete record carrying its type and
+# node; any invalid line fails with its line number.
+cargo run --release -p sbst-bench --bin jsonlint -- target/fleet_telemetry.ndjson \
+  --ndjson --require type --require node
+
+echo "== fleet worker differential: aggregates must be bit-identical =="
+if ! diff <(jq -S '.aggregate' BENCH_fleet_serial.json) <(jq -S '.aggregate' BENCH_fleet.json); then
+  echo "error: fleet aggregate diverges between workers=1 and workers=2" >&2
+  exit 1
+fi
 
 echo "== ci.sh: all green =="

@@ -1,0 +1,232 @@
+//! Fleet-scale periodic-test orchestration bench.
+//!
+//! ```text
+//! cargo run --release -p sbst-bench --bin fleet -- \
+//!     [--nodes N] [--seconds S] [--workers W] [--seed X] [--smoke] \
+//!     [--json out.json] [--ndjson stream.ndjson]
+//! ```
+//!
+//! Simulates `N` managed cores, all running the *same* shared
+//! characterization (graded schedule, golden signature store, mountable
+//! netlists — built exactly once, proven by a counter), over a virtual
+//! horizon of `S` seconds at the nominal clock. Nodes draw heterogeneous
+//! fault profiles (healthy / infant-mortality / wear-out /
+//! correlated-batch) from the fleet seed; a sharded work-stealing
+//! scheduler drives their sessions across `W` workers; batched NDJSON
+//! telemetry streams to `--ndjson`.
+//!
+//! The run is deterministic in everything but wall time: the `aggregate`
+//! tree in the `--json` report is bit-identical for any worker count
+//! under a fixed seed (ci.sh diffs workers=1 against workers=2), and the
+//! binary exits nonzero if the characterize-once invariant or session
+//! conservation is violated. `--workers` falls back to
+//! `SBST_FLEET_WORKERS`, then to available parallelism.
+
+use std::io::Write;
+use std::time::Instant;
+
+use sbst_bench::{fleet_workers_from_env, json_output_path, write_report_if_requested};
+use sbst_core::{Cut, JsonValue, RunReport};
+use sbst_fleet::{run_fleet, Characterizer, FleetConfig, FleetRun, NOMINAL_HZ};
+
+fn parse_u64_flag(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == flag {
+            match iter.next() {
+                Some(v) => v.clone(),
+                None => return Err(format!("{flag} requires a positive integer")),
+            }
+        } else if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+            v.to_owned()
+        } else {
+            continue;
+        };
+        return match value.trim().parse::<u64>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(format!("{flag} must be a positive integer, got `{value}`")),
+        };
+    }
+    Ok(None)
+}
+
+fn string_flag(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            return match iter.next() {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{flag} requires a path argument")),
+            };
+        }
+        if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+            if v.is_empty() {
+                return Err(format!("{flag} requires a path argument"));
+            }
+            return Ok(Some(v.to_owned()));
+        }
+    }
+    Ok(None)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Consistency gates: the invariants ci.sh (and the exit code) rely on.
+fn check_invariants(run: &FleetRun, nodes: u64) -> Result<(), String> {
+    if run.characterizations != 1 {
+        return Err(format!(
+            "characterize-once violated: {} characterizations for {} nodes",
+            run.characterizations, nodes
+        ));
+    }
+    let worker_sessions: u64 = run.workers.iter().map(|w| w.sessions).sum();
+    if worker_sessions != run.aggregate.sessions {
+        return Err(format!(
+            "session conservation violated: workers ran {worker_sessions}, aggregate says {}",
+            run.aggregate.sessions
+        ));
+    }
+    let finalized: u64 = run.workers.iter().map(|w| w.nodes_finalized).sum();
+    if finalized != nodes {
+        return Err(format!(
+            "node conservation violated: {finalized} finalized of {nodes}"
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = json_output_path(&args).unwrap_or_else(|e| fail(&e));
+    let nodes = parse_u64_flag(&args, "--nodes")
+        .unwrap_or_else(|e| fail(&e))
+        .unwrap_or(1000);
+    let seconds = parse_u64_flag(&args, "--seconds")
+        .unwrap_or_else(|e| fail(&e))
+        .unwrap_or(if smoke { 2 } else { 4 });
+    let seed = parse_u64_flag(&args, "--seed")
+        .unwrap_or_else(|e| fail(&e))
+        .unwrap_or(0x5B57_F1EE);
+    let workers = match parse_u64_flag(&args, "--workers").unwrap_or_else(|e| fail(&e)) {
+        Some(n) => n as usize,
+        None => fleet_workers_from_env().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }),
+    };
+    let ndjson_path = string_flag(&args, "--ndjson").unwrap_or_else(|e| fail(&e));
+
+    // Smoke trims the managed inventory (no multiplier) — the same cut
+    // split the online_manager campaign uses.
+    let cuts = if smoke {
+        vec![Cut::alu(32), Cut::shifter(32)]
+    } else {
+        vec![Cut::alu(32), Cut::shifter(32), Cut::multiplier(32)]
+    };
+
+    let config = FleetConfig {
+        nodes,
+        workers,
+        seed,
+        horizon_cycles: seconds * NOMINAL_HZ,
+        ..FleetConfig::default()
+    };
+    eprintln!(
+        "fleet: {} nodes, {} workers, {}s virtual horizon ({} cycles), seed {:#x}",
+        nodes, workers, seconds, config.horizon_cycles, seed
+    );
+
+    let telemetry: Option<Box<dyn Write + Send>> = match &ndjson_path {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Some(Box::new(file)),
+            Err(e) => fail(&format!("cannot create {path}: {e}")),
+        },
+        None => None,
+    };
+
+    let characterizer = Characterizer::new(cuts);
+    let start = Instant::now();
+    let run = run_fleet(&config, &characterizer, telemetry);
+    let wall = start.elapsed().as_secs_f64();
+
+    let agg = &run.aggregate;
+    eprintln!(
+        "fleet: {} sessions, {} attempts ({} passes), {} transients, {} quarantines, digest {:#018x}",
+        agg.sessions, agg.attempts, agg.passes, agg.transients, agg.quarantines, agg.fleet_digest
+    );
+    eprintln!(
+        "fleet: {:.2} nodes/s, {:.0} sessions/s, {} characterization(s), wall {:.3}s",
+        nodes as f64 / wall,
+        agg.sessions as f64 / wall,
+        run.characterizations,
+        wall
+    );
+    for w in &run.workers {
+        eprintln!(
+            "  worker {}: {} sessions, {} steals, {} nodes finalized, {} telemetry lines",
+            w.worker, w.sessions, w.steals, w.nodes_finalized, w.telemetry_lines
+        );
+    }
+
+    let report = RunReport::new("fleet")
+        .field("smoke", JsonValue::Bool(smoke))
+        .field("nodes", JsonValue::UInt(nodes))
+        .field("workers", JsonValue::UInt(workers as u64))
+        .field("seed", JsonValue::UInt(seed))
+        .field("virtual_seconds", JsonValue::UInt(seconds))
+        .field("horizon_cycles", JsonValue::UInt(config.horizon_cycles))
+        .field(
+            "base_period_cycles",
+            JsonValue::UInt(config.base_period_cycles),
+        )
+        .field("characterizations", JsonValue::UInt(run.characterizations))
+        .field("wall_seconds", JsonValue::Float(wall))
+        .field(
+            "throughput",
+            JsonValue::object([
+                ("nodes_per_sec", JsonValue::Float(nodes as f64 / wall)),
+                (
+                    "sessions_per_sec",
+                    JsonValue::Float(agg.sessions as f64 / wall),
+                ),
+            ]),
+        )
+        .field("aggregate", agg.to_json())
+        .field(
+            "workers_detail",
+            JsonValue::Array(
+                run.workers
+                    .iter()
+                    .map(|w| {
+                        JsonValue::object([
+                            ("worker", JsonValue::UInt(w.worker as u64)),
+                            ("sessions", JsonValue::UInt(w.sessions)),
+                            ("steals", JsonValue::UInt(w.steals)),
+                            ("nodes_finalized", JsonValue::UInt(w.nodes_finalized)),
+                            ("telemetry_lines", JsonValue::UInt(w.telemetry_lines)),
+                            ("telemetry_batches", JsonValue::UInt(w.telemetry_batches)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )
+        .field(
+            "telemetry",
+            JsonValue::object([
+                ("lines", JsonValue::UInt(run.telemetry_lines)),
+                ("flushes", JsonValue::UInt(run.telemetry_flushes)),
+            ]),
+        );
+    write_report_if_requested(&report, json_path.as_deref());
+
+    if let Err(msg) = check_invariants(&run, nodes) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+    eprintln!("fleet: all invariants hold");
+}

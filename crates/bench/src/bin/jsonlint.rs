@@ -3,19 +3,34 @@
 //!
 //! ```text
 //! cargo run -p sbst-bench --bin jsonlint -- report.json [--require key]...
+//! cargo run -p sbst-bench --bin jsonlint -- stream.ndjson --ndjson [--require key]...
 //! ```
 //!
-//! Exits 0 when the file parses (and every `--require`d key is present at
-//! the top level), nonzero with a diagnostic otherwise. CI uses this to
-//! fail the build when a bench binary produces a missing or unparseable
-//! report.
+//! In the default mode the file must be one JSON document; with `--ndjson`
+//! it must be newline-delimited JSON — every non-empty line a complete
+//! object — and any invalid line fails the run with its 1-based line
+//! number. `--require` checks top-level keys (of the document, or of
+//! every NDJSON record).
+//!
+//! Exits 0 when validation passes, nonzero with a diagnostic otherwise.
+//! CI uses this to fail the build when a bench binary produces a missing
+//! or unparseable report or telemetry stream.
 
-use sbst_core::json::{self, JsonValue};
+use sbst_core::json::{self, parse_ndjson, JsonValue};
+
+fn missing_keys<'a>(value: &JsonValue, required: &'a [String]) -> Vec<&'a str> {
+    required
+        .iter()
+        .filter(|key| !(matches!(value, JsonValue::Object(_)) && value.get(key).is_some()))
+        .map(|key| key.as_str())
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = None;
     let mut required = Vec::new();
+    let mut ndjson = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -26,6 +41,7 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--ndjson" => ndjson = true,
             other if path.is_none() => path = Some(other.to_owned()),
             other => {
                 eprintln!("error: unexpected argument {other:?}");
@@ -34,7 +50,7 @@ fn main() {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: jsonlint <file.json> [--require key]...");
+        eprintln!("usage: jsonlint <file.json> [--ndjson] [--require key]...");
         std::process::exit(2);
     };
 
@@ -45,6 +61,34 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    if ndjson {
+        let records = match parse_ndjson(&text) {
+            Ok(records) => records,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        for (i, record) in records.iter().enumerate() {
+            let missing = missing_keys(record, &required);
+            if !missing.is_empty() {
+                eprintln!(
+                    "error: {path}: record {} missing required keys: {}",
+                    i + 1,
+                    missing.join(", ")
+                );
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "{path}: ok ({} NDJSON records, {} bytes)",
+            records.len(),
+            text.len()
+        );
+        return;
+    }
+
     let value = match json::parse(&text) {
         Ok(value) => value,
         Err(e) => {
@@ -52,13 +96,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let mut missing = Vec::new();
-    for key in &required {
-        let present = matches!(&value, JsonValue::Object(_)) && value.get(key).is_some();
-        if !present {
-            missing.push(key.as_str());
-        }
-    }
+    let missing = missing_keys(&value, &required);
     if !missing.is_empty() {
         eprintln!(
             "error: {path}: missing required keys: {}",

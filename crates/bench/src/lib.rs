@@ -131,6 +131,15 @@ pub fn atpg_config_from_env() -> AtpgConfig {
     }
 }
 
+/// Fleet worker-thread count from `SBST_FLEET_WORKERS`, through the
+/// shared warning path: unset → `None` (callers fall back to available
+/// parallelism), invalid → `None` plus a one-line stderr warning echoing
+/// the rejected value. The fleet's aggregates are bit-identical for every
+/// worker count, so this only shapes wall time.
+pub fn fleet_workers_from_env() -> Option<usize> {
+    threads_from_env("SBST_FLEET_WORKERS")
+}
+
 /// Extracts the `--threads <n>` flag from an argument list: a positive
 /// worker count applied to both the fault simulator and the PODEM search
 /// pool. Accepts `--threads 2` and `--threads=2`.
@@ -269,6 +278,29 @@ mod tests {
         assert_eq!(
             parse_threads_var("SBST_PODEM_THREADS", "bogus").unwrap_err(),
             "SBST_PODEM_THREADS must be a positive integer, got `bogus`; \
+             using available parallelism"
+        );
+    }
+
+    #[test]
+    fn fleet_workers_parsing_names_bad_values() {
+        assert_eq!(parse_threads_var("SBST_FLEET_WORKERS", "4"), Ok(4));
+        assert_eq!(parse_threads_var("SBST_FLEET_WORKERS", " 16 "), Ok(16));
+        for bad in ["0", "-3", "four", "2.5", ""] {
+            let err = parse_threads_var("SBST_FLEET_WORKERS", bad).unwrap_err();
+            assert!(err.contains(&format!("`{bad}`")), "message: {err}");
+            assert!(err.contains("SBST_FLEET_WORKERS"), "message: {err}");
+        }
+    }
+
+    /// Pins the exact warning for an invalid `SBST_FLEET_WORKERS` value —
+    /// same convention as `SBST_THREADS` / `SBST_PODEM_THREADS`: name the
+    /// variable, echo the rejected value in backticks, state the fallback.
+    #[test]
+    fn bad_fleet_workers_warning_is_pinned() {
+        assert_eq!(
+            parse_threads_var("SBST_FLEET_WORKERS", "bogus").unwrap_err(),
+            "SBST_FLEET_WORKERS must be a positive integer, got `bogus`; \
              using available parallelism"
         );
     }

@@ -10,10 +10,16 @@
 //! - a writer with full string escaping and non-finite-float handling
 //!   ([`JsonValue::to_json`] / [`JsonValue::to_json_pretty`]);
 //! - a strict recursive-descent parser ([`parse`]) used by golden-file
-//!   tests and the `jsonlint` CI gate to prove emitted reports round-trip.
+//!   tests and the `jsonlint` CI gate to prove emitted reports round-trip;
+//! - newline-delimited JSON (NDJSON) streaming: a line writer
+//!   ([`JsonValue::to_ndjson_line`], [`NdjsonWriter`]) for telemetry
+//!   streams where records are appended and flushed in batches, and a
+//!   strict line-oriented parser ([`parse_ndjson`]) that fails on any
+//!   invalid line.
 
 use std::error::Error;
 use std::fmt;
+use std::io::{self, Write};
 
 /// An owned JSON value.
 ///
@@ -118,6 +124,15 @@ impl JsonValue {
     pub fn to_json_pretty(&self) -> String {
         let mut out = String::new();
         self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    /// Serializes as one NDJSON line: compact (a JSON document can only
+    /// span lines through whitespace, which the compact writer never
+    /// emits) and newline-terminated.
+    pub fn to_ndjson_line(&self) -> String {
+        let mut out = self.to_json();
         out.push('\n');
         out
     }
@@ -330,6 +345,147 @@ pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
         return Err(p.err("trailing characters after JSON value"));
     }
     Ok(value)
+}
+
+/// Error from [`parse_ndjson`]: which line failed, and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NdjsonError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// The parse failure on that line.
+    pub error: JsonParseError,
+}
+
+impl fmt::Display for NdjsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.error)
+    }
+}
+
+impl Error for NdjsonError {}
+
+/// Parses a newline-delimited JSON stream: one complete JSON value per
+/// line. Empty lines (including a trailing newline's empty remainder) are
+/// skipped; any other invalid line fails the whole stream — a telemetry
+/// file with a torn or corrupt record must not half-parse silently.
+///
+/// # Errors
+///
+/// Returns [`NdjsonError`] naming the first offending line.
+pub fn parse_ndjson(input: &str) -> Result<Vec<JsonValue>, NdjsonError> {
+    let mut values = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse(line).map_err(|error| NdjsonError { line: i + 1, error })?;
+        values.push(value);
+    }
+    Ok(values)
+}
+
+/// A buffered newline-delimited JSON writer.
+///
+/// Values are serialized compactly, one per line, into an internal buffer
+/// that is flushed to the underlying writer only when it exceeds the
+/// configured threshold (or on [`NdjsonWriter::flush`]/drop-free `finish`).
+/// This is the batching layer for streaming telemetry: per-record cost is
+/// an in-memory append; syscalls amortize over many records.
+#[derive(Debug)]
+pub struct NdjsonWriter<W: Write> {
+    sink: W,
+    buffer: String,
+    flush_bytes: usize,
+    lines: u64,
+    flushes: u64,
+}
+
+impl<W: Write> NdjsonWriter<W> {
+    /// Default buffered bytes before an automatic flush.
+    pub const DEFAULT_FLUSH_BYTES: usize = 64 * 1024;
+
+    /// Creates a writer over `sink` with the default batch threshold.
+    pub fn new(sink: W) -> Self {
+        Self::with_flush_bytes(sink, Self::DEFAULT_FLUSH_BYTES)
+    }
+
+    /// Creates a writer flushing whenever the buffer exceeds
+    /// `flush_bytes` (0 flushes after every record).
+    pub fn with_flush_bytes(sink: W, flush_bytes: usize) -> Self {
+        NdjsonWriter {
+            sink,
+            buffer: String::new(),
+            flush_bytes,
+            lines: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Appends one value as an NDJSON line, flushing if the batch
+    /// threshold is exceeded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from an automatic flush.
+    pub fn write_value(&mut self, value: &JsonValue) -> io::Result<()> {
+        value.write(&mut self.buffer, None, 0);
+        self.buffer.push('\n');
+        self.lines += 1;
+        if self.buffer.len() >= self.flush_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Appends an already-serialized NDJSON batch (newline-terminated
+    /// lines), flushing if the batch threshold is exceeded. Used by
+    /// per-worker buffers handing their batches to a shared writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from an automatic flush.
+    pub fn write_batch(&mut self, batch: &str, lines: u64) -> io::Result<()> {
+        self.buffer.push_str(batch);
+        self.lines += lines;
+        if self.buffer.len() >= self.flush_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes any buffered lines through to the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.buffer.is_empty() {
+            self.sink.write_all(self.buffer.as_bytes())?;
+            self.buffer.clear();
+            self.flushes += 1;
+        }
+        self.sink.flush()
+    }
+
+    /// Lines written so far (buffered or flushed).
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Batch flushes performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the final flush.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush()?;
+        Ok(self.sink)
+    }
 }
 
 struct Parser<'a> {
@@ -665,5 +821,66 @@ mod tests {
     fn option_conversion() {
         assert_eq!(JsonValue::from(None::<u32>), JsonValue::Null);
         assert_eq!(JsonValue::from(Some(3u32)), JsonValue::UInt(3));
+    }
+
+    #[test]
+    fn ndjson_line_is_single_line_and_round_trips() {
+        let v = JsonValue::object([
+            ("type", JsonValue::from("session")),
+            ("text", JsonValue::from("embedded\nnewline")),
+        ]);
+        let line = v.to_ndjson_line();
+        assert!(line.ends_with('\n'));
+        // The embedded newline is escaped — exactly one physical line.
+        assert_eq!(line.matches('\n').count(), 1);
+        let back = parse_ndjson(&line).unwrap();
+        assert_eq!(back, vec![v]);
+    }
+
+    #[test]
+    fn ndjson_parses_stream_and_skips_blank_lines() {
+        let input = "{\"a\":1}\n\n{\"a\":2}\n{\"a\":3}\n";
+        let values = parse_ndjson(input).unwrap();
+        assert_eq!(values.len(), 3);
+        assert_eq!(values[2].get("a").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn ndjson_rejects_any_invalid_line_with_its_number() {
+        let input = "{\"ok\":true}\n{\"torn\":\n{\"ok\":true}\n";
+        let err = parse_ndjson(input).unwrap_err();
+        assert_eq!(err.line, 2);
+        // Multi-line documents are invalid NDJSON by construction.
+        assert!(parse_ndjson("{\n\"a\": 1\n}\n").is_err());
+        assert!(parse_ndjson("{\"a\":1} trailing\n").is_err());
+    }
+
+    #[test]
+    fn ndjson_writer_batches_flushes() {
+        let mut w = NdjsonWriter::with_flush_bytes(Vec::new(), 1024);
+        let record = JsonValue::object([("k", JsonValue::from(1u32))]);
+        for _ in 0..10 {
+            w.write_value(&record).unwrap();
+        }
+        // 10 small records fit one batch: nothing flushed yet.
+        assert_eq!(w.lines(), 10);
+        assert_eq!(w.flushes(), 0);
+        for _ in 0..200 {
+            w.write_value(&record).unwrap();
+        }
+        assert!(w.flushes() >= 1, "threshold crossings must flush");
+        let sink = w.finish().unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert_eq!(parse_ndjson(&text).unwrap().len(), 210);
+    }
+
+    #[test]
+    fn ndjson_writer_accepts_preserialized_batches() {
+        let mut w = NdjsonWriter::new(Vec::new());
+        let batch = "{\"n\":1}\n{\"n\":2}\n";
+        w.write_batch(batch, 2).unwrap();
+        assert_eq!(w.lines(), 2);
+        let text = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert_eq!(parse_ndjson(&text).unwrap().len(), 2);
     }
 }

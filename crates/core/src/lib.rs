@@ -52,7 +52,7 @@ pub use grade::{
     grade_trace_detailed, grade_trace_with, stimulus_for, ArchValidation, GradeError,
     GradedRoutine,
 };
-pub use json::JsonValue;
+pub use json::{parse_ndjson, JsonValue, NdjsonError, NdjsonWriter};
 pub use metrics::{Metrics, RunReport};
 pub use plan::{
     build_managed_schedule, build_managed_schedule_graded, plan_excluding, plan_with_target,

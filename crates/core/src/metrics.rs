@@ -50,7 +50,14 @@ use std::time::{Duration, Instant};
 /// `atpg` object (`podem_threads`, `podem_wall_seconds`, the summed run
 /// stats including `podem_discarded` and `drop_sim_tape_compilations`, the
 /// random-phase pattern economy, and `per_thread` worker accounting).
-pub const SCHEMA_VERSION: u32 = 5;
+/// 6 — the fleet orchestrator: `fleet` reports carry the run shape
+/// (`nodes`, `workers`, `horizon_cycles`, `characterizations` — asserted
+/// exactly 1 for any node count), `throughput`
+/// (`nodes_per_sec`/`sessions_per_sec`), the deterministic `aggregate`
+/// tree (fleet totals + digest, per-profile groups, coverage-SLO
+/// attainment, transient-drift anomalies) and observational `workers`
+/// accounting (sessions, steals, telemetry flushes per worker).
+pub const SCHEMA_VERSION: u32 = 6;
 
 #[derive(Debug, Default)]
 struct Inner {

@@ -128,6 +128,25 @@ pub struct ManagedSchedule {
     pub coverage: Vec<(String, FaultCoverage)>,
 }
 
+impl ManagedSchedule {
+    /// The schedule's components as a shareable `Arc` slice — the
+    /// characterize-once, run-everywhere handle: every fleet node's
+    /// manager adopts the same allocation
+    /// ([`sbst_cpu::manager::OnlineTestManager::with_shared_components`]),
+    /// so per-node cost excludes routine programs entirely. The `Arc` is
+    /// built once per call; call it once and clone the returned handle.
+    pub fn shared_components(&self) -> std::sync::Arc<[ManagedComponent]> {
+        self.components.clone().into()
+    }
+
+    /// A fresh copy of the checksummed golden-signature store. Per-node
+    /// stores stay private (each node may re-capture or corrupt its own),
+    /// but they all start from this one characterization.
+    pub fn store_snapshot(&self) -> SignatureStore {
+        self.store.clone()
+    }
+}
+
 /// Characterizes `cuts` into a [`ManagedSchedule`]: builds the recommended
 /// routine for every routine-capable CUT, runs it fault-free to capture
 /// the golden signature and the expected cycle count, and seals the
@@ -269,6 +288,20 @@ mod tests {
             same.table.overall_coverage.total,
             full.table.overall_coverage.total
         );
+    }
+
+    #[test]
+    fn shared_components_round_trip_the_schedule() {
+        let schedule = build_managed_schedule(&cuts()).unwrap();
+        let shared = schedule.shared_components();
+        assert_eq!(shared.len(), schedule.components.len());
+        for (a, b) in shared.iter().zip(&schedule.components) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.expected_cycles, b.expected_cycles);
+        }
+        let store = schedule.store_snapshot();
+        assert!(store.verify());
+        assert_eq!(store.entries(), schedule.store.entries());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! branches and, eventually, the self-test signature. This end-to-end mode
 //! cross-validates the faster trace-replay grading of `sbst-core`.
 
+use std::sync::Arc;
+
 use sbst_components::alu::{AluFunc, AluOp};
 use sbst_components::multiplier::MulOp;
 use sbst_components::shifter::{ShiftFunc, ShiftOp};
@@ -55,6 +57,51 @@ pub enum FaultActivity {
 }
 
 impl FaultActivity {
+    /// Translates an activity defined against a *global* clock into the
+    /// local cycle frame of a CPU starting at global time `now_cycles`.
+    ///
+    /// [`crate::cpu::Cpu`] evaluates [`FaultActivity::is_active`] against
+    /// its own cycle counter, which restarts at zero for every mounted
+    /// program; a test bench that plans fault windows in the manager's
+    /// virtual time (the `now_cycles` its `prepare` receives) must rebase
+    /// them before mounting. Returns `None` when the activity can never
+    /// manifest again (a window already fully in the past) so callers can
+    /// skip mounting entirely.
+    pub fn rebase(self, now_cycles: u64) -> Option<FaultActivity> {
+        match self {
+            FaultActivity::Permanent => Some(FaultActivity::Permanent),
+            FaultActivity::Intermittent {
+                period_cycles,
+                active_cycles,
+                phase_cycles,
+            } => {
+                let offset = now_cycles % period_cycles.max(1);
+                let phase = (phase_cycles + period_cycles - offset) % period_cycles.max(1);
+                Some(FaultActivity::Intermittent {
+                    period_cycles,
+                    active_cycles,
+                    phase_cycles: phase,
+                })
+            }
+            FaultActivity::Window {
+                from_cycle,
+                until_cycle,
+            } => {
+                if until_cycle <= now_cycles {
+                    return None;
+                }
+                Some(FaultActivity::Window {
+                    from_cycle: from_cycle.saturating_sub(now_cycles),
+                    until_cycle: if until_cycle == u64::MAX {
+                        u64::MAX
+                    } else {
+                        until_cycle - now_cycles
+                    },
+                })
+            }
+        }
+    }
+
     /// Whether the fault manifests at the given cycle.
     pub fn is_active(self, cycle: u64) -> bool {
         match self {
@@ -76,10 +123,15 @@ impl FaultActivity {
 }
 
 /// A faulty component mounted in the datapath.
+///
+/// The component netlist is held behind an [`Arc`]: mounting is a refcount
+/// bump, so fleet-scale fault campaigns (thousands of nodes mounting the
+/// same shared characterization's components every attempt) never clone a
+/// netlist.
 #[derive(Debug)]
 pub struct ArchFault {
     target: ArchFaultTarget,
-    component: Component,
+    component: Arc<Component>,
     fault: Fault,
     activity: FaultActivity,
 }
@@ -93,6 +145,17 @@ impl ArchFault {
     /// (only ALU, shifter and multiplier are datapath-replaceable) or if
     /// the component is not full width (32-bit).
     pub fn new(component: Component, fault: Fault) -> Self {
+        Self::from_shared(Arc::new(component), fault)
+    }
+
+    /// [`ArchFault::new`] over an already-shared component — the fleet
+    /// path, where one characterization's netlists are mounted on many
+    /// simulated nodes without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`ArchFault::new`].
+    pub fn from_shared(component: Arc<Component>, fault: Fault) -> Self {
         let target = match component.kind {
             ComponentKind::Alu => ArchFaultTarget::Alu,
             ComponentKind::Shifter => ArchFaultTarget::Shifter,
@@ -266,6 +329,70 @@ mod tests {
         let af = ArchFault::new(c, fault);
         let op = MulOp { a: 2, b: 2 };
         assert_ne!(af.eval_mul(&op).unwrap(), ArchFault::good_mul(&op));
+    }
+
+    #[test]
+    fn rebase_translates_windows_into_the_local_frame() {
+        let w = FaultActivity::Window {
+            from_cycle: 1000,
+            until_cycle: 1500,
+        };
+        // Before the window: it sits in the future of the local frame.
+        assert_eq!(
+            w.rebase(200),
+            Some(FaultActivity::Window {
+                from_cycle: 800,
+                until_cycle: 1300,
+            })
+        );
+        // Inside the window: active from local cycle 0.
+        assert_eq!(
+            w.rebase(1200),
+            Some(FaultActivity::Window {
+                from_cycle: 0,
+                until_cycle: 300,
+            })
+        );
+        // Fully in the past: never mounts again.
+        assert_eq!(w.rebase(1500), None);
+        assert_eq!(w.rebase(u64::MAX), None);
+        // Open-ended wear-out windows stay open-ended.
+        let wear = FaultActivity::Window {
+            from_cycle: 5000,
+            until_cycle: u64::MAX,
+        };
+        assert_eq!(
+            wear.rebase(6000),
+            Some(FaultActivity::Window {
+                from_cycle: 0,
+                until_cycle: u64::MAX,
+            })
+        );
+        assert_eq!(
+            FaultActivity::Permanent.rebase(42),
+            Some(FaultActivity::Permanent)
+        );
+    }
+
+    #[test]
+    fn rebase_keeps_intermittent_cadence_aligned() {
+        let i = FaultActivity::Intermittent {
+            period_cycles: 100,
+            active_cycles: 10,
+            phase_cycles: 30,
+        };
+        // The rebased activity must agree with the global one at every
+        // global cycle reachable by a CPU started at `now`.
+        for now in [0u64, 7, 30, 99, 130, 250] {
+            let local = i.rebase(now).unwrap();
+            for delta in 0..300 {
+                assert_eq!(
+                    local.is_active(delta),
+                    i.is_active(now + delta),
+                    "now={now} delta={delta}"
+                );
+            }
+        }
     }
 
     #[test]

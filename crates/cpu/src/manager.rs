@@ -36,6 +36,7 @@
 //! [`crate::faulty::ArchFault`]s there.
 
 use std::fmt;
+use std::sync::Arc;
 
 use sbst_isa::Program;
 
@@ -378,6 +379,12 @@ pub struct ManagerConfig {
     pub quantum_cycles: Option<u64>,
     /// Response to signature-store corruption.
     pub store_policy: StorePolicy,
+    /// Whether to keep the ordered [`ManagerEvent`] log. Single-manager
+    /// deployments want the full log for diagnosis; fleet-scale runs
+    /// (thousands of managers) disable it so the per-session cost is
+    /// counters only — no per-event `String` allocation, no unbounded
+    /// growth. Counters and statuses are maintained either way.
+    pub record_events: bool,
 }
 
 impl Default for ManagerConfig {
@@ -388,6 +395,7 @@ impl Default for ManagerConfig {
             period_cycles: 1_000_000,
             quantum_cycles: None,
             store_policy: StorePolicy::Halt,
+            record_events: true,
         }
     }
 }
@@ -624,7 +632,7 @@ pub struct ComponentStatus {
 #[derive(Debug)]
 pub struct OnlineTestManager {
     config: ManagerConfig,
-    components: Vec<ManagedComponent>,
+    components: Arc<[ManagedComponent]>,
     states: Vec<ComponentState>,
     store: SignatureStore,
     events: Vec<ManagerEvent>,
@@ -645,6 +653,20 @@ impl OnlineTestManager {
         components: Vec<ManagedComponent>,
         store: SignatureStore,
     ) -> Self {
+        Self::with_shared_components(config, components.into(), store)
+    }
+
+    /// [`OnlineTestManager::new`] over a *shared* component schedule.
+    ///
+    /// Fleet deployments characterize once and hand the identical schedule
+    /// to thousands of managers; sharing the `Arc` makes each additional
+    /// manager cost only its per-component state and its (small) signature
+    /// store — the routines and programs are never cloned.
+    pub fn with_shared_components(
+        config: ManagerConfig,
+        components: Arc<[ManagedComponent]>,
+        store: SignatureStore,
+    ) -> Self {
         let states = components.iter().map(|_| ComponentState::fresh()).collect();
         OnlineTestManager {
             config,
@@ -662,6 +684,15 @@ impl OnlineTestManager {
         }
     }
 
+    /// Appends to the event log, unless [`ManagerConfig::record_events`]
+    /// turned it off. Call sites whose event construction allocates guard
+    /// themselves so a disabled log costs nothing per attempt.
+    fn push_event(&mut self, event: ManagerEvent) {
+        if self.config.record_events {
+            self.events.push(event);
+        }
+    }
+
     /// Runs (or resumes) one periodic test session: a pass over every
     /// non-quarantined component, each under the watchdog, with bounded
     /// backed-off retries and classification on failure. Never panics on
@@ -673,13 +704,13 @@ impl OnlineTestManager {
         let resumed_from = self.resume_at.take();
         let start_index = match resumed_from {
             Some(i) => {
-                self.events.push(ManagerEvent::Resumed { from: i });
+                self.push_event(ManagerEvent::Resumed { from: i });
                 i
             }
             None => {
                 self.session_count += 1;
                 self.session_had_failure = false;
-                self.events.push(ManagerEvent::SessionStarted {
+                self.push_event(ManagerEvent::SessionStarted {
                     session: self.session_count,
                 });
                 0
@@ -689,17 +720,17 @@ impl OnlineTestManager {
         // Integrity-check the reference store before trusting any verdict
         // (fresh sessions only; a resumed session checked already).
         if resumed_from.is_none() && !self.store.verify() {
-            self.events.push(ManagerEvent::StoreCorrupted);
+            self.push_event(ManagerEvent::StoreCorrupted);
             self.counters.store_corruptions += 1;
             match self.config.store_policy {
                 StorePolicy::Halt => {
                     self.halted = true;
-                    self.events.push(ManagerEvent::Halted);
+                    self.push_event(ManagerEvent::Halted);
                     return SessionStatus::Halted;
                 }
                 StorePolicy::Recapture => {
                     self.recapture_store(bench);
-                    self.events.push(ManagerEvent::StoreRecaptured);
+                    self.push_event(ManagerEvent::StoreRecaptured);
                     self.counters.store_recaptures += 1;
                 }
             }
@@ -713,8 +744,7 @@ impl OnlineTestManager {
             if let Some(quantum) = self.config.quantum_cycles {
                 if spent_cycles >= quantum {
                     self.resume_at = Some(index);
-                    self.events
-                        .push(ManagerEvent::Preempted { resume_at: index });
+                    self.push_event(ManagerEvent::Preempted { resume_at: index });
                     self.counters.preemptions += 1;
                     return SessionStatus::Preempted;
                 }
@@ -723,7 +753,7 @@ impl OnlineTestManager {
         }
 
         let healthy = !self.session_had_failure;
-        self.events.push(ManagerEvent::SessionCompleted {
+        self.push_event(ManagerEvent::SessionCompleted {
             session: self.session_count,
             healthy,
         });
@@ -733,14 +763,20 @@ impl OnlineTestManager {
 
     /// Visits one component: attempt → retry/backoff → classify →
     /// quarantine. Returns the test cycles executed.
+    ///
+    /// The component name is borrowed out of the shared schedule `Arc`
+    /// (cloning the `Arc` is a refcount bump), so the per-visit hot path
+    /// allocates no `String`s of its own — only the optional event log
+    /// does, and only when [`ManagerConfig::record_events`] is on.
     fn visit_component(&mut self, index: usize, bench: &mut dyn TestBench) -> u64 {
         let retry = self.config.retry;
         let threshold = retry.effective_permanent_threshold();
-        let name = self.components[index].name.clone();
+        let components = Arc::clone(&self.components);
+        let name = components[index].name.as_str();
         let budget = self
             .config
             .watchdog
-            .budget_cycles(self.components[index].expected_cycles);
+            .budget_cycles(components[index].expected_cycles);
 
         let mut spent = 0u64;
         let mut failures = 0u32;
@@ -750,12 +786,12 @@ impl OnlineTestManager {
             spent += cycles;
             self.clock_cycles += cycles;
             attempts += 1;
-            self.record_attempt(index, &name, attempt, verdict);
+            self.record_attempt(index, name, attempt, verdict);
 
             if !verdict.failed() {
                 if failures > 0 {
                     // Mismatch not reproduced within the retry budget.
-                    self.classify(index, &name, FaultClass::Transient, failures, attempts);
+                    self.classify(index, name, FaultClass::Transient, failures, attempts);
                 }
                 self.states[index].consecutive_failures = 0;
                 return spent;
@@ -765,18 +801,20 @@ impl OnlineTestManager {
             self.session_had_failure = true;
             self.states[index].consecutive_failures += 1;
             if self.states[index].consecutive_failures >= threshold {
-                self.classify(index, &name, FaultClass::Permanent, failures, attempts);
-                self.quarantine(index, &name);
+                self.classify(index, name, FaultClass::Permanent, failures, attempts);
+                self.quarantine(index, name);
                 return spent;
             }
             if attempt < retry.max_retries {
                 let wait = retry.backoff_cycles(self.config.period_cycles, attempt);
                 self.clock_cycles += wait;
-                self.events.push(ManagerEvent::BackoffScheduled {
-                    component: name.clone(),
-                    retry: attempt,
-                    wait_cycles: wait,
-                });
+                if self.config.record_events {
+                    self.events.push(ManagerEvent::BackoffScheduled {
+                        component: name.to_owned(),
+                        retry: attempt,
+                        wait_cycles: wait,
+                    });
+                }
                 self.counters.backoffs += 1;
             }
         }
@@ -784,7 +822,7 @@ impl OnlineTestManager {
         // reachable only when the streak started in an earlier visit and
         // passed in none of this visit's attempts; treat as still-suspect
         // transient evidence rather than quarantining on thin evidence.
-        self.classify(index, &name, FaultClass::Transient, failures, attempts);
+        self.classify(index, name, FaultClass::Transient, failures, attempts);
         spent
     }
 
@@ -798,7 +836,8 @@ impl OnlineTestManager {
         budget: u64,
         bench: &mut dyn TestBench,
     ) -> (Verdict, u64) {
-        let component = &self.components[index];
+        let components = Arc::clone(&self.components);
+        let component = &components[index];
         let mut cpu = bench.prepare(&component.name, attempt, self.clock_cycles);
         cpu.load_program(&component.program);
         match run_with_watchdog(&mut cpu, budget) {
@@ -819,10 +858,12 @@ impl OnlineTestManager {
                 (verdict, cycles)
             }
             Ok(WatchdogOutcome::Hung { budget_cycles }) => {
-                self.events.push(ManagerEvent::WatchdogFired {
-                    component: component.name.clone(),
-                    budget_cycles,
-                });
+                if self.config.record_events {
+                    self.events.push(ManagerEvent::WatchdogFired {
+                        component: component.name.clone(),
+                        budget_cycles,
+                    });
+                }
                 (Verdict::Hung { budget_cycles }, budget_cycles)
             }
             Err(_) => (Verdict::Crashed, cpu.stats().total_cycles()),
@@ -843,11 +884,13 @@ impl OnlineTestManager {
             state.passes += 1;
         }
         state.last_verdict = Some(verdict);
-        self.events.push(ManagerEvent::Attempt {
-            component: name.to_owned(),
-            attempt,
-            verdict,
-        });
+        if self.config.record_events {
+            self.events.push(ManagerEvent::Attempt {
+                component: name.to_owned(),
+                attempt,
+                verdict,
+            });
+        }
     }
 
     fn classify(
@@ -864,20 +907,24 @@ impl OnlineTestManager {
             state.health = Health::Suspect;
             self.counters.transients += 1;
         }
-        self.events.push(ManagerEvent::Classified {
-            component: name.to_owned(),
-            class,
-            failures,
-            attempts,
-        });
+        if self.config.record_events {
+            self.events.push(ManagerEvent::Classified {
+                component: name.to_owned(),
+                class,
+                failures,
+                attempts,
+            });
+        }
     }
 
     fn quarantine(&mut self, index: usize, name: &str) {
         self.states[index].health = Health::Quarantined;
         self.quarantine_log.push(name.to_owned());
-        self.events.push(ManagerEvent::Quarantined {
-            component: name.to_owned(),
-        });
+        if self.config.record_events {
+            self.events.push(ManagerEvent::Quarantined {
+                component: name.to_owned(),
+            });
+        }
         self.counters.quarantines += 1;
     }
 
@@ -886,11 +933,11 @@ impl OnlineTestManager {
     /// re-sealed. A routine that hangs or crashes during re-capture keeps
     /// its old reference (and will fail its next visit normally).
     fn recapture_store(&mut self, bench: &mut dyn TestBench) {
-        for index in 0..self.components.len() {
+        let components = Arc::clone(&self.components);
+        for (index, component) in components.iter().enumerate() {
             if self.states[index].health == Health::Quarantined {
                 continue;
             }
-            let component = &self.components[index];
             let budget = self
                 .config
                 .watchdog
@@ -901,8 +948,7 @@ impl OnlineTestManager {
                 self.clock_cycles += cycles;
                 if let Some(addr) = component.sig_addr() {
                     let observed = cpu.memory().read_word(addr);
-                    let name = component.name.clone();
-                    self.store.set(&name, observed);
+                    self.store.set(&component.name, observed);
                 }
             }
         }
@@ -916,6 +962,16 @@ impl OnlineTestManager {
     /// Events, counters, the virtual clock and the quarantine log persist;
     /// per-component state is reset for the new schedule.
     pub fn adopt_schedule(&mut self, components: Vec<ManagedComponent>, store: SignatureStore) {
+        self.adopt_shared_schedule(components.into(), store);
+    }
+
+    /// [`OnlineTestManager::adopt_schedule`] over a shared schedule `Arc` —
+    /// the fleet path, where one re-plan is adopted by many managers.
+    pub fn adopt_shared_schedule(
+        &mut self,
+        components: Arc<[ManagedComponent]>,
+        store: SignatureStore,
+    ) {
         self.states = components.iter().map(|_| ComponentState::fresh()).collect();
         self.components = components;
         self.store = store;
@@ -1195,6 +1251,52 @@ mod tests {
         assert_eq!(mgr.store().get("alu"), Some(12));
         assert_eq!(mgr.counters().store_corruptions, 1);
         assert_eq!(mgr.counters().store_recaptures, 1);
+    }
+
+    #[test]
+    fn shared_components_are_not_cloned_per_manager() {
+        // Two managers over the same Arc'd schedule: the components are
+        // shared (refcount 3 with the local handle), and both managers
+        // behave identically to privately-owned schedules.
+        let shared: Arc<[ManagedComponent]> = vec![adder_component("alu")].into();
+        let mut a = OnlineTestManager::with_shared_components(
+            ManagerConfig::default(),
+            Arc::clone(&shared),
+            golden_store(&["alu"]),
+        );
+        let mut b = OnlineTestManager::with_shared_components(
+            ManagerConfig::default(),
+            Arc::clone(&shared),
+            golden_store(&["alu"]),
+        );
+        assert_eq!(Arc::strong_count(&shared), 3);
+        for mgr in [&mut a, &mut b] {
+            assert_eq!(
+                mgr.run_session(&mut FaultFreeBench),
+                SessionStatus::Completed { healthy: true }
+            );
+        }
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn disabled_event_log_keeps_counters_and_verdicts() {
+        let config = ManagerConfig {
+            record_events: false,
+            ..ManagerConfig::default()
+        };
+        // A never-matching golden drives the full failure path (attempts,
+        // backoffs, classification, quarantine) with the log off.
+        let store = SignatureStore::new(vec![("alu".to_owned(), 0xDEAD_BEEF)]);
+        let mut mgr = OnlineTestManager::new(config, vec![adder_component("alu")], store);
+        let status = mgr.run_session(&mut FaultFreeBench);
+        assert_eq!(status, SessionStatus::Completed { healthy: false });
+        assert!(mgr.events().is_empty(), "log must stay empty when disabled");
+        assert_eq!(mgr.counters().attempts, 3);
+        assert_eq!(mgr.counters().backoffs, 2);
+        assert_eq!(mgr.counters().quarantines, 1);
+        assert_eq!(mgr.quarantined(), ["alu"]);
+        assert_eq!(mgr.status("alu").unwrap().health, Health::Quarantined);
     }
 
     #[test]

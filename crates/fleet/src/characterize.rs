@@ -1,0 +1,171 @@
+//! Characterize once, run everywhere.
+//!
+//! A fleet of simulated nodes shares one set of immutable test artifacts:
+//! the graded schedule (routine programs + watchdog budgets), the golden
+//! [`SignatureStore`], the per-component characterization coverage, and
+//! the fault-mountable netlists. [`Characterizer`] builds them exactly
+//! once — on whichever worker thread asks first — and hands out `Arc`
+//! clones; an atomic counter proves the "exactly once" claim for any node
+//! count and any worker count, the same way the compiled-tape engine's
+//! `tape_compilations` counter proves tapes are never rebuilt per pattern.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use sbst_components::Component;
+use sbst_core::plan::build_managed_schedule_graded;
+use sbst_core::Cut;
+use sbst_cpu::manager::{ManagedComponent, SignatureStore};
+use sbst_gates::FaultSimConfig;
+
+use crate::profile::TargetSpec;
+
+/// A fault-mountable target with its shared netlist.
+#[derive(Debug, Clone)]
+pub struct FaultTarget {
+    /// Component name — matches the managed schedule's key.
+    pub name: String,
+    /// The shared netlist; mounting an [`sbst_cpu::ArchFault`] from this
+    /// is a refcount bump, never a clone.
+    pub component: Arc<Component>,
+    /// Site description (port + width) used when planning faults.
+    pub spec: TargetSpec,
+}
+
+/// The immutable artifacts every node shares.
+#[derive(Debug)]
+pub struct SharedArtifacts {
+    /// One managed routine per routine-capable CUT, shared fleet-wide.
+    pub components: Arc<[ManagedComponent]>,
+    /// The sealed golden store each node's private copy starts from.
+    pub store: SignatureStore,
+    /// Per-component fault coverage measured at characterization time
+    /// (component name, percent).
+    pub coverage: Vec<(String, f64)>,
+    /// Mountable fault targets, in inventory order.
+    pub targets: Vec<FaultTarget>,
+}
+
+/// Builds [`SharedArtifacts`] at most once per fleet run.
+#[derive(Debug)]
+pub struct Characterizer {
+    cuts: Vec<Cut>,
+    sim: FaultSimConfig,
+    cell: OnceLock<Arc<SharedArtifacts>>,
+    runs: AtomicU64,
+}
+
+impl Characterizer {
+    /// Prepares a characterizer over `cuts` (nothing runs yet).
+    pub fn new(cuts: Vec<Cut>) -> Self {
+        Self::with_sim(cuts, FaultSimConfig::default())
+    }
+
+    /// [`Characterizer::new`] with an explicit fault-simulator
+    /// configuration for the grading pass.
+    pub fn with_sim(cuts: Vec<Cut>, sim: FaultSimConfig) -> Self {
+        Characterizer {
+            cuts,
+            sim,
+            cell: OnceLock::new(),
+            runs: AtomicU64::new(0),
+        }
+    }
+
+    /// The target specs derivable without characterizing — profile
+    /// assignment needs these before any routine has been built.
+    pub fn target_specs(&self) -> Vec<TargetSpec> {
+        self.cuts
+            .iter()
+            .filter_map(|cut| TargetSpec::for_kind(cut.kind(), cut.component.width))
+            .collect()
+    }
+
+    /// The shared artifacts, characterizing on first call. Concurrent
+    /// callers block on the one in-flight characterization; the counter
+    /// records how many actually ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a routine fails to build or execute — characterization
+    /// failures are configuration bugs, not runtime conditions.
+    pub fn artifacts(&self) -> Arc<SharedArtifacts> {
+        Arc::clone(self.cell.get_or_init(|| {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            let schedule = build_managed_schedule_graded(&self.cuts, self.sim)
+                .expect("fleet characterization succeeds");
+            let coverage = schedule
+                .coverage
+                .iter()
+                .map(|(name, cov)| (name.clone(), cov.percent()))
+                .collect();
+            let targets = self
+                .cuts
+                .iter()
+                .filter_map(|cut| {
+                    let spec = TargetSpec::for_kind(cut.kind(), cut.component.width)?;
+                    Some(FaultTarget {
+                        name: cut.name().to_owned(),
+                        component: Arc::new(cut.component.clone()),
+                        spec,
+                    })
+                })
+                .collect();
+            Arc::new(SharedArtifacts {
+                components: schedule.shared_components(),
+                store: schedule.store_snapshot(),
+                coverage,
+                targets,
+            })
+        }))
+    }
+
+    /// How many characterizations actually ran (the fleet invariant is
+    /// exactly 1 after any run, for any node and worker count).
+    pub fn characterizations(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterizes_exactly_once_across_threads() {
+        let chr = Arc::new(Characterizer::new(vec![Cut::alu(32), Cut::shifter(32)]));
+        assert_eq!(chr.characterizations(), 0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let chr = Arc::clone(&chr);
+                scope.spawn(move || {
+                    let artifacts = chr.artifacts();
+                    assert_eq!(artifacts.components.len(), 2);
+                    assert!(artifacts.store.verify());
+                });
+            }
+        });
+        assert_eq!(chr.characterizations(), 1);
+        // A later call reuses the same allocation.
+        let a = chr.artifacts();
+        let b = chr.artifacts();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(chr.characterizations(), 1);
+    }
+
+    #[test]
+    fn artifacts_carry_coverage_and_targets() {
+        let chr = Characterizer::new(vec![Cut::alu(32), Cut::shifter(32)]);
+        let artifacts = chr.artifacts();
+        assert_eq!(artifacts.coverage.len(), 2);
+        for (name, pct) in &artifacts.coverage {
+            assert!(*pct > 50.0, "{name} coverage {pct}");
+        }
+        assert_eq!(artifacts.targets.len(), 2);
+        for target in &artifacts.targets {
+            assert_eq!(target.component.width, 32);
+            assert!(target.spec.width >= 32);
+        }
+        assert_eq!(chr.target_specs().len(), 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! One simulated fleet node: a managed core owning a private
+//! [`OnlineTestManager`] over the shared characterization, plus its
+//! profile-planned fault (if any) mounted through the shared netlists.
+//!
+//! A node is strictly sequential — its next session is scheduled only
+//! after the previous one finished — and every observable it produces is a
+//! pure function of `(fleet seed, node index, virtual time)`. That is the
+//! determinism argument for the whole fleet: work stealing moves *when and
+//! where* a session executes, never *what* it computes.
+
+use std::sync::Arc;
+
+use sbst_cpu::cpu::{Cpu, CpuConfig};
+use sbst_cpu::faulty::ArchFault;
+use sbst_cpu::manager::{ManagerConfig, ManagerCounters, ManagerEvent, OnlineTestManager};
+use sbst_gates::Fault;
+
+use crate::characterize::SharedArtifacts;
+use crate::profile::NodeProfile;
+
+/// FNV-1a 64-bit fold over one `u64`.
+fn fnv1a_u64(hash: u64, value: u64) -> u64 {
+    let mut h = hash;
+    for byte in value.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// What one periodic session observed, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionSample {
+    /// 1-based session number on this node.
+    pub session: u64,
+    /// Virtual cycle the session was due (and started) at.
+    pub due_cycles: u64,
+    /// Node virtual clock after the session (test + backoff cycles).
+    pub clock_cycles: u64,
+    /// Whether every active component passed without any failed attempt.
+    pub healthy: bool,
+    /// Routine attempts this session.
+    pub attempts: u64,
+    /// Failed attempts this session (mismatch + hang + crash).
+    pub failures: u64,
+    /// Backed-off retries this session.
+    pub backoffs: u64,
+    /// Whether the node is finished (no further session before the
+    /// horizon).
+    pub done: bool,
+}
+
+/// A finished node's summary, merged into the fleet aggregate in
+/// node-index order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeOutcome {
+    /// Node index.
+    pub index: u64,
+    /// The node's population profile.
+    pub profile: NodeProfile,
+    /// Periodic sessions run before the horizon.
+    pub sessions: u64,
+    /// Lifetime manager counters.
+    pub counters: ManagerCounters,
+    /// Final virtual clock.
+    pub clock_cycles: u64,
+    /// Quarantined component names, in quarantine order.
+    pub quarantined: Vec<String>,
+    /// FNV-1a digest folded over every session's counter snapshot — the
+    /// per-node fingerprint the fleet digest is built from.
+    pub digest: u64,
+    /// The ordered event log (empty unless the fleet enabled
+    /// `record_events`).
+    pub events: Vec<ManagerEvent>,
+}
+
+/// One simulated managed core.
+#[derive(Debug)]
+pub struct FleetNode {
+    index: u64,
+    profile: NodeProfile,
+    artifacts: Arc<SharedArtifacts>,
+    manager: OnlineTestManager,
+    planned_fault: Option<Fault>,
+    next_due: u64,
+    sessions: u64,
+    digest: u64,
+}
+
+impl FleetNode {
+    /// Builds the node from the shared characterization. Cost is the
+    /// per-node manager state and a private store copy — routines and
+    /// netlists are refcounted, never cloned.
+    pub fn new(
+        index: u64,
+        profile: NodeProfile,
+        artifacts: Arc<SharedArtifacts>,
+        record_events: bool,
+    ) -> Self {
+        let config = ManagerConfig {
+            period_cycles: profile.period_cycles,
+            record_events,
+            ..ManagerConfig::default()
+        };
+        let mut manager = OnlineTestManager::with_shared_components(
+            config,
+            Arc::clone(&artifacts.components),
+            artifacts.store.clone(),
+        );
+        manager.advance_clock(profile.phase_cycles);
+        let planned_fault = profile.fault.map(|f| {
+            let target = &artifacts.targets[f.target];
+            let net = target.component.ports.output(target.spec.port).net(f.bit);
+            if f.stuck_at_one {
+                Fault::stem_sa1(net)
+            } else {
+                Fault::stem_sa0(net)
+            }
+        });
+        FleetNode {
+            index,
+            next_due: profile.phase_cycles,
+            profile,
+            artifacts,
+            manager,
+            planned_fault,
+            sessions: 0,
+            digest: FNV_OFFSET,
+        }
+    }
+
+    /// Node index.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Virtual cycle of the next pending session.
+    pub fn next_due(&self) -> u64 {
+        self.next_due
+    }
+
+    /// Runs the session due at [`FleetNode::next_due`] and schedules the
+    /// next one. `horizon_cycles` bounds the node's life: once the next
+    /// due time reaches it, the sample reports `done`.
+    pub fn run_due_session(&mut self, horizon_cycles: u64) -> SessionSample {
+        let due = self.next_due;
+        let before = *self.manager.counters();
+
+        let fault = self.planned_fault;
+        let activity = self.profile.fault.map(|f| f.activity);
+        let targets = &self.artifacts.targets;
+        let manager = &mut self.manager;
+        let mut bench = move |name: &str, _attempt: u32, now: u64| {
+            let mut cpu = Cpu::new(CpuConfig {
+                undecoded_as_nop: true,
+                ..CpuConfig::default()
+            });
+            // The planned window lives in fleet virtual time; the CPU's
+            // cycle counter restarts per attempt, so rebase into the
+            // attempt's local frame (and skip mounting once the window is
+            // entirely in the past — burned-out faults cost nothing).
+            if let (Some(fault), Some(activity)) = (fault, activity) {
+                if let Some(local) = activity.rebase(now) {
+                    if let Some(target) = targets.iter().find(|t| t.name == name) {
+                        cpu.mount_fault(
+                            ArchFault::from_shared(Arc::clone(&target.component), fault)
+                                .with_activity(local),
+                        );
+                    }
+                }
+            }
+            cpu
+        };
+        // Quantum preemption is off fleet-side, and nothing corrupts the
+        // store, so a session always completes; loop defensively anyway.
+        let mut healthy = true;
+        for _ in 0..=targets.len() {
+            match manager.run_session(&mut bench) {
+                sbst_cpu::manager::SessionStatus::Completed { healthy: h } => {
+                    healthy = h;
+                    break;
+                }
+                sbst_cpu::manager::SessionStatus::Preempted => continue,
+                sbst_cpu::manager::SessionStatus::Halted => {
+                    healthy = false;
+                    break;
+                }
+            }
+        }
+        self.sessions += 1;
+
+        let after = *self.manager.counters();
+        // Next activation: one period after this one was due, or as soon
+        // as the (possibly backed-off) session actually finished.
+        let next = (due + self.profile.period_cycles).max(self.manager.clock_cycles());
+        let idle = next.saturating_sub(self.manager.clock_cycles());
+        self.manager.advance_clock(idle);
+        self.next_due = next;
+
+        self.fold_digest(&after);
+
+        SessionSample {
+            session: self.sessions,
+            due_cycles: due,
+            clock_cycles: self.manager.clock_cycles(),
+            healthy,
+            attempts: after.attempts - before.attempts,
+            failures: (after.mismatches + after.watchdog_fires + after.crashes)
+                - (before.mismatches + before.watchdog_fires + before.crashes),
+            backoffs: after.backoffs - before.backoffs,
+            done: self.next_due >= horizon_cycles,
+        }
+    }
+
+    fn fold_digest(&mut self, c: &ManagerCounters) {
+        let mut d = self.digest;
+        for value in [
+            self.sessions,
+            c.attempts,
+            c.passes,
+            c.mismatches,
+            c.watchdog_fires,
+            c.crashes,
+            c.backoffs,
+            c.quarantines,
+            c.transients,
+            c.preemptions,
+            c.sessions_completed,
+            self.manager.clock_cycles(),
+        ] {
+            d = fnv1a_u64(d, value);
+        }
+        self.digest = d;
+    }
+
+    /// Finalizes the node into its outcome summary.
+    pub fn finish(self) -> NodeOutcome {
+        NodeOutcome {
+            index: self.index,
+            profile: self.profile,
+            sessions: self.sessions,
+            counters: *self.manager.counters(),
+            clock_cycles: self.manager.clock_cycles(),
+            quarantined: self.manager.quarantined().to_vec(),
+            digest: self.digest,
+            events: self.manager.events().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::Characterizer;
+    use crate::profile::{assign_profile, PopulationMix};
+    use sbst_core::Cut;
+
+    fn artifacts() -> Arc<SharedArtifacts> {
+        Characterizer::new(vec![Cut::alu(32), Cut::shifter(32)]).artifacts()
+    }
+
+    #[test]
+    fn healthy_node_passes_every_session() {
+        let artifacts = artifacts();
+        let mix = PopulationMix {
+            infant_pct: 0,
+            wearout_pct: 0,
+            correlated_pct: 0,
+            batch_size: 16,
+        };
+        let profile = assign_profile(1, 0, &mix, 500_000, 2_000_000, &[]);
+        let mut node = FleetNode::new(0, profile, artifacts, false);
+        let mut sessions = 0;
+        loop {
+            let sample = node.run_due_session(2_000_000);
+            assert!(sample.healthy);
+            assert_eq!(sample.failures, 0);
+            sessions += 1;
+            if sample.done {
+                break;
+            }
+        }
+        assert!(sessions >= 2, "ran {sessions} sessions");
+        let outcome = node.finish();
+        assert_eq!(outcome.counters.passes, outcome.counters.attempts);
+        assert!(outcome.quarantined.is_empty());
+    }
+
+    #[test]
+    fn identical_nodes_produce_identical_digests() {
+        let artifacts = artifacts();
+        let mix = PopulationMix::default();
+        let specs = Characterizer::new(vec![Cut::alu(32), Cut::shifter(32)]).target_specs();
+        let profile = assign_profile(9, 4, &mix, 500_000, 2_000_000, &specs);
+        let run = |record_events: bool| {
+            let mut node =
+                FleetNode::new(4, profile.clone(), Arc::clone(&artifacts), record_events);
+            while !node.run_due_session(2_000_000).done {}
+            node.finish()
+        };
+        let a = run(false);
+        let b = run(false);
+        assert_eq!(a, b);
+        // The event log is observational: recording it must not perturb
+        // the digest or the counters.
+        let c = run(true);
+        assert_eq!(a.digest, c.digest);
+        assert_eq!(a.counters, c.counters);
+        assert!(c.events.len() > a.events.len());
+    }
+}

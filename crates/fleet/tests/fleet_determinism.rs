@@ -1,0 +1,142 @@
+//! Fleet determinism differential: under a fixed seed, the aggregate,
+//! every per-node outcome and every per-node ordered event log must be
+//! bit-identical for 1, 2 and 7 workers — work stealing may move sessions
+//! between threads, never change what they compute.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::ProptestConfig;
+use proptest::proptest;
+use sbst_core::{parse_ndjson, Cut};
+use sbst_fleet::{run_fleet, Characterizer, FleetConfig, FleetRun, PopulationMix};
+
+fn config(nodes: u64, workers: usize, record_events: bool) -> FleetConfig {
+    FleetConfig {
+        nodes,
+        workers,
+        seed: 0xD1FF_5EED,
+        horizon_cycles: 1_500_000,
+        base_period_cycles: 500_000,
+        // Faulty-heavy mix so the differential exercises every profile.
+        mix: PopulationMix {
+            infant_pct: 20,
+            wearout_pct: 15,
+            correlated_pct: 15,
+            batch_size: 4,
+        },
+        record_events,
+        coverage_slo_percent: 90.0,
+        telemetry_batch_lines: 8,
+    }
+}
+
+fn run(nodes: u64, workers: usize, record_events: bool) -> FleetRun {
+    let characterizer = Characterizer::new(vec![Cut::alu(32), Cut::shifter(32)]);
+    run_fleet(&config(nodes, workers, record_events), &characterizer, None)
+}
+
+#[test]
+fn aggregates_and_event_logs_bit_identical_across_worker_counts() {
+    let reference = run(24, 1, true);
+    assert_eq!(reference.characterizations, 1);
+    assert_eq!(reference.outcomes.len(), 24);
+    // The faulty mix must actually do something or the differential is
+    // vacuous.
+    assert!(reference.aggregate.transients + reference.aggregate.quarantines > 0);
+
+    for workers in [2usize, 7] {
+        let other = run(24, workers, true);
+        assert_eq!(other.characterizations, 1, "{workers} workers");
+        assert_eq!(
+            reference.aggregate, other.aggregate,
+            "aggregate diverges at {workers} workers"
+        );
+        assert_eq!(
+            reference.aggregate.fleet_digest, other.aggregate.fleet_digest,
+            "digest diverges at {workers} workers"
+        );
+        // Per-node outcomes carry the full ordered event logs
+        // (record_events = true): the verdict sequences themselves must
+        // match, not just the rollup.
+        for (a, b) in reference.outcomes.iter().zip(&other.outcomes) {
+            assert_eq!(a, b, "node {} diverges at {workers} workers", a.index);
+        }
+        // The JSON rendering (what ci.sh diffs) matches too.
+        assert_eq!(
+            reference.aggregate.to_json().to_json_pretty(),
+            other.aggregate.to_json().to_json_pretty()
+        );
+    }
+}
+
+#[test]
+fn telemetry_stream_is_valid_ndjson_and_complete() {
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let sink = SharedBuf::default();
+    let characterizer = Characterizer::new(vec![Cut::alu(32), Cut::shifter(32)]);
+    let run = run_fleet(
+        &config(12, 3, false),
+        &characterizer,
+        Some(Box::new(sink.clone())),
+    );
+
+    let bytes = sink.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    let records = parse_ndjson(&text).expect("telemetry stream is valid NDJSON");
+    assert_eq!(records.len() as u64, run.telemetry_lines);
+    assert!(run.telemetry_flushes > 0);
+
+    let mut session_lines = 0u64;
+    let mut node_lines = 0u64;
+    for record in &records {
+        let ty = record.get("type").and_then(|v| v.as_str()).unwrap();
+        assert!(record.get("node").and_then(|v| v.as_u64()).is_some());
+        match ty {
+            "session" => session_lines += 1,
+            "node" => node_lines += 1,
+            other => panic!("unexpected record type {other}"),
+        }
+    }
+    // One record per session plus one summary per node.
+    assert_eq!(session_lines, run.aggregate.sessions);
+    assert_eq!(node_lines, run.aggregate.nodes);
+    let worker_lines: u64 = run.workers.iter().map(|w| w.telemetry_lines).sum();
+    assert_eq!(worker_lines, run.telemetry_lines);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Session conservation: the aggregate's session total equals the sum
+    /// of per-worker session counts, and every node is finalized by
+    /// exactly one worker — for arbitrary small fleets and worker counts.
+    #[test]
+    fn sessions_conserved_across_workers(nodes in 1u64..20, workers in 1usize..5, seed in 0u64..1000) {
+        let characterizer = Characterizer::new(vec![Cut::alu(32), Cut::shifter(32)]);
+        let cfg = FleetConfig {
+            nodes,
+            workers,
+            seed,
+            ..config(nodes, workers, false)
+        };
+        let run = run_fleet(&cfg, &characterizer, None);
+        assert_eq!(run.characterizations, 1);
+        let worker_sessions: u64 = run.workers.iter().map(|w| w.sessions).sum();
+        assert_eq!(worker_sessions, run.aggregate.sessions);
+        let finalized: u64 = run.workers.iter().map(|w| w.nodes_finalized).sum();
+        assert_eq!(finalized, nodes);
+        let outcome_sessions: u64 = run.outcomes.iter().map(|o| o.sessions).sum();
+        assert_eq!(outcome_sessions, run.aggregate.sessions);
+    }
+}
