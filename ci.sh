@@ -44,26 +44,54 @@ echo "== table1 smoke run, compiled tape engine (JSON report) =="
 SBST_THREADS="${SBST_THREADS:-2}" SBST_ENGINE=compiled \
   cargo run --release -p sbst-bench --bin table1 -- --smoke --json BENCH_table1_compiled.json
 
-echo "== validate all four reports =="
+echo "== table1 delay-fault smoke runs: transition headline under all three engines =="
+# Same pipeline with --fault-model transition: the FC column flips to the
+# two-pattern transition numbers while the per-model JSON columns stay.
+rm -f BENCH_table1_td.json BENCH_table1_td_full.json BENCH_table1_td_compiled.json
+SBST_THREADS="${SBST_THREADS:-2}" SBST_ENGINE=event \
+  cargo run --release -p sbst-bench --bin table1 -- --smoke \
+  --fault-model transition --json BENCH_table1_td.json
+SBST_THREADS="${SBST_THREADS:-2}" SBST_ENGINE=full \
+  cargo run --release -p sbst-bench --bin table1 -- --smoke \
+  --fault-model transition --json BENCH_table1_td_full.json
+SBST_THREADS="${SBST_THREADS:-2}" SBST_ENGINE=compiled \
+  cargo run --release -p sbst-bench --bin table1 -- --smoke \
+  --fault-model transition --json BENCH_table1_td_compiled.json
+
+echo "== validate all seven reports =="
 # jsonlint exits nonzero when a report is missing, unparseable, or
 # lacks the expected top-level fields.
-for report in BENCH_table1.json BENCH_table1_serial.json BENCH_table1_full.json BENCH_table1_compiled.json; do
+for report in BENCH_table1.json BENCH_table1_serial.json BENCH_table1_full.json \
+              BENCH_table1_compiled.json BENCH_table1_td.json \
+              BENCH_table1_td_full.json BENCH_table1_td_compiled.json; do
   cargo run --release -p sbst-bench --bin jsonlint -- "$report" \
     --require tool --require schema_version --require table1 --require execution_time
-  # Reports must carry the current schema (6: the fleet orchestrator).
-  if [ "$(jq '.schema_version' "$report")" != "6" ]; then
-    echo "error: $report schema_version is not 6" >&2
+  # Reports must carry the current schema (7: per-model fault coverage).
+  if [ "$(jq '.schema_version' "$report")" != "7" ]; then
+    echo "error: $report schema_version is not 7" >&2
+    exit 1
+  fi
+done
+for report in BENCH_table1_td.json BENCH_table1_td_full.json BENCH_table1_td_compiled.json; do
+  if [ "$(jq -r '.table1.fault_model' "$report")" != "transition" ]; then
+    echo "error: $report headline fault_model is not transition" >&2
     exit 1
   fi
 done
 
 echo "== engine differential: coverage fields must be bit-identical =="
-# Project every coverage-bearing field out of each report and diff against
-# the event-driven reference; any engine divergence fails the gate.
+# Project every coverage-bearing field out of each report — including the
+# always-present per-model stuck-at and transition columns — and diff
+# against the event-driven reference; any engine divergence fails the gate.
 coverage_fields() {
   jq -S '.table1 | {
-    rows: [.rows[] | {name, fault_count, faults_detected, fault_coverage_percent}],
-    overall: .totals.fault_coverage_percent
+    fault_model,
+    rows: [.rows[] | {name, fault_count, faults_detected, fault_coverage_percent,
+                      stuck_at_fault_count, stuck_at_detected, stuck_at_coverage_percent,
+                      transition_fault_count, transition_detected, transition_coverage_percent}],
+    overall: .totals.fault_coverage_percent,
+    overall_stuck_at: .totals.stuck_at_coverage_percent,
+    overall_transition: .totals.transition_coverage_percent
   }' "$1"
 }
 for report in BENCH_table1_full.json BENCH_table1_compiled.json; do
@@ -72,6 +100,25 @@ for report in BENCH_table1_full.json BENCH_table1_compiled.json; do
     exit 1
   fi
 done
+for report in BENCH_table1_td_full.json BENCH_table1_td_compiled.json; do
+  if ! diff <(coverage_fields BENCH_table1_td.json) <(coverage_fields "$report"); then
+    echo "error: transition coverage diverges between BENCH_table1_td.json and $report" >&2
+    exit 1
+  fi
+done
+# The headline flip must not change the underlying per-model numbers.
+per_model_fields() {
+  jq -S '.table1 | {
+    rows: [.rows[] | {name, stuck_at_fault_count, stuck_at_detected, stuck_at_coverage_percent,
+                      transition_fault_count, transition_detected, transition_coverage_percent}],
+    overall_stuck_at: .totals.stuck_at_coverage_percent,
+    overall_transition: .totals.transition_coverage_percent
+  }' "$1"
+}
+if ! diff <(per_model_fields BENCH_table1.json) <(per_model_fields BENCH_table1_td.json); then
+  echo "error: per-model coverage changed when only the headline model flipped" >&2
+  exit 1
+fi
 
 echo "== thread differential: coverage and ATPG outcomes must be bit-identical =="
 # The deterministic PODEM merge guarantees the threaded run reproduces the
@@ -119,8 +166,8 @@ for report in BENCH_fleet.json BENCH_fleet_serial.json; do
   cargo run --release -p sbst-bench --bin jsonlint -- "$report" \
     --require tool --require schema_version --require characterizations \
     --require throughput --require aggregate --require workers_detail
-  if [ "$(jq '.schema_version' "$report")" != "6" ]; then
-    echo "error: $report schema_version is not 6" >&2
+  if [ "$(jq '.schema_version' "$report")" != "7" ]; then
+    echo "error: $report schema_version is not 7" >&2
     exit 1
   fi
   if [ "$(jq '.characterizations' "$report")" != "1" ]; then

@@ -20,6 +20,10 @@
 //!    the compiled tape on the same stimulus — identical coverage; the
 //!    event engine saves gate evaluations, the compiled engine saves wall
 //!    time by folding fanout-free chains and packing 255 faults per pass.
+//! 7. **Fault model**: single stuck-at vs gross transition-delay on the
+//!    same stimulus — two-pattern launch/capture detection needs pattern
+//!    *pairs*, so transition coverage trails stuck-at coverage; all three
+//!    engines agree bit-for-bit on the transition numbers too.
 
 use sbst_bench::{json_output_path, sim_config_from_env, write_report_if_requested};
 use sbst_core::grade::execute_routine;
@@ -258,6 +262,54 @@ fn main() {
         ]));
     }
 
+    println!("\n== Ablation 7: fault model (stuck-at vs gross transition-delay) ==");
+    let transition_faults = sbst_gates::enumerate_transition_faults(&cut.component.netlist);
+    println!(
+        "universe: {} collapsed stuck-at faults, {} transition faults \
+         (slow-to-rise + slow-to-fall per net)",
+        collapsed.len(),
+        transition_faults.len()
+    );
+    let mut model_rows = Vec::new();
+    for engine in [
+        SimEngine::FullEval,
+        SimEngine::EventDriven,
+        SimEngine::Compiled,
+    ] {
+        let cfg = FaultSimConfig {
+            engine,
+            ..sim_config_from_env()
+        };
+        let t0 = Instant::now();
+        let res = FaultSimulator::with_config(&cut.component.netlist, cfg)
+            .simulate_transition(&transition_faults, &stimulus);
+        let t = t0.elapsed();
+        println!(
+            "{:<13} {:.2?}, transition coverage {:.2}% ({} of {})",
+            engine.name(),
+            t,
+            res.coverage().percent(),
+            res.coverage().detected,
+            res.coverage().total
+        );
+        model_rows.push(JsonValue::object([
+            ("engine", JsonValue::from(engine.name())),
+            ("wall_seconds", JsonValue::Float(t.as_secs_f64())),
+            (
+                "transition_fault_count",
+                JsonValue::from(res.coverage().total),
+            ),
+            (
+                "transition_detected",
+                JsonValue::from(res.coverage().detected),
+            ),
+            (
+                "transition_coverage_percent",
+                JsonValue::Float(res.coverage().percent()),
+            ),
+        ]));
+    }
+
     let report = RunReport::new("ablations")
         .field("branch_architecture", JsonValue::Array(branch_rows))
         .field("forwarding", JsonValue::Array(forwarding_rows))
@@ -287,6 +339,7 @@ fn main() {
                 ),
             ]),
         )
-        .field("engines", JsonValue::Array(engine_rows));
+        .field("engines", JsonValue::Array(engine_rows))
+        .field("fault_models", JsonValue::Array(model_rows));
     write_report_if_requested(&report, json_path.as_deref());
 }

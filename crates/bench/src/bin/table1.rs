@@ -17,13 +17,15 @@
 //! telemetry). `--threads <n>` pins both the fault-simulator worker count
 //! and the PODEM search pool in one flag; the finer-grained `SBST_THREADS`,
 //! `SBST_PODEM_THREADS` and `SBST_ENGINE` environment knobs are also
-//! honoured. Coverage, patterns and ATPG stats are bit-identical for every
-//! setting.
+//! honoured. `--fault-model stuck-at|transition` picks the headline fault
+//! model for the FC column — both models are always graded and the JSON
+//! report carries per-model columns either way. Coverage, patterns and
+//! ATPG stats are bit-identical for every setting.
 
 use std::time::Instant;
 
 use sbst_bench::{
-    atpg_config_from_env, json_output_path, sim_config_from_env, threads_flag,
+    atpg_config_from_env, fault_model_flag, json_output_path, sim_config_from_env, threads_flag,
     write_report_if_requested,
 };
 use sbst_core::{Cut, JsonValue, RunReport, Table1};
@@ -51,6 +53,13 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let fault_model = match fault_model_flag(&args) {
+        Ok(model) => model.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let start = Instant::now();
     let cuts = if smoke {
         eprintln!("building down-scaled 8-bit smoke inventory...");
@@ -74,7 +83,8 @@ fn main() {
         );
     }
     eprintln!("generating Table 1 (builds, runs and grades every routine)...");
-    let table = Table1::generate_with_atpg(&cuts, sim, atpg).expect("table generation succeeds");
+    let table = Table1::generate_with_model(&cuts, sim, atpg, fault_model)
+        .expect("table generation succeeds");
     println!("{table}");
 
     // The Section 4 execution-time analysis on the combined program.

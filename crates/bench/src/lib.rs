@@ -9,7 +9,7 @@
 use std::path::PathBuf;
 
 use sbst_core::RunReport;
-use sbst_gates::{FaultSimConfig, SimEngine};
+use sbst_gates::{FaultModel, FaultSimConfig, SimEngine};
 use sbst_tpg::AtpgConfig;
 
 /// Parses a worker-thread count from the named environment variable's
@@ -176,6 +176,44 @@ where
     Ok(None)
 }
 
+/// Extracts the `--fault-model <name>` flag from an argument list: the
+/// *headline* fault model for the report's FC column (both models are
+/// always graded and serialized). Accepts `--fault-model transition` and
+/// `--fault-model=transition`; names are the [`FaultModel::from_name`]
+/// spellings (`stuck-at`/`sa`, `transition`/`transition-delay`/`td`).
+///
+/// # Errors
+///
+/// Returns a one-line message when the flag is missing its value or the
+/// value names no known model.
+pub fn fault_model_flag<I, S>(args: I) -> Result<Option<FaultModel>, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let arg = arg.as_ref();
+        let value = if arg == "--fault-model" {
+            match iter.next() {
+                Some(v) => v.as_ref().to_owned(),
+                None => return Err("--fault-model requires a model name".to_owned()),
+            }
+        } else if let Some(v) = arg.strip_prefix("--fault-model=") {
+            v.to_owned()
+        } else {
+            continue;
+        };
+        return match FaultModel::from_name(&value) {
+            Some(model) => Ok(Some(model)),
+            None => Err(format!(
+                "--fault-model must be `stuck-at` or `transition`, got `{value}`"
+            )),
+        };
+    }
+    Ok(None)
+}
+
 /// Extracts the `--json <path>` flag from an argument list (as produced by
 /// `std::env::args().skip(1)`), returning the path if present.
 ///
@@ -257,6 +295,26 @@ mod tests {
         assert!(threads_flag(["--threads"] as [&str; 1]).is_err());
         assert!(threads_flag(["--threads", "zero"]).is_err());
         assert!(threads_flag(["--threads=0"] as [&str; 1]).is_err());
+    }
+
+    #[test]
+    fn fault_model_flag_forms() {
+        assert_eq!(fault_model_flag(["--smoke"] as [&str; 1]).unwrap(), None);
+        assert_eq!(
+            fault_model_flag(["--fault-model", "transition"]).unwrap(),
+            Some(FaultModel::TransitionDelay)
+        );
+        assert_eq!(
+            fault_model_flag(["--fault-model=stuck-at"] as [&str; 1]).unwrap(),
+            Some(FaultModel::StuckAt)
+        );
+        assert_eq!(
+            fault_model_flag(["--fault-model=td"] as [&str; 1]).unwrap(),
+            Some(FaultModel::TransitionDelay)
+        );
+        assert!(fault_model_flag(["--fault-model"] as [&str; 1]).is_err());
+        let err = fault_model_flag(["--fault-model", "bridging"]).unwrap_err();
+        assert!(err.contains("`bridging`"), "message: {err}");
     }
 
     #[test]

@@ -20,7 +20,10 @@ use sbst_components::{
     ComponentKind,
 };
 use sbst_cpu::{ArchFault, Cpu, CpuConfig, CpuError, ExecStats, OperandTrace};
-use sbst_gates::{Fault, FaultCoverage, FaultSimConfig, FaultSimulator, SimStats, Stimulus};
+use sbst_gates::{
+    enumerate_transition_faults, Fault, FaultCoverage, FaultSimConfig, FaultSimulator, SimStats,
+    Stimulus,
+};
 
 use crate::cut::Cut;
 use crate::routine::SelfTestRoutine;
@@ -108,11 +111,53 @@ pub fn grade_trace_detailed(
     (result.coverage(), result.stats)
 }
 
+/// Per-model grading of one trace: stuck-at and transition-delay coverage
+/// of the same stimulus, plus the stuck-at run's simulation-volume
+/// instrumentation.
+#[derive(Debug, Clone)]
+pub struct TraceGrade {
+    /// Single-stuck-at coverage (collapsed fault list).
+    pub coverage: FaultCoverage,
+    /// Gross transition-delay coverage (slow-to-rise/slow-to-fall per net
+    /// stem, two-pattern detection) of the *same* stimulus.
+    pub transition_coverage: FaultCoverage,
+    /// Simulation-volume instrumentation of the stuck-at grading run.
+    pub sim_stats: SimStats,
+}
+
+/// [`grade_trace_detailed`] for both fault models: the trace is replayed
+/// once per model on one shared [`FaultSimulator`] (the compiled engine's
+/// tape is built once and reused).
+pub fn grade_trace_models(cut: &Cut, trace: &OperandTrace, sim: FaultSimConfig) -> TraceGrade {
+    let netlist = &cut.component.netlist;
+    let stimulus = stimulus_for(cut, trace);
+    if stimulus.is_empty() {
+        return TraceGrade {
+            coverage: FaultCoverage::new(0, cut.fault_count()),
+            transition_coverage: FaultCoverage::new(0, enumerate_transition_faults(netlist).len()),
+            sim_stats: SimStats::default(),
+        };
+    }
+    let faults = netlist.collapsed_faults();
+    let transition_faults = enumerate_transition_faults(netlist);
+    let simulator = FaultSimulator::with_config(netlist, sim);
+    let result = simulator.simulate(&faults, &stimulus);
+    let transition = simulator.simulate_transition(&transition_faults, &stimulus);
+    TraceGrade {
+        coverage: result.coverage(),
+        transition_coverage: transition.coverage(),
+        sim_stats: result.stats,
+    }
+}
+
 /// A graded routine: coverage plus the Table-1 statistics.
 #[derive(Debug, Clone)]
 pub struct GradedRoutine {
     /// Stuck-at coverage of the CUT achieved by the routine.
     pub coverage: FaultCoverage,
+    /// Gross transition-delay coverage of the CUT achieved by the same
+    /// routine (two-pattern detection over the identical operand stream).
+    pub transition_coverage: FaultCoverage,
     /// Execution statistics of the (fault-free) run.
     pub stats: ExecStats,
     /// The fault-free signature the routine left in data memory.
@@ -158,16 +203,20 @@ pub fn grade_routine_with(
     if stimulus.is_empty() {
         return Err(GradeError::EmptyTrace { kind: cut.kind() });
     }
-    let faults = cut.component.netlist.collapsed_faults();
-    let result =
-        FaultSimulator::with_config(&cut.component.netlist, sim).simulate(&faults, &stimulus);
+    let netlist = &cut.component.netlist;
+    let faults = netlist.collapsed_faults();
+    let transition_faults = enumerate_transition_faults(netlist);
+    let simulator = FaultSimulator::with_config(netlist, sim);
+    let result = simulator.simulate(&faults, &stimulus);
+    let transition = simulator.simulate_transition(&transition_faults, &stimulus);
     Ok(GradedRoutine {
         coverage: result.coverage(),
+        transition_coverage: transition.coverage(),
         stats,
         signature,
         size_words: routine.size_words(),
         sim_threads: result.threads_used,
-        sim_wall_time: result.wall_time,
+        sim_wall_time: result.wall_time + transition.wall_time,
         sim_stats: result.stats,
     })
 }
@@ -355,5 +404,27 @@ mod tests {
         let coverage = grade_trace(&mc, &trace);
         assert_eq!(coverage.detected, 0);
         assert_eq!(coverage.total, mc.fault_count());
+        // Per-model grading of the empty trace scores zero in both models
+        // but still reports the full fault universes.
+        let grade = grade_trace_models(&mc, &trace, FaultSimConfig::default());
+        assert_eq!(grade.coverage.detected, 0);
+        assert_eq!(grade.transition_coverage.detected, 0);
+        assert!(grade.transition_coverage.total > 0);
+    }
+
+    #[test]
+    fn alu_routine_reports_transition_coverage() {
+        let cut = Cut::alu(8);
+        let routine = RoutineSpec::recommended(&cut).build(&cut).unwrap();
+        let graded = grade_routine(&cut, &routine).unwrap();
+        assert!(graded.transition_coverage.total > 0);
+        // A routine applying many distinct consecutive operand pairs
+        // launches plenty of transitions; expect solid two-pattern
+        // coverage, though below the stuck-at figure.
+        assert!(
+            graded.transition_coverage.percent() > 50.0,
+            "transition coverage {}",
+            graded.transition_coverage
+        );
     }
 }

@@ -623,10 +623,18 @@ impl<'a> Parser<'a> {
                                 if self.bytes[self.at..].starts_with(b"\\u") {
                                     self.at += 2;
                                     let low = self.hex4()?;
-                                    let combined = 0x10000
-                                        + ((code - 0xD800) << 10)
-                                        + (low.wrapping_sub(0xDC00));
-                                    char::from_u32(combined)
+                                    // The second escape must really be a
+                                    // low surrogate: anything else used to
+                                    // flow into the combination arithmetic
+                                    // (wrapping the u32 sum) instead of
+                                    // being rejected as a lone surrogate.
+                                    if (0xDC00..=0xDFFF).contains(&low) {
+                                        char::from_u32(
+                                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00),
+                                        )
+                                    } else {
+                                        None
+                                    }
                                 } else {
                                     None
                                 }

@@ -57,7 +57,14 @@ use std::time::{Duration, Instant};
 /// tree (fleet totals + digest, per-profile groups, coverage-SLO
 /// attainment, transient-drift anomalies) and observational `workers`
 /// accounting (sessions, steals, telemetry flushes per worker).
-pub const SCHEMA_VERSION: u32 = 6;
+/// 7 — the transition-delay fault model: Table 1 reports gain a top-level
+/// `fault_model` (the headline model: `stuck-at` or `transition`), rows
+/// always carry both `stuck_at_{fault_count,detected,coverage_percent}`
+/// and `transition_{fault_count,detected,coverage_percent}` alongside the
+/// legacy `fault_count`/`faults_detected`/`fault_coverage_percent` columns
+/// (which now report the headline model), and `totals` gains
+/// `stuck_at_coverage_percent`/`transition_coverage_percent`.
+pub const SCHEMA_VERSION: u32 = 7;
 
 #[derive(Debug, Default)]
 struct Inner {

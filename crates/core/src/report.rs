@@ -9,11 +9,11 @@ use std::fmt;
 use std::time::Duration;
 
 use sbst_components::ComponentClass;
-use sbst_gates::{FaultCoverage, FaultSimConfig, SimEngine};
+use sbst_gates::{FaultCoverage, FaultModel, FaultSimConfig, SimEngine};
 use sbst_tpg::{AtpgConfig, AtpgTelemetry};
 
 use crate::cut::Cut;
-use crate::grade::{grade_routine_with, grade_trace_detailed, GradeError};
+use crate::grade::{grade_routine_with, grade_trace_models, GradeError};
 use crate::json::JsonValue;
 use crate::program::SelfTestProgramBuilder;
 use crate::routine::{BuildRoutineError, RoutineSpec};
@@ -35,8 +35,11 @@ pub struct Table1Row {
     pub cpu_cycles: Option<u64>,
     /// Routine data memory references.
     pub data_refs: Option<u64>,
-    /// Per-component fault coverage.
+    /// Per-component single-stuck-at fault coverage.
     pub coverage: FaultCoverage,
+    /// Per-component gross transition-delay fault coverage of the same
+    /// stimulus (two-pattern detection).
+    pub transition_coverage: FaultCoverage,
     /// Whether the coverage came from a dedicated routine (`true`) or from
     /// side-effect grading against the full program trace (`false`).
     pub dedicated_routine: bool,
@@ -49,6 +52,14 @@ impl Table1Row {
     /// share of the whole processor's fault universe.
     pub fn missing_fc(&self, universe_total: usize) -> f64 {
         self.coverage.missing_percent_of(universe_total)
+    }
+
+    /// Coverage under `model` (both models are always graded).
+    pub fn coverage_for(&self, model: FaultModel) -> FaultCoverage {
+        match model {
+            FaultModel::StuckAt => self.coverage,
+            FaultModel::TransitionDelay => self.transition_coverage,
+        }
     }
 }
 
@@ -98,8 +109,15 @@ pub struct Table1 {
     pub total_cycles: u64,
     /// Total data references (combined program run).
     pub total_data_refs: u64,
-    /// Overall fault coverage across every component's fault universe.
+    /// Overall single-stuck-at coverage across every component's fault
+    /// universe.
     pub overall_coverage: FaultCoverage,
+    /// Overall gross transition-delay coverage across every component's
+    /// transition-fault universe.
+    pub overall_transition_coverage: FaultCoverage,
+    /// The *headline* fault model: which model's numbers the rendered FC
+    /// column reports (both models are always graded and serialized).
+    pub fault_model: FaultModel,
     /// Share of processor area in D-VC components, in percent (the paper
     /// reports 92 %).
     pub dvc_area_percent: f64,
@@ -172,6 +190,24 @@ impl Table1 {
         sim: FaultSimConfig,
         atpg: AtpgConfig,
     ) -> Result<Table1, Table1Error> {
+        Table1::generate_with_model(cuts, sim, atpg, FaultModel::default())
+    }
+
+    /// [`Table1::generate_with_atpg`] with an explicit *headline* fault
+    /// model. Every row is always graded under **both** the single-stuck-at
+    /// and the gross transition-delay model (the per-model columns land in
+    /// the JSON report unconditionally); `model` only selects which model's
+    /// numbers the rendered FC column and [`Table1::fault_model`] report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Table1Error`] if any routine fails to build, run or grade.
+    pub fn generate_with_model(
+        cuts: &[Cut],
+        sim: FaultSimConfig,
+        atpg: AtpgConfig,
+        model: FaultModel,
+    ) -> Result<Table1, Table1Error> {
         let mut rows = Vec::with_capacity(cuts.len());
         let mut atpg_telemetry = AtpgTelemetry::default();
         let mut sim_threads = 1usize;
@@ -221,20 +257,21 @@ impl Table1 {
                     cpu_cycles: Some(graded.stats.total_cycles()),
                     data_refs: Some(graded.stats.data_refs()),
                     coverage: graded.coverage,
+                    transition_coverage: graded.transition_coverage,
                     dedicated_routine: true,
                     sim_wall_time: graded.sim_wall_time,
                 }
             } else {
                 let started = std::time::Instant::now();
-                let (coverage, sim_stats) = grade_trace_detailed(cut, &combined_run.trace, sim);
+                let grade = grade_trace_models(cut, &combined_run.trace, sim);
                 let elapsed = started.elapsed();
                 grading_wall_time += elapsed;
-                events_simulated += sim_stats.events_simulated;
-                events_full_eval += sim_stats.events_full_eval;
-                tape_len += sim_stats.tape_len;
-                chains_collapsed += sim_stats.chains_collapsed;
-                lane_slots_filled += sim_stats.lane_slots_filled;
-                lane_slots_total += sim_stats.lane_slots_total;
+                events_simulated += grade.sim_stats.events_simulated;
+                events_full_eval += grade.sim_stats.events_full_eval;
+                tape_len += grade.sim_stats.tape_len;
+                chains_collapsed += grade.sim_stats.chains_collapsed;
+                lane_slots_filled += grade.sim_stats.lane_slots_filled;
+                lane_slots_total += grade.sim_stats.lane_slots_total;
                 Table1Row {
                     name: cut.name().to_owned(),
                     gates: cut.gate_equivalents(),
@@ -243,7 +280,8 @@ impl Table1 {
                     size_words: None,
                     cpu_cycles: None,
                     data_refs: None,
-                    coverage,
+                    coverage: grade.coverage,
+                    transition_coverage: grade.transition_coverage,
                     dedicated_routine: false,
                     sim_wall_time: elapsed,
                 }
@@ -253,6 +291,8 @@ impl Table1 {
 
         let total_gates = rows.iter().map(|r| r.gates).sum();
         let overall_coverage: FaultCoverage = rows.iter().map(|r| r.coverage).sum();
+        let overall_transition_coverage: FaultCoverage =
+            rows.iter().map(|r| r.transition_coverage).sum();
         let dvc_gates: u32 = cuts
             .iter()
             .flat_map(|c| c.component.area_split.iter())
@@ -266,6 +306,8 @@ impl Table1 {
             total_cycles: combined_run.stats.total_cycles(),
             total_data_refs: combined_run.stats.data_refs(),
             overall_coverage,
+            overall_transition_coverage,
+            fault_model: model,
             dvc_area_percent: if total_gates == 0 {
                 0.0
             } else {
@@ -294,6 +336,14 @@ impl Table1 {
         }
     }
 
+    /// Overall coverage under `model` (both models are always graded).
+    pub fn overall_coverage_for(&self, model: FaultModel) -> FaultCoverage {
+        match model {
+            FaultModel::StuckAt => self.overall_coverage,
+            FaultModel::TransitionDelay => self.overall_transition_coverage,
+        }
+    }
+
     /// Fraction of available fault lanes occupied across all rows, in
     /// `0.0..=1.0` (0.0 when nothing was graded).
     pub fn lane_occupancy(&self) -> f64 {
@@ -311,8 +361,9 @@ impl Table1 {
     /// per-component fault-sim wall time, a `totals` object, and a
     /// `fault_sim` object with the thread count and aggregate grading time.
     pub fn to_json(&self) -> JsonValue {
-        let universe = self.overall_coverage.total;
+        let universe = self.overall_coverage_for(self.fault_model).total;
         let rows = self.rows.iter().map(|row| {
+            let primary = row.coverage_for(self.fault_model);
             JsonValue::object([
                 ("name", JsonValue::from(row.name.as_str())),
                 ("gates", JsonValue::from(row.gates)),
@@ -324,15 +375,33 @@ impl Table1 {
                 ("size_words", JsonValue::from(row.size_words)),
                 ("cpu_cycles", JsonValue::from(row.cpu_cycles)),
                 ("data_refs", JsonValue::from(row.data_refs)),
-                ("fault_count", JsonValue::from(row.coverage.total)),
-                ("faults_detected", JsonValue::from(row.coverage.detected)),
+                ("fault_count", JsonValue::from(primary.total)),
+                ("faults_detected", JsonValue::from(primary.detected)),
                 (
                     "fault_coverage_percent",
+                    JsonValue::Float(primary.percent()),
+                ),
+                ("stuck_at_fault_count", JsonValue::from(row.coverage.total)),
+                ("stuck_at_detected", JsonValue::from(row.coverage.detected)),
+                (
+                    "stuck_at_coverage_percent",
                     JsonValue::Float(row.coverage.percent()),
                 ),
                 (
+                    "transition_fault_count",
+                    JsonValue::from(row.transition_coverage.total),
+                ),
+                (
+                    "transition_detected",
+                    JsonValue::from(row.transition_coverage.detected),
+                ),
+                (
+                    "transition_coverage_percent",
+                    JsonValue::Float(row.transition_coverage.percent()),
+                ),
+                (
                     "missing_fc_percent",
-                    JsonValue::Float(row.missing_fc(universe)),
+                    JsonValue::Float(primary.missing_percent_of(universe)),
                 ),
                 ("dedicated_routine", JsonValue::from(row.dedicated_routine)),
                 (
@@ -342,6 +411,7 @@ impl Table1 {
             ])
         });
         JsonValue::object([
+            ("fault_model", JsonValue::from(self.fault_model.name())),
             ("rows", JsonValue::array(rows)),
             (
                 "totals",
@@ -352,7 +422,15 @@ impl Table1 {
                     ("data_refs", JsonValue::from(self.total_data_refs)),
                     (
                         "fault_coverage_percent",
+                        JsonValue::Float(self.overall_coverage_for(self.fault_model).percent()),
+                    ),
+                    (
+                        "stuck_at_coverage_percent",
                         JsonValue::Float(self.overall_coverage.percent()),
+                    ),
+                    (
+                        "transition_coverage_percent",
+                        JsonValue::Float(self.overall_transition_coverage.percent()),
                     ),
                     ("dvc_area_percent", JsonValue::Float(self.dvc_area_percent)),
                 ]),
@@ -442,13 +520,14 @@ impl Table1 {
     pub fn to_markdown(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let universe = self.overall_coverage.total;
+        let universe = self.overall_coverage_for(self.fault_model).total;
         let _ = writeln!(
             out,
             "| Component | Gates | Class | Style | Words | Cycles | Refs | FC % | Miss FC % |"
         );
         let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
         for row in &self.rows {
+            let primary = row.coverage_for(self.fault_model);
             let _ = writeln!(
                 out,
                 "| {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.2} |",
@@ -459,8 +538,8 @@ impl Table1 {
                 row.size_words.map_or("—".to_owned(), |v| v.to_string()),
                 row.cpu_cycles.map_or("—".to_owned(), |v| v.to_string()),
                 row.data_refs.map_or("—".to_owned(), |v| v.to_string()),
-                row.coverage.percent(),
-                row.missing_fc(universe),
+                primary.percent(),
+                primary.missing_percent_of(universe),
             );
         }
         let _ = writeln!(
@@ -471,7 +550,14 @@ impl Table1 {
             self.total_size_words,
             self.total_cycles,
             self.total_data_refs,
+            self.overall_coverage_for(self.fault_model).percent(),
+        );
+        let _ = writeln!(
+            out,
+            "\nFC column: {} model · stuck-at {:.2}% · transition {:.2}%",
+            self.fault_model.name(),
             self.overall_coverage.percent(),
+            self.overall_transition_coverage.percent(),
         );
         let _ = writeln!(
             out,
@@ -690,8 +776,9 @@ impl fmt::Display for Table1 {
             "FC (%)",
             "Miss. FC"
         )?;
-        let universe = self.overall_coverage.total;
+        let universe = self.overall_coverage_for(self.fault_model).total;
         for row in &self.rows {
+            let primary = row.coverage_for(self.fault_model);
             writeln!(
                 f,
                 "{:<18} {:>8}  {:<22} {:<13} {:>7} {:>9} {:>6} {:>8.2} {:>9.2}",
@@ -702,8 +789,8 @@ impl fmt::Display for Table1 {
                 row.size_words.map_or("-".to_owned(), |v| v.to_string()),
                 row.cpu_cycles.map_or("-".to_owned(), |v| v.to_string()),
                 row.data_refs.map_or("-".to_owned(), |v| v.to_string()),
-                row.coverage.percent(),
-                row.missing_fc(universe),
+                primary.percent(),
+                primary.missing_percent_of(universe),
             )?;
         }
         writeln!(
@@ -716,7 +803,14 @@ impl fmt::Display for Table1 {
             self.total_size_words,
             self.total_cycles,
             self.total_data_refs,
+            self.overall_coverage_for(self.fault_model).percent(),
+        )?;
+        writeln!(
+            f,
+            "FC column: {} model · stuck-at {:.2}% · transition {:.2}%",
+            self.fault_model.name(),
             self.overall_coverage.percent(),
+            self.overall_transition_coverage.percent(),
         )?;
         writeln!(
             f,
@@ -942,6 +1036,100 @@ mod tests {
         // The document round-trips through the parser.
         let text = v.to_json_pretty();
         assert_eq!(crate::json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn per_model_columns_always_serialize() {
+        let cuts = vec![Cut::alu(8), Cut::pipeline(8)];
+        let table = Table1::generate(&cuts).unwrap();
+        assert_eq!(table.fault_model, FaultModel::StuckAt);
+        let v = table.to_json();
+        assert_eq!(v.get("fault_model").unwrap().as_str(), Some("stuck-at"));
+        let rows = v.get("rows").unwrap().as_array().unwrap();
+        for (row, json) in table.rows.iter().zip(rows) {
+            // Legacy fields carry the headline (stuck-at) numbers.
+            assert_eq!(
+                json.get("fault_count").unwrap().as_u64(),
+                Some(row.coverage.total as u64)
+            );
+            assert_eq!(
+                json.get("stuck_at_detected").unwrap().as_u64(),
+                Some(row.coverage.detected as u64)
+            );
+            assert_eq!(
+                json.get("transition_fault_count").unwrap().as_u64(),
+                Some(row.transition_coverage.total as u64)
+            );
+            assert!(json
+                .get("transition_coverage_percent")
+                .unwrap()
+                .as_f64()
+                .is_some());
+            // Every net contributes a slow-to-rise and a slow-to-fall
+            // fault, so the transition universe is nonempty.
+            assert!(row.transition_coverage.total > 0, "{}", row.name);
+        }
+        let totals = v.get("totals").unwrap();
+        assert_eq!(
+            totals.get("stuck_at_coverage_percent").unwrap().as_f64(),
+            Some(table.overall_coverage.percent())
+        );
+        assert_eq!(
+            totals.get("transition_coverage_percent").unwrap().as_f64(),
+            Some(table.overall_transition_coverage.percent())
+        );
+        assert!(table.to_string().contains("FC column: stuck-at model"));
+    }
+
+    #[test]
+    fn transition_headline_swaps_the_fc_column() {
+        let cuts = vec![Cut::alu(8)];
+        let table = Table1::generate_with_model(
+            &cuts,
+            FaultSimConfig::default(),
+            AtpgConfig::default(),
+            FaultModel::TransitionDelay,
+        )
+        .unwrap();
+        assert_eq!(table.fault_model, FaultModel::TransitionDelay);
+        let v = table.to_json();
+        assert_eq!(v.get("fault_model").unwrap().as_str(), Some("transition"));
+        let row = &v.get("rows").unwrap().as_array().unwrap()[0];
+        // The legacy columns now carry the transition numbers...
+        assert_eq!(
+            row.get("fault_count").unwrap().as_u64(),
+            Some(table.rows[0].transition_coverage.total as u64)
+        );
+        assert_eq!(
+            row.get("fault_coverage_percent").unwrap().as_f64(),
+            Some(table.rows[0].transition_coverage.percent())
+        );
+        // ...while the per-model fields still expose both.
+        assert_eq!(
+            row.get("stuck_at_fault_count").unwrap().as_u64(),
+            Some(table.rows[0].coverage.total as u64)
+        );
+        assert!(table.to_string().contains("FC column: transition model"));
+        // Shared stimulus means the ALU routine also catches most gross
+        // transition-delay faults.
+        assert!(table.rows[0].transition_coverage.percent() > 50.0);
+    }
+
+    #[test]
+    fn transition_columns_are_engine_invariant() {
+        let cuts = vec![Cut::alu(8), Cut::pipeline(8)];
+        let full =
+            Table1::generate_with(&cuts, FaultSimConfig::with_engine(SimEngine::FullEval)).unwrap();
+        let event =
+            Table1::generate_with(&cuts, FaultSimConfig::with_engine(SimEngine::EventDriven))
+                .unwrap();
+        for (a, b) in full.rows.iter().zip(&event.rows) {
+            assert_eq!(a.transition_coverage, b.transition_coverage, "{}", a.name);
+        }
+        assert_eq!(
+            full.overall_transition_coverage,
+            event.overall_transition_coverage
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! criteria), crossed with thread counts, while the event engine performs
 //! measurably fewer gate-evaluation events in aggregate.
 
-use sbst_core::{grade_trace_detailed, Cut, RoutineSpec, Table1};
+use sbst_core::{grade_trace_detailed, grade_trace_models, Cut, RoutineSpec, Table1};
 use sbst_gates::{FaultSimConfig, SimEngine};
 
 fn smoke_inventory() -> Vec<Cut> {
@@ -95,11 +95,80 @@ fn engine_thread_matrix_is_bit_identical_on_components() {
                     a.name,
                     engine.name()
                 );
+                assert_eq!(
+                    a.transition_coverage,
+                    b.transition_coverage,
+                    "{} transition coverage diverged under {} × {threads} threads",
+                    a.name,
+                    engine.name()
+                );
             }
             assert_eq!(
                 reference.overall_coverage,
                 table.overall_coverage,
                 "{} × {threads} threads",
+                engine.name()
+            );
+            assert_eq!(
+                reference.overall_transition_coverage,
+                table.overall_transition_coverage,
+                "transition totals: {} × {threads} threads",
+                engine.name()
+            );
+        }
+    }
+}
+
+/// Two-pattern transition grading over a real routine trace: every engine
+/// × thread-count combination must reproduce the single-threaded
+/// full-eval transition coverage bit-for-bit (ISSUE 9 acceptance
+/// criterion), alongside the stuck-at numbers from the same shared
+/// stimulus.
+#[test]
+fn transition_grading_matrix_is_bit_identical() {
+    let cut = Cut::alu(8);
+    let routine = RoutineSpec::recommended(&cut).build(&cut).unwrap();
+    let (_, trace, _) = sbst_core::grade::execute_routine(&routine).unwrap();
+    let reference = grade_trace_models(
+        &cut,
+        &trace,
+        FaultSimConfig {
+            engine: SimEngine::FullEval,
+            threads: Some(1),
+            ..FaultSimConfig::default()
+        },
+    );
+    assert!(reference.transition_coverage.total > 0);
+    assert!(reference.transition_coverage.detected > 0);
+    // Two-pattern detection is strictly harder than single-pattern
+    // stuck-at detection of the same stem value, so the transition model
+    // can never beat stuck-at coverage on the same stimulus here.
+    assert!(reference.transition_coverage.percent() <= reference.coverage.percent());
+    for engine in [
+        SimEngine::FullEval,
+        SimEngine::EventDriven,
+        SimEngine::Compiled,
+    ] {
+        for threads in [1usize, 2, 7] {
+            let grade = grade_trace_models(
+                &cut,
+                &trace,
+                FaultSimConfig {
+                    engine,
+                    threads: Some(threads),
+                    ..FaultSimConfig::default()
+                },
+            );
+            assert_eq!(
+                reference.coverage,
+                grade.coverage,
+                "stuck-at diverged under {} × {threads} threads",
+                engine.name()
+            );
+            assert_eq!(
+                reference.transition_coverage,
+                grade.transition_coverage,
+                "transition diverged under {} × {threads} threads",
                 engine.name()
             );
         }

@@ -1,0 +1,126 @@
+//! Adversarial round-trip property tests for the JSON writer's string
+//! escaping and the parser's unescaping: control characters, DEL (0x7F),
+//! astral-plane scalars and surrogate-escape handling.
+
+use proptest::prelude::*;
+use sbst_core::json::{parse, JsonValue};
+
+/// Characters chosen to stress every branch of `write_escaped` and the
+/// parser's string scanner: the named short escapes, raw `\u` control
+/// escapes, DEL (legal unescaped), multi-byte BMP scalars, and
+/// astral-plane scalars (4-byte UTF-8, `\u` surrogate pairs when escaped
+/// by other writers).
+fn nasty_chars() -> Vec<char> {
+    vec![
+        '\u{00}',
+        '\u{01}',
+        '\u{08}',
+        '\u{0B}',
+        '\u{0C}',
+        '\n',
+        '\r',
+        '\t',
+        '\u{1F}',
+        ' ',
+        '"',
+        '\\',
+        '/',
+        'a',
+        '\u{7F}',
+        'é',
+        '\u{0416}',
+        '∆',
+        '\u{FFFD}',
+        '\u{FFFF}',
+        '\u{10000}',
+        '\u{1F600}',
+        '\u{10FFFF}',
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any string assembled from the adversarial alphabet survives
+    /// write → parse unchanged, in both compact and pretty form.
+    #[test]
+    fn escaped_strings_round_trip(
+        chars in prop::collection::vec(prop::sample::select(nasty_chars()), 0..40),
+    ) {
+        let s: String = chars.into_iter().collect();
+        let value = JsonValue::from(s.as_str());
+        let compact = value.to_json();
+        prop_assert_eq!(&parse(&compact).unwrap(), &value, "compact: {}", compact);
+        let pretty = value.to_json_pretty();
+        prop_assert_eq!(&parse(&pretty).unwrap(), &value, "pretty: {}", pretty);
+    }
+
+    /// Strings used as object keys round-trip through the same escape
+    /// path.
+    #[test]
+    fn escaped_keys_round_trip(
+        chars in prop::collection::vec(prop::sample::select(nasty_chars()), 0..20),
+    ) {
+        let key: String = chars.into_iter().collect();
+        let value = JsonValue::object([(key.as_str(), JsonValue::from(1u64))]);
+        prop_assert_eq!(parse(&value.to_json()).unwrap(), value);
+    }
+
+    /// A high surrogate escape followed by any second `\u` escape either
+    /// combines into exactly the astral scalar (when the second escape is
+    /// a real low surrogate) or is rejected as malformed — never panics,
+    /// never produces a mangled scalar. Regression: a non-low-surrogate
+    /// second escape used to flow into the pair arithmetic via
+    /// `wrapping_sub`, overflowing the u32 sum.
+    #[test]
+    fn surrogate_pairs_combine_or_reject(
+        high_off in 0u32..0x400,
+        second in any::<u16>(),
+    ) {
+        let high = 0xD800 + high_off;
+        let second = second as u32;
+        let text = format!("\"\\u{high:04x}\\u{second:04x}\"");
+        let parsed = parse(&text);
+        if (0xDC00..0xE000).contains(&second) {
+            let scalar = char::from_u32(0x10000 + ((high - 0xD800) << 10) + (second - 0xDC00))
+                .expect("valid surrogate pair combines to a scalar");
+            prop_assert_eq!(parsed.unwrap(), JsonValue::from(scalar.to_string().as_str()));
+        } else {
+            prop_assert!(parsed.is_err(), "accepted lone high surrogate: {}", text);
+        }
+    }
+
+    /// A lone low surrogate escape is always rejected.
+    #[test]
+    fn lone_low_surrogates_are_rejected(low_off in 0u32..0x400) {
+        let text = format!("\"\\u{:04x}\"", 0xDC00 + low_off);
+        prop_assert!(parse(&text).is_err(), "accepted {}", text);
+    }
+}
+
+#[test]
+fn lone_high_surrogate_without_second_escape_is_rejected() {
+    for text in [
+        "\"\\ud800\"",
+        "\"\\udbff tail\"",
+        "\"\\ud800\\n\"",
+        "\"\\ud800x\"",
+    ] {
+        assert!(parse(text).is_err(), "accepted {text}");
+    }
+    // The exact regression shape: high surrogate + non-surrogate escape
+    // used to overflow the combination arithmetic instead of erroring.
+    assert!(parse("\"\\ud800\\u0041\"").is_err());
+}
+
+#[test]
+fn del_and_controls_serialize_as_expected() {
+    let value = JsonValue::from("\u{01}\u{7F}\u{1F600}");
+    let text = value.to_json();
+    // Control chars below 0x20 must be escaped; DEL and astral scalars may
+    // travel as raw UTF-8.
+    assert!(text.contains("\\u0001"), "{text}");
+    assert!(text.contains('\u{7F}'), "{text}");
+    assert!(text.contains('\u{1F600}'), "{text}");
+    assert_eq!(parse(&text).unwrap(), value);
+}

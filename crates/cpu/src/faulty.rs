@@ -75,12 +75,23 @@ impl FaultActivity {
                 active_cycles,
                 phase_cycles,
             } => {
-                let offset = now_cycles % period_cycles.max(1);
-                let phase = (phase_cycles + period_cycles - offset) % period_cycles.max(1);
+                // Normalize the phase into `0..period` *before* any
+                // addition: `phase_cycles + period_cycles` overflows u64
+                // for phases planned near the end of a saturated virtual
+                // clock. With both operands reduced, the subtraction form
+                // below stays in `0..period` and cannot wrap.
+                let period = period_cycles.max(1);
+                let offset = now_cycles % period;
+                let phase = phase_cycles % period;
+                let rebased = if phase >= offset {
+                    phase - offset
+                } else {
+                    phase + (period - offset)
+                };
                 Some(FaultActivity::Intermittent {
                     period_cycles,
                     active_cycles,
-                    phase_cycles: phase,
+                    phase_cycles: rebased,
                 })
             }
             FaultActivity::Window {
@@ -111,7 +122,18 @@ impl FaultActivity {
                 active_cycles,
                 phase_cycles,
             } => {
-                let t = (cycle + period_cycles - phase_cycles % period_cycles) % period_cycles;
+                // Same discipline as `rebase`: reduce first, then subtract
+                // within `0..period` — `cycle + period_cycles` overflows
+                // for cycles near `u64::MAX`, and a zero period would
+                // panic the `%` before `.max(1)` was applied to it.
+                let period = period_cycles.max(1);
+                let pos = cycle % period;
+                let phase = phase_cycles % period;
+                let t = if pos >= phase {
+                    pos - phase
+                } else {
+                    pos + (period - phase)
+                };
                 t < active_cycles
             }
             FaultActivity::Window {
@@ -396,6 +418,45 @@ mod tests {
     }
 
     #[test]
+    fn rebase_and_activity_survive_extreme_parameters() {
+        // Regression: the old rebase computed `phase + period - offset`
+        // before reducing, which wraps u64 for phases near the end of a
+        // saturated clock; the old is_active added `cycle + period` the
+        // same way and divided by a raw zero period.
+        let i = FaultActivity::Intermittent {
+            period_cycles: u64::MAX - 1,
+            active_cycles: 10,
+            phase_cycles: u64::MAX - 2,
+        };
+        let local = i.rebase(u64::MAX - 4).unwrap();
+        match local {
+            FaultActivity::Intermittent { phase_cycles, .. } => {
+                assert!(phase_cycles < u64::MAX - 1, "phase left 0..period");
+                // now sits 2 cycles before the phase start.
+                assert_eq!(phase_cycles, 2);
+            }
+            other => panic!("rebase changed the variant: {other:?}"),
+        }
+        assert!(!local.is_active(0));
+        assert!(local.is_active(2));
+        assert!(local.is_active(11));
+        assert!(!local.is_active(12));
+        // is_active itself must not wrap at the top of the clock.
+        assert!(!i.is_active(u64::MAX - 3));
+        assert!(i.is_active(u64::MAX - 2));
+        // A degenerate zero period behaves as period 1 (always the same
+        // cycle of the period) instead of panicking on `% 0`.
+        let z = FaultActivity::Intermittent {
+            period_cycles: 0,
+            active_cycles: 1,
+            phase_cycles: 5,
+        };
+        assert!(z.is_active(0));
+        assert!(z.is_active(u64::MAX));
+        assert!(z.rebase(123).is_some());
+    }
+
+    #[test]
     fn window_activity_fires_once() {
         let w = FaultActivity::Window {
             from_cycle: 100,
@@ -406,6 +467,40 @@ mod tests {
         assert!(w.is_active(149));
         assert!(!w.is_active(150));
         assert!(!w.is_active(1_000_000));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The rebased local activity agrees with the global one at
+            /// every reachable global cycle — with periods, phases and
+            /// start times drawn right up to `u64::MAX`, where the old
+            /// `phase + period - offset` / `cycle + period` forms wrapped.
+            #[test]
+            fn rebase_agrees_with_global_clock(
+                period in prop::sample::select(vec![
+                    0u64, 1, 2, 3, 97, 1 << 32,
+                    u64::MAX / 2 + 3, u64::MAX - 1, u64::MAX,
+                ]),
+                active in 0u64..5,
+                phase in any::<u64>(),
+                now_seed in any::<u64>(),
+                delta in 0u64..200,
+            ) {
+                let now = now_seed % (u64::MAX - 200);
+                let global = FaultActivity::Intermittent {
+                    period_cycles: period,
+                    active_cycles: active,
+                    phase_cycles: phase,
+                };
+                let local = global.rebase(now).unwrap();
+                prop_assert_eq!(local.is_active(delta), global.is_active(now + delta));
+            }
+        }
     }
 
     #[test]

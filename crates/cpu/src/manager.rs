@@ -319,8 +319,12 @@ pub struct RetryPolicy {
     pub permanent_threshold: u32,
     /// The test period is multiplied by this factor before each retry
     /// (exponential backoff: retry *k* waits `period × factor^(k+1)`).
+    /// `1` means a constant one-period wait; `0` is treated as `1` — a
+    /// zero factor would collapse every wait to zero cycles and turn the
+    /// retry loop into a retry storm.
     pub backoff_factor: u64,
-    /// Cap on the cumulative backoff scale.
+    /// Cap on the cumulative backoff scale. `0` is treated as `1`: the
+    /// wait never drops below one base period.
     pub max_backoff_scale: u64,
 }
 
@@ -337,12 +341,17 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The backoff wait (in cycles) before retry number `retry` (0-based),
-    /// for a base test period of `base_period_cycles`.
+    /// for a base test period of `base_period_cycles`. The scale saturates
+    /// at [`RetryPolicy::max_backoff_scale`] and never falls below 1, so a
+    /// degenerate `backoff_factor: 0` (whose power would otherwise zero
+    /// the wait and retry-storm the component) or `max_backoff_scale: 0`
+    /// both degrade to a constant one-period wait.
     pub fn backoff_cycles(&self, base_period_cycles: u64, retry: u32) -> u64 {
         let scale = self
             .backoff_factor
             .saturating_pow(retry.saturating_add(1))
-            .min(self.max_backoff_scale.max(1));
+            .min(self.max_backoff_scale)
+            .max(1);
         base_period_cycles.saturating_mul(scale)
     }
 
@@ -1189,6 +1198,42 @@ mod tests {
         assert_eq!(p.backoff_cycles(100, 1), 400);
         assert_eq!(p.backoff_cycles(100, 2), 800);
         assert_eq!(p.backoff_cycles(100, 10), 1_600); // capped at 16×
+    }
+
+    #[test]
+    fn backoff_boundary_configs_never_wait_zero_cycles() {
+        // factor 0: the power is 0 for every retry; the old code let that
+        // zero through and scheduled immediate (zero-cycle) retries. It
+        // must degrade to a constant one-period wait instead.
+        let zero_factor = RetryPolicy {
+            backoff_factor: 0,
+            ..RetryPolicy::default()
+        };
+        for retry in [0, 1, 7, u32::MAX - 1, u32::MAX] {
+            assert_eq!(zero_factor.backoff_cycles(100, retry), 100, "retry {retry}");
+        }
+        // factor 1: constant one-period wait at every retry depth.
+        let flat = RetryPolicy {
+            backoff_factor: 1,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(flat.backoff_cycles(100, 0), 100);
+        assert_eq!(flat.backoff_cycles(100, u32::MAX), 100);
+        // cap 0: same floor, not a zero-cycle wait.
+        let zero_cap = RetryPolicy {
+            max_backoff_scale: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(zero_cap.backoff_cycles(100, 0), 100);
+        assert_eq!(zero_cap.backoff_cycles(100, 9), 100);
+        // Retry counts at the top of u32 saturate the exponent instead of
+        // overflowing, and the multiply saturates instead of wrapping.
+        let p = RetryPolicy {
+            max_backoff_scale: u64::MAX,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_cycles(100, u32::MAX), u64::MAX);
+        assert_eq!(p.backoff_cycles(0, u32::MAX), 0);
     }
 
     #[test]

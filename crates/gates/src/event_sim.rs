@@ -21,8 +21,8 @@
 
 use std::collections::HashMap;
 
-use crate::fault::{Fault, FaultSite};
-use crate::gate::GateId;
+use crate::fault::{Fault, FaultSite, TransitionFault};
+use crate::gate::{GateId, GateKind};
 use crate::net::NetId;
 use crate::netlist::Netlist;
 use crate::sim::InjectMask;
@@ -53,6 +53,20 @@ pub struct EventSimulator<'a> {
     /// Gate evaluations performed so far (one event = one gate evaluated
     /// over all 64 lanes).
     events: u64,
+    /// Per-net lanes carrying a slow-to-rise transition fault.
+    transition_rise: HashMap<NetId, u64>,
+    /// Per-net lanes carrying a slow-to-fall transition fault.
+    transition_fall: HashMap<NetId, u64>,
+    /// The *computed* (pre-forcing) value each transition net took in the
+    /// previous eval — the arming state. The `values` cache holds
+    /// *effective* (forced) words, so arming needs its own store.
+    transition_prev: HashMap<NetId, u64>,
+    /// False until the first eval records arming state.
+    transition_primed: bool,
+    /// Combinational driver gates of transition nets, scheduled
+    /// unconditionally every cycle: their forcing depends on the armed
+    /// state, which advances each eval even when no input changed.
+    transition_drivers: Vec<GateId>,
 }
 
 impl<'a> EventSimulator<'a> {
@@ -70,6 +84,11 @@ impl<'a> EventSimulator<'a> {
             queued: vec![false; netlist.gate_count()],
             needs_full_pass: true,
             events: 0,
+            transition_rise: HashMap::new(),
+            transition_fall: HashMap::new(),
+            transition_prev: HashMap::new(),
+            transition_primed: false,
+            transition_drivers: Vec::new(),
         }
     }
 
@@ -83,9 +102,12 @@ impl<'a> EventSimulator<'a> {
         self.events
     }
 
-    /// Resets all flip-flops to 0 (inputs and injections are kept).
+    /// Resets all flip-flops to 0 and disarms transition faults (inputs
+    /// and injections are kept).
     pub fn reset(&mut self) {
         self.state.fill(0);
+        self.transition_prev.clear();
+        self.transition_primed = false;
         self.needs_full_pass = true;
     }
 
@@ -93,6 +115,11 @@ impl<'a> EventSimulator<'a> {
     pub fn clear_faults(&mut self) {
         self.stem_inject.clear();
         self.pin_inject.clear();
+        self.transition_rise.clear();
+        self.transition_fall.clear();
+        self.transition_prev.clear();
+        self.transition_primed = false;
+        self.transition_drivers.clear();
         self.needs_full_pass = true;
     }
 
@@ -113,6 +140,51 @@ impl<'a> EventSimulator<'a> {
         // Injections change effective values without any input changing;
         // re-establish the fixpoint from scratch on the next eval.
         self.needs_full_pass = true;
+    }
+
+    /// Injects a gross transition-delay fault into the lanes selected by
+    /// `lane_mask` — same semantics as
+    /// [`Simulator::inject_transition_fault`](crate::Simulator::inject_transition_fault).
+    pub fn inject_transition_fault(&mut self, fault: &TransitionFault, lane_mask: u64) {
+        let map = if fault.slow_to_rise {
+            &mut self.transition_rise
+        } else {
+            &mut self.transition_fall
+        };
+        *map.entry(fault.net).or_insert(0) |= lane_mask;
+        if let Some(gid) = self.netlist.driver(fault.net) {
+            if self.netlist.gate(gid).kind != GateKind::Dff
+                && !self.transition_drivers.contains(&gid)
+            {
+                self.transition_drivers.push(gid);
+            }
+        }
+        self.needs_full_pass = true;
+    }
+
+    /// Applies transition-delay forcing to a freshly computed value of
+    /// `net`, updating the arming state with the computed value.
+    #[inline]
+    fn apply_transition(&mut self, net: NetId, v: u64) -> u64 {
+        let rise = self.transition_rise.get(&net).copied().unwrap_or(0);
+        let fall = self.transition_fall.get(&net).copied().unwrap_or(0);
+        if rise == 0 && fall == 0 {
+            return v;
+        }
+        let prev = self.transition_prev.insert(net, v);
+        if !self.transition_primed {
+            return v;
+        }
+        let Some(prev) = prev else { return v };
+        let force0 = rise & !prev;
+        let force1 = fall & prev;
+        (v & !force0) | force1
+    }
+
+    /// Whether any transition fault is injected.
+    #[inline]
+    fn has_transitions(&self) -> bool {
+        !self.transition_rise.is_empty() || !self.transition_fall.is_empty()
     }
 
     /// Drives a primary input with the same logic value in every lane.
@@ -154,11 +226,15 @@ impl<'a> EventSimulator<'a> {
             return;
         }
         let nl = self.netlist;
+        let transitions = self.has_transitions();
         // Seed the front: primary inputs whose injected value changed.
         for (pos, &net) in nl.inputs().iter().enumerate() {
             let mut v = self.input_words[pos];
             if let Some(m) = self.stem_inject.get(&net) {
                 v = m.apply(v);
+            }
+            if transitions {
+                v = self.apply_transition(net, v);
             }
             if v != self.values[net.index()] {
                 self.values[net.index()] = v;
@@ -172,9 +248,24 @@ impl<'a> EventSimulator<'a> {
             if let Some(m) = self.stem_inject.get(&q) {
                 v = m.apply(v);
             }
+            if transitions {
+                v = self.apply_transition(q, v);
+            }
             if v != self.values[q.index()] {
                 self.values[q.index()] = v;
                 self.schedule_users(q);
+            }
+        }
+        // Transition forcing depends on the armed state, which advances
+        // every eval even when no input changed: combinational drivers of
+        // transition nets re-evaluate unconditionally.
+        if transitions {
+            for i in 0..self.transition_drivers.len() {
+                let gid = self.transition_drivers[i];
+                if !self.queued[gid.index()] {
+                    self.queued[gid.index()] = true;
+                    self.queues[nl.gate_level(gid) as usize].push(gid);
+                }
             }
         }
         // Drain levels in ascending order; users always sit at strictly
@@ -192,6 +283,9 @@ impl<'a> EventSimulator<'a> {
             }
             queue.clear();
             self.queues[level] = queue; // keep the allocation
+        }
+        if transitions {
+            self.transition_primed = true;
         }
     }
 
@@ -263,6 +357,9 @@ impl<'a> EventSimulator<'a> {
         if let Some(m) = self.stem_inject.get(&gate.output) {
             out = m.apply(out);
         }
+        if self.has_transitions() {
+            out = self.apply_transition(gate.output, out);
+        }
         out
     }
 
@@ -271,10 +368,14 @@ impl<'a> EventSimulator<'a> {
     /// cached fixpoint after injections or state resets.
     fn full_pass(&mut self) {
         let nl = self.netlist;
+        let transitions = self.has_transitions();
         for (pos, &net) in nl.inputs().iter().enumerate() {
             let mut v = self.input_words[pos];
             if let Some(m) = self.stem_inject.get(&net) {
                 v = m.apply(v);
+            }
+            if transitions {
+                v = self.apply_transition(net, v);
             }
             self.values[net.index()] = v;
         }
@@ -283,6 +384,9 @@ impl<'a> EventSimulator<'a> {
             let mut v = self.state[k];
             if let Some(m) = self.stem_inject.get(&q) {
                 v = m.apply(v);
+            }
+            if transitions {
+                v = self.apply_transition(q, v);
             }
             self.values[q.index()] = v;
         }
@@ -295,6 +399,9 @@ impl<'a> EventSimulator<'a> {
             let out = self.eval_gate(gid);
             let out_net = nl.gate(gid).output;
             self.values[out_net.index()] = out;
+        }
+        if transitions {
+            self.transition_primed = true;
         }
     }
 }
@@ -409,6 +516,67 @@ mod tests {
         full.eval();
         for &o in n.outputs() {
             assert_eq!(ev.value(o), full.value(o));
+        }
+    }
+
+    #[test]
+    fn transition_faults_match_full_eval_cycle_by_cycle() {
+        // Every net of the adder carries a transition fault in some lane;
+        // drive a walking pattern and compare against the full-eval oracle
+        // on every net, every cycle.
+        let n = adder_netlist();
+        let faults = crate::fault::enumerate_transition_faults(&n);
+        let mut ev = EventSimulator::new(&n);
+        let mut full = Simulator::new(&n);
+        for (i, f) in faults.iter().enumerate() {
+            let lane = 1 + (i % 63); // lane 0 stays fault-free
+            ev.inject_transition_fault(f, 1 << lane);
+            full.inject_transition_fault(f, 1 << lane);
+        }
+        for v in [0u32, 7, 1, 6, 2, 2, 5, 0, 7, 3] {
+            let bits = [v & 1 != 0, v & 2 != 0, v & 4 != 0];
+            for (pos, &net) in n.inputs().iter().enumerate() {
+                ev.set_input(net, bits[pos]);
+                full.set_input(net, bits[pos]);
+            }
+            ev.eval();
+            full.eval();
+            for idx in 0..n.net_count() {
+                let net = NetId::from_index(idx);
+                assert_eq!(ev.value(net), full.value(net), "net {net} input {v:03b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_transition_faults_match_full_eval() {
+        let mut b = NetlistBuilder::new("pipe");
+        let d = b.input("d");
+        let q1 = b.dff(d);
+        let q2 = b.dff(q1);
+        let o = b.gate(GateKind::Not, &[q2]);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let mut ev = EventSimulator::new(&n);
+        let mut full = Simulator::new(&n);
+        for (i, f) in crate::fault::enumerate_transition_faults(&n)
+            .iter()
+            .enumerate()
+        {
+            ev.inject_transition_fault(f, 1 << (1 + i));
+            full.inject_transition_fault(f, 1 << (1 + i));
+        }
+        for &bit in &[false, true, true, false, true, false, false, true] {
+            ev.set_input(n.inputs()[0], bit);
+            full.set_input(n.inputs()[0], bit);
+            ev.eval();
+            full.eval();
+            for idx in 0..n.net_count() {
+                let net = NetId::from_index(idx);
+                assert_eq!(ev.value(net), full.value(net), "net {net} bit {bit}");
+            }
+            ev.step();
+            full.step();
         }
     }
 

@@ -1,10 +1,169 @@
-//! Single-stuck-at fault model and equivalence collapsing.
+//! Fault models (single-stuck-at and gross transition-delay) and
+//! equivalence collapsing.
 
 use std::fmt;
 
 use crate::gate::{GateId, GateKind};
 use crate::net::NetId;
 use crate::netlist::Netlist;
+
+/// Which fault model a grading run targets.
+///
+/// Stuck-at is the paper's model; transition delay (slow-to-rise /
+/// slow-to-fall, the gross-delay "one cycle late" abstraction) needs
+/// two-pattern launch/capture tests and is graded by
+/// [`crate::FaultSimulator::simulate_transition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultModel {
+    /// Single stuck-at faults on stems and pins (equivalence-collapsed).
+    #[default]
+    StuckAt,
+    /// Gross transition-delay faults: slow-to-rise / slow-to-fall per net
+    /// stem, detected by a launch/capture pattern pair.
+    TransitionDelay,
+}
+
+impl FaultModel {
+    /// Stable lower-case name for flags, logs and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultModel::StuckAt => "stuck-at",
+            FaultModel::TransitionDelay => "transition",
+        }
+    }
+
+    /// Parses a model name as accepted by `--fault-model`:
+    /// `stuck-at`/`stuck_at`/`sa` or `transition`/`transition-delay`/`td`
+    /// (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "stuck-at" | "stuck_at" | "stuckat" | "sa" => Some(FaultModel::StuckAt),
+            "transition" | "transition-delay" | "transition_delay" | "td" => {
+                Some(FaultModel::TransitionDelay)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A gross transition-delay fault on a net stem.
+///
+/// Under the gross-delay model the affected transition arrives one full
+/// clock cycle late: a slow-to-rise net that computes `0 → 1` across
+/// consecutive evaluations still presents its old `0` for the cycle in
+/// which the rise should have appeared (and symmetrically for
+/// slow-to-fall). Detection therefore needs a *pattern pair*: an
+/// initialization pattern establishing the net at its initial value,
+/// then a capture pattern that both launches the transition and
+/// propagates the (late) value to an observed output — i.e. a stuck-at
+/// test for the initial value whose predecessor set the net to that
+/// initial value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransitionFault {
+    /// The net whose driving transition is slow.
+    pub net: NetId,
+    /// `true` for slow-to-rise (`0 → 1` late), `false` for slow-to-fall.
+    pub slow_to_rise: bool,
+}
+
+impl TransitionFault {
+    /// Slow-to-rise on a net stem.
+    pub fn slow_to_rise(net: NetId) -> Self {
+        TransitionFault {
+            net,
+            slow_to_rise: true,
+        }
+    }
+
+    /// Slow-to-fall on a net stem.
+    pub fn slow_to_fall(net: NetId) -> Self {
+        TransitionFault {
+            net,
+            slow_to_rise: false,
+        }
+    }
+
+    /// The value the slow transition departs *from*: `false` (0) for
+    /// slow-to-rise, `true` (1) for slow-to-fall. During the capture
+    /// cycle an armed fault holds the net at this value.
+    pub fn init_value(&self) -> bool {
+        !self.slow_to_rise
+    }
+
+    /// The stuck-at fault whose single-pattern test is exactly the
+    /// capture half of this fault's two-pattern test: stuck at the
+    /// initial value on the same stem.
+    pub fn capture_stuck_at(&self) -> Fault {
+        Fault {
+            site: FaultSite::Stem(self.net),
+            stuck_value: self.init_value(),
+        }
+    }
+
+    /// The stuck-at fault whose single-pattern test drives the net to the
+    /// *initialization* value in the fault-free circuit: a test for stuck
+    /// at `!init_value()` must excite the net to `init_value()`. Reusing a
+    /// stuck-at test generator on this fault yields the initialization
+    /// half of the two-pattern test (its propagation requirement is
+    /// stronger than strictly needed — justification alone would do — so a
+    /// generator may occasionally abort on a fault whose initialization is
+    /// justifiable; a conservative miss, never a wrong pattern).
+    pub fn initialization_stuck_at(&self) -> Fault {
+        Fault {
+            site: FaultSite::Stem(self.net),
+            stuck_value: !self.init_value(),
+        }
+    }
+
+    /// Human-readable description using the netlist's net names.
+    pub fn describe(&self, netlist: &Netlist) -> String {
+        let name = netlist
+            .net_name(self.net)
+            .map(str::to_owned)
+            .unwrap_or_else(|| self.net.to_string());
+        let kind = if self.slow_to_rise {
+            "slow-to-rise"
+        } else {
+            "slow-to-fall"
+        };
+        format!("{name} {kind}")
+    }
+}
+
+impl fmt::Display for TransitionFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.slow_to_rise {
+            "slow-to-rise"
+        } else {
+            "slow-to-fall"
+        };
+        write!(f, "{} {kind}", self.net)
+    }
+}
+
+/// Enumerates the transition-delay fault list: slow-to-rise and
+/// slow-to-fall on every net stem.
+///
+/// Transition faults live on stems only — under the gross-delay model a
+/// branch-pin delay is equivalent to the stem delay for detection
+/// purposes (the late value propagates through every branch the capture
+/// pattern sensitizes), so the per-pin sites the stuck-at model needs
+/// collapse away structurally.
+pub fn enumerate_transition_faults(netlist: &Netlist) -> Vec<TransitionFault> {
+    let mut faults = Vec::with_capacity(netlist.net_count() * 2);
+    for idx in 0..netlist.net_count() {
+        let net = crate::net::NetId::from_index(idx);
+        faults.push(TransitionFault::slow_to_rise(net));
+        faults.push(TransitionFault::slow_to_fall(net));
+    }
+    faults
+}
 
 /// Location of a stuck-at fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -213,6 +372,50 @@ mod tests {
         let n = and_with_fanout();
         let f = Fault::stem_sa1(n.inputs()[0]);
         assert_eq!(f.describe(&n), "a s-a-1");
+    }
+
+    #[test]
+    fn transition_enumeration_covers_every_stem_twice() {
+        let n = and_with_fanout();
+        let faults = enumerate_transition_faults(&n);
+        assert_eq!(faults.len(), n.net_count() * 2);
+        for idx in 0..n.net_count() {
+            let net = crate::net::NetId::from_index(idx);
+            assert!(faults.contains(&TransitionFault::slow_to_rise(net)));
+            assert!(faults.contains(&TransitionFault::slow_to_fall(net)));
+        }
+    }
+
+    #[test]
+    fn transition_capture_stuck_at_targets_init_value() {
+        let n = and_with_fanout();
+        let net = n.inputs()[0];
+        let str_f = TransitionFault::slow_to_rise(net);
+        assert!(!str_f.init_value()); // rises from 0
+        assert_eq!(str_f.capture_stuck_at(), Fault::stem_sa0(net));
+        let stf = TransitionFault::slow_to_fall(net);
+        assert!(stf.init_value()); // falls from 1
+        assert_eq!(stf.capture_stuck_at(), Fault::stem_sa1(net));
+        assert_eq!(str_f.describe(&n), "a slow-to-rise");
+        assert_eq!(stf.describe(&n), "a slow-to-fall");
+        // The initialization target is the opposite stuck polarity: its
+        // test excites the net to the transition's departure value.
+        assert_eq!(str_f.initialization_stuck_at(), Fault::stem_sa1(net));
+        assert_eq!(stf.initialization_stuck_at(), Fault::stem_sa0(net));
+    }
+
+    #[test]
+    fn fault_model_names_round_trip() {
+        for model in [FaultModel::StuckAt, FaultModel::TransitionDelay] {
+            assert_eq!(FaultModel::from_name(model.name()), Some(model));
+        }
+        assert_eq!(FaultModel::from_name("sa"), Some(FaultModel::StuckAt));
+        assert_eq!(
+            FaultModel::from_name("Transition-Delay"),
+            Some(FaultModel::TransitionDelay)
+        );
+        assert_eq!(FaultModel::from_name("bridging"), None);
+        assert_eq!(FaultModel::default(), FaultModel::StuckAt);
     }
 
     #[test]

@@ -1,4 +1,10 @@
-//! Parallel single-stuck-at fault simulation.
+//! Parallel fault simulation for single-stuck-at and gross
+//! transition-delay fault models.
+//!
+//! Stuck-at faults are graded by [`FaultSimulator::simulate`];
+//! transition-delay faults by [`FaultSimulator::simulate_transition`]
+//! under two-pattern (launch/capture) semantics. Both models share all of
+//! the machinery below — only the per-batch injection step differs.
 //!
 //! Three levels of parallelism/selectivity compose here:
 //!
@@ -42,7 +48,7 @@ use std::time::{Duration, Instant};
 
 use crate::coverage::FaultCoverage;
 use crate::event_sim::EventSimulator;
-use crate::fault::{Fault, FaultSite};
+use crate::fault::{Fault, FaultSite, TransitionFault};
 use crate::gate::{GateId, GateKind};
 use crate::net::NetId;
 use crate::netlist::Netlist;
@@ -553,6 +559,13 @@ impl<'a> Backend<'a> {
         }
     }
 
+    fn inject_transition_fault(&mut self, fault: &TransitionFault, lane_mask: u64) {
+        match self {
+            Backend::Full { sim, .. } => sim.inject_transition_fault(fault, lane_mask),
+            Backend::Event(sim) => sim.inject_transition_fault(fault, lane_mask),
+        }
+    }
+
     fn set_input(&mut self, net: NetId, value: bool) {
         match self {
             Backend::Full { sim, .. } => sim.set_input(net, value),
@@ -592,6 +605,63 @@ impl<'a> Backend<'a> {
         match self {
             Backend::Full { events, .. } => *events,
             Backend::Event(sim) => sim.events(),
+        }
+    }
+}
+
+/// The fault list being graded: either classic single-stuck-at faults or
+/// gross transition-delay faults (two-pattern detection).
+///
+/// This indirection lets the batching, threading, lane-assignment and
+/// detection machinery be shared between both models: the only
+/// model-specific step is *injection*, which happens once per batch before
+/// the cycle loop, so the per-cycle hot path is identical (and the
+/// stuck-at path stays exactly as fast as before).
+#[derive(Clone, Copy)]
+enum FaultList<'f> {
+    Stuck(&'f [Fault]),
+    Transition(&'f [TransitionFault]),
+}
+
+impl<'f> FaultList<'f> {
+    fn len(&self) -> usize {
+        match self {
+            FaultList::Stuck(faults) => faults.len(),
+            FaultList::Transition(faults) => faults.len(),
+        }
+    }
+
+    /// Injects fault `index` into a narrow (64-lane) backend.
+    fn inject(&self, sim: &mut Backend<'_>, index: usize, lane_mask: u64) {
+        match self {
+            FaultList::Stuck(faults) => sim.inject_fault(&faults[index], lane_mask),
+            FaultList::Transition(faults) => sim.inject_transition_fault(&faults[index], lane_mask),
+        }
+    }
+
+    /// Injects fault `index` into a wide compiled-tape backend.
+    fn inject_tape<const W: usize>(
+        &self,
+        sim: &mut TapeSimulator<'_, '_, W>,
+        index: usize,
+        lane: usize,
+    ) {
+        match self {
+            FaultList::Stuck(faults) => sim.inject_fault(&faults[index], lane),
+            FaultList::Transition(faults) => sim.inject_transition_fault(&faults[index], lane),
+        }
+    }
+
+    /// Cone-locality batches for this fault list. Transition faults batch
+    /// by their capture-side stuck-at equivalent (the stem stuck at the
+    /// initialization value), which has the same fanout cone.
+    fn batches(&self, netlist: &Netlist, per_batch: usize) -> Vec<Vec<u32>> {
+        match self {
+            FaultList::Stuck(faults) => fault_batches_by_cone_sized(netlist, faults, per_batch),
+            FaultList::Transition(faults) => {
+                let capture: Vec<Fault> = faults.iter().map(|f| f.capture_stuck_at()).collect();
+                fault_batches_by_cone_sized(netlist, &capture, per_batch)
+            }
         }
     }
 }
@@ -640,9 +710,38 @@ impl<'a> FaultSimulator<'a> {
     /// Returns per-fault detection data; see [`FaultSimResult`]. The result
     /// is bit-identical for every thread count and engine.
     pub fn simulate(&self, faults: &[Fault], stimulus: &Stimulus) -> FaultSimResult {
+        self.simulate_list(FaultList::Stuck(faults), stimulus)
+    }
+
+    /// Grades gross transition-delay faults against `stimulus` under
+    /// two-pattern (launch/capture) semantics.
+    ///
+    /// Each simulator batch starts un-primed: the first cycle is a pure
+    /// launch (it arms lanes whose net settles at the fault's slow-side
+    /// initialization value but never forces), and from the second cycle on
+    /// armed lanes hold the net at its initialization value for one extra
+    /// cycle — the gross-delay model where the affected transition arrives
+    /// a full clock late. Detection is the same observed-cycle
+    /// output-vs-reference comparison as [`FaultSimulator::simulate`], so a
+    /// transition fault is detected exactly when some pattern *pair*
+    /// (consecutive cycles) initializes and then excites it with the error
+    /// propagated to an observed output.
+    ///
+    /// Batching, threading, drop-on-detect and the reference recording all
+    /// behave as in [`FaultSimulator::simulate`]; results are bit-identical
+    /// across engines and thread counts.
+    pub fn simulate_transition(
+        &self,
+        faults: &[TransitionFault],
+        stimulus: &Stimulus,
+    ) -> FaultSimResult {
+        self.simulate_list(FaultList::Transition(faults), stimulus)
+    }
+
+    /// Shared grading driver for both fault models.
+    fn simulate_list(&self, faults: FaultList<'_>, stimulus: &Stimulus) -> FaultSimResult {
         let start = Instant::now();
-        let batches =
-            fault_batches_by_cone_sized(self.netlist, faults, self.config.engine.faults_per_pass());
+        let batches = faults.batches(self.netlist, self.config.engine.faults_per_pass());
         // The compiled engine's tape is built once per *simulator* and
         // shared (immutably) by every worker and every later call; each
         // worker still owns a private simulator state.
@@ -685,7 +784,7 @@ impl<'a> FaultSimulator<'a> {
         &self,
         tape: Option<&CompiledTape<'_>>,
         batches: &[Vec<u32>],
-        faults: &[Fault],
+        faults: FaultList<'_>,
         stimulus: &Stimulus,
     ) -> FaultSimResult {
         let mut detected = vec![false; faults.len()];
@@ -733,7 +832,7 @@ impl<'a> FaultSimulator<'a> {
         &self,
         tape: Option<&CompiledTape<'_>>,
         batches: &[Vec<u32>],
-        faults: &[Fault],
+        faults: FaultList<'_>,
         stimulus: &Stimulus,
         threads: usize,
     ) -> FaultSimResult {
@@ -842,7 +941,7 @@ impl<'a> FaultSimulator<'a> {
     fn run_batch(
         &self,
         tape: Option<&CompiledTape<'_>>,
-        faults: &[Fault],
+        faults: FaultList<'_>,
         batch: &[u32],
         stimulus: &Stimulus,
         record_reference: bool,
@@ -864,7 +963,7 @@ impl<'a> FaultSimulator<'a> {
             sim.reset();
         }
         for (lane_off, &fault_index) in batch.iter().enumerate() {
-            sim.inject_fault(&faults[fault_index as usize], 1u64 << (lane_off + 1));
+            faults.inject(&mut sim, fault_index as usize, 1u64 << (lane_off + 1));
         }
         // Mask of lanes carrying live (not yet detected) faults:
         // lanes 1..=batch.len().
@@ -930,7 +1029,7 @@ impl<'a> FaultSimulator<'a> {
     fn run_batch_compiled(
         &self,
         tape: &CompiledTape<'_>,
-        faults: &[Fault],
+        faults: FaultList<'_>,
         batch: &[u32],
         stimulus: &Stimulus,
         record_reference: bool,
@@ -943,7 +1042,7 @@ impl<'a> FaultSimulator<'a> {
             sim.reset();
         }
         for (lane_off, &fault_index) in batch.iter().enumerate() {
-            sim.inject_fault(&faults[fault_index as usize], lane_off + 1);
+            faults.inject_tape(&mut sim, fault_index as usize, lane_off + 1);
         }
         // Mask of lanes carrying live (not yet detected) faults:
         // lanes 1..=batch.len() across the four words.
@@ -1508,6 +1607,128 @@ mod tests {
             .simulate(&[], &exhaustive2());
         assert_eq!(res.fault_free_responses.len(), 4);
         assert!(res.detected.is_empty());
+    }
+
+    #[test]
+    fn transition_fault_needs_a_pattern_pair() {
+        // Single-pattern stimuli never detect a transition fault: with no
+        // prior settled value the launch edge never happens.
+        let n = and2_netlist();
+        let faults = crate::fault::enumerate_transition_faults(&n);
+        assert!(!faults.is_empty());
+        let mut s = Stimulus::new();
+        s.push_pattern(&[true, true]);
+        let res = FaultSimulator::new(&n).simulate_transition(&faults, &s);
+        assert_eq!(res.coverage().detected, 0, "one pattern cannot launch");
+
+        // A 0→1 pair on the output detects its slow-to-rise fault.
+        let str_out = faults
+            .iter()
+            .position(|f| f.net == n.outputs()[0] && f.slow_to_rise)
+            .unwrap();
+        let mut s = Stimulus::new();
+        s.push_pattern(&[false, true]); // output 0: arms slow-to-rise
+        s.push_pattern(&[true, true]); // output should rise; fault holds 0
+        let res = FaultSimulator::new(&n).simulate_transition(&faults, &s);
+        assert!(res.detected[str_out]);
+        assert_eq!(res.detecting_cycle[str_out], Some(1));
+    }
+
+    #[test]
+    fn transition_reference_lane_is_fault_free() {
+        // The reference responses of a transition run must match a plain
+        // fault-free simulation (lane 0 carries no fault).
+        let n = and2_netlist();
+        let faults = crate::fault::enumerate_transition_faults(&n);
+        let stim = exhaustive2();
+        let trans = FaultSimulator::new(&n).simulate_transition(&faults, &stim);
+        let stuck = FaultSimulator::new(&n).simulate(&[], &stim);
+        assert_eq!(trans.fault_free_responses, stuck.fault_free_responses);
+    }
+
+    #[test]
+    fn transition_engines_and_threads_agree_bitwise() {
+        // Sequential netlist: input bus -> comb mix -> DFF layer -> comb ->
+        // outputs, with feedback. Exercises transition faults on PIs, DFF
+        // outputs and interior comb nets under every engine and several
+        // thread counts.
+        let mut b = NetlistBuilder::new("seqmix");
+        let bus = b.input_bus("a", 24);
+        let mut layer = Vec::new();
+        for (i, &net) in bus.nets().iter().enumerate() {
+            let prev = if i == 0 { net } else { *layer.last().unwrap() };
+            let g = if i % 3 == 0 {
+                b.xor2(prev, net)
+            } else if i % 3 == 1 {
+                b.and2(prev, net)
+            } else {
+                b.or2(prev, net)
+            };
+            layer.push(g);
+        }
+        let mut qs = Vec::new();
+        for (i, &g) in layer.iter().enumerate().take(8) {
+            let q = b.dff(g);
+            qs.push(q);
+            if i % 2 == 0 {
+                let o = b.xor2(q, layer[layer.len() - 1 - i]);
+                b.mark_output(o, &format!("o{i}"));
+            }
+        }
+        let fb = b.reduce_or(&crate::net::Bus::new(qs));
+        b.mark_output(fb, "fb");
+        let n = b.finish().unwrap();
+        let faults = crate::fault::enumerate_transition_faults(&n);
+        assert!(
+            faults.len() > FAULTS_PER_BATCH,
+            "need multiple batches, got {}",
+            faults.len()
+        );
+        let mut s = Stimulus::new();
+        let mut word = 0xA076_1D64_78BD_642Fu64;
+        for cycle in 0..40 {
+            word = word.rotate_left(23).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+            let bits: Vec<bool> = (0..24).map(|i| word >> i & 1 == 1).collect();
+            s.push_cycle(&bits, cycle % 3 != 1);
+        }
+        let reference = FaultSimulator::with_config(
+            &n,
+            FaultSimConfig {
+                engine: SimEngine::FullEval,
+                threads: Some(1),
+                ..FaultSimConfig::default()
+            },
+        )
+        .simulate_transition(&faults, &s);
+        assert!(reference.coverage().detected > 0, "stimulus detects some");
+        assert!(
+            reference.coverage().detected < faults.len(),
+            "and misses some (hidden cycles)"
+        );
+        for engine in [
+            SimEngine::FullEval,
+            SimEngine::EventDriven,
+            SimEngine::Compiled,
+        ] {
+            for threads in [1usize, 2, 7] {
+                let res = FaultSimulator::with_config(
+                    &n,
+                    FaultSimConfig {
+                        engine,
+                        threads: Some(threads),
+                        ..FaultSimConfig::default()
+                    },
+                )
+                .simulate_transition(&faults, &s);
+                let tag = format!("{} x{threads}", engine.name());
+                assert_eq!(res.detected, reference.detected, "{tag}");
+                assert_eq!(res.detecting_cycle, reference.detecting_cycle, "{tag}");
+                assert_eq!(
+                    res.fault_free_responses, reference.fault_free_responses,
+                    "{tag}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! components (ALU, shifter, multiplier, …) are described as [`Netlist`]s of
 //! primitive gates, simulated 64 machines at a time with [`Simulator`], and
 //! fault-graded with [`FaultSimulator`] under the industry-standard
-//! single-stuck-at fault model with equivalence collapsing.
+//! single-stuck-at fault model with equivalence collapsing, or under the
+//! gross transition-delay model ([`FaultModel::TransitionDelay`]) with
+//! two-pattern launch/capture tests.
 //!
 //! # Example
 //!
@@ -57,7 +59,10 @@ pub mod verilog;
 
 pub use error::BuildNetlistError;
 pub use event_sim::EventSimulator;
-pub use fault::{collapse_faults, enumerate_faults, Fault, FaultSite};
+pub use fault::{
+    collapse_faults, enumerate_faults, enumerate_transition_faults, Fault, FaultModel, FaultSite,
+    TransitionFault,
+};
 pub use fault_sim::{
     fault_batches, fault_batches_by_cone, fault_batches_by_cone_sized, FaultSimConfig,
     FaultSimResult, FaultSimulator, SimEngine, SimStats, Stimulus, ThreadStats, FAULTS_PER_BATCH,

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::fault::{Fault, FaultSite};
+use crate::fault::{Fault, FaultSite, TransitionFault};
 use crate::gate::GateId;
 use crate::net::{Bus, NetId};
 use crate::netlist::Netlist;
@@ -59,6 +59,18 @@ pub struct Simulator<'a> {
     state: Vec<u64>,
     stem_inject: HashMap<NetId, InjectMask>,
     pin_inject: HashMap<(GateId, u8), InjectMask>,
+    /// Per-net lanes carrying a slow-to-rise transition fault.
+    transition_rise: HashMap<NetId, u64>,
+    /// Per-net lanes carrying a slow-to-fall transition fault.
+    transition_fall: HashMap<NetId, u64>,
+    /// The *computed* (pre-forcing) per-lane value each transition net took
+    /// in the previous [`Simulator::eval`] — the arming state. Arming must
+    /// use computed values: arming on the forced value would hold the net
+    /// at its initial value forever (a stuck-at, not a delay).
+    transition_prev: HashMap<NetId, u64>,
+    /// False until the first eval records arming state; the first pattern
+    /// after construction or reset is a pure launch (no capture possible).
+    transition_primed: bool,
 }
 
 impl<'a> Simulator<'a> {
@@ -71,6 +83,10 @@ impl<'a> Simulator<'a> {
             state: vec![0; netlist.dff_gates().len()],
             stem_inject: HashMap::new(),
             pin_inject: HashMap::new(),
+            transition_rise: HashMap::new(),
+            transition_fall: HashMap::new(),
+            transition_prev: HashMap::new(),
+            transition_primed: false,
         }
     }
 
@@ -79,15 +95,22 @@ impl<'a> Simulator<'a> {
         self.netlist
     }
 
-    /// Resets all flip-flops to 0 (inputs and injections are kept).
+    /// Resets all flip-flops to 0 and disarms transition faults (inputs
+    /// and injections are kept).
     pub fn reset(&mut self) {
         self.state.fill(0);
+        self.transition_prev.clear();
+        self.transition_primed = false;
     }
 
     /// Removes all injected faults.
     pub fn clear_faults(&mut self) {
         self.stem_inject.clear();
         self.pin_inject.clear();
+        self.transition_rise.clear();
+        self.transition_fall.clear();
+        self.transition_prev.clear();
+        self.transition_primed = false;
     }
 
     /// Injects `fault` into the lanes selected by `lane_mask`.
@@ -107,6 +130,44 @@ impl<'a> Simulator<'a> {
                 .or_default()
                 .add(lane_mask, fault.stuck_value),
         }
+    }
+
+    /// Injects a gross transition-delay fault into the lanes selected by
+    /// `lane_mask`: in those lanes the net presents its previous-cycle
+    /// initial value for one extra cycle whenever the affected transition
+    /// (rise or fall) is launched. Each [`Simulator::eval`] call is one
+    /// clock for arming purposes; the first eval after construction,
+    /// [`Simulator::reset`] or [`Simulator::clear_faults`] only launches
+    /// (nothing is armed yet).
+    pub fn inject_transition_fault(&mut self, fault: &TransitionFault, lane_mask: u64) {
+        let map = if fault.slow_to_rise {
+            &mut self.transition_rise
+        } else {
+            &mut self.transition_fall
+        };
+        *map.entry(fault.net).or_insert(0) |= lane_mask;
+    }
+
+    /// Applies transition-delay forcing to a freshly computed per-lane
+    /// value of `net`, updating the arming state with the computed value.
+    #[inline]
+    fn apply_transition(&mut self, net: NetId, v: u64) -> u64 {
+        let rise = self.transition_rise.get(&net).copied().unwrap_or(0);
+        let fall = self.transition_fall.get(&net).copied().unwrap_or(0);
+        if rise == 0 && fall == 0 {
+            return v;
+        }
+        let prev = self.transition_prev.insert(net, v);
+        if !self.transition_primed {
+            return v;
+        }
+        // A net first seen this eval (fault injected mid-run) has no
+        // arming state yet and cannot capture.
+        let Some(prev) = prev else { return v };
+        // Armed lanes saw the initial value last cycle; they hold it now.
+        let force0 = rise & !prev;
+        let force1 = fall & prev;
+        (v & !force0) | force1
     }
 
     /// Drives a primary input with the same logic value in every lane.
@@ -170,11 +231,15 @@ impl<'a> Simulator<'a> {
     /// [`Simulator::step`] afterwards to latch the next state.
     pub fn eval(&mut self) {
         let nl = self.netlist;
+        let transitions = !self.transition_rise.is_empty() || !self.transition_fall.is_empty();
         // Load primary inputs (stem faults on PIs apply here).
         for (pos, &net) in nl.inputs().iter().enumerate() {
             let mut v = self.input_words[pos];
             if let Some(m) = self.stem_inject.get(&net) {
                 v = m.apply(v);
+            }
+            if transitions {
+                v = self.apply_transition(net, v);
             }
             self.values[net.index()] = v;
         }
@@ -184,6 +249,9 @@ impl<'a> Simulator<'a> {
             let mut v = self.state[k];
             if let Some(m) = self.stem_inject.get(&q) {
                 v = m.apply(v);
+            }
+            if transitions {
+                v = self.apply_transition(q, v);
             }
             self.values[q.index()] = v;
         }
@@ -205,7 +273,13 @@ impl<'a> Simulator<'a> {
             if let Some(m) = self.stem_inject.get(&gate.output) {
                 out = m.apply(out);
             }
+            if transitions {
+                out = self.apply_transition(gate.output, out);
+            }
             self.values[gate.output.index()] = out;
+        }
+        if transitions {
+            self.transition_primed = true;
         }
     }
 
@@ -379,6 +453,115 @@ mod tests {
         sim.eval();
         assert_eq!(sim.value(n.outputs()[0]), 1 << 3); // buf sees stuck 1 in lane 3
         assert_eq!(sim.value(n.outputs()[1]), !0); // inverter unaffected
+    }
+
+    #[test]
+    fn slow_to_rise_delays_the_edge_one_cycle() {
+        // Single buffer: o = buf(a). Lane 1 carries a slow-to-rise on `a`.
+        let mut b = NetlistBuilder::new("buf");
+        let a = b.input("a");
+        let o = b.gate(GateKind::Buf, &[a]);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let mut sim = Simulator::new(&n);
+        let f = TransitionFault::slow_to_rise(n.inputs()[0]);
+        sim.inject_transition_fault(&f, 1 << 1);
+        // Cycle 0 (launch setup): a=0 everywhere.
+        sim.set_input(n.inputs()[0], false);
+        sim.eval();
+        assert_eq!(sim.value(n.outputs()[0]), 0);
+        // Cycle 1: a rises. Lane 1 is armed (saw 0) -> stays 0 one cycle.
+        sim.set_input(n.inputs()[0], true);
+        sim.eval();
+        assert_eq!(sim.value(n.outputs()[0]), !(1u64 << 1));
+        // Cycle 2: a still 1; the late edge has now arrived.
+        sim.eval();
+        assert_eq!(sim.value(n.outputs()[0]), !0);
+    }
+
+    #[test]
+    fn slow_to_fall_holds_high_one_cycle() {
+        let mut b = NetlistBuilder::new("buf");
+        let a = b.input("a");
+        let o = b.gate(GateKind::Buf, &[a]);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.inject_transition_fault(&TransitionFault::slow_to_fall(n.inputs()[0]), 1 << 2);
+        sim.set_input(n.inputs()[0], true);
+        sim.eval(); // launch setup: high everywhere, nothing armed before
+        assert_eq!(sim.value(n.outputs()[0]), !0);
+        sim.set_input(n.inputs()[0], false);
+        sim.eval(); // armed lane 2 holds the stale 1
+        assert_eq!(sim.value(n.outputs()[0]), 1 << 2);
+        sim.eval(); // late fall arrives
+        assert_eq!(sim.value(n.outputs()[0]), 0);
+    }
+
+    #[test]
+    fn first_eval_cannot_capture_and_reset_disarms() {
+        // Without an initialization pattern the very first eval must be
+        // fault-free even when the value equals the transition's target.
+        let mut b = NetlistBuilder::new("buf");
+        let a = b.input("a");
+        let o = b.gate(GateKind::Buf, &[a]);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.inject_transition_fault(&TransitionFault::slow_to_rise(n.inputs()[0]), 1 << 4);
+        sim.set_input(n.inputs()[0], true);
+        sim.eval();
+        assert_eq!(sim.value(n.outputs()[0]), !0); // no stale 0 injected
+                                                   // Arm by driving 0, then confirm reset() disarms.
+        sim.set_input(n.inputs()[0], false);
+        sim.eval();
+        sim.reset();
+        sim.set_input(n.inputs()[0], true);
+        sim.eval();
+        assert_eq!(sim.value(n.outputs()[0]), !0);
+    }
+
+    #[test]
+    fn transition_arming_uses_computed_not_forced_values() {
+        // 0 -> 1 -> 1: the forced value in the capture cycle is 0, but the
+        // computed value is 1, so the lane must NOT stay forced (a stuck-at
+        // would). The edge arrives exactly one cycle late.
+        let mut b = NetlistBuilder::new("buf");
+        let a = b.input("a");
+        let o = b.gate(GateKind::Buf, &[a]);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.inject_transition_fault(&TransitionFault::slow_to_rise(n.inputs()[0]), 1);
+        sim.set_input(n.inputs()[0], false);
+        sim.eval();
+        sim.set_input(n.inputs()[0], true);
+        sim.eval();
+        assert_eq!(sim.value(n.outputs()[0]) & 1, 0); // delayed
+        sim.eval();
+        assert_eq!(sim.value(n.outputs()[0]) & 1, 1); // arrived, not stuck
+        sim.eval();
+        assert_eq!(sim.value(n.outputs()[0]) & 1, 1);
+    }
+
+    #[test]
+    fn transition_through_dff_latches_the_late_value() {
+        // q = dff(a): a slow-to-rise on `a` delays what the flop captures.
+        let mut b = NetlistBuilder::new("reg");
+        let d = b.input("d");
+        let q = b.dff(d);
+        b.mark_output(q, "q");
+        let n = b.finish().unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.inject_transition_fault(&TransitionFault::slow_to_rise(n.inputs()[0]), 1 << 1);
+        sim.set_input(n.inputs()[0], false);
+        sim.eval();
+        sim.step();
+        sim.set_input(n.inputs()[0], true);
+        sim.eval(); // lane 1 presents stale 0 on d
+        sim.step(); // ... which the flop latches
+        sim.eval();
+        assert_eq!(sim.value(n.outputs()[0]), !(1u64 << 1));
     }
 
     #[test]

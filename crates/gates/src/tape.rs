@@ -28,7 +28,7 @@
 
 use std::collections::HashMap;
 
-use crate::fault::{Fault, FaultSite};
+use crate::fault::{Fault, FaultSite, TransitionFault};
 use crate::gate::{GateId, GateKind};
 use crate::net::NetId;
 use crate::netlist::Netlist;
@@ -406,6 +406,29 @@ impl<const W: usize> WideMask<W> {
     }
 }
 
+/// Per-net transition-delay state: which lanes carry slow-to-rise /
+/// slow-to-fall faults, plus the *computed* (pre-forcing) value the net
+/// took in the previous eval — the arming state.
+#[derive(Debug, Clone, Copy)]
+struct TransitionState<const W: usize> {
+    rise: [u64; W],
+    fall: [u64; W],
+    prev: [u64; W],
+    /// Whether `prev` holds a real recorded value yet.
+    seen: bool,
+}
+
+impl<const W: usize> Default for TransitionState<W> {
+    fn default() -> Self {
+        TransitionState {
+            rise: [0; W],
+            fall: [0; W],
+            prev: [0; W],
+            seen: false,
+        }
+    }
+}
+
 /// A `W`-word-wide (64·W lanes) cycle-based simulator replaying a
 /// [`CompiledTape`].
 ///
@@ -435,6 +458,11 @@ pub struct TapeSimulator<'t, 'a, const W: usize> {
     pin_masks: HashMap<(u32, u8), WideMask<W>>,
     /// DFF indices with a faulty `d` pin.
     dff_pin_masks: HashMap<u32, WideMask<W>>,
+    /// Nets carrying a transition fault (fast membership on the hot path).
+    transition_flagged: Vec<bool>,
+    transition_states: HashMap<u32, TransitionState<W>>,
+    /// False until the first eval records arming state.
+    transition_primed: bool,
     events: u64,
 }
 
@@ -456,6 +484,9 @@ impl<'t, 'a, const W: usize> TapeSimulator<'t, 'a, W> {
             expanded: vec![false; tape.entries.len()],
             pin_masks: HashMap::new(),
             dff_pin_masks: HashMap::new(),
+            transition_flagged: vec![false; tape.netlist.net_count()],
+            transition_states: HashMap::new(),
+            transition_primed: false,
             events: 0,
         }
     }
@@ -465,9 +496,15 @@ impl<'t, 'a, const W: usize> TapeSimulator<'t, 'a, W> {
         64 * W
     }
 
-    /// Resets all flip-flops to 0 (inputs and injections are kept).
+    /// Resets all flip-flops to 0 and disarms transition faults (inputs
+    /// and injections are kept).
     pub fn reset(&mut self) {
         self.state.fill([0; W]);
+        for st in self.transition_states.values_mut() {
+            st.prev = [0; W];
+            st.seen = false;
+        }
+        self.transition_primed = false;
     }
 
     /// Removes all injected faults.
@@ -477,6 +514,9 @@ impl<'t, 'a, const W: usize> TapeSimulator<'t, 'a, W> {
         self.expanded.fill(false);
         self.pin_masks.clear();
         self.dff_pin_masks.clear();
+        self.transition_flagged.fill(false);
+        self.transition_states.clear();
+        self.transition_primed = false;
     }
 
     /// Injects `fault` into lane `lane` (in `0..64·W`). Lane 0 is
@@ -521,6 +561,62 @@ impl<'t, 'a, const W: usize> TapeSimulator<'t, 'a, W> {
                     self.expanded[self.tape.entry_of_gate[gate.index()] as usize] = true;
                 }
             }
+        }
+    }
+
+    /// Injects a gross transition-delay fault into lane `lane` — same
+    /// semantics as
+    /// [`Simulator::inject_transition_fault`](crate::Simulator::inject_transition_fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64 * W`.
+    pub fn inject_transition_fault(&mut self, fault: &TransitionFault, lane: usize) {
+        assert!(lane < 64 * W, "lane {lane} out of range for W={W}");
+        let ni = fault.net.index() as u32;
+        self.transition_flagged[fault.net.index()] = true;
+        let st = self.transition_states.entry(ni).or_default();
+        let target = if fault.slow_to_rise {
+            &mut st.rise
+        } else {
+            &mut st.fall
+        };
+        target[lane / 64] |= 1u64 << (lane % 64);
+        // A transition site inside a collapsed chain is invisible to the
+        // fast path; expand the owning entry so the interior value is
+        // materialized, armed and forced gate by gate.
+        if let Some(gid) = self.tape.netlist.driver(fault.net) {
+            if self.tape.netlist.gate(gid).kind != GateKind::Dff {
+                let e = self.tape.entry_of_gate[gid.index()] as usize;
+                if self.tape.entries[e].out != ni {
+                    self.expanded[e] = true;
+                }
+            }
+        }
+    }
+
+    /// Applies transition-delay forcing to a freshly computed value of net
+    /// `ni`, updating the arming state with the computed value. Caller
+    /// checks `transition_flagged` first.
+    #[inline]
+    fn apply_transition(&mut self, ni: u32, v: &mut [u64; W]) {
+        let primed = self.transition_primed;
+        let st = self
+            .transition_states
+            .get_mut(&ni)
+            .expect("flagged net has transition state");
+        let prev = st.prev;
+        let had_prev = st.seen;
+        st.prev = *v;
+        st.seen = true;
+        if !primed || !had_prev {
+            return;
+        }
+        for w in 0..W {
+            // Armed lanes saw the initial value last cycle; hold it now.
+            let force0 = st.rise[w] & !prev[w];
+            let force1 = st.fall[w] & prev[w];
+            v[w] = (v[w] & !force0) | force1;
         }
     }
 
@@ -585,12 +681,16 @@ impl<'t, 'a, const W: usize> TapeSimulator<'t, 'a, W> {
     /// Flip-flop outputs present their current state; call
     /// [`TapeSimulator::step`] afterwards to latch the next state.
     pub fn eval(&mut self) {
+        let transitions = !self.transition_states.is_empty();
         // Load primary inputs (stem faults on PIs apply here).
         for pos in 0..self.tape.input_nets.len() {
             let ni = self.tape.input_nets[pos];
             let mut v = [self.input_words[pos]; W];
             if self.stem_flagged[ni as usize] {
                 self.stem_masks[&ni].apply(&mut v);
+            }
+            if transitions && self.transition_flagged[ni as usize] {
+                self.apply_transition(ni, &mut v);
             }
             self.store(ni, v);
         }
@@ -600,6 +700,9 @@ impl<'t, 'a, const W: usize> TapeSimulator<'t, 'a, W> {
             let mut v = self.state[k];
             if self.stem_flagged[q as usize] {
                 self.stem_masks[&q].apply(&mut v);
+            }
+            if transitions && self.transition_flagged[q as usize] {
+                self.apply_transition(q, &mut v);
             }
             self.store(q, v);
         }
@@ -619,7 +722,13 @@ impl<'t, 'a, const W: usize> TapeSimulator<'t, 'a, W> {
             if self.stem_flagged[entry.out as usize] {
                 self.stem_masks[&entry.out].apply(&mut acc);
             }
+            if transitions && self.transition_flagged[entry.out as usize] {
+                self.apply_transition(entry.out, &mut acc);
+            }
             self.store(entry.out, acc);
+        }
+        if transitions {
+            self.transition_primed = true;
         }
         self.events += self.tape.comb_gate_count;
     }
@@ -803,6 +912,9 @@ impl<'t, 'a, const W: usize> TapeSimulator<'t, 'a, W> {
             let oi = gate.output.index() as u32;
             if self.stem_flagged[oi as usize] {
                 self.stem_masks[&oi].apply(&mut out);
+            }
+            if self.transition_flagged[oi as usize] {
+                self.apply_transition(oi, &mut out);
             }
             self.store(oi, out);
         }
@@ -1054,6 +1166,121 @@ mod tests {
             plain.step();
             fast.step();
         }
+    }
+
+    #[test]
+    fn transition_faults_match_simulator_on_every_net() {
+        // Every net (including the chain-interior ones) carries a
+        // transition fault; drive a value sequence and compare observable
+        // nets against the full-eval oracle each cycle.
+        let n = chain_netlist();
+        let tape = CompiledTape::compile(&n);
+        let faults = crate::fault::enumerate_transition_faults(&n);
+        let mut plain = Simulator::new(&n);
+        let mut fast: TapeSimulator<'_, '_, 1> = TapeSimulator::new(&tape);
+        for (i, f) in faults.iter().enumerate() {
+            let lane = 1 + (i % 63);
+            plain.inject_transition_fault(f, 1u64 << lane);
+            fast.inject_transition_fault(f, lane);
+        }
+        for pattern in [0u32, 7, 1, 6, 2, 2, 5, 0, 3, 4, 7, 0] {
+            for (k, &inp) in n.inputs().iter().enumerate() {
+                let bit = pattern >> k & 1 == 1;
+                plain.set_input(inp, bit);
+                fast.set_input(inp, bit);
+            }
+            plain.eval();
+            fast.eval();
+            for &o in n.outputs() {
+                assert_eq!(plain.value(o), fast.value(o)[0], "pattern {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_interior_transition_expands_owning_entry() {
+        let n = chain_netlist();
+        let tape = CompiledTape::compile(&n);
+        let and_out = n
+            .gates()
+            .iter()
+            .find(|g| g.kind == GateKind::And)
+            .unwrap()
+            .output;
+        let fault = TransitionFault::slow_to_rise(and_out);
+        let mut plain = Simulator::new(&n);
+        let mut fast: TapeSimulator<'_, '_, 1> = TapeSimulator::new(&tape);
+        plain.inject_transition_fault(&fault, 1 << 9);
+        fast.inject_transition_fault(&fault, 9);
+        for pattern in [0u32, 2, 7, 7, 1, 6, 7] {
+            for (k, &inp) in n.inputs().iter().enumerate() {
+                let bit = pattern >> k & 1 == 1;
+                plain.set_input(inp, bit);
+                fast.set_input(inp, bit);
+            }
+            plain.eval();
+            fast.eval();
+            for &o in n.outputs() {
+                assert_eq!(plain.value(o), fast.value(o)[0], "pattern {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_transition_faults_latch_like_simulator() {
+        let mut b = NetlistBuilder::new("seq");
+        let d = b.input("d");
+        let q1 = b.dff(d);
+        let q2 = b.dff(q1);
+        let o = b.xor2(q1, q2);
+        b.mark_output(o, "o");
+        let n = b.finish().unwrap();
+        let tape = CompiledTape::compile(&n);
+        let mut plain = Simulator::new(&n);
+        let mut fast: TapeSimulator<'_, '_, 2> = TapeSimulator::new(&tape);
+        for (i, f) in crate::fault::enumerate_transition_faults(&n)
+            .iter()
+            .enumerate()
+        {
+            // Spread across both lane words; mirror into the narrow sim's
+            // 64 lanes only when the lane fits.
+            let lane = 1 + (i % 63);
+            plain.inject_transition_fault(f, 1u64 << lane);
+            fast.inject_transition_fault(f, lane);
+        }
+        for &bit in &[false, true, true, false, true, false, false, true, true] {
+            plain.set_input(n.inputs()[0], bit);
+            fast.set_input(n.inputs()[0], bit);
+            plain.eval();
+            fast.eval();
+            for idx in 0..n.net_count() {
+                let net = NetId::from_index(idx);
+                // Interior nets are materialized here (no collapsed chains
+                // in this netlist), so compare everything.
+                assert_eq!(plain.value(net), fast.value(net)[0], "net {net}");
+            }
+            plain.step();
+            fast.step();
+        }
+    }
+
+    #[test]
+    fn transition_reset_disarms_wide_lanes() {
+        let n = chain_netlist();
+        let tape = CompiledTape::compile(&n);
+        let fault = TransitionFault::slow_to_fall(n.inputs()[0]);
+        let mut sim: TapeSimulator<'_, '_, 4> = TapeSimulator::new(&tape);
+        sim.inject_transition_fault(&fault, 200); // word 3
+        for &inp in n.inputs() {
+            sim.set_input(inp, true);
+        }
+        sim.eval(); // records prev=1 in all lanes
+        sim.set_input(n.inputs()[0], false);
+        sim.eval(); // lane 200 holds the stale 1
+        assert_eq!(sim.value(n.inputs()[0])[3], 1u64 << (200 - 192));
+        sim.reset();
+        sim.eval(); // disarmed: no lane forced
+        assert_eq!(sim.value(n.inputs()[0])[3], 0);
     }
 
     #[test]

@@ -43,12 +43,14 @@ mod search;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use sbst_gates::{Dual3, Fault, FaultSimConfig, FaultSimulator, NetId, Netlist, SimEngine, T3};
+use sbst_gates::{
+    Dual3, Fault, FaultSimConfig, FaultSimulator, NetId, Netlist, SimEngine, TransitionFault, T3,
+};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use search::Searcher;
+use search::{Scratch, SearchOutcome, Searcher};
 
 /// Targets searched speculatively per scheduling round. Fixed (never
 /// derived from the thread count) so round composition — and therefore the
@@ -476,6 +478,204 @@ impl<'a> Atpg<'a> {
                 &mut patterns,
                 &mut stats,
             );
+        }
+
+        AtpgResult {
+            patterns,
+            outcomes,
+            stats,
+            podem_wall_time: podem_start.elapsed(),
+            podem_threads_used: threads,
+            thread_stats,
+            drop_sim_tape_compilations,
+        }
+    }
+
+    /// Runs two-pattern (launch/capture) ATPG for gross transition-delay
+    /// faults.
+    ///
+    /// The random phase generates one random *sequence*; consecutive
+    /// patterns form launch/capture pairs for free, and the sequence is
+    /// graded in one [`FaultSimulator::simulate_transition`] call with
+    /// fault dropping. Compaction keeps, for each first-detecting cycle
+    /// `c`, the pair `{c-1, c}`: the kept cycles are consecutive integers,
+    /// so sorting the deduplicated union preserves every detecting pair's
+    /// adjacency, and on a combinational CUT arming depends only on the
+    /// immediately preceding pattern — the compacted sequence provably
+    /// detects every random-detected fault.
+    ///
+    /// The deterministic phase reuses the stuck-at PODEM machinery
+    /// initialize-then-excite style: the *capture* pattern is a PODEM test
+    /// for [`TransitionFault::capture_stuck_at`] (stem stuck at the
+    /// initialization value) searched in the same speculative parallel
+    /// rounds as [`Atpg::run`]; for each accepted capture test the
+    /// *initialization* pattern is a PODEM test for
+    /// [`TransitionFault::initialization_stuck_at`], whose excitation
+    /// drives the net to the initialization value. The pair is appended
+    /// initialization-first and drop-simulated against the remaining
+    /// faults. A redundant capture search proves the transition fault
+    /// untestable; a failed initialization search is conservatively
+    /// reported [`AtpgOutcome::Aborted`].
+    ///
+    /// The returned [`AtpgResult::patterns`] is an ordered *sequence*
+    /// (grade it with [`FaultSimulator::simulate_transition`] over
+    /// [`AtpgResult::stimulus`]); results are bit-identical for any thread
+    /// count and invariant under permutations of the fault list, exactly
+    /// as for [`Atpg::run`].
+    pub fn run_transition(&self, faults: &[TransitionFault]) -> AtpgResult {
+        let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
+        let n_inputs = self.netlist.inputs().len();
+        let mut outcomes = vec![AtpgOutcome::Aborted; faults.len()];
+        let mut patterns: Vec<Vec<bool>> = Vec::new();
+        let mut stats = AtpgStats::default();
+        let sim = FaultSimulator::with_config(self.netlist, self.sim_config());
+
+        // --- Random phase: a random sequence graded as launch/capture pairs ---
+        if self.config.random_patterns > 0 {
+            let mut stim = sbst_gates::Stimulus::new();
+            let mut random_set = Vec::with_capacity(self.config.random_patterns);
+            for _ in 0..self.config.random_patterns {
+                let p: Vec<bool> = (0..n_inputs)
+                    .map(|i| {
+                        let net = self.netlist.inputs()[i];
+                        self.constraints
+                            .get(&net)
+                            .copied()
+                            .unwrap_or_else(|| rng.random())
+                    })
+                    .collect();
+                stim.push_pattern(&p);
+                random_set.push(p);
+            }
+            let res = sim.simulate_transition(faults, &stim);
+            // Keep each first-detecting pair {c-1, c}. Cycle 0 can never
+            // detect (nothing is armed yet), so c-1 is always valid.
+            let mut keep: Vec<u32> = Vec::new();
+            for &cycle in res.detecting_cycle.iter().flatten() {
+                debug_assert!(cycle > 0, "an unprimed first cycle cannot capture");
+                keep.push(cycle - 1);
+                keep.push(cycle);
+            }
+            keep.sort_unstable();
+            keep.dedup();
+            for &cycle in &keep {
+                patterns.push(random_set[cycle as usize].clone());
+            }
+            for (i, det) in res.detected.iter().enumerate() {
+                if *det {
+                    outcomes[i] = AtpgOutcome::DetectedByRandom;
+                }
+            }
+            stats.random_patterns_tried = self.config.random_patterns as u64;
+            stats.random_patterns_kept = keep.len() as u64;
+            stats.detected_by_random = res.detected.iter().filter(|d| **d).count() as u64;
+        }
+
+        // --- PODEM phase: capture searches in speculative parallel rounds,
+        // initialization searches resolved in the canonical-order reducer ---
+        let podem_start = Instant::now();
+        let threads = self
+            .config
+            .podem_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(1);
+        let searcher = Searcher::new(
+            self.netlist,
+            self.pi_template(),
+            self.config.backtrack_limit,
+            self.config.rng_seed,
+        );
+        let capture: Vec<Fault> = faults.iter().map(|f| f.capture_stuck_at()).collect();
+        let init: Vec<Fault> = faults.iter().map(|f| f.initialization_stuck_at()).collect();
+        // Canonical order via the capture-side stuck-at key, which is
+        // injective over transition faults (same net, opposite polarities
+        // map to opposite stuck values).
+        let mut order: Vec<usize> = (0..faults.len())
+            .filter(|&i| !outcomes[i].is_detected())
+            .collect();
+        order.sort_by_key(|&i| (fault_key(&capture[i]), i));
+
+        let mut thread_stats = vec![AtpgThreadStats::default(); threads];
+        let mut drop_sim_tape_compilations = 0u64;
+        let mut init_scratch = Scratch::default();
+        let mut cursor = 0usize;
+        while cursor < order.len() {
+            let mut round: Vec<usize> = Vec::with_capacity(ROUND_TARGETS);
+            while cursor < order.len() && round.len() < ROUND_TARGETS {
+                let i = order[cursor];
+                cursor += 1;
+                if !outcomes[i].is_detected() {
+                    round.push(i);
+                }
+            }
+            if round.is_empty() {
+                continue;
+            }
+            let results =
+                schedule::search_round(&searcher, &capture, &round, threads, &mut thread_stats);
+            for (&target, result) in round.iter().zip(results) {
+                if outcomes[target].is_detected() {
+                    stats.podem_discarded += 1;
+                    continue;
+                }
+                stats.podem_targets += 1;
+                stats.podem_backtracks += result.backtracks;
+                match result.outcome {
+                    SearchOutcome::Test(capture_pattern) => {
+                        let init_res = searcher.search(&init[target], &mut init_scratch);
+                        thread_stats[0].searches += 1;
+                        thread_stats[0].backtracks += init_res.backtracks;
+                        stats.podem_backtracks += init_res.backtracks;
+                        match init_res.outcome {
+                            SearchOutcome::Test(init_pattern) => {
+                                // Drop other remaining faults detected by
+                                // this launch/capture pair.
+                                let remaining: Vec<usize> = (0..faults.len())
+                                    .filter(|&i| !outcomes[i].is_detected())
+                                    .collect();
+                                let remaining_faults: Vec<TransitionFault> =
+                                    remaining.iter().map(|&i| faults[i]).collect();
+                                let mut stim = sbst_gates::Stimulus::new();
+                                stim.push_pattern(&init_pattern);
+                                stim.push_pattern(&capture_pattern);
+                                let res = sim.simulate_transition(&remaining_faults, &stim);
+                                drop_sim_tape_compilations += res.stats.tape_compilations;
+                                for (k, &i) in remaining.iter().enumerate() {
+                                    if res.detected[k] {
+                                        outcomes[i] = AtpgOutcome::DetectedByPodem;
+                                    }
+                                }
+                                debug_assert!(
+                                    outcomes[target].is_detected(),
+                                    "an initialize-then-excite pair must detect its target"
+                                );
+                                patterns.push(init_pattern);
+                                patterns.push(capture_pattern);
+                                stats.podem_tests += 1;
+                            }
+                            SearchOutcome::Redundant | SearchOutcome::Aborted => {
+                                // The capture half is testable, so the
+                                // transition fault is not provably
+                                // redundant — only the (conservative)
+                                // initialization search gave up.
+                                outcomes[target] = AtpgOutcome::Aborted;
+                                stats.aborted += 1;
+                            }
+                        }
+                    }
+                    SearchOutcome::Redundant => {
+                        // No pattern can excite-and-propagate the stem at
+                        // its initialization value, so no capture pattern
+                        // exists for any pair.
+                        outcomes[target] = AtpgOutcome::Redundant;
+                        stats.redundant += 1;
+                    }
+                    SearchOutcome::Aborted => {
+                        outcomes[target] = AtpgOutcome::Aborted;
+                        stats.aborted += 1;
+                    }
+                }
+            }
         }
 
         AtpgResult {
