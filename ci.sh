@@ -66,9 +66,9 @@ for report in BENCH_table1.json BENCH_table1_serial.json BENCH_table1_full.json 
               BENCH_table1_td_full.json BENCH_table1_td_compiled.json; do
   cargo run --release -p sbst-bench --bin jsonlint -- "$report" \
     --require tool --require schema_version --require table1 --require execution_time
-  # Reports must carry the current schema (7: per-model fault coverage).
-  if [ "$(jq '.schema_version' "$report")" != "7" ]; then
-    echo "error: $report schema_version is not 7" >&2
+  # Reports must carry the current schema (8: tamper-evident store).
+  if [ "$(jq '.schema_version' "$report")" != "8" ]; then
+    echo "error: $report schema_version is not 8" >&2
     exit 1
   fi
 done
@@ -147,7 +147,36 @@ cargo run --release -p sbst-bench --bin online_manager -- --smoke --json BENCH_o
 
 echo "== validate online_manager report =="
 cargo run --release -p sbst-bench --bin jsonlint -- BENCH_online_manager.json \
-  --require tool --require schema_version --require scenarios --require replan
+  --require tool --require schema_version --require scenarios --require replan \
+  --require adversary
+# A clean campaign must raise no tamper alarms.
+if [ "$(jq '.adversary | [.attacks_injected, .attacks_detected, .false_alarms] | @csv' \
+        -r BENCH_online_manager.json)" != "0,0,0" ]; then
+  echo "error: clean online_manager run raised tamper activity" >&2
+  exit 1
+fi
+
+echo "== online_manager red-team campaign (exit code gates 100% detection) =="
+rm -f BENCH_online_manager_adv.json
+cargo run --release -p sbst-bench --bin online_manager -- --smoke --adversary \
+  --json BENCH_online_manager_adv.json
+
+echo "== validate online_manager red-team report =="
+cargo run --release -p sbst-bench --bin jsonlint -- BENCH_online_manager_adv.json \
+  --require tool --require schema_version --require scenarios --require adversary
+if [ "$(jq '.schema_version' BENCH_online_manager_adv.json)" != "8" ]; then
+  echo "error: BENCH_online_manager_adv.json schema_version is not 8" >&2
+  exit 1
+fi
+# The red-team SLO: attacks were actually mounted, every one was
+# detected, and no detection fired without an attack.
+if [ "$(jq '.adversary.attacks_injected > 0
+            and .adversary.attacks_detected == .adversary.attacks_injected
+            and .adversary.false_alarms == 0' BENCH_online_manager_adv.json)" != "true" ]; then
+  echo "error: online_manager red-team SLO violated:" >&2
+  jq '.adversary' BENCH_online_manager_adv.json >&2
+  exit 1
+fi
 
 echo "== fleet orchestration smoke: 1000 nodes, workers 1 vs 2 (exit code gates invariants) =="
 # The binary itself exits nonzero unless exactly one characterization ran
@@ -166,12 +195,18 @@ for report in BENCH_fleet.json BENCH_fleet_serial.json; do
   cargo run --release -p sbst-bench --bin jsonlint -- "$report" \
     --require tool --require schema_version --require characterizations \
     --require throughput --require aggregate --require workers_detail
-  if [ "$(jq '.schema_version' "$report")" != "7" ]; then
-    echo "error: $report schema_version is not 7" >&2
+  if [ "$(jq '.schema_version' "$report")" != "8" ]; then
+    echo "error: $report schema_version is not 8" >&2
     exit 1
   fi
   if [ "$(jq '.characterizations' "$report")" != "1" ]; then
     echo "error: $report did not characterize exactly once" >&2
+    exit 1
+  fi
+  # No adversary flag → no attacks, no detections, no alarms.
+  if [ "$(jq '.aggregate | [.attacks_injected, .tampers_detected, .tamper_false_alarms] | @csv' \
+          -r "$report")" != "0,0,0" ]; then
+    echo "error: clean fleet run $report shows tamper activity" >&2
     exit 1
   fi
 done
@@ -183,6 +218,33 @@ cargo run --release -p sbst-bench --bin jsonlint -- target/fleet_telemetry.ndjso
 echo "== fleet worker differential: aggregates must be bit-identical =="
 if ! diff <(jq -S '.aggregate' BENCH_fleet_serial.json) <(jq -S '.aggregate' BENCH_fleet.json); then
   echo "error: fleet aggregate diverges between workers=1 and workers=2" >&2
+  exit 1
+fi
+
+echo "== fleet red-team smoke: adversarial population, keyed store (exit gates tamper SLO) =="
+# The binary itself exits nonzero unless every injected store attack is
+# detected with zero false alarms; the asserts below additionally pin the
+# report fields ci consumers read.
+rm -f BENCH_fleet_adv.json
+cargo run --release -p sbst-bench --bin fleet -- --smoke --adversary --nodes 200 \
+  --workers 2 --json BENCH_fleet_adv.json --ndjson target/fleet_adv_telemetry.ndjson
+
+echo "== validate fleet red-team report and telemetry =="
+cargo run --release -p sbst-bench --bin jsonlint -- BENCH_fleet_adv.json \
+  --require tool --require schema_version --require adversary --require aggregate
+cargo run --release -p sbst-bench --bin jsonlint -- target/fleet_adv_telemetry.ndjson \
+  --ndjson --require type --require node
+if [ "$(jq '.schema_version' BENCH_fleet_adv.json)" != "8" ]; then
+  echo "error: BENCH_fleet_adv.json schema_version is not 8" >&2
+  exit 1
+fi
+if [ "$(jq '.aggregate.attacks_injected > 0
+            and .aggregate.tampers_detected == .aggregate.attacks_injected
+            and .aggregate.tamper_false_alarms == 0
+            and .aggregate.tamper_detection_rate == 1' BENCH_fleet_adv.json)" != "true" ]; then
+  echo "error: fleet red-team tamper SLO violated:" >&2
+  jq '.aggregate | {attacks_injected, tampers_detected, tamper_false_alarms,
+                    tamper_detection_rate}' BENCH_fleet_adv.json >&2
   exit 1
 fi
 

@@ -3,8 +3,14 @@
 //! ```text
 //! cargo run --release -p sbst-bench --bin fleet -- \
 //!     [--nodes N] [--seconds S] [--workers W] [--seed X] [--smoke] \
-//!     [--json out.json] [--ndjson stream.ndjson]
+//!     [--adversary] [--json out.json] [--ndjson stream.ndjson]
 //! ```
+//!
+//! `--adversary` draws an adversarial population (nodes whose signature
+//! stores are attacked — bit flips, FNV-recomputed forgeries, stale-epoch
+//! replays) into the mix and provisions a per-characterization MAC key
+//! (seeded by `SBST_STORE_KEY` or a built-in default). The run then gates
+//! on the tamper SLO: every injected attack detected, zero false alarms.
 //!
 //! Simulates `N` managed cores, all running the *same* shared
 //! characterization (graded schedule, golden signature store, mountable
@@ -25,9 +31,17 @@
 use std::io::Write;
 use std::time::Instant;
 
-use sbst_bench::{fleet_workers_from_env, json_output_path, write_report_if_requested};
+use sbst_bench::{
+    fleet_workers_from_env, json_output_path, store_key_seed_from_env, write_report_if_requested,
+};
 use sbst_core::{Cut, JsonValue, RunReport};
-use sbst_fleet::{run_fleet, Characterizer, FleetConfig, FleetRun, NOMINAL_HZ};
+use sbst_fleet::{run_fleet, Characterizer, FleetConfig, FleetRun, PopulationMix, NOMINAL_HZ};
+
+/// Default MAC-key seed when `--adversary` runs without `SBST_STORE_KEY`.
+const DEFAULT_KEY_SEED: u64 = 0xC0DE_5EA1;
+
+/// Percent of nodes drawn adversarial under `--adversary`.
+const ADVERSARY_PCT: u8 = 20;
 
 fn parse_u64_flag(args: &[String], flag: &str) -> Result<Option<u64>, String> {
     let mut iter = args.iter();
@@ -75,7 +89,29 @@ fn fail(msg: &str) -> ! {
 }
 
 /// Consistency gates: the invariants ci.sh (and the exit code) rely on.
-fn check_invariants(run: &FleetRun, nodes: u64) -> Result<(), String> {
+fn check_invariants(run: &FleetRun, nodes: u64, adversary: bool) -> Result<(), String> {
+    let agg = &run.aggregate;
+    if agg.tampers_detected != agg.attacks_injected {
+        return Err(format!(
+            "tamper SLO violated: {} attack(s) injected, {} detected",
+            agg.attacks_injected, agg.tampers_detected
+        ));
+    }
+    if agg.tamper_false_alarms != 0 {
+        return Err(format!(
+            "tamper false alarms: {} detection(s) with no attack mounted",
+            agg.tamper_false_alarms
+        ));
+    }
+    if adversary && agg.attacks_injected == 0 {
+        return Err("adversary mode drew no attacks — the red-team gate is vacuous".to_owned());
+    }
+    if !adversary && agg.attacks_injected != 0 {
+        return Err(format!(
+            "{} attack(s) injected without --adversary",
+            agg.attacks_injected
+        ));
+    }
     if run.characterizations != 1 {
         return Err(format!(
             "characterize-once violated: {} characterizations for {} nodes",
@@ -101,6 +137,7 @@ fn check_invariants(run: &FleetRun, nodes: u64) -> Result<(), String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let adversary = args.iter().any(|a| a == "--adversary");
     let json_path = json_output_path(&args).unwrap_or_else(|e| fail(&e));
     let nodes = parse_u64_flag(&args, "--nodes")
         .unwrap_or_else(|e| fail(&e))
@@ -129,17 +166,33 @@ fn main() {
         vec![Cut::alu(32), Cut::shifter(32), Cut::multiplier(32)]
     };
 
+    let mix = if adversary {
+        PopulationMix {
+            adversary_pct: ADVERSARY_PCT,
+            ..PopulationMix::default()
+        }
+    } else {
+        PopulationMix::default()
+    };
     let config = FleetConfig {
         nodes,
         workers,
         seed,
         horizon_cycles: seconds * NOMINAL_HZ,
+        mix,
         ..FleetConfig::default()
     };
+    let key_seed = adversary.then(|| store_key_seed_from_env().unwrap_or(DEFAULT_KEY_SEED));
     eprintln!(
         "fleet: {} nodes, {} workers, {}s virtual horizon ({} cycles), seed {:#x}",
         nodes, workers, seconds, config.horizon_cycles, seed
     );
+    if let Some(key_seed) = key_seed {
+        eprintln!(
+            "fleet: adversarial population {}%, keyed store (key seed {:#x})",
+            ADVERSARY_PCT, key_seed
+        );
+    }
 
     let telemetry: Option<Box<dyn Write + Send>> = match &ndjson_path {
         Some(path) => match std::fs::File::create(path) {
@@ -149,7 +202,10 @@ fn main() {
         None => None,
     };
 
-    let characterizer = Characterizer::new(cuts);
+    let mut characterizer = Characterizer::new(cuts);
+    if let Some(key_seed) = key_seed {
+        characterizer = characterizer.with_key_seed(key_seed);
+    }
     let start = Instant::now();
     let run = run_fleet(&config, &characterizer, telemetry);
     let wall = start.elapsed().as_secs_f64();
@@ -159,6 +215,17 @@ fn main() {
         "fleet: {} sessions, {} attempts ({} passes), {} transients, {} quarantines, digest {:#018x}",
         agg.sessions, agg.attempts, agg.passes, agg.transients, agg.quarantines, agg.fleet_digest
     );
+    if adversary {
+        eprintln!(
+            "fleet: {} store attack(s) injected, {} detected ({} forged, {} replayed), \
+             {} false alarm(s)",
+            agg.attacks_injected,
+            agg.tampers_detected,
+            agg.tamper_forgeries,
+            agg.tamper_replays,
+            agg.tamper_false_alarms
+        );
+    }
     eprintln!(
         "fleet: {:.2} nodes/s, {:.0} sessions/s, {} characterization(s), wall {:.3}s",
         nodes as f64 / wall,
@@ -175,6 +242,7 @@ fn main() {
 
     let report = RunReport::new("fleet")
         .field("smoke", JsonValue::Bool(smoke))
+        .field("adversary", JsonValue::Bool(adversary))
         .field("nodes", JsonValue::UInt(nodes))
         .field("workers", JsonValue::UInt(workers as u64))
         .field("seed", JsonValue::UInt(seed))
@@ -224,7 +292,7 @@ fn main() {
         );
     write_report_if_requested(&report, json_path.as_deref());
 
-    if let Err(msg) = check_invariants(&run, nodes) {
+    if let Err(msg) = check_invariants(&run, nodes, adversary) {
         eprintln!("error: {msg}");
         std::process::exit(1);
     }

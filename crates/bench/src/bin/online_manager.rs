@@ -22,6 +22,15 @@
 //! - **preemption** — a tiny quantum checkpoints the session mid-pass and
 //!   the next call resumes without re-testing finished components.
 //!
+//! `--adversary` adds the red-team campaign: an [`Adversary`] driver
+//! mounts bit flips in every persisted store field, a full-entry forgery
+//! with a recomputed FNV seal, a stale-epoch replay of a validly-sealed
+//! snapshot, and a recapture-poisoning attempt from a faulty core — the
+//! keyed store must detect 100% of the injected tampers with zero false
+//! alarms on the clean control run (the `adversary` report object, gated
+//! by ci.sh). The MAC key derives from `SBST_STORE_KEY` (a 64-bit seed)
+//! or a built-in default.
+//!
 //! Every scenario must terminate in the expected status — the binary exits
 //! nonzero otherwise, which is what ci.sh gates on. `--json <path>` writes
 //! the machine-readable report (per-scenario manager state, counters and
@@ -29,19 +38,22 @@
 
 use std::time::Instant;
 
-use sbst_bench::{json_output_path, write_report_if_requested};
+use sbst_bench::{json_output_path, store_key_seed_from_env, write_report_if_requested};
 use sbst_components::ComponentKind;
 use sbst_core::plan::{build_managed_schedule, plan_excluding};
 use sbst_core::report::manager_to_json;
-use sbst_core::{Cut, JsonValue, RunReport};
+use sbst_core::{Cut, JsonValue, MacKey, RunReport};
 use sbst_cpu::cpu::{Cpu, CpuConfig};
 use sbst_cpu::manager::{
     FaultFreeBench, ManagedComponent, ManagerConfig, OnlineTestManager, SessionStatus, SigLocation,
-    StorePolicy,
+    SignatureStore, StorePolicy,
 };
 use sbst_cpu::ArchFault;
 use sbst_gates::Fault;
 use sbst_isa::parse_asm;
+
+/// Default MAC-key seed when `SBST_STORE_KEY` is unset.
+const DEFAULT_KEY_SEED: u64 = 0xC0DE_5EA1;
 
 /// One campaign scenario's outcome.
 struct ScenarioResult {
@@ -86,9 +98,227 @@ fn snapshot(
     }
 }
 
+/// Red-team tally: how many tampers the adversary mounted, how many the
+/// keyed store detected, and how many detections fired with nothing
+/// mounted. The campaign passes iff `detected == injected` and
+/// `false_alarms == 0`.
+#[derive(Debug, Default)]
+struct Adversary {
+    injected: u64,
+    detected: u64,
+    false_alarms: u64,
+}
+
+impl Adversary {
+    /// Records one mounted tamper.
+    fn inject(&mut self) {
+        self.injected += 1;
+    }
+
+    /// Absorbs an attacked manager's tamper detections.
+    fn observe(&mut self, mgr: &OnlineTestManager) {
+        let c = mgr.counters();
+        self.detected += c.tamper_forgeries + c.tamper_replays;
+    }
+
+    /// Absorbs a *clean* manager's tamper detections as false alarms.
+    fn observe_clean(&mut self, mgr: &OnlineTestManager) {
+        let c = mgr.counters();
+        self.false_alarms += c.tamper_forgeries + c.tamper_replays;
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("attacks_injected", JsonValue::UInt(self.injected)),
+            ("attacks_detected", JsonValue::UInt(self.detected)),
+            ("false_alarms", JsonValue::UInt(self.false_alarms)),
+        ])
+    }
+}
+
+/// Re-seals a characterization store under the campaign key (schedules
+/// are sealed with the compatibility key; keyed managers need a keyed
+/// golden store, exactly like the fleet characterizer provisions one).
+fn keyed_store(store: &SignatureStore, key: &MacKey) -> SignatureStore {
+    SignatureStore::with_key(store.entries().to_vec(), key)
+}
+
+/// The red-team campaign: every attack class from the threat model,
+/// asserted 100% detected, plus a clean keyed control run asserted
+/// alarm-free.
+fn run_adversary_campaign(
+    cuts: &[Cut],
+    alu_cut: &Cut,
+    key: &MacKey,
+    healthy_sessions: u32,
+    adversary: &mut Adversary,
+) -> Vec<ScenarioResult> {
+    let mut results = Vec::new();
+    let keyed_config = ManagerConfig {
+        store_key: *key,
+        ..ManagerConfig::default()
+    };
+
+    // -- single-bit flips in every persisted store field ----------------
+    {
+        let mut detected_all = true;
+        let mut last = None;
+        for field in 0..5u32 {
+            let sched = build_managed_schedule(cuts).unwrap();
+            let store = keyed_store(&sched.store, key);
+            let mut mgr = OnlineTestManager::new(keyed_config, sched.components, store);
+            match field {
+                0 => mgr.store_mut().corrupt("ALU", 1 << 16),
+                1 => mgr.store_mut().corrupt_name(0, 0, 1),
+                2 => mgr.store_mut().corrupt_seal(1 << 63),
+                3 => mgr.store_mut().corrupt_epoch(1),
+                4 => mgr.store_mut().corrupt_checksum(1 << 7),
+                _ => unreachable!(),
+            }
+            adversary.inject();
+            let status = mgr.run_session(&mut FaultFreeBench);
+            adversary.observe(&mgr);
+            detected_all &= status == SessionStatus::Halted && mgr.counters().tamper_forgeries == 1;
+            last = Some(mgr);
+        }
+        let mgr = last.unwrap();
+        results.push(snapshot(
+            "adv-bit-flip",
+            detected_all,
+            "5 single-bit flips (value, name, seal, epoch, checksum), all caught as forgery"
+                .to_owned(),
+            &mgr,
+        ));
+    }
+
+    // -- full-entry forgery with recomputed FNV seal --------------------
+    {
+        let sched = build_managed_schedule(cuts).unwrap();
+        let golden = sched.store.get("ALU").unwrap();
+        let store = keyed_store(&sched.store, key);
+        let mut mgr = OnlineTestManager::new(keyed_config, sched.components, store);
+        mgr.store_mut().forge("ALU", golden ^ 0xBAD);
+        adversary.inject();
+        let fnv_fooled = mgr.store().verify();
+        let status = mgr.run_session(&mut FaultFreeBench);
+        adversary.observe(&mgr);
+        let pass =
+            fnv_fooled && status == SessionStatus::Halted && mgr.counters().tamper_forgeries == 1;
+        results.push(snapshot(
+            "adv-forge-fnv",
+            pass,
+            "forged entry passes the unkeyed FNV check but fails the keyed seal".to_owned(),
+            &mgr,
+        ));
+    }
+
+    // -- stale-epoch replay of a validly-sealed snapshot ----------------
+    {
+        let sched = build_managed_schedule(cuts).unwrap();
+        let store = keyed_store(&sched.store, key);
+        let config = ManagerConfig {
+            store_policy: StorePolicy::Recapture,
+            ..keyed_config
+        };
+        let mut mgr = OnlineTestManager::new(config, sched.components, store);
+        mgr.install_replica();
+        let stale_snapshot = mgr.store().clone(); // validly sealed, epoch 0
+        let mut pass =
+            mgr.run_session(&mut FaultFreeBench) == SessionStatus::Completed { healthy: true };
+        // Stage 1: provoke a heal so the epoch advances past the snapshot.
+        mgr.store_mut().corrupt("ALU", 1 << 3);
+        adversary.inject();
+        pass &= mgr.run_session(&mut FaultFreeBench) == SessionStatus::Completed { healthy: true }
+            && mgr.counters().tamper_forgeries == 1
+            && mgr.store().epoch() >= 1;
+        // Stage 2: swap the pre-heal snapshot back in.
+        *mgr.store_mut() = stale_snapshot;
+        adversary.inject();
+        pass &= mgr.run_session(&mut FaultFreeBench) == SessionStatus::Completed { healthy: true }
+            && mgr.counters().tamper_replays == 1;
+        // The healed store keeps working.
+        pass &= mgr.run_session(&mut FaultFreeBench) == SessionStatus::Completed { healthy: true };
+        adversary.observe(&mgr);
+        results.push(snapshot(
+            "adv-replay",
+            pass,
+            format!(
+                "stale epoch-0 snapshot detected as replay; store healed at epoch {}",
+                mgr.store().epoch()
+            ),
+            &mgr,
+        ));
+    }
+
+    // -- recapture poisoning from a faulty core -------------------------
+    {
+        let sched = build_managed_schedule(cuts).unwrap();
+        let golden = sched.store.get("ALU").unwrap();
+        let store = keyed_store(&sched.store, key);
+        let config = ManagerConfig {
+            store_policy: StorePolicy::Recapture,
+            ..keyed_config
+        };
+        let mut mgr = OnlineTestManager::new(config, sched.components, store);
+        mgr.install_replica();
+        // The core is permanently faulty *and* the attacker corrupts the
+        // store, hoping the recapture bakes the faulty signature in.
+        let mut bench = alu_fault_bench(alu_cut, |_| true);
+        mgr.store_mut().corrupt("ALU", 1 << 9);
+        adversary.inject();
+        let status = mgr.run_session(&mut bench);
+        adversary.observe(&mgr);
+        let pass = status == SessionStatus::Completed { healthy: false }
+            && mgr.counters().tamper_forgeries == 1
+            && mgr.counters().recapture_rejects >= 1
+            && mgr.store().get("ALU") == Some(golden)
+            && mgr.quarantined() == ["ALU"];
+        results.push(snapshot(
+            "adv-recapture-poison",
+            pass,
+            format!(
+                "poisoned capture rejected by the replica cross-check ({} reject(s)); \
+                 golden stays {golden:#010x} and the faulty ALU is quarantined",
+                mgr.counters().recapture_rejects
+            ),
+            &mgr,
+        ));
+    }
+
+    // -- clean keyed control: zero false alarms -------------------------
+    {
+        let sched = build_managed_schedule(cuts).unwrap();
+        let store = keyed_store(&sched.store, key);
+        let config = ManagerConfig {
+            store_policy: StorePolicy::Recapture,
+            ..keyed_config
+        };
+        let mut mgr = OnlineTestManager::new(config, sched.components, store);
+        mgr.install_replica();
+        let mut ok = true;
+        for _ in 0..healthy_sessions {
+            ok &=
+                mgr.run_session(&mut FaultFreeBench) == SessionStatus::Completed { healthy: true };
+        }
+        adversary.observe_clean(&mgr);
+        let c = mgr.counters();
+        let pass =
+            ok && c.tamper_forgeries == 0 && c.tamper_replays == 0 && c.store_corruptions == 0;
+        results.push(snapshot(
+            "adv-clean",
+            pass,
+            format!("{healthy_sessions} clean keyed sessions, zero tamper alarms"),
+            &mgr,
+        ));
+    }
+
+    results
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let adversary_mode = args.iter().any(|a| a == "--adversary");
     let json_path = json_output_path(&args).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
@@ -293,6 +523,22 @@ fn main() {
         ));
     }
 
+    // -- red-team adversary campaign (--adversary) ----------------------
+    let mut adversary = Adversary::default();
+    if adversary_mode {
+        let key_seed = store_key_seed_from_env().unwrap_or(DEFAULT_KEY_SEED);
+        let key = MacKey::from_seed(key_seed);
+        eprintln!("running the red-team adversary campaign (key seed {key_seed:#x})...");
+        results.extend(run_adversary_campaign(
+            &cuts,
+            alu_cut,
+            &key,
+            healthy_sessions,
+            &mut adversary,
+        ));
+    }
+    let adversary_pass = adversary.detected == adversary.injected && adversary.false_alarms == 0;
+
     // -- coverage re-evaluation over the survivors ----------------------
     // plan_excluding grades routines gate-level, so run it on the 8-bit
     // inventory (same flow, seconds instead of minutes).
@@ -323,13 +569,24 @@ fn main() {
         reduced_plan.table.rows.len(),
         reduced_plan.table.overall_coverage.percent()
     );
-    let all_pass = replan_ok && results.iter().all(|r| r.pass);
+    if adversary_mode {
+        println!(
+            "{:<16} {:<6} {} attack(s) injected, {} detected, {} false alarm(s)",
+            "adversary",
+            adversary_pass,
+            adversary.injected,
+            adversary.detected,
+            adversary.false_alarms
+        );
+    }
+    let all_pass = replan_ok && adversary_pass && results.iter().all(|r| r.pass);
     let wall = start.elapsed();
     eprintln!("total wall time: {wall:?}");
 
     let report = RunReport::new("online_manager")
         .field("smoke", JsonValue::from(smoke))
         .field("all_pass", JsonValue::from(all_pass))
+        .field("adversary", adversary.to_json())
         .field(
             "scenarios",
             JsonValue::array(results.into_iter().map(|r| {

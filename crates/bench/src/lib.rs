@@ -140,6 +140,45 @@ pub fn fleet_workers_from_env() -> Option<usize> {
     threads_from_env("SBST_FLEET_WORKERS")
 }
 
+/// Parses an `SBST_STORE_KEY` value: a 64-bit MAC-key seed, decimal or
+/// `0x`-prefixed hex. The seed derives the store's SipHash key via
+/// `MacKey::from_seed`, so a fixed seed reproduces the same key (and the
+/// same sealed stores) on every run.
+///
+/// # Errors
+///
+/// Returns a one-line message echoing the rejected value.
+pub fn parse_store_key_seed(value: &str) -> Result<u64, String> {
+    let t = value.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        t.replace('_', "").parse::<u64>().ok()
+    };
+    parsed.ok_or_else(|| {
+        format!(
+            "SBST_STORE_KEY must be a 64-bit seed (decimal or 0x-hex), \
+             got `{value}`; using the default key seed"
+        )
+    })
+}
+
+/// Store MAC-key seed from `SBST_STORE_KEY`, through the shared warning
+/// path: unset → `None` (callers fall back to their built-in default
+/// seed), invalid → `None` plus a one-line stderr warning echoing the
+/// rejected value.
+pub fn store_key_seed_from_env() -> Option<u64> {
+    std::env::var("SBST_STORE_KEY")
+        .ok()
+        .and_then(|v| match parse_store_key_seed(&v) {
+            Ok(seed) => Some(seed),
+            Err(msg) => {
+                eprintln!("warning: {msg}");
+                None
+            }
+        })
+}
+
 /// Extracts the `--threads <n>` flag from an argument list: a positive
 /// worker count applied to both the fault simulator and the PODEM search
 /// pool. Accepts `--threads 2` and `--threads=2`.
@@ -360,6 +399,31 @@ mod tests {
             parse_threads_var("SBST_FLEET_WORKERS", "bogus").unwrap_err(),
             "SBST_FLEET_WORKERS must be a positive integer, got `bogus`; \
              using available parallelism"
+        );
+    }
+
+    #[test]
+    fn store_key_seed_parsing() {
+        assert_eq!(parse_store_key_seed("42"), Ok(42));
+        assert_eq!(parse_store_key_seed(" 0xDEAD_BEEF "), Ok(0xDEAD_BEEF));
+        assert_eq!(parse_store_key_seed("0Xff"), Ok(255));
+        assert_eq!(parse_store_key_seed("1_000"), Ok(1000));
+        for bad in ["", "key", "-1", "0x", "1.5"] {
+            let err = parse_store_key_seed(bad).unwrap_err();
+            assert!(err.contains(&format!("`{bad}`")), "message: {err}");
+            assert!(err.contains("SBST_STORE_KEY"), "message: {err}");
+        }
+    }
+
+    /// Pins the exact warning for an invalid `SBST_STORE_KEY` value —
+    /// same convention as the thread knobs: name the variable, echo the
+    /// rejected value in backticks, state the fallback.
+    #[test]
+    fn bad_store_key_warning_is_pinned() {
+        assert_eq!(
+            parse_store_key_seed("bogus").unwrap_err(),
+            "SBST_STORE_KEY must be a 64-bit seed (decimal or 0x-hex), \
+             got `bogus`; using the default key seed"
         );
     }
 

@@ -37,6 +37,7 @@ pub mod diagnose;
 pub mod extract;
 pub mod grade;
 pub mod json;
+pub mod mac;
 pub mod metrics;
 pub mod plan;
 pub mod program;
@@ -53,6 +54,7 @@ pub use grade::{
     GradeError, GradedRoutine, TraceGrade,
 };
 pub use json::{parse_ndjson, JsonValue, NdjsonError, NdjsonWriter};
+pub use mac::{siphash24, MacKey, SipHash24};
 pub use metrics::{Metrics, RunReport};
 pub use plan::{
     build_managed_schedule, build_managed_schedule_graded, plan_excluding, plan_with_target,

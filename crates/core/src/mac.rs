@@ -1,0 +1,14 @@
+//! Keyed MAC (SipHash-2-4) for the tamper-evident signature store —
+//! re-exported from `sbst-cpu`, where the [`SignatureStore`] it seals
+//! lives (the dependency direction runs `sbst-core` → `sbst-cpu`, so the
+//! implementation sits in the lower crate and this module is the
+//! methodology-level entry point).
+//!
+//! See [`MacKey`] for key provisioning ([`MacKey::from_seed`] is the
+//! per-characterization path used by the fleet `Characterizer`) and
+//! [`SignatureStore::audit`] for the keyed tamper audit it enables.
+//!
+//! [`SignatureStore`]: sbst_cpu::manager::SignatureStore
+//! [`SignatureStore::audit`]: sbst_cpu::manager::SignatureStore::audit
+
+pub use sbst_cpu::mac::{siphash24, MacKey, SipHash24};

@@ -64,7 +64,18 @@ use std::time::{Duration, Instant};
 /// legacy `fault_count`/`faults_detected`/`fault_coverage_percent` columns
 /// (which now report the headline model), and `totals` gains
 /// `stuck_at_coverage_percent`/`transition_coverage_percent`.
-pub const SCHEMA_VERSION: u32 = 7;
+/// 8 — the tamper-evident signature store: `manager` counters gain
+/// `tamper_forgeries`, `tamper_replays`, `recapture_rejects`,
+/// `replica_compromises`, `store_suspensions` and `store_heals`;
+/// `store_corrupted` events carry a `kind` (forged/replayed, with epochs
+/// for replays) and new event types `recapture_rejected`,
+/// `replica_compromised`, `store_entry_suspended` and
+/// `store_entry_healed` may appear; component snapshots gain
+/// `store_trusted`; `online_manager` reports always carry an `adversary`
+/// object (`attacks_injected`/`attacks_detected`/`false_alarms`); fleet
+/// reports gain tamper totals in the `aggregate` tree and per-node
+/// `attacks_injected`/`tampers_detected` in the NDJSON `node` lines.
+pub const SCHEMA_VERSION: u32 = 8;
 
 #[derive(Debug, Default)]
 struct Inner {

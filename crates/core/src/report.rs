@@ -600,7 +600,7 @@ impl Table1 {
 /// and the virtual clock — into the `manager` object of a schema-version-3
 /// [`crate::metrics::RunReport`].
 pub fn manager_to_json(manager: &sbst_cpu::manager::OnlineTestManager) -> JsonValue {
-    use sbst_cpu::manager::{ManagerEvent, Verdict};
+    use sbst_cpu::manager::{ManagerEvent, TamperVerdict, Verdict};
 
     let verdict_json = |v: &Verdict| -> JsonValue {
         let mut fields = vec![("verdict", JsonValue::from(v.name()))];
@@ -622,12 +622,39 @@ pub fn manager_to_json(manager: &sbst_cpu::manager::OnlineTestManager) -> JsonVa
             ("type", JsonValue::from("session_started")),
             ("session", JsonValue::from(*session)),
         ]),
-        ManagerEvent::StoreCorrupted => {
-            JsonValue::object([("type", JsonValue::from("store_corrupted"))])
+        ManagerEvent::StoreCorrupted { verdict } => {
+            let mut fields = vec![
+                ("type", JsonValue::from("store_corrupted")),
+                ("kind", JsonValue::from(verdict.name())),
+            ];
+            if let TamperVerdict::Replayed {
+                stored_epoch,
+                expected_epoch,
+            } = verdict
+            {
+                fields.push(("stored_epoch", JsonValue::from(*stored_epoch)));
+                fields.push(("expected_epoch", JsonValue::from(*expected_epoch)));
+            }
+            JsonValue::object(fields)
         }
         ManagerEvent::StoreRecaptured => {
             JsonValue::object([("type", JsonValue::from("store_recaptured"))])
         }
+        ManagerEvent::RecaptureRejected { component } => JsonValue::object([
+            ("type", JsonValue::from("recapture_rejected")),
+            ("component", JsonValue::from(component.as_str())),
+        ]),
+        ManagerEvent::ReplicaCompromised => {
+            JsonValue::object([("type", JsonValue::from("replica_compromised"))])
+        }
+        ManagerEvent::StoreEntrySuspended { component } => JsonValue::object([
+            ("type", JsonValue::from("store_entry_suspended")),
+            ("component", JsonValue::from(component.as_str())),
+        ]),
+        ManagerEvent::StoreEntryHealed { component } => JsonValue::object([
+            ("type", JsonValue::from("store_entry_healed")),
+            ("component", JsonValue::from(component.as_str())),
+        ]),
         ManagerEvent::Halted => JsonValue::object([("type", JsonValue::from("halted"))]),
         ManagerEvent::Attempt {
             component,
@@ -702,6 +729,7 @@ pub fn manager_to_json(manager: &sbst_cpu::manager::OnlineTestManager) -> JsonVa
             ),
             ("attempts", JsonValue::from(s.attempts)),
             ("passes", JsonValue::from(s.passes)),
+            ("store_trusted", JsonValue::from(s.store_trusted)),
         ])
     });
 
@@ -719,7 +747,16 @@ pub fn manager_to_json(manager: &sbst_cpu::manager::OnlineTestManager) -> JsonVa
                 ("quarantines", JsonValue::from(c.quarantines)),
                 ("transients", JsonValue::from(c.transients)),
                 ("store_corruptions", JsonValue::from(c.store_corruptions)),
+                ("tamper_forgeries", JsonValue::from(c.tamper_forgeries)),
+                ("tamper_replays", JsonValue::from(c.tamper_replays)),
                 ("store_recaptures", JsonValue::from(c.store_recaptures)),
+                ("recapture_rejects", JsonValue::from(c.recapture_rejects)),
+                (
+                    "replica_compromises",
+                    JsonValue::from(c.replica_compromises),
+                ),
+                ("store_suspensions", JsonValue::from(c.store_suspensions)),
+                ("store_heals", JsonValue::from(c.store_heals)),
                 ("preemptions", JsonValue::from(c.preemptions)),
                 ("sessions_completed", JsonValue::from(c.sessions_completed)),
             ]),
@@ -1033,6 +1070,16 @@ mod tests {
         assert!(types.contains(&"attempt"));
         assert!(types.contains(&"store_corrupted"));
         assert!(types.contains(&"halted"));
+        // The tamper event carries its audit verdict (a bit flip breaks
+        // the keyed seal → forged), and the counters split it out.
+        let corrupted = events
+            .iter()
+            .find(|e| e.get("type").unwrap().as_str() == Some("store_corrupted"))
+            .unwrap();
+        assert_eq!(corrupted.get("kind").unwrap().as_str(), Some("forged"));
+        assert_eq!(counters.get("tamper_forgeries").unwrap().as_u64(), Some(1));
+        assert_eq!(counters.get("tamper_replays").unwrap().as_u64(), Some(0));
+        assert_eq!(comps[0].get("store_trusted").unwrap().as_bool(), Some(true));
         // The document round-trips through the parser.
         let text = v.to_json_pretty();
         assert_eq!(crate::json::parse(&text).unwrap(), v);

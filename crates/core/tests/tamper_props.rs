@@ -1,0 +1,206 @@
+//! Property tests for the tamper-evident signature store and the keyed
+//! MAC beneath it:
+//!
+//! - **single-bit-flip fuzz** — flipping any one bit of any persisted
+//!   store field (an entry value, an entry name byte, the checksum, the
+//!   epoch, the seal itself) must be caught by the keyed audit;
+//! - **keyed-MAC differential** — the production streaming SipHash-2-4
+//!   must agree with an independent, deliberately naive reference
+//!   implementation for arbitrary keys, messages and chunkings;
+//! - **forgery floor** — an entry rewrite with a recomputed unkeyed FNV
+//!   checksum (the strongest forgery available without the key) passes
+//!   the legacy `verify()` but never the keyed audit.
+
+use proptest::prelude::*;
+use sbst_core::{siphash24, MacKey, SipHash24};
+use sbst_cpu::manager::{SignatureStore, TamperVerdict};
+
+fn keyed_store(seed: u64) -> (SignatureStore, MacKey) {
+    let key = MacKey::from_seed(seed);
+    let store = SignatureStore::with_key(
+        vec![
+            ("alu".to_owned(), 0xDEAD_BEEF),
+            ("shifter".to_owned(), 0x0000_0001),
+            ("multiplier".to_owned(), 0xFFFF_FFFF),
+        ],
+        &key,
+    );
+    (store, key)
+}
+
+/// Independent SipHash-2-4 reference, transliterated from the algorithm
+/// description (single monolithic pass, no streaming state machine) so it
+/// shares no code with the production implementation in `sbst_cpu::mac`.
+fn reference_siphash24(k0: u64, k1: u64, msg: &[u8]) -> u64 {
+    let mut v0 = 0x736f_6d65_7073_6575u64 ^ k0;
+    let mut v1 = 0x646f_7261_6e64_6f6du64 ^ k1;
+    let mut v2 = 0x6c79_6765_6e65_7261u64 ^ k0;
+    let mut v3 = 0x7465_6462_7974_6573u64 ^ k1;
+
+    let round = |v: &mut [u64; 4]| {
+        v[0] = v[0].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(13) ^ v[0];
+        v[0] = v[0].rotate_left(32);
+        v[2] = v[2].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(16) ^ v[2];
+        v[0] = v[0].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(21) ^ v[0];
+        v[2] = v[2].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(17) ^ v[2];
+        v[2] = v[2].rotate_left(32);
+    };
+
+    let mut chunks = msg.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().unwrap());
+        let mut v = [v0, v1, v2, v3];
+        v[3] ^= m;
+        round(&mut v);
+        round(&mut v);
+        v[0] ^= m;
+        [v0, v1, v2, v3] = v;
+    }
+
+    let mut last = [0u8; 8];
+    let tail = chunks.remainder();
+    last[..tail.len()].copy_from_slice(tail);
+    last[7] = msg.len() as u8;
+    let m = u64::from_le_bytes(last);
+    let mut v = [v0, v1, v2, v3];
+    v[3] ^= m;
+    round(&mut v);
+    round(&mut v);
+    v[0] ^= m;
+    v[2] ^= 0xff;
+    round(&mut v);
+    round(&mut v);
+    round(&mut v);
+    round(&mut v);
+    v[0] ^ v[1] ^ v[2] ^ v[3]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// One flipped bit in any entry value is a forgery.
+    #[test]
+    fn any_entry_value_bit_flip_is_detected(
+        seed in any::<u64>(),
+        entry in 0usize..3,
+        bit in 0u32..32,
+    ) {
+        let (mut store, key) = keyed_store(seed);
+        let name = store.entries()[entry].0.clone();
+        store.corrupt(&name, 1 << bit);
+        prop_assert_eq!(store.audit(&key, 0), TamperVerdict::Forged);
+    }
+
+    /// One flipped (ASCII-safe) bit in any entry name byte is a forgery.
+    #[test]
+    fn any_entry_name_bit_flip_is_detected(
+        seed in any::<u64>(),
+        entry in 0usize..3,
+        byte in 0usize..3, // every entry name has at least 3 bytes
+        bit in 0u32..7,
+    ) {
+        let (mut store, key) = keyed_store(seed);
+        store.corrupt_name(entry, byte, bit);
+        prop_assert_eq!(store.audit(&key, 0), TamperVerdict::Forged);
+    }
+
+    /// One flipped bit in the stored checksum, epoch or seal is detected.
+    /// (An epoch flip breaks the seal — the epoch is sealed — so it lands
+    /// as `Forged`, not `Replayed`: replay requires a *consistently*
+    /// sealed stale snapshot.)
+    #[test]
+    fn any_metadata_bit_flip_is_detected(
+        seed in any::<u64>(),
+        field in 0usize..3,
+        bit in 0u32..64,
+    ) {
+        let (mut store, key) = keyed_store(seed);
+        match field {
+            0 => store.corrupt_checksum(1 << bit),
+            1 => store.corrupt_epoch(1 << bit),
+            _ => store.corrupt_seal(1 << bit),
+        }
+        prop_assert_eq!(store.audit(&key, 0), TamperVerdict::Forged);
+    }
+
+    /// A forged entry with a recomputed unkeyed FNV checksum satisfies the
+    /// legacy `verify()` yet always fails the keyed audit — for any key,
+    /// any victim entry and any value change.
+    #[test]
+    fn recomputed_fnv_forgery_passes_verify_but_fails_audit(
+        seed in any::<u64>(),
+        entry in 0usize..3,
+        xor in 1u32..,
+    ) {
+        let (mut store, key) = keyed_store(seed);
+        let (name, value) = store.entries()[entry].clone();
+        store.forge(&name, value ^ xor);
+        prop_assert!(store.verify(), "FNV is adversary-recomputable");
+        prop_assert_eq!(store.audit(&key, 0), TamperVerdict::Forged);
+    }
+
+    /// A legitimately re-sealed store at a stale epoch is `Replayed`, and
+    /// a clean store audits clean — the verdicts are mutually exclusive.
+    #[test]
+    fn stale_epochs_are_replayed_and_clean_stores_are_clean(
+        seed in any::<u64>(),
+        stored in 0u64..5,
+        ahead in 1u64..5,
+    ) {
+        let (mut store, key) = keyed_store(seed);
+        store.seal_at_epoch(stored, &key);
+        prop_assert_eq!(store.audit(&key, stored), TamperVerdict::Clean);
+        let expected = stored + ahead;
+        prop_assert_eq!(
+            store.audit(&key, expected),
+            TamperVerdict::Replayed { stored_epoch: stored, expected_epoch: expected }
+        );
+    }
+
+    /// The production one-shot MAC agrees with the independent reference
+    /// implementation for arbitrary keys and messages.
+    #[test]
+    fn mac_matches_independent_reference(
+        k0 in any::<u64>(),
+        k1 in any::<u64>(),
+        msg in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let key = MacKey::from_parts(k0, k1);
+        prop_assert_eq!(siphash24(&key, &msg), reference_siphash24(k0, k1, &msg));
+    }
+
+    /// Streaming the same message through `SipHash24` in arbitrary chunk
+    /// splits yields the one-shot digest — the buffering state machine
+    /// cannot depend on write boundaries.
+    #[test]
+    fn streaming_chunking_is_boundary_invariant(
+        key_seed in any::<u64>(),
+        msg in prop::collection::vec(any::<u8>(), 0..48),
+        split_a in 0usize..49,
+        split_b in 0usize..49,
+    ) {
+        let key = MacKey::from_seed(key_seed);
+        let (a, b) = (split_a.min(msg.len()), split_b.min(msg.len()));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut mac = SipHash24::new(&key);
+        mac.write(&msg[..lo]);
+        mac.write(&msg[lo..hi]);
+        mac.write(&msg[hi..]);
+        prop_assert_eq!(mac.finish(), siphash24(&key, &msg));
+    }
+}
+
+/// The official SipHash-2-4 test vector, pinned against the *reference*
+/// implementation above — so the differential test cannot be satisfied by
+/// two implementations sharing the same bug.
+#[test]
+fn reference_implementation_matches_official_vector() {
+    let k0 = 0x0706_0504_0302_0100;
+    let k1 = 0x0f0e_0d0c_0b0a_0908;
+    let msg: Vec<u8> = (0u8..15).collect();
+    assert_eq!(reference_siphash24(k0, k1, &msg), 0xa129_ca61_49be_45e5);
+}

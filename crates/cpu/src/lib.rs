@@ -25,11 +25,15 @@
 //! - [`system`] — the Section 2 execution-time equation, quantum-time
 //!   budget checks and fault-detection-latency models for the three test
 //!   activation policies;
+//! - [`mac`] — a zero-dependency keyed MAC (SipHash-2-4) sealing the
+//!   golden-signature store against adversarial rewrites, not just
+//!   accidental bit flips;
 //! - [`manager`] — the on-line test manager: a cycle-budget watchdog per
 //!   routine, bounded retry with exponential backoff,
 //!   transient-vs-permanent fault classification, component quarantine, a
-//!   checksummed golden-signature store, and checkpoint/resume across
-//!   quantum preemption.
+//!   tamper-evident golden-signature store (keyed seal + replay-defeating
+//!   seal epoch, with a two-replica cross-check on re-capture), and
+//!   checkpoint/resume across quantum preemption.
 //!
 //! # Example
 //!
@@ -57,6 +61,7 @@
 pub mod cache;
 pub mod cpu;
 pub mod faulty;
+pub mod mac;
 pub mod manager;
 pub mod memory;
 pub mod power;
@@ -66,10 +71,11 @@ pub mod trace;
 pub use cache::{AnalyticStallModel, Cache, CacheConfig, CacheConfigError};
 pub use cpu::{Cpu, CpuConfig, CpuError, ExecStats, RunOutcome, DIV_LATENCY};
 pub use faulty::{ArchFault, ArchFaultTarget, FaultActivity};
+pub use mac::{siphash24, MacKey, SipHash24};
 pub use manager::{
     FaultClass, FaultFreeBench, Health, ManagedComponent, ManagerConfig, ManagerEvent,
     OnlineTestManager, RetryPolicy, SessionStatus, SigLocation, SignatureStore, StorePolicy,
-    TestBench, Verdict, WatchdogConfig,
+    TamperVerdict, TestBench, Verdict, WatchdogConfig,
 };
 pub use memory::Memory;
 pub use power::{EnergyEstimate, EnergyModel};

@@ -1,0 +1,299 @@
+//! Zero-dependency keyed MAC (SipHash-2-4) for authenticating the golden
+//! signature store.
+//!
+//! The unkeyed FNV-1a checksum that seals [`crate::manager::SignatureStore`]
+//! detects *accidental* corruption (bit flips in the memory that holds the
+//! references) but not *adversarial* rewrites: anyone who can rewrite the
+//! entries can recompute the public checksum. A keyed MAC closes that hole —
+//! without the key, a forged store cannot be re-sealed, so entry rewrites
+//! are detected exactly like bit flips.
+//!
+//! SipHash-2-4 is the textbook choice for a fast short-input keyed PRF with
+//! a 128-bit key and 64-bit tag, and is small enough to carry here with no
+//! dependencies. The implementation is the reference construction:
+//! 2 compression rounds per 8-byte word, 4 finalization rounds, and the
+//! `len << 56` length tail, verified against the official test vectors in
+//! the unit tests below.
+//!
+//! # Example
+//!
+//! ```
+//! use sbst_cpu::mac::{siphash24, MacKey};
+//!
+//! let key = MacKey::from_seed(0xD15E_A5E5);
+//! let tag = siphash24(&key, b"golden");
+//! assert_eq!(tag, siphash24(&key, b"golden"));
+//! assert_ne!(tag, siphash24(&MacKey::from_seed(1), b"golden"));
+//! ```
+
+/// A 128-bit MAC key as two 64-bit halves.
+///
+/// The all-zero key ([`MacKey::UNKEYED`]) is the compatibility default:
+/// sealing with it still detects every accidental corruption (the MAC is a
+/// strong hash regardless of key secrecy) but offers no forgery resistance.
+/// Deployments wanting the latter derive a key per characterization via
+/// [`MacKey::from_seed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacKey {
+    /// First key half (`k0` in the SipHash paper).
+    pub k0: u64,
+    /// Second key half (`k1`).
+    pub k1: u64,
+}
+
+impl MacKey {
+    /// The all-zero compatibility key: tamper-evident, not forgery-proof.
+    pub const UNKEYED: MacKey = MacKey { k0: 0, k1: 0 };
+
+    /// Builds a key from explicit halves.
+    pub fn from_parts(k0: u64, k1: u64) -> Self {
+        MacKey { k0, k1 }
+    }
+
+    /// Derives a key deterministically from a 64-bit seed (two rounds of
+    /// splitmix64) — the characterization-time provisioning path, so a
+    /// fixed fleet seed reproduces the same key on every run.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        MacKey {
+            k0: splitmix64(&mut state),
+            k1: splitmix64(&mut state),
+        }
+    }
+
+    /// Whether this is the all-zero compatibility key.
+    pub fn is_unkeyed(&self) -> bool {
+        *self == Self::UNKEYED
+    }
+}
+
+impl Default for MacKey {
+    fn default() -> Self {
+        Self::UNKEYED
+    }
+}
+
+/// One splitmix64 step: advances `state` and returns the next output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Streaming SipHash-2-4 state: absorb bytes with [`SipHash24::write`],
+/// read the 64-bit tag with [`SipHash24::finish`]. Equivalent to hashing
+/// the concatenation in one shot ([`siphash24`]) regardless of how the
+/// input is chunked.
+#[derive(Debug, Clone)]
+pub struct SipHash24 {
+    v0: u64,
+    v1: u64,
+    v2: u64,
+    v3: u64,
+    /// Up to 7 pending bytes that do not yet fill an 8-byte word.
+    buffer: [u8; 8],
+    buffered: usize,
+    /// Total bytes absorbed (mod 256 feeds the length tail).
+    len: u64,
+}
+
+impl SipHash24 {
+    /// Initializes the state from `key` (the standard IV XOR).
+    pub fn new(key: &MacKey) -> Self {
+        SipHash24 {
+            v0: key.k0 ^ 0x736f_6d65_7073_6575,
+            v1: key.k1 ^ 0x646f_7261_6e64_6f6d,
+            v2: key.k0 ^ 0x6c79_6765_6e65_7261,
+            v3: key.k1 ^ 0x7465_6462_7974_6573,
+            buffer: [0; 8],
+            buffered: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn round(&mut self) {
+        self.v0 = self.v0.wrapping_add(self.v1);
+        self.v1 = self.v1.rotate_left(13);
+        self.v1 ^= self.v0;
+        self.v0 = self.v0.rotate_left(32);
+        self.v2 = self.v2.wrapping_add(self.v3);
+        self.v3 = self.v3.rotate_left(16);
+        self.v3 ^= self.v2;
+        self.v0 = self.v0.wrapping_add(self.v3);
+        self.v3 = self.v3.rotate_left(21);
+        self.v3 ^= self.v0;
+        self.v2 = self.v2.wrapping_add(self.v1);
+        self.v1 = self.v1.rotate_left(17);
+        self.v1 ^= self.v2;
+        self.v2 = self.v2.rotate_left(32);
+    }
+
+    #[inline]
+    fn compress(&mut self, word: u64) {
+        self.v3 ^= word;
+        self.round();
+        self.round();
+        self.v0 ^= word;
+    }
+
+    /// Absorbs `bytes` into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+        let mut rest = bytes;
+        if self.buffered > 0 {
+            let take = rest.len().min(8 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered < 8 {
+                return; // word still not full; keep the pending bytes
+            }
+            let word = u64::from_le_bytes(self.buffer);
+            self.compress(word);
+            self.buffered = 0;
+        }
+        let mut chunks = rest.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.compress(word);
+        }
+        let tail = chunks.remainder();
+        self.buffer[..tail.len()].copy_from_slice(tail);
+        self.buffered = tail.len();
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.write(&[byte]);
+    }
+
+    /// Absorbs a `u64` as its big-endian bytes (matching the store's
+    /// serialization convention).
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_be_bytes());
+    }
+
+    /// Finalizes (without consuming the state) and returns the 64-bit tag.
+    pub fn finish(&self) -> u64 {
+        let mut s = self.clone();
+        // Length tail: remaining bytes little-endian, length in the top
+        // byte.
+        let mut word = (s.len & 0xFF) << 56;
+        for (i, &b) in s.buffer[..s.buffered].iter().enumerate() {
+            word |= u64::from(b) << (8 * i);
+        }
+        s.compress(word);
+        s.v2 ^= 0xFF;
+        s.round();
+        s.round();
+        s.round();
+        s.round();
+        s.v0 ^ s.v1 ^ s.v2 ^ s.v3
+    }
+}
+
+/// One-shot SipHash-2-4 of `bytes` under `key`.
+pub fn siphash24(key: &MacKey, bytes: &[u8]) -> u64 {
+    let mut state = SipHash24::new(key);
+    state.write(bytes);
+    state.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The key from the SipHash reference implementation's test vectors:
+    /// bytes 00 01 02 ... 0f, loaded little-endian.
+    fn reference_key() -> MacKey {
+        MacKey::from_parts(0x0706_0504_0302_0100, 0x0f0e_0d0c_0b0a_0908)
+    }
+
+    #[test]
+    fn official_test_vectors() {
+        // First rows of `vectors_sip64` in the reference implementation:
+        // SipHash-2-4 of the messages 00, 00 01, 00 01 02, ... under the
+        // reference key.
+        let expected: [u64; 8] = [
+            0x726f_db47_dd0e_0e31, // ""
+            0x74f8_39c5_93dc_67fd, // 00
+            0x0d6c_8009_d9a9_4f5a, // 00 01
+            0x8567_6696_d7fb_7e2d, // 00 01 02
+            0xcf27_94e0_2771_87b7, // 00 01 02 03
+            0x1876_5564_cd99_a68d, // ...
+            0xcbc9_466e_58fe_e3ce,
+            0xab02_00f5_8b01_d137,
+        ];
+        let key = reference_key();
+        let message: Vec<u8> = (0u8..8).collect();
+        for (len, want) in expected.iter().enumerate() {
+            assert_eq!(
+                siphash24(&key, &message[..len]),
+                *want,
+                "vector for length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_for_any_chunking() {
+        let key = MacKey::from_seed(42);
+        let message: Vec<u8> = (0..=255).collect();
+        let reference = siphash24(&key, &message);
+        for chunk in [1usize, 2, 3, 5, 7, 8, 9, 13, 64, 255] {
+            let mut state = SipHash24::new(&key);
+            for piece in message.chunks(chunk) {
+                state.write(piece);
+            }
+            assert_eq!(state.finish(), reference, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut state = SipHash24::new(&MacKey::from_seed(7));
+        state.write(b"abc");
+        let first = state.finish();
+        assert_eq!(state.finish(), first);
+        state.write(b"d");
+        assert_ne!(state.finish(), first);
+    }
+
+    #[test]
+    fn key_seed_derivation_is_deterministic_and_spreads() {
+        assert_eq!(MacKey::from_seed(1), MacKey::from_seed(1));
+        assert_ne!(MacKey::from_seed(1), MacKey::from_seed(2));
+        let k = MacKey::from_seed(0);
+        // splitmix64 of a zero seed is emphatically not zero.
+        assert!(!k.is_unkeyed());
+        assert!(MacKey::UNKEYED.is_unkeyed());
+        assert_eq!(MacKey::default(), MacKey::UNKEYED);
+    }
+
+    #[test]
+    fn different_keys_give_different_tags() {
+        let a = siphash24(&MacKey::from_seed(1), b"store");
+        let b = siphash24(&MacKey::from_seed(2), b"store");
+        assert_ne!(a, b);
+        // Unkeyed still acts as a hash: different inputs, different tags.
+        assert_ne!(
+            siphash24(&MacKey::UNKEYED, b"a"),
+            siphash24(&MacKey::UNKEYED, b"b")
+        );
+    }
+
+    #[test]
+    fn write_u64_is_big_endian() {
+        let key = MacKey::from_seed(3);
+        let mut s = SipHash24::new(&key);
+        s.write_u64(0x0102_0304_0506_0708);
+        assert_eq!(
+            s.finish(),
+            siphash24(&key, &[1, 2, 3, 4, 5, 6, 7, 8]),
+            "write_u64 must match the big-endian byte serialization"
+        );
+    }
+}

@@ -41,6 +41,7 @@ use std::sync::Arc;
 use sbst_isa::Program;
 
 use crate::cpu::{Cpu, CpuConfig, CpuError};
+use crate::mac::{MacKey, SipHash24};
 use crate::system::ExecTimeEstimate;
 
 /// Derives a per-routine cycle budget from expected execution time.
@@ -122,21 +123,80 @@ pub fn run_with_watchdog(cpu: &mut Cpu, budget_cycles: u64) -> Result<WatchdogOu
     }
 }
 
-/// The golden-signature store, protected by a checksum so that faults in
-/// the store itself (a bit-flip in data memory holding the references) are
-/// detected instead of silently producing wrong verdicts.
+/// The verdict of a keyed store audit ([`SignatureStore::audit`]):
+/// distinguishes the two adversarial failure modes from a clean store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperVerdict {
+    /// Keyed seal valid and epoch current.
+    Clean,
+    /// The keyed seal does not match the contents — a bit flip anywhere
+    /// (entries, checksum, epoch, the seal itself) or an entry rewrite
+    /// with a recomputed *unkeyed* checksum. Without the key the seal
+    /// cannot be recomputed, so all forgeries land here.
+    Forged,
+    /// The seal is internally valid but the epoch is stale: a past,
+    /// legitimately-sealed snapshot was replayed over the live store.
+    Replayed {
+        /// Epoch found in the (validly sealed) store.
+        stored_epoch: u64,
+        /// Epoch the manager expected.
+        expected_epoch: u64,
+    },
+}
+
+impl TamperVerdict {
+    /// Whether the audit found no tampering.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, TamperVerdict::Clean)
+    }
+
+    /// Stable lower-case name for logs and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TamperVerdict::Clean => "clean",
+            TamperVerdict::Forged => "forged",
+            TamperVerdict::Replayed { .. } => "replayed",
+        }
+    }
+}
+
+/// The golden-signature store, protected by two seals:
+///
+/// - an **unkeyed FNV-1a checksum** ([`SignatureStore::verify`]) — the
+///   legacy integrity check, sufficient against accidental bit flips but
+///   trivially recomputable by an adversary who rewrites entries;
+/// - a **keyed SipHash-2-4 seal** over the entries, the **seal epoch** and
+///   the checksum ([`SignatureStore::audit`]) — forgery-evident (the seal
+///   cannot be recomputed without the key) and replay-evident (every
+///   legitimate re-seal advances the monotonically increasing epoch, so a
+///   stale-but-validly-sealed snapshot is detected against the manager's
+///   mirrored expected epoch).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SignatureStore {
     entries: Vec<(String, u32)>,
     checksum: u64,
+    epoch: u64,
+    seal: u64,
 }
 
 impl SignatureStore {
     /// Builds a store from `(key, golden signature)` pairs and seals it
-    /// with a checksum.
+    /// with the compatibility key ([`MacKey::UNKEYED`]) at epoch 0.
     pub fn new(entries: Vec<(String, u32)>) -> Self {
-        let checksum = Self::compute_checksum(&entries);
-        SignatureStore { entries, checksum }
+        Self::with_key(entries, &MacKey::UNKEYED)
+    }
+
+    /// Builds a store sealed under `key` at epoch 0 — the
+    /// characterization-time provisioning path.
+    pub fn with_key(entries: Vec<(String, u32)>, key: &MacKey) -> Self {
+        let mut store = SignatureStore {
+            entries,
+            checksum: 0,
+            epoch: 0,
+            seal: 0,
+        };
+        store.reseal(key);
+        store
     }
 
     fn compute_checksum(entries: &[(String, u32)]) -> u64 {
@@ -158,9 +218,56 @@ impl SignatureStore {
         h
     }
 
-    /// Whether the stored signatures still match the seal.
+    /// Keyed seal over the same serialization the checksum absorbs, plus
+    /// the epoch and the checksum itself — so a flip in *any* persisted
+    /// field (including the checksum) breaks the seal.
+    fn compute_seal(entries: &[(String, u32)], epoch: u64, checksum: u64, key: &MacKey) -> u64 {
+        let mut mac = SipHash24::new(key);
+        for (name, value) in entries {
+            mac.write(name.as_bytes());
+            mac.write_u8(0xFF); // key/value separator
+            mac.write(&value.to_be_bytes());
+        }
+        mac.write_u64(epoch);
+        mac.write_u64(checksum);
+        mac.finish()
+    }
+
+    /// Recomputes both seals under `key` at the current epoch.
+    fn reseal(&mut self, key: &MacKey) {
+        self.checksum = Self::compute_checksum(&self.entries);
+        self.seal = Self::compute_seal(&self.entries, self.epoch, self.checksum, key);
+    }
+
+    /// Whether the stored signatures still match the *unkeyed* checksum —
+    /// the legacy integrity check. Detects accidental corruption only; an
+    /// adversary recomputes this seal trivially (see
+    /// [`SignatureStore::forge`]), which is what [`SignatureStore::audit`]
+    /// exists to catch.
     pub fn verify(&self) -> bool {
         Self::compute_checksum(&self.entries) == self.checksum
+    }
+
+    /// Audits the keyed seal and the seal epoch against the manager's
+    /// mirrored `expected_epoch`; returns the tamper verdict.
+    pub fn audit(&self, key: &MacKey, expected_epoch: u64) -> TamperVerdict {
+        let seal = Self::compute_seal(&self.entries, self.epoch, self.checksum, key);
+        if seal != self.seal {
+            return TamperVerdict::Forged;
+        }
+        if self.epoch != expected_epoch {
+            return TamperVerdict::Replayed {
+                stored_epoch: self.epoch,
+                expected_epoch,
+            };
+        }
+        TamperVerdict::Clean
+    }
+
+    /// The store's seal epoch: 0 at characterization, advanced by every
+    /// legitimate keyed re-seal ([`SignatureStore::advance_epoch_and_reseal`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Reads the golden signature stored under `key`.
@@ -169,13 +276,39 @@ impl SignatureStore {
     }
 
     /// Overwrites (or inserts) the signature under `key` and re-seals the
-    /// store — the legitimate re-capture path.
+    /// store with the compatibility key — the legacy re-capture path.
     pub fn set(&mut self, key: &str, value: u32) {
-        match self.entries.iter_mut().find(|(k, _)| k == key) {
+        self.set_keyed(key, value, &MacKey::UNKEYED);
+    }
+
+    /// Overwrites (or inserts) the signature under `name` and re-seals
+    /// both seals under `key` at the current epoch. Callers performing a
+    /// *batch* of legitimate mutations finish with
+    /// [`SignatureStore::advance_epoch_and_reseal`] so the batch lands in
+    /// a single new epoch.
+    pub fn set_keyed(&mut self, name: &str, value: u32, key: &MacKey) {
+        match self.entries.iter_mut().find(|(k, _)| k == name) {
             Some((_, v)) => *v = value,
-            None => self.entries.push((key.to_owned(), value)),
+            None => self.entries.push((name.to_owned(), value)),
         }
-        self.checksum = Self::compute_checksum(&self.entries);
+        self.reseal(key);
+    }
+
+    /// Advances the seal epoch by one and re-seals under `key` — the
+    /// epilogue of every legitimate re-capture/heal, which is what makes a
+    /// replayed pre-re-seal snapshot detectable.
+    pub fn advance_epoch_and_reseal(&mut self, key: &MacKey) {
+        self.seal_at_epoch(self.epoch + 1, key);
+    }
+
+    /// Re-seals under `key` at an explicit epoch. Monotonicity is the
+    /// caller's contract: the manager advances past both the store's
+    /// current epoch *and* its own mirrored epoch, so healing from a
+    /// replayed (stale-epoch) snapshot never re-issues an epoch that a
+    /// captured snapshot could replay.
+    pub fn seal_at_epoch(&mut self, epoch: u64, key: &MacKey) {
+        self.epoch = epoch;
+        self.reseal(key);
     }
 
     /// The stored `(key, signature)` pairs.
@@ -194,15 +327,63 @@ impl SignatureStore {
     }
 
     /// Flips bits in the signature stored under `key` *without* updating
-    /// the seal — models a fault hitting the data memory that holds the
+    /// either seal — models a fault hitting the data memory that holds the
     /// golden references. Fault-injection campaigns use this; [`verify`]
-    /// must subsequently fail.
+    /// must subsequently fail (and [`audit`] must return
+    /// [`TamperVerdict::Forged`]).
     ///
     /// [`verify`]: SignatureStore::verify
+    /// [`audit`]: SignatureStore::audit
     pub fn corrupt(&mut self, key: &str, xor: u32) {
         if let Some((_, v)) = self.entries.iter_mut().find(|(k, _)| k == key) {
             *v ^= xor;
         }
+    }
+
+    /// Red-team primitive: rewrites the entry under `name` and recomputes
+    /// the *unkeyed* FNV checksum — the strongest forgery available to an
+    /// adversary without the MAC key. [`verify`] passes afterwards;
+    /// [`audit`] must still return [`TamperVerdict::Forged`].
+    ///
+    /// [`verify`]: SignatureStore::verify
+    /// [`audit`]: SignatureStore::audit
+    pub fn forge(&mut self, name: &str, value: u32) {
+        match self.entries.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((name.to_owned(), value)),
+        }
+        self.checksum = Self::compute_checksum(&self.entries);
+        // The keyed seal is deliberately left stale: without the key the
+        // adversary cannot recompute it.
+    }
+
+    /// Red-team primitive: flips a single ASCII-safe bit (0–6) of one byte
+    /// of the entry name at `index` without re-sealing. Restricting to the
+    /// low seven bits keeps the name valid UTF-8 while still changing it.
+    pub fn corrupt_name(&mut self, index: usize, byte: usize, bit: u32) {
+        if let Some((name, _)) = self.entries.get_mut(index) {
+            let mut bytes = name.clone().into_bytes();
+            if let Some(b) = bytes.get_mut(byte) {
+                *b ^= 1 << (bit % 7);
+                *name = String::from_utf8(bytes).expect("low-bit flip preserves ASCII");
+            }
+        }
+    }
+
+    /// Red-team primitive: flips bits of the stored keyed seal itself.
+    pub fn corrupt_seal(&mut self, xor: u64) {
+        self.seal ^= xor;
+    }
+
+    /// Red-team primitive: flips bits of the stored seal epoch without
+    /// re-sealing.
+    pub fn corrupt_epoch(&mut self, xor: u64) {
+        self.epoch ^= xor;
+    }
+
+    /// Red-team primitive: flips bits of the stored unkeyed checksum.
+    pub fn corrupt_checksum(&mut self, xor: u64) {
+        self.checksum ^= xor;
     }
 }
 
@@ -388,6 +569,11 @@ pub struct ManagerConfig {
     pub quantum_cycles: Option<u64>,
     /// Response to signature-store corruption.
     pub store_policy: StorePolicy,
+    /// Key sealing the signature store. [`MacKey::UNKEYED`] (the default)
+    /// keeps the store tamper-*evident* (any flip breaks the seal) but not
+    /// forgery-proof; a per-characterization key from
+    /// [`MacKey::from_seed`] adds forgery resistance.
+    pub store_key: MacKey,
     /// Whether to keep the ordered [`ManagerEvent`] log. Single-manager
     /// deployments want the full log for diagnosis; fleet-scale runs
     /// (thousands of managers) disable it so the per-session cost is
@@ -404,6 +590,7 @@ impl Default for ManagerConfig {
             period_cycles: 1_000_000,
             quantum_cycles: None,
             store_policy: StorePolicy::Halt,
+            store_key: MacKey::UNKEYED,
             record_events: true,
         }
     }
@@ -452,10 +639,39 @@ pub enum ManagerEvent {
         /// 1-based session number.
         session: u32,
     },
-    /// The signature store failed its integrity check.
-    StoreCorrupted,
-    /// The store was re-captured from fresh routine runs and re-sealed.
+    /// The signature store failed its keyed tamper audit.
+    StoreCorrupted {
+        /// What the audit found (forgery vs replay).
+        verdict: TamperVerdict,
+    },
+    /// The store was re-captured from fresh routine runs (cross-checked
+    /// against the replica when one is installed) and re-sealed at a new
+    /// epoch.
     StoreRecaptured,
+    /// During re-capture, a freshly captured signature disagreed with the
+    /// independent replica — the capture was rejected and the replica's
+    /// value restored (the recapture-poisoning defence).
+    RecaptureRejected {
+        /// Component whose fresh capture was rejected.
+        component: String,
+    },
+    /// The independent replica itself failed its tamper audit and was
+    /// dropped — cross-checking degrades to fresh-capture-only.
+    ReplicaCompromised,
+    /// A component's golden reference could not be restored from either a
+    /// fresh capture or the replica; the component is suspended (skipped)
+    /// until a later session heals it — the un-tampered components keep
+    /// getting tested.
+    StoreEntrySuspended {
+        /// Suspended component.
+        component: String,
+    },
+    /// A previously suspended component's reference was restored; it
+    /// re-enters the periodic schedule.
+    StoreEntryHealed {
+        /// Healed component.
+        component: String,
+    },
     /// Testing stopped permanently (store corruption under
     /// [`StorePolicy::Halt`]).
     Halted,
@@ -538,10 +754,24 @@ pub struct ManagerCounters {
     pub quarantines: u64,
     /// Transient classifications.
     pub transients: u64,
-    /// Store integrity failures detected.
+    /// Store tamper detections, total (forgeries + replays).
     pub store_corruptions: u64,
+    /// Tamper detections whose audit verdict was [`TamperVerdict::Forged`].
+    pub tamper_forgeries: u64,
+    /// Tamper detections whose audit verdict was
+    /// [`TamperVerdict::Replayed`].
+    pub tamper_replays: u64,
     /// Store re-captures performed.
     pub store_recaptures: u64,
+    /// Fresh captures rejected by the replica cross-check during
+    /// re-capture (poisoning attempts defeated).
+    pub recapture_rejects: u64,
+    /// Replica stores dropped after failing their own tamper audit.
+    pub replica_compromises: u64,
+    /// Components suspended because their reference could not be restored.
+    pub store_suspensions: u64,
+    /// Suspended components whose reference was later restored.
+    pub store_heals: u64,
     /// Sessions preempted at the quantum boundary.
     pub preemptions: u64,
     /// Sessions completed.
@@ -603,6 +833,11 @@ struct ComponentState {
     last_verdict: Option<Verdict>,
     attempts: u64,
     passes: u64,
+    /// Whether this component's golden reference is currently trustworthy.
+    /// Cleared when neither a fresh capture nor the replica could restore
+    /// the reference after tampering; a cleared component is skipped
+    /// (graceful degradation) until a later session heals it.
+    store_trusted: bool,
 }
 
 impl ComponentState {
@@ -614,6 +849,7 @@ impl ComponentState {
             last_verdict: None,
             attempts: 0,
             passes: 0,
+            store_trusted: true,
         }
     }
 }
@@ -633,6 +869,10 @@ pub struct ComponentStatus {
     pub attempts: u64,
     /// Attempts that passed.
     pub passes: u64,
+    /// Whether the component's golden reference is currently trusted; a
+    /// `false` here means the component is suspended from the schedule
+    /// until its reference heals.
+    pub store_trusted: bool,
 }
 
 /// The on-line test manager: owns the schedule, the signature store, the
@@ -644,6 +884,13 @@ pub struct OnlineTestManager {
     components: Arc<[ManagedComponent]>,
     states: Vec<ComponentState>,
     store: SignatureStore,
+    /// Seal epoch the manager expects to find in the store — mirrored
+    /// outside the store so a replayed (stale but validly-sealed) snapshot
+    /// is detectable.
+    expected_epoch: u64,
+    /// Optional second independent copy of the golden references, used to
+    /// cross-check fresh captures before any `Recapture` re-seal.
+    replica: Option<SignatureStore>,
     events: Vec<ManagerEvent>,
     counters: ManagerCounters,
     clock_cycles: u64,
@@ -677,11 +924,14 @@ impl OnlineTestManager {
         store: SignatureStore,
     ) -> Self {
         let states = components.iter().map(|_| ComponentState::fresh()).collect();
+        let expected_epoch = store.epoch();
         OnlineTestManager {
             config,
             components,
             states,
             store,
+            expected_epoch,
+            replica: None,
             events: Vec::new(),
             counters: ManagerCounters::default(),
             clock_cycles: 0,
@@ -726,11 +976,23 @@ impl OnlineTestManager {
             }
         };
 
-        // Integrity-check the reference store before trusting any verdict
-        // (fresh sessions only; a resumed session checked already).
-        if resumed_from.is_none() && !self.store.verify() {
-            self.push_event(ManagerEvent::StoreCorrupted);
+        // Audit the reference store before trusting any verdict — on
+        // *every* start, resumed sessions included: corruption that lands
+        // while a session is parked at a preemption boundary must not be
+        // trusted on resume. The keyed audit subsumes the legacy unkeyed
+        // `verify()` (any flip that breaks the checksum also breaks the
+        // seal) and additionally catches forgeries and replays.
+        let verdict = self
+            .store
+            .audit(&self.config.store_key, self.expected_epoch);
+        if !verdict.is_clean() {
+            self.push_event(ManagerEvent::StoreCorrupted { verdict });
             self.counters.store_corruptions += 1;
+            match verdict {
+                TamperVerdict::Forged => self.counters.tamper_forgeries += 1,
+                TamperVerdict::Replayed { .. } => self.counters.tamper_replays += 1,
+                TamperVerdict::Clean => unreachable!("clean verdict handled above"),
+            }
             match self.config.store_policy {
                 StorePolicy::Halt => {
                     self.halted = true;
@@ -743,11 +1005,20 @@ impl OnlineTestManager {
                     self.counters.store_recaptures += 1;
                 }
             }
+        } else if resumed_from.is_none() {
+            // Clean store at a fresh session start: give suspended
+            // components a chance to restore their references.
+            self.heal_suspended(bench);
         }
 
         let mut spent_cycles = 0u64;
         for index in start_index..self.components.len() {
-            if self.states[index].health == Health::Quarantined {
+            // Quarantined components are out of the schedule; suspended
+            // ones (untrusted reference) are skipped until healed — the
+            // graceful-degradation path keeps every other component
+            // tested.
+            if self.states[index].health == Health::Quarantined || !self.states[index].store_trusted
+            {
                 continue;
             }
             if let Some(quantum) = self.config.quantum_cycles {
@@ -937,33 +1208,191 @@ impl OnlineTestManager {
         self.counters.quarantines += 1;
     }
 
-    /// Re-captures golden signatures: every active routine runs once and
-    /// its observed signature becomes the new reference; the store is
-    /// re-sealed. A routine that hangs or crashes during re-capture keeps
-    /// its old reference (and will fail its next visit normally).
+    /// Runs `component`'s routine once and returns its observed signature,
+    /// or `None` when the routine hangs, crashes or has no resolvable
+    /// signature location. Advances the virtual clock by the cycles spent.
+    fn capture_signature(
+        &mut self,
+        component: &ManagedComponent,
+        bench: &mut dyn TestBench,
+    ) -> Option<u32> {
+        let budget = self
+            .config
+            .watchdog
+            .budget_cycles(component.expected_cycles);
+        let mut cpu = bench.prepare(&component.name, 0, self.clock_cycles);
+        cpu.load_program(&component.program);
+        match run_with_watchdog(&mut cpu, budget) {
+            Ok(WatchdogOutcome::Completed { cycles }) => {
+                self.clock_cycles += cycles;
+                component
+                    .sig_addr()
+                    .map(|addr| cpu.memory().read_word(addr))
+            }
+            _ => None,
+        }
+    }
+
+    /// Audits the replica (if installed) and drops it when compromised;
+    /// returns whether a trustworthy replica remains.
+    fn audit_replica(&mut self) -> bool {
+        match &self.replica {
+            Some(replica) => {
+                if replica
+                    .audit(&self.config.store_key, self.expected_epoch)
+                    .is_clean()
+                {
+                    true
+                } else {
+                    self.replica = None;
+                    self.counters.replica_compromises += 1;
+                    self.push_event(ManagerEvent::ReplicaCompromised);
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Re-captures golden signatures after a tamper detection, hardened by
+    /// the two-replica cross-check: for each active component the fresh
+    /// capture is compared against the independent replica before anything
+    /// is re-sealed.
+    ///
+    /// - fresh == replica → the cross-checked value is restored;
+    /// - fresh != replica → the fresh capture is **rejected** and the
+    ///   replica's value restored (the recapture-poisoning defence: a
+    ///   faulty core cannot bake its own signature into the references,
+    ///   and its next visit detects it normally);
+    /// - fresh only (no replica) → the fresh value is accepted — the
+    ///   documented, policy-accepted risk of `Recapture` without a
+    ///   replica;
+    /// - replica only (capture hung/crashed) → restored from the replica;
+    /// - neither → the component is *suspended* (skipped in sessions)
+    ///   until a later clean session heals it, so the un-tampered
+    ///   components keep getting tested.
+    ///
+    /// Finishes with an epoch-advancing keyed re-seal — never the blind
+    /// "re-seal whatever is there" of the unhardened path — and refreshes
+    /// the replica from the healed store.
     fn recapture_store(&mut self, bench: &mut dyn TestBench) {
+        let replica_ok = self.audit_replica();
         let components = Arc::clone(&self.components);
         for (index, component) in components.iter().enumerate() {
             if self.states[index].health == Health::Quarantined {
                 continue;
             }
-            let budget = self
-                .config
-                .watchdog
-                .budget_cycles(component.expected_cycles);
-            let mut cpu = bench.prepare(&component.name, 0, self.clock_cycles);
-            cpu.load_program(&component.program);
-            if let Ok(WatchdogOutcome::Completed { cycles }) = run_with_watchdog(&mut cpu, budget) {
-                self.clock_cycles += cycles;
-                if let Some(addr) = component.sig_addr() {
-                    let observed = cpu.memory().read_word(addr);
-                    self.store.set(&component.name, observed);
+            self.restore_reference(index, component, replica_ok, bench);
+        }
+        self.epoch_advancing_reseal();
+    }
+
+    /// Attempts to restore the references of suspended components at a
+    /// clean fresh-session start: a fresh capture cross-checked against
+    /// the replica exactly as in [`recapture_store`](Self::recapture_store)
+    /// (replica wins a disagreement; with neither available the component
+    /// stays suspended).
+    fn heal_suspended(&mut self, bench: &mut dyn TestBench) {
+        if self.states.iter().all(|s| s.store_trusted) {
+            return;
+        }
+        let replica_ok = self.audit_replica();
+        let components = Arc::clone(&self.components);
+        let mut healed_any = false;
+        for (index, component) in components.iter().enumerate() {
+            if self.states[index].health == Health::Quarantined || self.states[index].store_trusted
+            {
+                continue;
+            }
+            healed_any |= self.restore_reference(index, component, replica_ok, bench);
+        }
+        if healed_any {
+            self.epoch_advancing_reseal();
+        }
+    }
+
+    /// Restores one component's golden reference by fresh-capture ×
+    /// replica cross-check; updates suspension state, counters and events.
+    /// Returns whether the reference was restored. Does *not* re-seal —
+    /// callers batch their restores under one
+    /// [`epoch_advancing_reseal`](Self::epoch_advancing_reseal).
+    fn restore_reference(
+        &mut self,
+        index: usize,
+        component: &ManagedComponent,
+        replica_ok: bool,
+        bench: &mut dyn TestBench,
+    ) -> bool {
+        let key = self.config.store_key;
+        let fresh = self.capture_signature(component, bench);
+        let replicated = if replica_ok {
+            self.replica.as_ref().and_then(|r| r.get(&component.name))
+        } else {
+            None
+        };
+        let was_suspended = !self.states[index].store_trusted;
+        let restored = match (fresh, replicated) {
+            (Some(observed), Some(reference)) => {
+                if observed != reference {
+                    // The replica is the independent witness; it wins any
+                    // disagreement and the (possibly poisoned) fresh
+                    // capture is rejected.
+                    self.counters.recapture_rejects += 1;
+                    if self.config.record_events {
+                        self.events.push(ManagerEvent::RecaptureRejected {
+                            component: component.name.clone(),
+                        });
+                    }
                 }
+                Some(reference)
+            }
+            (Some(observed), None) => Some(observed),
+            (None, Some(reference)) => Some(reference),
+            (None, None) => None,
+        };
+        match restored {
+            Some(value) => {
+                self.store.set_keyed(&component.name, value, &key);
+                self.states[index].store_trusted = true;
+                if was_suspended {
+                    self.counters.store_heals += 1;
+                    if self.config.record_events {
+                        self.events.push(ManagerEvent::StoreEntryHealed {
+                            component: component.name.clone(),
+                        });
+                    }
+                }
+                true
+            }
+            None => {
+                self.states[index].store_trusted = false;
+                if !was_suspended {
+                    self.counters.store_suspensions += 1;
+                    if self.config.record_events {
+                        self.events.push(ManagerEvent::StoreEntrySuspended {
+                            component: component.name.clone(),
+                        });
+                    }
+                }
+                false
             }
         }
-        // Re-seal even if nothing changed, clearing a checksum-only flip.
-        let entries = self.store.entries().to_vec();
-        self.store = SignatureStore::new(entries);
+    }
+
+    /// The epilogue of every legitimate store mutation batch: advance the
+    /// seal epoch (making any replay of the previous snapshot detectable),
+    /// mirror it, and refresh the replica from the healed store. The new
+    /// epoch strictly exceeds both the store's current epoch and the
+    /// mirrored one — after healing from a *replayed* snapshot (whose own
+    /// epoch is stale) the next epoch must not collide with one an
+    /// attacker may already hold a validly-sealed snapshot of.
+    fn epoch_advancing_reseal(&mut self) {
+        let next = self.expected_epoch.max(self.store.epoch()) + 1;
+        self.store.seal_at_epoch(next, &self.config.store_key);
+        self.expected_epoch = next;
+        if self.replica.is_some() {
+            self.replica = Some(self.store.clone());
+        }
     }
 
     /// Replaces the schedule and store after a re-plan (e.g. a reduced
@@ -984,7 +1413,30 @@ impl OnlineTestManager {
         self.states = components.iter().map(|_| ComponentState::fresh()).collect();
         self.components = components;
         self.store = store;
+        self.expected_epoch = self.store.epoch();
+        // A replica of the old store cannot witness for the new one;
+        // callers re-install after adopting.
+        self.replica = None;
         self.resume_at = None;
+    }
+
+    /// Installs a second independent replica of the current store. During
+    /// any subsequent `Recapture`, fresh captures are cross-checked
+    /// against it before re-sealing — closing the recapture-poisoning
+    /// hole where a faulty core bakes its own signature into the
+    /// re-captured references.
+    pub fn install_replica(&mut self) {
+        self.replica = Some(self.store.clone());
+    }
+
+    /// Whether a (not-yet-compromised) replica is installed.
+    pub fn has_replica(&self) -> bool {
+        self.replica.is_some()
+    }
+
+    /// The seal epoch the manager currently expects of its store.
+    pub fn expected_epoch(&self) -> u64 {
+        self.expected_epoch
     }
 
     /// Advances the virtual clock (e.g. the idle period between two
@@ -1062,6 +1514,7 @@ impl OnlineTestManager {
                 last_verdict: s.last_verdict,
                 attempts: s.attempts,
                 passes: s.passes,
+                store_trusted: s.store_trusted,
             })
             .collect()
     }
@@ -1150,6 +1603,200 @@ mod tests {
         // The legitimate update path re-seals.
         store.set("alu", 12);
         assert!(store.verify());
+    }
+
+    #[test]
+    fn audit_detects_every_single_field_corruption_as_forgery() {
+        let key = MacKey::from_seed(0xA11CE);
+        let base = SignatureStore::with_key(vec![("alu".to_owned(), 12)], &key);
+        assert_eq!(base.audit(&key, 0), TamperVerdict::Clean);
+
+        let mut value_flip = base.clone();
+        value_flip.corrupt("alu", 1);
+        assert_eq!(value_flip.audit(&key, 0), TamperVerdict::Forged);
+
+        let mut name_flip = base.clone();
+        name_flip.corrupt_name(0, 1, 2);
+        assert_eq!(name_flip.audit(&key, 0), TamperVerdict::Forged);
+
+        let mut seal_flip = base.clone();
+        seal_flip.corrupt_seal(1 << 63);
+        assert_eq!(seal_flip.audit(&key, 0), TamperVerdict::Forged);
+
+        let mut epoch_flip = base.clone();
+        epoch_flip.corrupt_epoch(1);
+        assert_eq!(epoch_flip.audit(&key, 0), TamperVerdict::Forged);
+
+        let mut checksum_flip = base.clone();
+        checksum_flip.corrupt_checksum(0x10);
+        assert_eq!(checksum_flip.audit(&key, 0), TamperVerdict::Forged);
+    }
+
+    #[test]
+    fn forged_entry_with_recomputed_fnv_fails_keyed_audit() {
+        let key = MacKey::from_seed(0x5EC_4E7);
+        let mut store = SignatureStore::with_key(vec![("alu".to_owned(), 12)], &key);
+        store.forge("alu", 0xBAD_F00D);
+        // The adversary's best unkeyed move: the legacy checksum passes...
+        assert!(store.verify());
+        assert_eq!(store.get("alu"), Some(0xBAD_F00D));
+        // ...but the keyed seal cannot be recomputed without the key.
+        assert_eq!(store.audit(&key, 0), TamperVerdict::Forged);
+    }
+
+    #[test]
+    fn stale_snapshot_is_detected_as_replay_and_epochs_stay_monotonic() {
+        let key = MacKey::from_seed(7);
+        let mut store = SignatureStore::with_key(vec![("alu".to_owned(), 12)], &key);
+        let stale = store.clone(); // epoch 0, validly sealed
+        store.advance_epoch_and_reseal(&key);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.audit(&key, 1), TamperVerdict::Clean);
+        // The replayed snapshot is internally consistent but stale.
+        assert_eq!(
+            stale.audit(&key, 1),
+            TamperVerdict::Replayed {
+                stored_epoch: 0,
+                expected_epoch: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn resumed_session_audits_store_regression() {
+        // Regression: the audit used to be skipped when resuming from a
+        // preemption checkpoint, so corruption landing while the session
+        // was parked went unnoticed until the *next* fresh session.
+        let config = ManagerConfig {
+            quantum_cycles: Some(1), // preempt after the first component
+            ..ManagerConfig::default()
+        };
+        let mut mgr = OnlineTestManager::new(
+            config,
+            vec![adder_component("alu"), adder_component("shifter")],
+            golden_store(&["alu", "shifter"]),
+        );
+        assert_eq!(
+            mgr.run_session(&mut FaultFreeBench),
+            SessionStatus::Preempted
+        );
+        // Corruption strikes while parked.
+        mgr.store_mut().corrupt("shifter", 0x8000);
+        assert_eq!(mgr.run_session(&mut FaultFreeBench), SessionStatus::Halted);
+        assert_eq!(mgr.counters().store_corruptions, 1);
+        assert_eq!(mgr.counters().tamper_forgeries, 1);
+    }
+
+    #[test]
+    fn replayed_store_recaptures_and_future_replays_stay_detectable() {
+        let key = MacKey::from_seed(0xEB0C);
+        let config = ManagerConfig {
+            store_policy: StorePolicy::Recapture,
+            store_key: key,
+            ..ManagerConfig::default()
+        };
+        let store = SignatureStore::with_key(vec![("alu".to_owned(), 12)], &key);
+        let mut mgr = OnlineTestManager::new(config, vec![adder_component("alu")], store);
+        let stale = mgr.store().clone(); // epoch 0
+
+        // Stage 1: a forgery forces a legitimate re-capture → epoch 1.
+        mgr.store_mut().corrupt("alu", 1);
+        assert_eq!(
+            mgr.run_session(&mut FaultFreeBench),
+            SessionStatus::Completed { healthy: true }
+        );
+        assert_eq!(mgr.counters().tamper_forgeries, 1);
+        assert_eq!(mgr.store().epoch(), 1);
+
+        // Stage 2: replay the pre-recapture snapshot — validly sealed,
+        // stale epoch.
+        *mgr.store_mut() = stale.clone();
+        assert_eq!(
+            mgr.run_session(&mut FaultFreeBench),
+            SessionStatus::Completed { healthy: true }
+        );
+        assert_eq!(mgr.counters().tamper_replays, 1);
+        assert_eq!(mgr.counters().store_corruptions, 2);
+        // Healing advanced *past* the pre-replay epoch: neither captured
+        // snapshot (epoch 0 or 1) can be replayed undetected.
+        assert_eq!(mgr.store().epoch(), 2);
+        assert!(mgr.store().epoch() > stale.epoch());
+    }
+
+    #[test]
+    fn failed_restore_suspends_component_and_later_session_heals_it() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let hang_alu = AtomicBool::new(true);
+        let mut bench = |name: &str, _attempt: u32, _now: u64| {
+            let max_instructions = if name == "alu" && hang_alu.load(Ordering::Relaxed) {
+                1 // instruction-limit fires instantly: capture hangs
+            } else {
+                CpuConfig::default().max_instructions
+            };
+            Cpu::new(CpuConfig {
+                undecoded_as_nop: true,
+                max_instructions,
+                ..CpuConfig::default()
+            })
+        };
+        let config = ManagerConfig {
+            store_policy: StorePolicy::Recapture,
+            ..ManagerConfig::default()
+        };
+        let mut mgr = OnlineTestManager::new(
+            config,
+            vec![adder_component("alu"), adder_component("shifter")],
+            golden_store(&["alu", "shifter"]),
+        );
+        mgr.store_mut().corrupt("alu", 0xFFFF);
+
+        // Re-capture cannot restore "alu" (routine hangs, no replica):
+        // the component is suspended, the shifter keeps getting tested.
+        assert_eq!(
+            mgr.run_session(&mut bench),
+            SessionStatus::Completed { healthy: true }
+        );
+        assert_eq!(mgr.counters().store_suspensions, 1);
+        let alu = mgr.status("alu").unwrap();
+        assert!(!alu.store_trusted);
+        assert_eq!(alu.attempts, 0, "suspended component must be skipped");
+        assert_eq!(mgr.status("shifter").unwrap().attempts, 1);
+
+        // The hang clears; the next clean session heals and re-tests.
+        hang_alu.store(false, Ordering::Relaxed);
+        assert_eq!(
+            mgr.run_session(&mut bench),
+            SessionStatus::Completed { healthy: true }
+        );
+        assert_eq!(mgr.counters().store_heals, 1);
+        let alu = mgr.status("alu").unwrap();
+        assert!(alu.store_trusted);
+        assert_eq!(alu.attempts, 1, "healed component re-enters the schedule");
+        assert_eq!(mgr.store().get("alu"), Some(12));
+        assert_eq!(mgr.counters().store_corruptions, 1, "heal is not a tamper");
+    }
+
+    #[test]
+    fn keyed_manager_round_trip_stays_clean() {
+        // Zero false positives: a keyed store under a matching manager key
+        // audits clean across sessions, recaptures and epoch advances.
+        let key = MacKey::from_seed(0xFEED);
+        let config = ManagerConfig {
+            store_key: key,
+            ..ManagerConfig::default()
+        };
+        let store = SignatureStore::with_key(vec![("alu".to_owned(), 12)], &key);
+        let mut mgr = OnlineTestManager::new(config, vec![adder_component("alu")], store);
+        mgr.install_replica();
+        assert!(mgr.has_replica());
+        for _ in 0..3 {
+            assert_eq!(
+                mgr.run_session(&mut FaultFreeBench),
+                SessionStatus::Completed { healthy: true }
+            );
+        }
+        assert_eq!(mgr.counters().store_corruptions, 0);
+        assert_eq!(mgr.counters().passes, 3);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use sbst_cpu::manager::{
     FaultClass, FaultFreeBench, Health, ManagedComponent, ManagerConfig, OnlineTestManager,
     RetryPolicy, SessionStatus, SigLocation, SignatureStore, StorePolicy, Verdict,
 };
-use sbst_cpu::{ArchFault, FaultActivity};
+use sbst_cpu::{ArchFault, FaultActivity, MacKey};
 use sbst_gates::Fault;
 use sbst_isa::{parse_asm, Program};
 
@@ -286,6 +286,131 @@ fn recapture_on_a_faulty_machine_still_detects_via_consistency() {
     // faulty signature, and the store is sealed over it.
     assert_eq!(mgr.store().get("alu"), Some(72));
     assert!(mgr.store().verify());
+}
+
+#[test]
+fn recapture_poisoning_is_rejected_by_the_replica_cross_check() {
+    // The hardened counterpart to the test above, closing the
+    // recapture-poisoning hole: the same corrupted-store-plus-permanent-
+    // fault corner, but with a MAC key and an independent replica
+    // installed. The poisoned fresh capture (72) disagrees with the
+    // replica's witness (200), is rejected, and the true golden reference
+    // survives — so the ALU's next visit detects the fault and
+    // quarantines it instead of normalizing it into the references.
+    let (comp, fault) = alu_bit7_sa0();
+    let mut bench = |name: &str, _attempt: u32, _now: u64| {
+        let mut cpu = fresh_cpu();
+        if name == "alu" {
+            cpu.mount_fault(ArchFault::new(comp.clone(), fault));
+        }
+        cpu
+    };
+    let key = MacKey::from_seed(0x7E57_0001);
+    let config = ManagerConfig {
+        store_policy: StorePolicy::Recapture,
+        store_key: key,
+        ..ManagerConfig::default()
+    };
+    let store = SignatureStore::with_key(
+        vec![("alu".to_owned(), GOLDEN), ("spare".to_owned(), GOLDEN)],
+        &key,
+    );
+    let mut mgr = OnlineTestManager::new(config, vec![component("alu"), component("spare")], store);
+    mgr.install_replica();
+    mgr.store_mut().corrupt("alu", 0x0000_0001);
+
+    assert_eq!(
+        mgr.run_session(&mut bench),
+        SessionStatus::Completed { healthy: false }
+    );
+    assert_eq!(mgr.counters().tamper_forgeries, 1);
+    assert!(
+        mgr.counters().recapture_rejects >= 1,
+        "the poisoned capture must be rejected by the cross-check"
+    );
+    assert_eq!(
+        mgr.store().get("alu"),
+        Some(GOLDEN),
+        "the replica's witness wins the disagreement"
+    );
+    assert_eq!(mgr.status("alu").unwrap().health, Health::Quarantined);
+    assert_eq!(
+        mgr.status("alu").unwrap().class,
+        Some(FaultClass::Permanent)
+    );
+    // The healthy component was restored, re-sealed and tested normally.
+    assert_eq!(mgr.status("spare").unwrap().passes, 1);
+}
+
+#[test]
+fn stale_snapshot_replay_is_detected_and_healed() {
+    // Replay defense end-to-end: an attacker records the pristine keyed
+    // epoch-0 snapshot, lets a legitimate heal advance the seal epoch,
+    // then swaps the recording back in. The seal verifies — only the
+    // mirrored epoch exposes it.
+    let key = MacKey::from_seed(0xA11C_E5EA);
+    let config = ManagerConfig {
+        store_policy: StorePolicy::Recapture,
+        store_key: key,
+        ..ManagerConfig::default()
+    };
+    let store = SignatureStore::with_key(vec![("alu".to_owned(), GOLDEN)], &key);
+    let pristine = store.clone();
+    let mut mgr = OnlineTestManager::new(config, vec![component("alu")], store);
+    mgr.install_replica();
+
+    // A detected bit flip forces a recapture, which advances the epoch.
+    mgr.store_mut().corrupt("alu", 0x0000_0010);
+    assert_eq!(
+        mgr.run_session(&mut FaultFreeBench),
+        SessionStatus::Completed { healthy: true }
+    );
+    assert_eq!(mgr.counters().tamper_forgeries, 1);
+    assert!(mgr.expected_epoch() >= 1);
+
+    // The replayed snapshot is validly sealed but stale.
+    *mgr.store_mut() = pristine;
+    assert_eq!(
+        mgr.run_session(&mut FaultFreeBench),
+        SessionStatus::Completed { healthy: true }
+    );
+    assert_eq!(mgr.counters().tamper_replays, 1);
+    assert!(
+        mgr.expected_epoch() >= 2,
+        "healing must outrun every epoch the attacker may hold a snapshot of"
+    );
+}
+
+#[test]
+fn corruption_at_a_preemption_boundary_is_caught_on_resume() {
+    // Regression for the resumed-session audit hole: the store audit used
+    // to run only at fresh session starts, so corruption landing while a
+    // session was parked at a preemption boundary was trusted on resume.
+    let config = ManagerConfig {
+        quantum_cycles: Some(1),
+        ..ManagerConfig::default()
+    };
+    let mut mgr = OnlineTestManager::new(
+        config,
+        vec![component("alu"), component("spare")],
+        golden_store(&["alu", "spare"]),
+    );
+    assert_eq!(
+        mgr.run_session(&mut FaultFreeBench),
+        SessionStatus::Preempted
+    );
+    assert_eq!(mgr.status("spare").unwrap().attempts, 0);
+    // Corruption lands while the session is parked; the resumed call must
+    // re-audit before trusting any verdict against the bad reference.
+    mgr.store_mut().corrupt("spare", 0x0000_0100);
+    assert_eq!(mgr.run_session(&mut FaultFreeBench), SessionStatus::Halted);
+    assert!(mgr.is_halted());
+    assert_eq!(mgr.counters().tamper_forgeries, 1);
+    assert_eq!(
+        mgr.status("spare").unwrap().attempts,
+        0,
+        "the parked component must never be judged against a forged reference"
+    );
 }
 
 #[test]

@@ -31,6 +31,10 @@ pub struct ProfileGroup {
     pub quarantines: u64,
     /// Transient classifications.
     pub transients: u64,
+    /// Store attacks injected by this population's adversaries.
+    pub attacks_injected: u64,
+    /// Store tampers detected (forgeries + replays).
+    pub tampers_detected: u64,
 }
 
 /// A node whose transient rate stands out against the fleet.
@@ -67,6 +71,24 @@ pub struct Aggregate {
     pub quarantines: u64,
     /// Transient classifications fleet-wide.
     pub transients: u64,
+    /// Store attacks injected fleet-wide (adversarial population).
+    pub attacks_injected: u64,
+    /// Store tampers detected fleet-wide (forgeries + replays).
+    pub tampers_detected: u64,
+    /// Tamper detections split: forged seals.
+    pub tamper_forgeries: u64,
+    /// Tamper detections split: stale-epoch replays.
+    pub tamper_replays: u64,
+    /// Hardened recaptures performed fleet-wide.
+    pub store_recaptures: u64,
+    /// Fresh captures rejected by the replica cross-check.
+    pub recapture_rejects: u64,
+    /// Tamper detections on nodes whose adversary injected nothing —
+    /// the red-team gate asserts this is exactly 0.
+    pub tamper_false_alarms: u64,
+    /// Detections / injections (1.0 when nothing was injected): the
+    /// tamper-detection SLO, held to 1.0 by the red-team gate.
+    pub tamper_detection_rate: f64,
     /// Fraction of nodes with at least one quarantined component.
     pub quarantine_rate: f64,
     /// Fleet mean transient rate (transients / attempts).
@@ -121,6 +143,14 @@ impl Aggregate {
             backoffs: 0,
             quarantines: 0,
             transients: 0,
+            attacks_injected: 0,
+            tampers_detected: 0,
+            tamper_forgeries: 0,
+            tamper_replays: 0,
+            store_recaptures: 0,
+            recapture_rejects: 0,
+            tamper_false_alarms: 0,
+            tamper_detection_rate: 1.0,
             quarantine_rate: 0.0,
             transient_rate: 0.0,
             fleet_digest: 0xCBF2_9CE4_8422_2325,
@@ -147,6 +177,19 @@ impl Aggregate {
             agg.backoffs += c.backoffs;
             agg.quarantines += c.quarantines;
             agg.transients += c.transients;
+            agg.attacks_injected += outcome.attacks_injected;
+            agg.tampers_detected += outcome.tampers_detected();
+            agg.tamper_forgeries += c.tamper_forgeries;
+            agg.tamper_replays += c.tamper_replays;
+            agg.store_recaptures += c.store_recaptures;
+            agg.recapture_rejects += c.recapture_rejects;
+            if outcome.attacks_injected == 0 {
+                agg.tamper_false_alarms += outcome.tampers_detected();
+            } else {
+                agg.tamper_false_alarms += outcome
+                    .tampers_detected()
+                    .saturating_sub(outcome.attacks_injected);
+            }
             if !outcome.quarantined.is_empty() {
                 quarantined_nodes += 1;
             }
@@ -164,6 +207,8 @@ impl Aggregate {
                     failures: 0,
                     quarantines: 0,
                     transients: 0,
+                    attacks_injected: 0,
+                    tampers_detected: 0,
                 });
             group.nodes += 1;
             group.sessions += outcome.sessions;
@@ -171,12 +216,17 @@ impl Aggregate {
             group.failures += c.mismatches + c.watchdog_fires + c.crashes;
             group.quarantines += c.quarantines;
             group.transients += c.transients;
+            group.attacks_injected += outcome.attacks_injected;
+            group.tampers_detected += outcome.tampers_detected();
         }
         if agg.nodes > 0 {
             agg.quarantine_rate = quarantined_nodes as f64 / agg.nodes as f64;
         }
         if agg.attempts > 0 {
             agg.transient_rate = agg.transients as f64 / agg.attempts as f64;
+        }
+        if agg.attacks_injected > 0 {
+            agg.tamper_detection_rate = agg.tampers_detected as f64 / agg.attacks_injected as f64;
         }
         agg.groups = groups.into_values().collect();
 
@@ -213,6 +263,20 @@ impl Aggregate {
             ("backoffs", JsonValue::UInt(self.backoffs)),
             ("quarantines", JsonValue::UInt(self.quarantines)),
             ("transients", JsonValue::UInt(self.transients)),
+            ("attacks_injected", JsonValue::UInt(self.attacks_injected)),
+            ("tampers_detected", JsonValue::UInt(self.tampers_detected)),
+            ("tamper_forgeries", JsonValue::UInt(self.tamper_forgeries)),
+            ("tamper_replays", JsonValue::UInt(self.tamper_replays)),
+            ("store_recaptures", JsonValue::UInt(self.store_recaptures)),
+            ("recapture_rejects", JsonValue::UInt(self.recapture_rejects)),
+            (
+                "tamper_false_alarms",
+                JsonValue::UInt(self.tamper_false_alarms),
+            ),
+            (
+                "tamper_detection_rate",
+                JsonValue::Float(self.tamper_detection_rate),
+            ),
             ("quarantine_rate", JsonValue::Float(self.quarantine_rate)),
             ("transient_rate", JsonValue::Float(self.transient_rate)),
             (
@@ -252,6 +316,8 @@ impl Aggregate {
                                 ("failures", JsonValue::UInt(g.failures)),
                                 ("quarantines", JsonValue::UInt(g.quarantines)),
                                 ("transients", JsonValue::UInt(g.transients)),
+                                ("attacks_injected", JsonValue::UInt(g.attacks_injected)),
+                                ("tampers_detected", JsonValue::UInt(g.tampers_detected)),
                             ])
                         })
                         .collect(),

@@ -15,6 +15,7 @@ use std::sync::{Arc, OnceLock};
 use sbst_components::Component;
 use sbst_core::plan::build_managed_schedule_graded;
 use sbst_core::Cut;
+use sbst_cpu::mac::MacKey;
 use sbst_cpu::manager::{ManagedComponent, SignatureStore};
 use sbst_gates::FaultSimConfig;
 
@@ -37,8 +38,13 @@ pub struct FaultTarget {
 pub struct SharedArtifacts {
     /// One managed routine per routine-capable CUT, shared fleet-wide.
     pub components: Arc<[ManagedComponent]>,
-    /// The sealed golden store each node's private copy starts from.
+    /// The sealed golden store each node's private copy starts from —
+    /// keyed with [`SharedArtifacts::store_key`] at seal epoch 0.
     pub store: SignatureStore,
+    /// The per-characterization MAC key sealing the store, provisioned
+    /// once here and threaded to every node's manager.
+    /// [`MacKey::UNKEYED`] unless the characterizer was given a key seed.
+    pub store_key: MacKey,
     /// Per-component fault coverage measured at characterization time
     /// (component name, percent).
     pub coverage: Vec<(String, f64)>,
@@ -51,6 +57,7 @@ pub struct SharedArtifacts {
 pub struct Characterizer {
     cuts: Vec<Cut>,
     sim: FaultSimConfig,
+    key_seed: Option<u64>,
     cell: OnceLock<Arc<SharedArtifacts>>,
     runs: AtomicU64,
 }
@@ -67,9 +74,21 @@ impl Characterizer {
         Characterizer {
             cuts,
             sim,
+            key_seed: None,
             cell: OnceLock::new(),
             runs: AtomicU64::new(0),
         }
+    }
+
+    /// Provisions a per-characterization MAC key derived from `seed`
+    /// ([`MacKey::from_seed`]): the golden store is sealed keyed and every
+    /// node's manager receives the same key through the shared artifacts.
+    /// Without this the fleet runs on the [`MacKey::UNKEYED`]
+    /// compatibility key (tamper-evident, not forgery-proof).
+    #[must_use]
+    pub fn with_key_seed(mut self, seed: u64) -> Self {
+        self.key_seed = Some(seed);
+        self
     }
 
     /// The target specs derivable without characterizing — profile
@@ -111,9 +130,15 @@ impl Characterizer {
                     })
                 })
                 .collect();
+            let store_key = self.key_seed.map(MacKey::from_seed).unwrap_or_default();
+            // Re-seal the characterization's store under the provisioned
+            // key (epoch 0) — the snapshot itself is sealed unkeyed.
+            let store =
+                SignatureStore::with_key(schedule.store_snapshot().entries().to_vec(), &store_key);
             Arc::new(SharedArtifacts {
                 components: schedule.shared_components(),
-                store: schedule.store_snapshot(),
+                store,
+                store_key,
                 coverage,
                 targets,
             })
@@ -151,6 +176,23 @@ mod tests {
         let b = chr.artifacts();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(chr.characterizations(), 1);
+    }
+
+    #[test]
+    fn key_seed_provisions_a_keyed_store() {
+        let chr = Characterizer::new(vec![Cut::alu(32)]).with_key_seed(0xFEED);
+        let artifacts = chr.artifacts();
+        assert_eq!(artifacts.store_key, MacKey::from_seed(0xFEED));
+        assert!(!artifacts.store_key.is_unkeyed());
+        // Legacy checksum still verifies; the keyed audit passes under the
+        // provisioned key and fails under any other.
+        assert!(artifacts.store.verify());
+        assert!(artifacts.store.audit(&artifacts.store_key, 0).is_clean());
+        assert!(!artifacts.store.audit(&MacKey::UNKEYED, 0).is_clean());
+        // Without a key seed the fleet runs on the compatibility key.
+        let plain = Characterizer::new(vec![Cut::alu(32)]).artifacts();
+        assert!(plain.store_key.is_unkeyed());
+        assert!(plain.store.audit(&MacKey::UNKEYED, 0).is_clean());
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub use aggregate::{Aggregate, Anomaly, ProfileGroup};
 pub use characterize::{Characterizer, FaultTarget, SharedArtifacts};
 pub use node::{FleetNode, NodeOutcome, SessionSample};
 pub use profile::{
-    assign_profile, NodeProfile, PlannedFault, PopulationMix, ProfileKind, TargetSpec, NOMINAL_HZ,
+    assign_profile, AttackKind, NodeProfile, PlannedAttack, PlannedFault, PopulationMix,
+    ProfileKind, TargetSpec, NOMINAL_HZ,
 };
 pub use scheduler::{run_fleet, FleetConfig, FleetRun, WorkerStats};

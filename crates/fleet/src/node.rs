@@ -12,11 +12,13 @@ use std::sync::Arc;
 
 use sbst_cpu::cpu::{Cpu, CpuConfig};
 use sbst_cpu::faulty::ArchFault;
-use sbst_cpu::manager::{ManagerConfig, ManagerCounters, ManagerEvent, OnlineTestManager};
+use sbst_cpu::manager::{
+    ManagerConfig, ManagerCounters, ManagerEvent, OnlineTestManager, SignatureStore, StorePolicy,
+};
 use sbst_gates::Fault;
 
 use crate::characterize::SharedArtifacts;
-use crate::profile::NodeProfile;
+use crate::profile::{AttackKind, NodeProfile, ProfileKind};
 
 /// FNV-1a 64-bit fold over one `u64`.
 fn fnv1a_u64(hash: u64, value: u64) -> u64 {
@@ -68,12 +70,23 @@ pub struct NodeOutcome {
     pub clock_cycles: u64,
     /// Quarantined component names, in quarantine order.
     pub quarantined: Vec<String>,
+    /// Store attacks the node's adversary actually mounted (0 unless the
+    /// node is [`ProfileKind::Adversarial`]). The fleet tamper SLO is
+    /// `tampers_detected == attacks_injected`, node by node.
+    pub attacks_injected: u64,
     /// FNV-1a digest folded over every session's counter snapshot — the
     /// per-node fingerprint the fleet digest is built from.
     pub digest: u64,
     /// The ordered event log (empty unless the fleet enabled
     /// `record_events`).
     pub events: Vec<ManagerEvent>,
+}
+
+impl NodeOutcome {
+    /// Tamper detections on this node (forgeries + replays).
+    pub fn tampers_detected(&self) -> u64 {
+        self.counters.tamper_forgeries + self.counters.tamper_replays
+    }
 }
 
 /// One simulated managed core.
@@ -84,8 +97,12 @@ pub struct FleetNode {
     artifacts: Arc<SharedArtifacts>,
     manager: OnlineTestManager,
     planned_fault: Option<Fault>,
+    /// Pristine epoch-0 store snapshot, held by the adversary for the
+    /// replay attack's second stage.
+    pristine_store: Option<SignatureStore>,
     next_due: u64,
     sessions: u64,
+    attacks_injected: u64,
     digest: u64,
 }
 
@@ -99,9 +116,19 @@ impl FleetNode {
         artifacts: Arc<SharedArtifacts>,
         record_events: bool,
     ) -> Self {
+        let adversarial = profile.kind == ProfileKind::Adversarial;
         let config = ManagerConfig {
             period_cycles: profile.period_cycles,
             record_events,
+            store_key: artifacts.store_key,
+            // Adversarial nodes heal instead of halting: the hardened
+            // recapture path (replica cross-check + epoch-advancing
+            // re-seal) is exactly what the red team is probing.
+            store_policy: if adversarial {
+                StorePolicy::Recapture
+            } else {
+                ManagerConfig::default().store_policy
+            },
             ..ManagerConfig::default()
         };
         let mut manager = OnlineTestManager::with_shared_components(
@@ -109,6 +136,9 @@ impl FleetNode {
             Arc::clone(&artifacts.components),
             artifacts.store.clone(),
         );
+        if adversarial {
+            manager.install_replica();
+        }
         manager.advance_clock(profile.phase_cycles);
         let planned_fault = profile.fault.map(|f| {
             let target = &artifacts.targets[f.target];
@@ -119,6 +149,7 @@ impl FleetNode {
                 Fault::stem_sa0(net)
             }
         });
+        let pristine_store = adversarial.then(|| artifacts.store.clone());
         FleetNode {
             index,
             next_due: profile.phase_cycles,
@@ -126,8 +157,54 @@ impl FleetNode {
             artifacts,
             manager,
             planned_fault,
+            pristine_store,
             sessions: 0,
+            attacks_injected: 0,
             digest: FNV_OFFSET,
+        }
+    }
+
+    /// Mounts the attack stage (if any) due immediately before the
+    /// upcoming session, incrementing `attacks_injected` per tamper
+    /// actually applied — so `tampers_detected == attacks_injected` holds
+    /// even when the horizon truncates a replay's second stage.
+    fn apply_due_attack(&mut self) {
+        let Some(attack) = self.profile.attack else {
+            return;
+        };
+        let upcoming = self.sessions + 1;
+        let store = self.manager.store_mut();
+        let Some((victim, value)) = store.entries().first().map(|(n, v)| (n.clone(), *v)) else {
+            return;
+        };
+        let xor = 1u32 << (attack.bit % 32);
+        match attack.kind {
+            AttackKind::BitFlip if upcoming == attack.session => {
+                store.corrupt(&victim, xor);
+                self.attacks_injected += 1;
+            }
+            AttackKind::ForgeEntry if upcoming == attack.session => {
+                // Rewrite plus recomputed public checksum: invisible to
+                // the legacy verify(), caught only by the keyed seal.
+                store.forge(&victim, value ^ xor);
+                self.attacks_injected += 1;
+            }
+            AttackKind::Replay => {
+                if upcoming == attack.session {
+                    // Stage 1: provoke a detection so the manager heals
+                    // and advances the seal epoch past the snapshot's.
+                    store.corrupt(&victim, xor);
+                    self.attacks_injected += 1;
+                } else if upcoming == attack.session + 1 {
+                    // Stage 2: swap in the pristine epoch-0 snapshot —
+                    // validly sealed, stale epoch.
+                    if let Some(snapshot) = self.pristine_store.clone() {
+                        *self.manager.store_mut() = snapshot;
+                        self.attacks_injected += 1;
+                    }
+                }
+            }
+            _ => {}
         }
     }
 
@@ -146,6 +223,7 @@ impl FleetNode {
     /// due time reaches it, the sample reports `done`.
     pub fn run_due_session(&mut self, horizon_cycles: u64) -> SessionSample {
         let due = self.next_due;
+        self.apply_due_attack();
         let before = *self.manager.counters();
 
         let fault = self.planned_fault;
@@ -228,6 +306,15 @@ impl FleetNode {
             c.transients,
             c.preemptions,
             c.sessions_completed,
+            c.store_corruptions,
+            c.tamper_forgeries,
+            c.tamper_replays,
+            c.store_recaptures,
+            c.recapture_rejects,
+            c.replica_compromises,
+            c.store_suspensions,
+            c.store_heals,
+            self.attacks_injected,
             self.manager.clock_cycles(),
         ] {
             d = fnv1a_u64(d, value);
@@ -244,6 +331,7 @@ impl FleetNode {
             counters: *self.manager.counters(),
             clock_cycles: self.manager.clock_cycles(),
             quarantined: self.manager.quarantined().to_vec(),
+            attacks_injected: self.attacks_injected,
             digest: self.digest,
             events: self.manager.events().to_vec(),
         }
@@ -254,7 +342,7 @@ impl FleetNode {
 mod tests {
     use super::*;
     use crate::characterize::Characterizer;
-    use crate::profile::{assign_profile, PopulationMix};
+    use crate::profile::{assign_profile, PlannedAttack, PopulationMix};
     use sbst_core::Cut;
 
     fn artifacts() -> Arc<SharedArtifacts> {
@@ -268,6 +356,7 @@ mod tests {
             infant_pct: 0,
             wearout_pct: 0,
             correlated_pct: 0,
+            adversary_pct: 0,
             batch_size: 16,
         };
         let profile = assign_profile(1, 0, &mix, 500_000, 2_000_000, &[]);
@@ -286,6 +375,77 @@ mod tests {
         let outcome = node.finish();
         assert_eq!(outcome.counters.passes, outcome.counters.attempts);
         assert!(outcome.quarantined.is_empty());
+    }
+
+    #[test]
+    fn adversarial_node_detects_every_injected_attack() {
+        let artifacts = Characterizer::new(vec![Cut::alu(32), Cut::shifter(32)])
+            .with_key_seed(0xA11CE)
+            .artifacts();
+        for kind in [
+            AttackKind::BitFlip,
+            AttackKind::ForgeEntry,
+            AttackKind::Replay,
+        ] {
+            let profile = NodeProfile {
+                kind: ProfileKind::Adversarial,
+                period_cycles: 500_000,
+                phase_cycles: 0,
+                fault: None,
+                attack: Some(PlannedAttack {
+                    kind,
+                    session: 1,
+                    bit: 5,
+                }),
+            };
+            let mut node = FleetNode::new(0, profile, Arc::clone(&artifacts), true);
+            while !node.run_due_session(2_000_000).done {}
+            let outcome = node.finish();
+            assert!(outcome.attacks_injected >= 1, "{kind:?} injected nothing");
+            assert_eq!(
+                outcome.tampers_detected(),
+                outcome.attacks_injected,
+                "{kind:?}: every injected tamper must be detected"
+            );
+            match kind {
+                AttackKind::Replay => {
+                    assert_eq!(outcome.counters.tamper_forgeries, 1, "{kind:?}");
+                    assert_eq!(outcome.counters.tamper_replays, 1, "{kind:?}");
+                }
+                _ => {
+                    assert_eq!(outcome.counters.tamper_forgeries, 1, "{kind:?}");
+                    assert_eq!(outcome.counters.tamper_replays, 0, "{kind:?}");
+                }
+            }
+            // The hardware is healthy: healing keeps verdicts clean, no
+            // false failures, no quarantine.
+            assert_eq!(
+                outcome.counters.passes, outcome.counters.attempts,
+                "{kind:?}"
+            );
+            assert!(outcome.quarantined.is_empty(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn clean_nodes_inject_and_detect_nothing() {
+        let artifacts = Characterizer::new(vec![Cut::alu(32), Cut::shifter(32)])
+            .with_key_seed(0xA11CE)
+            .artifacts();
+        let mix = PopulationMix {
+            infant_pct: 0,
+            wearout_pct: 0,
+            correlated_pct: 0,
+            adversary_pct: 0,
+            batch_size: 16,
+        };
+        let profile = assign_profile(1, 0, &mix, 500_000, 2_000_000, &[]);
+        let mut node = FleetNode::new(0, profile, artifacts, false);
+        while !node.run_due_session(2_000_000).done {}
+        let outcome = node.finish();
+        assert_eq!(outcome.attacks_injected, 0);
+        assert_eq!(outcome.tampers_detected(), 0, "zero false alarms");
+        assert_eq!(outcome.counters.store_corruptions, 0);
     }
 
     #[test]

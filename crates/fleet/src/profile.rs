@@ -63,6 +63,12 @@ pub enum ProfileKind {
     /// manufacturing batch shares one onset time and one fault site, drawn
     /// from a batch-level RNG stream.
     CorrelatedBatch,
+    /// Healthy hardware under attack: an adversary with write access to
+    /// the node's signature-store memory mounts one planned
+    /// [`PlannedAttack`] against the keyed store. The red-team population
+    /// for the tamper-detection SLO — every injected attack must be
+    /// detected, with zero false alarms elsewhere.
+    Adversarial,
 }
 
 impl ProfileKind {
@@ -73,8 +79,50 @@ impl ProfileKind {
             ProfileKind::InfantMortality => "infant_mortality",
             ProfileKind::WearOut => "wear_out",
             ProfileKind::CorrelatedBatch => "correlated_batch",
+            ProfileKind::Adversarial => "adversarial",
         }
     }
+}
+
+/// The attack an adversarial node mounts against its signature store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Flip one bit of a stored golden signature (no seal recomputation):
+    /// the classic memory-corruption tamper, detected as forgery.
+    BitFlip,
+    /// Rewrite an entry *and* recompute the public FNV checksum — the
+    /// forgery the unkeyed seal cannot see; only the keyed seal catches
+    /// it.
+    ForgeEntry,
+    /// Two-stage replay: first corrupt the store so the manager
+    /// re-captures and advances the seal epoch, then swap in the
+    /// pre-attack snapshot — validly sealed, but at a stale epoch.
+    Replay,
+}
+
+impl AttackKind {
+    /// Stable lowercase name, used as a JSON key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::BitFlip => "bit_flip",
+            AttackKind::ForgeEntry => "forge_entry",
+            AttackKind::Replay => "replay",
+        }
+    }
+}
+
+/// One planned store attack: what to mount and immediately before which
+/// session (1-based) to mount it. [`AttackKind::Replay`]'s second stage
+/// lands before session `session + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedAttack {
+    /// The attack flavour.
+    pub kind: AttackKind,
+    /// 1-based session the (first) tamper is applied before.
+    pub session: u64,
+    /// Value-bit flipped by [`AttackKind::BitFlip`] and the replay's
+    /// first stage, and the XOR fed to the forged rewrite.
+    pub bit: u32,
 }
 
 /// Population mix: percentage of nodes drawn into each faulty profile
@@ -88,6 +136,10 @@ pub struct PopulationMix {
     pub wearout_pct: u8,
     /// Percent of nodes eligible for a batch-correlated defect.
     pub correlated_pct: u8,
+    /// Percent of nodes under adversarial store attack (healthy hardware,
+    /// tampered signature store). 0 in the default mix — the red-team
+    /// population is opt-in via `--adversary`.
+    pub adversary_pct: u8,
     /// Nodes per manufacturing batch (correlated defects are shared
     /// batch-wide).
     pub batch_size: u64,
@@ -99,6 +151,7 @@ impl Default for PopulationMix {
             infant_pct: 4,
             wearout_pct: 3,
             correlated_pct: 3,
+            adversary_pct: 0,
             batch_size: 16,
         }
     }
@@ -111,6 +164,7 @@ impl PopulationMix {
             .saturating_sub(self.infant_pct)
             .saturating_sub(self.wearout_pct)
             .saturating_sub(self.correlated_pct)
+            .saturating_sub(self.adversary_pct)
     }
 }
 
@@ -176,6 +230,8 @@ pub struct NodeProfile {
     pub phase_cycles: u64,
     /// The planned fault, if any.
     pub fault: Option<PlannedFault>,
+    /// The planned store attack ([`ProfileKind::Adversarial`] only).
+    pub attack: Option<PlannedAttack>,
 }
 
 /// Assigns node `index`'s profile as a pure function of
@@ -196,6 +252,28 @@ pub fn assign_profile(
     let infant_below = mix.infant_pct;
     let wearout_below = infant_below + mix.wearout_pct;
     let correlated_below = wearout_below + mix.correlated_pct;
+    let adversary_below = correlated_below.saturating_add(mix.adversary_pct);
+
+    // Adversarial nodes need no mountable fault target: the hardware is
+    // healthy, the attack is on the store.
+    if pick >= correlated_below && pick < adversary_below {
+        let kind = match rng.random_below(3) {
+            0 => AttackKind::BitFlip,
+            1 => AttackKind::ForgeEntry,
+            _ => AttackKind::Replay,
+        };
+        // Strike before the first or second session (a replay's second
+        // stage lands one session later).
+        let session = 1 + rng.random_below(2);
+        let bit = rng.random_below(32) as u32;
+        return NodeProfile {
+            kind: ProfileKind::Adversarial,
+            period_cycles: base_period_cycles,
+            phase_cycles,
+            fault: None,
+            attack: Some(PlannedAttack { kind, session, bit }),
+        };
+    }
 
     if targets.is_empty() || pick >= correlated_below {
         return NodeProfile {
@@ -203,6 +281,7 @@ pub fn assign_profile(
             period_cycles: base_period_cycles,
             phase_cycles,
             fault: None,
+            attack: None,
         };
     }
 
@@ -223,6 +302,7 @@ pub fn assign_profile(
             period_cycles: base_period_cycles,
             phase_cycles,
             fault: Some(fault),
+            attack: None,
         }
     } else if pick < wearout_below {
         // Sets in somewhere in the second half of life and never clears.
@@ -241,6 +321,7 @@ pub fn assign_profile(
             period_cycles: (base_period_cycles * 3 / 4).max(1),
             phase_cycles,
             fault: Some(fault),
+            attack: None,
         }
     } else {
         // The whole batch shares one defect, drawn from the batch stream.
@@ -260,6 +341,7 @@ pub fn assign_profile(
             period_cycles: base_period_cycles,
             phase_cycles,
             fault: Some(fault),
+            attack: None,
         }
     }
 }
@@ -300,9 +382,10 @@ mod tests {
     #[test]
     fn mix_populations_all_appear_at_scale() {
         let mix = PopulationMix {
-            infant_pct: 25,
-            wearout_pct: 25,
-            correlated_pct: 25,
+            infant_pct: 20,
+            wearout_pct: 20,
+            correlated_pct: 20,
+            adversary_pct: 20,
             batch_size: 8,
         };
         let mut seen = std::collections::BTreeSet::new();
@@ -310,7 +393,34 @@ mod tests {
             let p = assign_profile(3, index, &mix, 500_000, 2_000_000, &targets());
             seen.insert(p.kind);
         }
-        assert_eq!(seen.len(), 4, "all four profiles drawn: {seen:?}");
+        assert_eq!(seen.len(), 5, "all five profiles drawn: {seen:?}");
+    }
+
+    #[test]
+    fn adversarial_nodes_plan_attacks_not_faults() {
+        let mix = PopulationMix {
+            infant_pct: 0,
+            wearout_pct: 0,
+            correlated_pct: 0,
+            adversary_pct: 100,
+            batch_size: 16,
+        };
+        let mut kinds = std::collections::BTreeSet::new();
+        // Adversarial assignment must not require fault targets.
+        for (index, targets) in (0..96).zip([targets(), Vec::new()].into_iter().cycle()) {
+            let p = assign_profile(21, index, &mix, 500_000, 2_000_000, &targets);
+            assert_eq!(p.kind, ProfileKind::Adversarial);
+            assert!(p.fault.is_none(), "adversarial hardware is healthy");
+            let attack = p.attack.expect("adversarial node plans an attack");
+            assert!(attack.session >= 1 && attack.session <= 2);
+            assert!(attack.bit < 32);
+            kinds.insert(attack.kind.name());
+        }
+        assert_eq!(
+            kinds.into_iter().collect::<Vec<_>>(),
+            vec!["bit_flip", "forge_entry", "replay"],
+            "all three attack flavours drawn at scale"
+        );
     }
 
     #[test]
@@ -319,6 +429,7 @@ mod tests {
             infant_pct: 0,
             wearout_pct: 0,
             correlated_pct: 100,
+            adversary_pct: 0,
             batch_size: 8,
         };
         let profiles: Vec<_> = (0..16)
@@ -348,6 +459,7 @@ mod tests {
             infant_pct: 0,
             wearout_pct: 0,
             correlated_pct: 0,
+            adversary_pct: 0,
             batch_size: 16,
         };
         for index in 0..32 {
@@ -363,6 +475,7 @@ mod tests {
             infant_pct: 50,
             wearout_pct: 50,
             correlated_pct: 0,
+            adversary_pct: 0,
             batch_size: 16,
         };
         for index in 0..16 {
@@ -377,6 +490,7 @@ mod tests {
             infant_pct: 34,
             wearout_pct: 33,
             correlated_pct: 33,
+            adversary_pct: 0,
             batch_size: 4,
         };
         let ts = targets();

@@ -172,6 +172,14 @@ fn node_line(outcome: &NodeOutcome) -> String {
         ("passes", JsonValue::UInt(outcome.counters.passes)),
         ("transients", JsonValue::UInt(outcome.counters.transients)),
         (
+            "attacks_injected",
+            JsonValue::UInt(outcome.attacks_injected),
+        ),
+        (
+            "tampers_detected",
+            JsonValue::UInt(outcome.tampers_detected()),
+        ),
+        (
             "quarantined",
             JsonValue::Array(
                 outcome

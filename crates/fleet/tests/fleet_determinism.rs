@@ -22,6 +22,7 @@ fn config(nodes: u64, workers: usize, record_events: bool) -> FleetConfig {
             infant_pct: 20,
             wearout_pct: 15,
             correlated_pct: 15,
+            adversary_pct: 0,
             batch_size: 4,
         },
         record_events,
@@ -66,6 +67,60 @@ fn aggregates_and_event_logs_bit_identical_across_worker_counts() {
             reference.aggregate.to_json().to_json_pretty(),
             other.aggregate.to_json().to_json_pretty()
         );
+    }
+}
+
+/// The red-team differential: an adversary-heavy keyed fleet must detect
+/// 100% of injected store attacks with zero false alarms, and the tamper
+/// aggregates must stay bit-identical for 1, 2 and 7 workers.
+#[test]
+fn adversarial_fleet_detects_all_attacks_identically_across_worker_counts() {
+    let run_adversarial = |workers: usize| {
+        let characterizer =
+            Characterizer::new(vec![Cut::alu(32), Cut::shifter(32)]).with_key_seed(0x5EC2_E7C0);
+        let cfg = FleetConfig {
+            mix: PopulationMix {
+                infant_pct: 10,
+                wearout_pct: 10,
+                correlated_pct: 10,
+                adversary_pct: 40,
+                batch_size: 4,
+            },
+            ..config(24, workers, true)
+        };
+        run_fleet(&cfg, &characterizer, None)
+    };
+
+    let reference = run_adversarial(1);
+    let agg = &reference.aggregate;
+    assert!(
+        agg.attacks_injected > 0,
+        "the adversarial mix must actually attack"
+    );
+    assert_eq!(
+        agg.tampers_detected, agg.attacks_injected,
+        "100% tamper detection"
+    );
+    assert_eq!(agg.tamper_false_alarms, 0, "zero false alarms");
+    assert_eq!(agg.tamper_detection_rate, 1.0);
+    assert!(agg.tamper_forgeries > 0, "forgeries drawn at this scale");
+    assert!(agg.tamper_replays > 0, "replays drawn at this scale");
+    // Non-adversarial profiles inject and detect nothing.
+    for group in &agg.groups {
+        let adversarial = group.kind.name() == "adversarial";
+        assert_eq!(group.attacks_injected > 0, adversarial, "{:?}", group.kind);
+        assert_eq!(group.tampers_detected, group.attacks_injected);
+    }
+
+    for workers in [2usize, 7] {
+        let other = run_adversarial(workers);
+        assert_eq!(
+            reference.aggregate, other.aggregate,
+            "tamper aggregate diverges at {workers} workers"
+        );
+        for (a, b) in reference.outcomes.iter().zip(&other.outcomes) {
+            assert_eq!(a, b, "node {} diverges at {workers} workers", a.index);
+        }
     }
 }
 
